@@ -1,0 +1,68 @@
+//! Clusterer scalability: the §5.2 complexity claim (O(n log n) in the
+//! number of templates) plus kd-tree nearest-center lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb_clusterer::{
+    ClustererConfig, KdTree, OnlineClusterer, TemplateFeature, TemplateSnapshot,
+};
+
+/// Synthetic feature vectors: `n` templates spread over `patterns` distinct
+/// arrival shapes with small per-template perturbations.
+fn snapshots(n: usize, patterns: usize, dim: usize) -> Vec<TemplateSnapshot> {
+    (0..n)
+        .map(|i| {
+            let p = i % patterns;
+            let values: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let base =
+                        ((d + p * 3) as f64 / dim as f64 * std::f64::consts::TAU).sin() + 1.1;
+                    base * (1.0 + (i % 7) as f64 * 0.01)
+                })
+                .collect();
+            TemplateSnapshot {
+                key: i as u64,
+                feature: TemplateFeature::full(values),
+                volume: 1.0 + (i % 13) as f64,
+                last_seen: 0,
+            }
+        })
+        .collect()
+}
+
+fn bench_online_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clusterer_update");
+    group.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let snaps = snapshots(n, 8, 64);
+        group.bench_with_input(BenchmarkId::new("templates", n), &snaps, |b, snaps| {
+            b.iter(|| {
+                let mut cl = OnlineClusterer::new(ClustererConfig::default());
+                cl.update(snaps.clone(), 0);
+                cl.num_clusters()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree");
+    let points: Vec<(Vec<f64>, usize)> = (0..2000)
+        .map(|i| {
+            let v: Vec<f64> = (0..32)
+                .map(|d| (((i * 31 + d * 7) % 997) as f64 / 997.0) - 0.5)
+                .collect();
+            (v, i)
+        })
+        .collect();
+    group.bench_function("build_2000x32", |b| {
+        b.iter(|| KdTree::build(points.clone()))
+    });
+    let tree = KdTree::build(points.clone());
+    let query: Vec<f64> = (0..32).map(|d| (d as f64 / 32.0) - 0.5).collect();
+    group.bench_function("nearest", |b| b.iter(|| tree.nearest(&query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_update, bench_kdtree);
+criterion_main!(benches);

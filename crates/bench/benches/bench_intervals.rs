@@ -1,0 +1,56 @@
+//! Figure 10b: ENSEMBLE (LR + RNN) training time as a function of the
+//! prediction interval — longer intervals mean fewer, smaller training
+//! examples and should train faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb_forecast::{Forecaster, WindowSpec};
+
+/// One week of per-minute arrivals for one cluster.
+fn minute_series() -> Vec<f64> {
+    (0..7 * 24 * 60)
+        .map(|t| {
+            let h = (t / 60) % 24;
+            let base = if (7..21).contains(&h) { 40.0 } else { 6.0 };
+            base + ((t % 37) as f64) * 0.3
+        })
+        .collect()
+}
+
+/// Aggregates the minute series into `k`-minute buckets.
+fn aggregate(series: &[f64], k: usize) -> Vec<f64> {
+    series.chunks(k).map(|c| c.iter().sum()).collect()
+}
+
+fn bench_intervals(c: &mut Criterion) {
+    let minutes = minute_series();
+    let mut group = c.benchmark_group("fig10b_train_time");
+    group.sample_size(10);
+
+    for interval_min in [10usize, 20, 30, 60, 120] {
+        let series = vec![aggregate(&minutes, interval_min)];
+        let steps_per_day = 24 * 60 / interval_min;
+        let spec = WindowSpec { window: steps_per_day, horizon: 1 };
+        group.bench_with_input(
+            BenchmarkId::new("ensemble_train", format!("{interval_min}min")),
+            &series,
+            |b, series| {
+                b.iter(|| {
+                    let mut lr = qb_forecast::LinearRegression::default();
+                    lr.fit(series, spec).expect("fit");
+                    let cfg = qb_forecast::RnnConfig {
+                        epochs: 5,
+                        patience: 5,
+                        ..qb_forecast::RnnConfig::default()
+                    };
+                    let mut rnn = qb_forecast::Rnn::new(cfg);
+                    rnn.fit(series, spec).expect("fit");
+                    (lr, rnn)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intervals);
+criterion_main!(benches);

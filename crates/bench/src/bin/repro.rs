@@ -1,0 +1,84 @@
+//! `repro` — regenerates every table and figure of the QB5000 paper.
+//!
+//! ```text
+//! repro [--full] <artifact>...
+//! repro --full all
+//! ```
+//!
+//! Artifacts: `table1 table2 table3 table4 fig1 fig3 fig5 fig6 fig7 fig8
+//! fig9 fig10 fig11 fig12 fig13 fig15 fig16 fig17 all`
+//! (`fig13` also prints Figure 14; `fig9` also prints Figure 16.)
+//!
+//! Default effort is quick (shrunk traces / epochs, minutes of runtime);
+//! `--full` uses paper-faithful settings.
+
+use qb_bench::{exp_ablations, exp_clustering, exp_forecast, exp_index, exp_tables, Effort};
+
+const ARTIFACTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig15", "fig17", "ablations",
+];
+
+fn run(artifact: &str, effort: Effort) -> Option<String> {
+    let out = match artifact {
+        "table1" => exp_tables::table1(effort),
+        "table2" => exp_tables::table2(effort),
+        "table3" => exp_tables::table3(),
+        "table4" => exp_tables::table4(effort),
+        "fig1" => exp_clustering::fig1(effort),
+        "fig3" => exp_clustering::fig3(effort),
+        "fig5" => exp_clustering::fig5(effort),
+        "fig6" => exp_clustering::fig6(effort),
+        "fig7" => exp_forecast::fig7(effort),
+        "fig8" => exp_forecast::fig8(effort),
+        "fig9" | "fig16" => exp_forecast::fig9_16(effort),
+        "fig10" => exp_forecast::fig10(effort),
+        "fig11" => exp_index::fig11(effort),
+        "fig12" => exp_index::fig12(effort),
+        "fig13" | "fig14" => exp_clustering::fig13_14(effort),
+        "fig15" => exp_forecast::fig15(effort),
+        "fig17" => exp_forecast::fig17(effort),
+        "ablations" => exp_ablations::ablations(effort),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Quick;
+    let mut targets: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => effort = Effort::Full,
+            "--quick" => effort = Effort::Quick,
+            "all" => targets.extend(ARTIFACTS.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--full] <artifact>... | all");
+        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+        std::process::exit(2);
+    }
+    for t in targets {
+        let t0 = std::time::Instant::now();
+        match run(&t, effort) {
+            Some(out) => {
+                // Write via the fallible API: a closed pipe (`repro ... |
+                // head`) ends the program quietly instead of panicking.
+                use std::io::Write;
+                let mut stdout = std::io::stdout();
+                if writeln!(stdout, "{out}\n  [{t} completed in {:.1?}]\n", t0.elapsed())
+                    .is_err()
+                {
+                    std::process::exit(0);
+                }
+            }
+            None => {
+                eprintln!("unknown artifact `{t}`; known: {}", ARTIFACTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

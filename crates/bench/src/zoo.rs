@@ -1,0 +1,79 @@
+//! The model zoo: one constructor per paper model, at quick or
+//! paper-faithful effort.
+
+use qb_forecast::{
+    Arma, Fnn, Forecaster, KernelRegression, LinearRegression, Psrnn, Rnn, RnnConfig,
+};
+
+use crate::Effort;
+
+/// The six standalone models of Table 3, in the paper's order.
+pub const STANDALONE: [&str; 6] = ["LR", "KR", "ARMA", "FNN", "RNN", "PSRNN"];
+
+/// All eight rows of Figure 7 (standalone + composites).
+pub const ALL_MODELS: [&str; 8] =
+    ["LR", "KR", "ARMA", "FNN", "RNN", "PSRNN", "ENSEMBLE", "HYBRID"];
+
+/// RNN settings per effort. `Full` is the paper architecture; `Quick`
+/// shrinks it for smoke runs.
+pub fn rnn_config(effort: Effort) -> RnnConfig {
+    match effort {
+        Effort::Full => RnnConfig { epochs: 60, ..RnnConfig::default() },
+        Effort::Quick => RnnConfig {
+            epochs: 15,
+            hidden: 10,
+            embedding: 8,
+            patience: 5,
+            ..RnnConfig::default()
+        },
+    }
+}
+
+/// Builds one standalone model by name.
+///
+/// # Panics
+/// Panics on an unknown model name.
+pub fn make_model(name: &str, effort: Effort) -> Box<dyn Forecaster> {
+    match name {
+        "LR" => Box::new(LinearRegression::default()),
+        "KR" => Box::new(KernelRegression::default()),
+        "ARMA" => Box::new(Arma::default()),
+        "FNN" => {
+            let mut cfg = qb_forecast::fnn::FnnConfig::default();
+            if effort.is_quick() {
+                cfg.epochs = 25;
+                cfg.hidden = 16;
+            }
+            Box::new(Fnn::new(cfg))
+        }
+        "RNN" => Box::new(Rnn::new(rnn_config(effort))),
+        "PSRNN" => {
+            let mut cfg = qb_forecast::psrnn::PsrnnConfig::default();
+            if effort.is_quick() {
+                cfg.epochs = 10;
+                cfg.state_dim = 10;
+            }
+            Box::new(Psrnn::new(cfg))
+        }
+        other => panic!("unknown model `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_builds_every_standalone_model() {
+        for name in STANDALONE {
+            let m = make_model(name, Effort::Quick);
+            assert_eq!(m.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        make_model("GPT", Effort::Quick);
+    }
+}

@@ -1,0 +1,186 @@
+//! Arrival-rate feature extraction (§5.1).
+//!
+//! "QB5000 first randomly samples timestamps before the current time point.
+//! Then for each series of arrival rate history, QB5000 takes the subset of
+//! values at those timestamps to form a vector. ... Our current
+//! implementation uses 10k time points in the last month of a template's
+//! arrival rate history as its feature vector."
+//!
+//! All templates share the same sampled-timestamp set so their vectors are
+//! coordinate-aligned. For a *new* template that did not exist at the older
+//! sample points, similarity is computed only over the timestamps since its
+//! first arrival (the paper's "available timestamps" rule) — see
+//! [`TemplateFeature::similarity`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qb_timeseries::{ArrivalHistory, Interval, Minute};
+
+/// A shared set of sampled timestamps that defines the feature space for one
+/// clustering round.
+#[derive(Debug, Clone)]
+pub struct FeatureSampler {
+    /// Sorted sample timestamps (minutes).
+    timestamps: Vec<Minute>,
+    /// Aggregation interval around each sample point.
+    interval: Interval,
+}
+
+impl FeatureSampler {
+    /// Draws `n` timestamps uniformly from the window `[now - window, now)`.
+    ///
+    /// The paper draws 10 000 points from the trailing month; the synthetic
+    /// experiments use smaller `n` (the traces are shorter and the patterns
+    /// coarser), which preserves the geometry while keeping runtime small.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `window <= 0`.
+    pub fn random(now: Minute, window: i64, n: usize, interval: Interval, seed: u64) -> Self {
+        assert!(n > 0, "FeatureSampler: need at least one sample point");
+        assert!(window > 0, "FeatureSampler: window must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut timestamps: Vec<Minute> =
+            (0..n).map(|_| now - 1 - rng.gen_range(0..window)).collect();
+        timestamps.sort_unstable();
+        timestamps.dedup();
+        Self { timestamps, interval }
+    }
+
+    /// A sampler over evenly spaced timestamps (deterministic; used by tests
+    /// and the interval-sensitivity experiments).
+    pub fn even(start: Minute, end: Minute, interval: Interval) -> Self {
+        let step = interval.as_minutes();
+        let mut timestamps = Vec::new();
+        let mut t = interval.bucket_start(start);
+        while t < end {
+            timestamps.push(t);
+            t += step;
+        }
+        Self { timestamps, interval }
+    }
+
+    /// The sample timestamps (sorted ascending).
+    pub fn timestamps(&self) -> &[Minute] {
+        &self.timestamps
+    }
+
+    /// Feature-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Extracts the feature vector of one template.
+    pub fn extract(&self, history: &ArrivalHistory, first_seen: Minute) -> TemplateFeature {
+        let values = history.sample_at(&self.timestamps, self.interval);
+        // Index of the first sample point at or after the template's first
+        // arrival; earlier coordinates are masked out when comparing a new
+        // template against long-lived centers.
+        let valid_from = self.timestamps.partition_point(|&t| t < first_seen);
+        TemplateFeature { values, valid_from }
+    }
+}
+
+/// A template's feature vector plus its validity mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateFeature {
+    /// Arrival counts at the sampler's timestamps.
+    pub values: Vec<f64>,
+    /// Coordinates before this index predate the template's first arrival.
+    pub valid_from: usize,
+}
+
+impl TemplateFeature {
+    /// Creates a feature with every coordinate valid.
+    pub fn full(values: Vec<f64>) -> Self {
+        Self { values, valid_from: 0 }
+    }
+
+    /// Cosine similarity against another vector, restricted to the
+    /// coordinates where *both* features are valid.
+    pub fn similarity(&self, other_values: &[f64], other_valid_from: usize) -> f64 {
+        let from = self.valid_from.max(other_valid_from);
+        if from >= self.values.len() {
+            return 0.0;
+        }
+        qb_linalg::cosine_similarity(&self.values[from..], &other_values[from..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with(points: &[(Minute, u64)]) -> ArrivalHistory {
+        let mut h = ArrivalHistory::new();
+        for &(t, c) in points {
+            h.record(t, c);
+        }
+        h
+    }
+
+    #[test]
+    fn random_sampler_in_window_and_sorted() {
+        let s = FeatureSampler::random(10_000, 1_000, 200, Interval::MINUTE, 7);
+        assert!(!s.timestamps().is_empty());
+        for w in s.timestamps().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &t in s.timestamps() {
+            assert!((9_000..10_000).contains(&t), "{t} outside window");
+        }
+    }
+
+    #[test]
+    fn random_sampler_deterministic() {
+        let a = FeatureSampler::random(500, 100, 50, Interval::MINUTE, 3);
+        let b = FeatureSampler::random(500, 100, 50, Interval::MINUTE, 3);
+        assert_eq!(a.timestamps(), b.timestamps());
+    }
+
+    #[test]
+    fn even_sampler_spacing() {
+        let s = FeatureSampler::even(0, 180, Interval::HOUR);
+        assert_eq!(s.timestamps(), &[0, 60, 120]);
+    }
+
+    #[test]
+    fn extract_reads_bucket_counts() {
+        let h = history_with(&[(0, 5), (60, 7)]);
+        let s = FeatureSampler::even(0, 120, Interval::HOUR);
+        let f = s.extract(&h, 0);
+        assert_eq!(f.values, vec![5.0, 7.0]);
+        assert_eq!(f.valid_from, 0);
+    }
+
+    #[test]
+    fn valid_from_masks_prehistory() {
+        let h = history_with(&[(120, 3)]);
+        let s = FeatureSampler::even(0, 240, Interval::HOUR);
+        let f = s.extract(&h, 120);
+        assert_eq!(f.valid_from, 2, "first two sample points predate the template");
+    }
+
+    #[test]
+    fn similarity_identical_patterns_is_one() {
+        let a = TemplateFeature::full(vec![1.0, 2.0, 3.0]);
+        // Scaled copy: same pattern, different volume.
+        let sim = a.similarity(&[10.0, 20.0, 30.0], 0);
+        assert!((sim - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_uses_joint_mask() {
+        // Old coordinates disagree wildly but are masked out for the newer
+        // template.
+        let newer = TemplateFeature { values: vec![0.0, 0.0, 1.0, 2.0], valid_from: 2 };
+        let center = vec![99.0, 0.0, 1.0, 2.0];
+        assert!((newer.similarity(&center, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_empty_mask_is_zero() {
+        let f = TemplateFeature { values: vec![1.0, 2.0], valid_from: 2 };
+        assert_eq!(f.similarity(&[1.0, 2.0], 0), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! kd-tree for nearest-center lookup (§5.2: "We use a kd-tree to allow
+//! QB5000 to quickly find the closest center of existing clusters to the
+//! template in a high-dimensional space").
+//!
+//! The tree stores points with an associated payload and answers
+//! nearest-neighbor queries under squared Euclidean distance. The Clusterer
+//! inserts *unit-normalized* cluster centers, for which
+//! `‖a − b‖² = 2 − 2·cos(a, b)`: the Euclidean nearest neighbor is exactly
+//! the most cosine-similar center.
+//!
+//! Centers move every update cycle, so the tree is rebuilt per cycle
+//! (`O(k log k)` for `k` clusters) rather than updated in place — rebuild
+//! cost is trivial next to feature extraction and keeps the tree balanced.
+
+/// A static kd-tree over `f64` points with payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct KdTree<T> {
+    nodes: Vec<Node<T>>,
+    dim: usize,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    point: Vec<f64>,
+    payload: T,
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl<T> KdTree<T> {
+    /// Builds a balanced tree from `(point, payload)` pairs.
+    ///
+    /// # Panics
+    /// Panics if points have inconsistent dimensions.
+    pub fn build(items: Vec<(Vec<f64>, T)>) -> Self {
+        let dim = items.first().map_or(0, |(p, _)| p.len());
+        for (p, _) in &items {
+            assert_eq!(p.len(), dim, "KdTree::build: inconsistent dimensions");
+        }
+        let mut tree = Self { nodes: Vec::with_capacity(items.len()), dim, root: None };
+        let mut items: Vec<Option<(Vec<f64>, T)>> = items.into_iter().map(Some).collect();
+        let n = items.len();
+        if n > 0 {
+            let mut order: Vec<usize> = (0..n).collect();
+            tree.root = tree.build_rec(&mut items, &mut order, 0);
+        }
+        tree
+    }
+
+    fn build_rec(
+        &mut self,
+        items: &mut [Option<(Vec<f64>, T)>],
+        order: &mut [usize],
+        depth: usize,
+    ) -> Option<usize> {
+        if order.is_empty() {
+            return None;
+        }
+        let axis = if self.dim == 0 { 0 } else { depth % self.dim };
+        // Median split along the axis.
+        order.sort_by(|&a, &b| {
+            let pa = items[a].as_ref().expect("unconsumed").0[axis];
+            let pb = items[b].as_ref().expect("unconsumed").0[axis];
+            pa.total_cmp(&pb)
+        });
+        let mid = order.len() / 2;
+        let idx = order[mid];
+        let (point, payload) = items[idx].take().expect("median item consumed once");
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node { point, payload, axis, left: None, right: None });
+
+        // Split the order slice around the median (excluding it).
+        let (left_order, rest) = order.split_at_mut(mid);
+        let right_order = &mut rest[1..];
+        let left = self.build_rec(items, left_order, depth + 1);
+        let right = self.build_rec(items, right_order, depth + 1);
+        self.nodes[node_idx].left = left;
+        self.nodes[node_idx].right = right;
+        Some(node_idx)
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the payload and squared Euclidean distance of the nearest
+    /// point to `query`, or `None` for an empty tree.
+    ///
+    /// # Panics
+    /// Panics if `query` has the wrong dimension.
+    pub fn nearest(&self, query: &[f64]) -> Option<(&T, f64)> {
+        let root = self.root?;
+        assert_eq!(query.len(), self.dim, "KdTree::nearest: dimension mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        self.nearest_rec(root, query, &mut best);
+        best.map(|(idx, d)| (&self.nodes[idx].payload, d))
+    }
+
+    fn nearest_rec(&self, node_idx: usize, query: &[f64], best: &mut Option<(usize, f64)>) {
+        let node = &self.nodes[node_idx];
+        let d = qb_linalg::sq_l2_distance(&node.point, query);
+        if best.is_none() || d < best.expect("checked").1 {
+            *best = Some((node_idx, d));
+        }
+        let delta = query[node.axis] - node.point[node.axis];
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if let Some(n) = near {
+            self.nearest_rec(n, query, best);
+        }
+        // Only descend the far side if the splitting plane is closer than
+        // the current best.
+        if let Some(f) = far {
+            if delta * delta < best.expect("set above").1 {
+                self.nearest_rec(f, query, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let t: KdTree<u32> = KdTree::build(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.nearest(&[]), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![(vec![1.0, 2.0], "a")]);
+        let (p, d) = t.nearest(&[1.0, 2.0]).unwrap();
+        assert_eq!(*p, "a");
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn nearest_among_grid() {
+        let mut items = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                items.push((vec![x as f64, y as f64], (x, y)));
+            }
+        }
+        let t = KdTree::build(items);
+        let (p, _) = t.nearest(&[2.2, 3.9]).unwrap();
+        assert_eq!(*p, (2, 4));
+    }
+
+    #[test]
+    fn matches_linear_scan_randomized() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for dim in [2usize, 3, 8, 16] {
+            let points: Vec<(Vec<f64>, usize)> = (0..200)
+                .map(|i| ((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect(), i))
+                .collect();
+            let tree = KdTree::build(points.clone());
+            for _ in 0..50 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let (got, got_d) = tree.nearest(&q).unwrap();
+                let (want, want_d) = points
+                    .iter()
+                    .map(|(p, i)| (i, qb_linalg::sq_l2_distance(p, &q)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .unwrap();
+                assert_eq!(got, want, "dim={dim}");
+                assert!((got_d - want_d).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_allowed() {
+        let t = KdTree::build(vec![(vec![1.0], 1), (vec![1.0], 2), (vec![2.0], 3)]);
+        let (p, d) = t.nearest(&[1.0]).unwrap();
+        assert!(*p == 1 || *p == 2);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn unit_vectors_nearest_is_most_cosine_similar() {
+        // The Clusterer's invariant: for unit vectors, argmin ‖a−b‖ is
+        // argmax cos(a, b).
+        let mut rng = SmallRng::seed_from_u64(5);
+        let normalize = |v: Vec<f64>| {
+            let n = qb_linalg::norm(&v);
+            v.into_iter().map(|x| x / n).collect::<Vec<_>>()
+        };
+        let points: Vec<(Vec<f64>, usize)> = (0..100)
+            .map(|i| (normalize((0..6).map(|_| rng.gen_range(0.0..1.0)).collect()), i))
+            .collect();
+        let tree = KdTree::build(points.clone());
+        for _ in 0..30 {
+            let q = normalize((0..6).map(|_| rng.gen_range(0.0..1.0)).collect());
+            let (got, _) = tree.nearest(&q).unwrap();
+            let want = points
+                .iter()
+                .map(|(p, i)| (i, qb_linalg::cosine_similarity(p, &q)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap()
+                .0;
+            assert_eq!(got, want);
+        }
+    }
+}

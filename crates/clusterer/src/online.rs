@@ -1,0 +1,790 @@
+//! The online modified-DBSCAN clustering algorithm (§5.2).
+//!
+//! Every update period the Clusterer performs three steps:
+//!
+//! 1. **Assign** — each new template joins the cluster whose *center* is
+//!    most similar, provided the similarity exceeds ρ (kd-tree lookup);
+//!    otherwise it founds a new cluster.
+//! 2. **Re-check** — existing templates whose similarity to their own
+//!    cluster's center dropped below ρ are removed and re-assigned via
+//!    step 1. Moves are *not* applied recursively; deferred to the next
+//!    period (the paper's convergence trade-off).
+//! 3. **Merge** — cluster pairs whose centers are more similar than ρ merge.
+//!
+//! A template that stays silent longer than the eviction window is dropped.
+//! Between periodic updates, the share of previously-unseen templates is
+//! monitored; exceeding a threshold triggers the three steps early —
+//! that is how the framework adapts to workload shifts (Appendix D).
+
+use std::collections::BTreeMap;
+
+use crate::feature::TemplateFeature;
+use crate::kdtree::KdTree;
+
+/// Opaque template identity (the Pre-Processor's `TemplateId.0`).
+pub type TemplateKey = u64;
+
+/// Cluster identifier, unique across the lifetime of one `OnlineClusterer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub u64);
+
+/// Similarity metric for clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityMetric {
+    /// Cosine similarity over arrival-rate features — QB5000's choice.
+    Cosine,
+    /// `1 / (1 + L2)` over logical features — the §7.7 ablation. Mapped
+    /// into `(0, 1]` so the same ρ threshold semantics apply.
+    InverseL2,
+}
+
+impl SimilarityMetric {
+    /// Similarity between a template feature and a center.
+    fn similarity(self, f: &TemplateFeature, center: &[f64]) -> f64 {
+        match self {
+            SimilarityMetric::Cosine => f.similarity(center, 0),
+            SimilarityMetric::InverseL2 => {
+                1.0 / (1.0 + qb_linalg::l2_distance(&f.values, center))
+            }
+        }
+    }
+
+    /// Similarity between two centers (used by the merge step).
+    fn center_similarity(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            SimilarityMetric::Cosine => qb_linalg::cosine_similarity(a, b),
+            SimilarityMetric::InverseL2 => 1.0 / (1.0 + qb_linalg::l2_distance(a, b)),
+        }
+    }
+}
+
+/// Clusterer configuration.
+#[derive(Debug, Clone)]
+pub struct ClustererConfig {
+    /// Similarity threshold ρ ∈ [0, 1]. Paper default: 0.8 (Appendix A).
+    pub rho: f64,
+    /// Metric (cosine for arrival-rate features, inverse-L2 for logical).
+    pub metric: SimilarityMetric,
+    /// Evict a template after this many minutes without an arrival.
+    pub eviction_idle: i64,
+    /// Trigger an early update when the fraction of previously-unseen
+    /// templates since the last update exceeds this (§5.2).
+    pub new_template_trigger: f64,
+    /// Adapt the trigger to the workload's baseline churn instead of using
+    /// the fixed threshold. §5.2 defers threshold selection as future
+    /// work ("Setting this threshold properly is dependent on the
+    /// performance attributes of the target DBMS"); with this enabled the
+    /// clusterer tracks an exponential moving average of the steady-state
+    /// unseen-template ratio and only fires when the current ratio clearly
+    /// exceeds that baseline, so a naturally churny application (MOOC) does
+    /// not re-cluster constantly while a phase switch still triggers.
+    pub adaptive_trigger: bool,
+}
+
+impl Default for ClustererConfig {
+    fn default() -> Self {
+        Self {
+            rho: 0.8,
+            metric: SimilarityMetric::Cosine,
+            eviction_idle: 7 * qb_timeseries::MINUTES_PER_DAY,
+            new_template_trigger: 0.2,
+            adaptive_trigger: false,
+        }
+    }
+}
+
+/// One cluster: members plus the arithmetic-mean center (§5.2 step 1).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pub id: ClusterId,
+    pub members: Vec<TemplateKey>,
+    /// Arithmetic average of the members' feature vectors.
+    pub center: Vec<f64>,
+    /// Total query volume of members (for pruning, §5.3).
+    pub volume: f64,
+}
+
+#[derive(Debug, Clone)]
+struct TemplateState {
+    feature: TemplateFeature,
+    volume: f64,
+    last_seen: i64,
+    cluster: ClusterId,
+}
+
+/// What changed during one update cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    pub new_templates: usize,
+    pub reassigned: usize,
+    pub evicted: usize,
+    pub merges: usize,
+    pub clusters_created: usize,
+}
+
+impl UpdateReport {
+    /// True when any membership changed — the signal for the Forecaster to
+    /// retrain ("Every time the cluster assignment changes for templates,
+    /// QB5000 re-trains its models", §3).
+    pub fn assignments_changed(&self) -> bool {
+        self.new_templates > 0 || self.reassigned > 0 || self.evicted > 0 || self.merges > 0
+    }
+}
+
+/// A snapshot of one template handed to [`OnlineClusterer::update`].
+#[derive(Debug, Clone)]
+pub struct TemplateSnapshot {
+    pub key: TemplateKey,
+    pub feature: TemplateFeature,
+    /// Query volume in the reporting window (drives cluster pruning).
+    pub volume: f64,
+    /// Minute of the template's most recent arrival.
+    pub last_seen: i64,
+}
+
+/// The online clusterer.
+pub struct OnlineClusterer {
+    config: ClustererConfig,
+    templates: BTreeMap<TemplateKey, TemplateState>,
+    clusters: BTreeMap<ClusterId, Cluster>,
+    next_cluster: u64,
+    /// Templates seen since the last update that were previously unknown.
+    unseen_since_update: usize,
+    /// Total distinct templates observed since the last update.
+    observed_since_update: usize,
+    /// EWMA of the per-period unseen ratio (the adaptive-trigger baseline).
+    baseline_unseen_ratio: f64,
+}
+
+impl OnlineClusterer {
+    pub fn new(config: ClustererConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.rho), "rho must be in [0, 1]");
+        Self {
+            config,
+            templates: BTreeMap::new(),
+            clusters: BTreeMap::new(),
+            next_cluster: 0,
+            unseen_since_update: 0,
+            observed_since_update: 0,
+            baseline_unseen_ratio: 0.0,
+        }
+    }
+
+    /// The trigger threshold currently in force: the configured constant,
+    /// or — with `adaptive_trigger` — a margin above the learned baseline
+    /// churn, clamped so a total template swap always fires.
+    pub fn effective_trigger(&self) -> f64 {
+        if self.config.adaptive_trigger {
+            (3.0 * self.baseline_unseen_ratio + 0.1)
+                .max(self.config.new_template_trigger)
+                .min(0.9)
+        } else {
+            self.config.new_template_trigger
+        }
+    }
+
+    /// Records that a template was observed between updates; returns `true`
+    /// when the unseen-template ratio crossed the early-update trigger.
+    pub fn observe(&mut self, key: TemplateKey) -> bool {
+        self.observed_since_update += 1;
+        if !self.templates.contains_key(&key) {
+            self.unseen_since_update += 1;
+        }
+        let ratio = self.unseen_since_update as f64 / self.observed_since_update as f64;
+        self.observed_since_update >= 10 && ratio > self.effective_trigger()
+    }
+
+    /// Runs the three-step incremental update over fresh feature snapshots.
+    ///
+    /// `now` drives eviction. Every live template must appear in
+    /// `snapshots`; templates absent from `snapshots` keep their previous
+    /// feature (but still age toward eviction).
+    pub fn update(&mut self, snapshots: Vec<TemplateSnapshot>, now: i64) -> UpdateReport {
+        let mut report = UpdateReport::default();
+        // Fold the closing period's churn into the adaptive baseline.
+        if self.observed_since_update >= 10 {
+            let ratio = self.unseen_since_update as f64 / self.observed_since_update as f64;
+            self.baseline_unseen_ratio = 0.7 * self.baseline_unseen_ratio + 0.3 * ratio;
+        }
+        self.unseen_since_update = 0;
+        self.observed_since_update = 0;
+
+        // Refresh features of known templates.
+        let mut new_snaps = Vec::new();
+        for snap in snapshots {
+            match self.templates.get_mut(&snap.key) {
+                Some(state) => {
+                    state.feature = snap.feature;
+                    state.volume = snap.volume;
+                    state.last_seen = snap.last_seen;
+                }
+                None => new_snaps.push(snap),
+            }
+        }
+
+        // Eviction: drop templates idle beyond the window.
+        let cutoff = now - self.config.eviction_idle;
+        let evicted: Vec<TemplateKey> = self
+            .templates
+            .iter()
+            .filter(|(_, s)| s.last_seen < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in evicted {
+            let state = self.templates.remove(&k).expect("listed above");
+            if let Some(c) = self.clusters.get_mut(&state.cluster) {
+                c.members.retain(|m| *m != k);
+                if c.members.is_empty() {
+                    self.clusters.remove(&state.cluster);
+                }
+            }
+            report.evicted += 1;
+        }
+        self.recompute_centers();
+
+        // Step 2: re-check existing memberships against the (possibly
+        // moved) centers. Removals are collected first, then re-assigned —
+        // not applied recursively.
+        let mut to_reassign = Vec::new();
+        for (&key, state) in &self.templates {
+            let cluster = &self.clusters[&state.cluster];
+            // A single-member cluster is always coherent with its center.
+            if cluster.members.len() == 1 {
+                continue;
+            }
+            let sim = self.config.metric.similarity(&state.feature, &cluster.center);
+            if sim <= self.config.rho {
+                to_reassign.push(key);
+            }
+        }
+        for key in &to_reassign {
+            let cluster_id = self.templates[key].cluster;
+            let c = self.clusters.get_mut(&cluster_id).expect("member's cluster exists");
+            c.members.retain(|m| m != key);
+            if c.members.is_empty() {
+                self.clusters.remove(&cluster_id);
+            }
+        }
+        self.recompute_centers();
+        report.reassigned = to_reassign.len();
+
+        // Step 1: assign new templates and re-assign the step-2 removals.
+        report.new_templates = new_snaps.len();
+        for snap in new_snaps {
+            let created = self.assign(snap.key, snap.feature, snap.volume, snap.last_seen);
+            report.clusters_created += usize::from(created);
+        }
+        for key in to_reassign {
+            let state = self.templates.remove(&key).expect("still tracked");
+            let created = self.assign(key, state.feature, state.volume, state.last_seen);
+            report.clusters_created += usize::from(created);
+        }
+
+        // Step 3: merge clusters whose centers are closer than ρ.
+        report.merges = self.merge_step();
+        self.recompute_centers();
+        report
+    }
+
+    /// Assigns one template to its best cluster (creating one if needed).
+    /// Returns `true` when a new cluster was created.
+    fn assign(&mut self, key: TemplateKey, feature: TemplateFeature, volume: f64, last_seen: i64) -> bool {
+        let best = self.nearest_center(&feature);
+        match best {
+            Some((cid, sim)) if sim > self.config.rho => {
+                let cluster = self.clusters.get_mut(&cid).expect("kd-tree payload is live");
+                cluster.members.push(key);
+                self.templates
+                    .insert(key, TemplateState { feature, volume, last_seen, cluster: cid });
+                self.update_center(cid);
+                false
+            }
+            _ => {
+                let cid = ClusterId(self.next_cluster);
+                self.next_cluster += 1;
+                self.clusters.insert(
+                    cid,
+                    Cluster {
+                        id: cid,
+                        members: vec![key],
+                        center: feature.values.clone(),
+                        volume,
+                    },
+                );
+                self.templates
+                    .insert(key, TemplateState { feature, volume, last_seen, cluster: cid });
+                true
+            }
+        }
+    }
+
+    /// Finds the most similar cluster center via the kd-tree (cosine) or a
+    /// scan (inverse-L2, for which normalization does not apply).
+    fn nearest_center(&self, feature: &TemplateFeature) -> Option<(ClusterId, f64)> {
+        if self.clusters.is_empty() {
+            return None;
+        }
+        match self.config.metric {
+            SimilarityMetric::Cosine => {
+                // Masked features compare on a suffix; the kd-tree indexes
+                // full vectors, so it only answers exactly for unmasked
+                // features. Masked (new-template) lookups fall back to a
+                // scan — they are rare relative to steady-state lookups.
+                if feature.valid_from == 0 {
+                    let items: Vec<(Vec<f64>, ClusterId)> = self
+                        .clusters
+                        .values()
+                        .filter_map(|c| {
+                            let n = qb_linalg::norm(&c.center);
+                            (n > 0.0).then(|| {
+                                (c.center.iter().map(|x| x / n).collect::<Vec<_>>(), c.id)
+                            })
+                        })
+                        .collect();
+                    if items.is_empty() {
+                        return None;
+                    }
+                    let tree = KdTree::build(items);
+                    let qn = qb_linalg::norm(&feature.values);
+                    if qn == 0.0 {
+                        return None;
+                    }
+                    let q: Vec<f64> = feature.values.iter().map(|x| x / qn).collect();
+                    let (&cid, _) = tree.nearest(&q)?;
+                    let sim = self
+                        .config
+                        .metric
+                        .similarity(feature, &self.clusters[&cid].center);
+                    Some((cid, sim))
+                } else {
+                    self.scan_nearest(feature)
+                }
+            }
+            SimilarityMetric::InverseL2 => self.scan_nearest(feature),
+        }
+    }
+
+    fn scan_nearest(&self, feature: &TemplateFeature) -> Option<(ClusterId, f64)> {
+        self.clusters
+            .values()
+            .map(|c| (c.id, self.config.metric.similarity(feature, &c.center)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Recomputes a single cluster's center and volume.
+    fn update_center(&mut self, cid: ClusterId) {
+        let Some(cluster) = self.clusters.get(&cid) else { return };
+        let members = cluster.members.clone();
+        if members.is_empty() {
+            self.clusters.remove(&cid);
+            return;
+        }
+        let dim = self.templates[&members[0]].feature.values.len();
+        let mut center = vec![0.0; dim];
+        let mut volume = 0.0;
+        for m in &members {
+            let s = &self.templates[m];
+            for (c, v) in center.iter_mut().zip(&s.feature.values) {
+                *c += v;
+            }
+            volume += s.volume;
+        }
+        for c in &mut center {
+            *c /= members.len() as f64;
+        }
+        let cluster = self.clusters.get_mut(&cid).expect("checked");
+        cluster.center = center;
+        cluster.volume = volume;
+    }
+
+    fn recompute_centers(&mut self) {
+        let ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
+        for cid in ids {
+            self.update_center(cid);
+        }
+    }
+
+    /// Merges cluster pairs whose centers exceed ρ similarity. Greedy,
+    /// one pass, largest clusters absorb smaller ones.
+    fn merge_step(&mut self) -> usize {
+        let mut merges = 0;
+        loop {
+            let ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
+            let mut best: Option<(ClusterId, ClusterId, f64)> = None;
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    let sim = self.config.metric.center_similarity(
+                        &self.clusters[&ids[i]].center,
+                        &self.clusters[&ids[j]].center,
+                    );
+                    if sim > self.config.rho
+                        && best.is_none_or(|(_, _, b)| sim > b)
+                    {
+                        best = Some((ids[i], ids[j], sim));
+                    }
+                }
+            }
+            let Some((a, b, _)) = best else { break };
+            // Absorb the smaller into the larger.
+            let (dst, src) = if self.clusters[&a].members.len() >= self.clusters[&b].members.len()
+            {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let moved = self.clusters.remove(&src).expect("listed").members;
+            for m in &moved {
+                self.templates.get_mut(m).expect("member tracked").cluster = dst;
+            }
+            self.clusters.get_mut(&dst).expect("listed").members.extend(moved);
+            self.update_center(dst);
+            merges += 1;
+        }
+        merges
+    }
+
+    /// All clusters, unordered.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.clusters.values()
+    }
+
+    /// The `k` highest-volume clusters, descending (§5.3 pruning).
+    pub fn largest_clusters(&self, k: usize) -> Vec<&Cluster> {
+        let mut all: Vec<&Cluster> = self.clusters.values().collect();
+        all.sort_by(|a, b| b.volume.total_cmp(&a.volume).then(a.id.cmp(&b.id)));
+        all.truncate(k);
+        all
+    }
+
+    /// Fraction of total volume covered by the `k` largest clusters
+    /// (Figure 5).
+    pub fn coverage_ratio(&self, k: usize) -> f64 {
+        let total: f64 = self.clusters.values().map(|c| c.volume).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let top: f64 = self.largest_clusters(k).iter().map(|c| c.volume).sum();
+        top / total
+    }
+
+    /// The cluster a template currently belongs to.
+    pub fn cluster_of(&self, key: TemplateKey) -> Option<ClusterId> {
+        self.templates.get(&key).map(|s| s.cluster)
+    }
+
+    /// Number of live clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of tracked templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(values: &[f64]) -> TemplateFeature {
+        TemplateFeature::full(values.to_vec())
+    }
+
+    fn snap(key: TemplateKey, values: &[f64], volume: f64) -> TemplateSnapshot {
+        TemplateSnapshot { key, feature: feat(values), volume, last_seen: 0 }
+    }
+
+    fn clusterer() -> OnlineClusterer {
+        OnlineClusterer::new(ClustererConfig::default())
+    }
+
+    #[test]
+    fn first_template_creates_cluster() {
+        let mut c = clusterer();
+        let r = c.update(vec![snap(1, &[1.0, 2.0, 3.0], 10.0)], 0);
+        assert_eq!(r.new_templates, 1);
+        assert_eq!(r.clusters_created, 1);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn similar_patterns_share_cluster() {
+        let mut c = clusterer();
+        // Same shape, different scale: cosine similarity 1.0.
+        c.update(
+            vec![snap(1, &[1.0, 2.0, 3.0, 4.0], 1.0), snap(2, &[10.0, 20.0, 30.0, 40.0], 1.0)],
+            0,
+        );
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    #[test]
+    fn dissimilar_patterns_split() {
+        let mut c = clusterer();
+        c.update(vec![snap(1, &[1.0, 0.0, 0.0], 1.0), snap(2, &[0.0, 0.0, 1.0], 1.0)], 0);
+        assert_eq!(c.num_clusters(), 2);
+        assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    #[test]
+    fn center_is_arithmetic_mean() {
+        let mut c = clusterer();
+        c.update(vec![snap(1, &[2.0, 4.0], 1.0), snap(2, &[4.0, 8.0], 1.0)], 0);
+        let clusters: Vec<&Cluster> = c.clusters().collect();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].center, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn membership_similarity_invariant_holds() {
+        // After an update, every member of a multi-member cluster is within
+        // ρ of its center (the §5.2 guarantee).
+        let mut c = clusterer();
+        let snaps: Vec<TemplateSnapshot> = (0..20)
+            .map(|i| {
+                let phase = (i % 4) as f64;
+                let values: Vec<f64> =
+                    (0..24).map(|h| ((h as f64 + phase) * 0.3).sin().max(0.0) + 0.1).collect();
+                snap(i, &values, 1.0)
+            })
+            .collect();
+        c.update(snaps, 0);
+        // Run a second cycle so step 2 has had a chance to settle.
+        let snaps2: Vec<TemplateSnapshot> = (0..20)
+            .map(|i| {
+                let phase = (i % 4) as f64;
+                let values: Vec<f64> =
+                    (0..24).map(|h| ((h as f64 + phase) * 0.3).sin().max(0.0) + 0.1).collect();
+                snap(i, &values, 1.0)
+            })
+            .collect();
+        c.update(snaps2, 0);
+        for cluster in c.clusters() {
+            if cluster.members.len() < 2 {
+                continue;
+            }
+            for &m in &cluster.members {
+                let f = feat(
+                    &c.templates[&m].feature.values,
+                );
+                let sim = SimilarityMetric::Cosine.similarity(&f, &cluster.center);
+                assert!(sim > 0.8, "member {m} sim {sim} below rho");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_removes_idle_templates() {
+        let cfg = ClustererConfig { eviction_idle: 100, ..ClustererConfig::default() };
+        let mut c = OnlineClusterer::new(cfg);
+        c.update(vec![snap(1, &[1.0, 2.0], 5.0)], 0);
+        assert_eq!(c.num_templates(), 1);
+        let r = c.update(vec![], 1000);
+        assert_eq!(r.evicted, 1);
+        assert_eq!(c.num_templates(), 0);
+        assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn merge_combines_converged_clusters() {
+        let mut c = clusterer();
+        // Two templates created in different updates far apart, then drift
+        // to the same pattern.
+        c.update(vec![snap(1, &[1.0, 0.0, 0.0, 0.1], 1.0)], 0);
+        c.update(vec![snap(2, &[0.0, 0.0, 1.0, 0.1], 1.0)], 0);
+        assert_eq!(c.num_clusters(), 2);
+        // Both now share one pattern.
+        let r = c.update(
+            vec![
+                TemplateSnapshot { key: 1, feature: feat(&[1.0, 1.0, 1.0, 1.0]), volume: 1.0, last_seen: 0 },
+                TemplateSnapshot { key: 2, feature: feat(&[2.0, 2.0, 2.0, 2.0]), volume: 1.0, last_seen: 0 },
+            ],
+            0,
+        );
+        assert_eq!(c.num_clusters(), 1, "report: {r:?}");
+    }
+
+    #[test]
+    fn volume_pruning_orders_clusters() {
+        let mut c = clusterer();
+        c.update(
+            vec![
+                snap(1, &[1.0, 0.0, 0.0], 100.0),
+                snap(2, &[0.0, 1.0, 0.0], 500.0),
+                snap(3, &[0.0, 0.0, 1.0], 10.0),
+            ],
+            0,
+        );
+        let top = c.largest_clusters(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].volume, 500.0);
+        assert_eq!(top[1].volume, 100.0);
+        let cov = c.coverage_ratio(2);
+        assert!((cov - 600.0 / 610.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_triggers_on_unseen_ratio() {
+        let mut c = clusterer();
+        c.update(vec![snap(1, &[1.0, 1.0], 1.0)], 0);
+        // Mostly-known observations: no trigger.
+        let mut triggered = false;
+        for _ in 0..20 {
+            triggered |= c.observe(1);
+        }
+        assert!(!triggered);
+        // Burst of unseen templates: trigger fires.
+        let mut fired = false;
+        for k in 100..120 {
+            fired |= c.observe(k);
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn reassignment_when_pattern_drifts() {
+        let mut c = clusterer();
+        c.update(
+            vec![snap(1, &[1.0, 1.0, 0.0, 0.0], 1.0), snap(2, &[1.0, 1.0, 0.1, 0.0], 1.0)],
+            0,
+        );
+        assert_eq!(c.num_clusters(), 1);
+        // Template 2's pattern flips to the opposite shape.
+        let r = c.update(
+            vec![snap(1, &[1.0, 1.0, 0.0, 0.0], 1.0), snap(2, &[0.0, 0.0, 1.0, 1.0], 1.0)],
+            0,
+        );
+        assert_eq!(c.num_clusters(), 2, "{r:?}");
+        assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    #[test]
+    fn inverse_l2_metric_clusters_logical_features() {
+        let cfg = ClustererConfig {
+            metric: SimilarityMetric::InverseL2,
+            rho: 0.5, // similarity 1/(1+d) > 0.5 ⇔ distance < 1
+            ..ClustererConfig::default()
+        };
+        let mut c = OnlineClusterer::new(cfg);
+        c.update(
+            vec![
+                snap(1, &[1.0, 0.0, 3.0], 1.0),
+                snap(2, &[1.0, 0.5, 3.0], 1.0),  // distance 0.5 from #1
+                snap(3, &[9.0, 9.0, 9.0], 1.0), // far away
+            ],
+            0,
+        );
+        assert_eq!(c.cluster_of(1), c.cluster_of(2));
+        assert_ne!(c.cluster_of(1), c.cluster_of(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [0, 1]")]
+    fn invalid_rho_panics() {
+        OnlineClusterer::new(ClustererConfig { rho: 1.5, ..ClustererConfig::default() });
+    }
+}
+
+#[cfg(test)]
+mod adaptive_trigger_tests {
+    use super::*;
+
+    fn feat(values: &[f64]) -> TemplateFeature {
+        TemplateFeature::full(values.to_vec())
+    }
+
+    fn snap(key: TemplateKey) -> TemplateSnapshot {
+        TemplateSnapshot { key, feature: feat(&[1.0, 2.0]), volume: 1.0, last_seen: 0 }
+    }
+
+    /// Simulates periods of observations with a given churn ratio and
+    /// returns how many triggers fired.
+    fn run_periods(
+        cl: &mut OnlineClusterer,
+        periods: usize,
+        per_period: usize,
+        churn: f64,
+        key_base: &mut u64,
+    ) -> usize {
+        let mut fires = 0;
+        for _ in 0..periods {
+            let mut fresh = 0;
+            // Register the period's population with new templates evenly
+            // interleaved among known ones (as in a real stream).
+            for i in 0..per_period {
+                let is_new = (((i + 1) as f64) * churn).floor() > ((i as f64) * churn).floor();
+                let key = if is_new {
+                    *key_base += 1;
+                    fresh += 1;
+                    1_000_000 + *key_base
+                } else {
+                    i as u64
+                };
+                if cl.observe(key) {
+                    fires += 1;
+                }
+            }
+            // Periodic update absorbs the new keys and learns the baseline.
+            let mut snaps: Vec<TemplateSnapshot> =
+                (0..per_period - fresh).map(|i| snap(i as u64)).collect();
+            for j in 0..fresh {
+                snaps.push(snap(1_000_000 + *key_base - j as u64));
+            }
+            cl.update(snaps, 0);
+        }
+        fires
+    }
+
+    #[test]
+    fn fixed_trigger_fires_constantly_on_churny_workload() {
+        let mut cl = OnlineClusterer::new(ClustererConfig {
+            new_template_trigger: 0.2,
+            adaptive_trigger: false,
+            ..ClustererConfig::default()
+        });
+        let mut kb = 0;
+        // 40% steady churn: the fixed 0.2 threshold fires every period.
+        let fires = run_periods(&mut cl, 6, 40, 0.4, &mut kb);
+        assert!(fires >= 6, "expected constant firing, got {fires}");
+    }
+
+    #[test]
+    fn adaptive_trigger_learns_baseline_churn_but_fires_on_phase_switch() {
+        let mut cl = OnlineClusterer::new(ClustererConfig {
+            new_template_trigger: 0.2,
+            adaptive_trigger: true,
+            ..ClustererConfig::default()
+        });
+        let mut kb = 0;
+        // Warm-up periods teach the baseline (40% churn is normal here).
+        run_periods(&mut cl, 6, 40, 0.4, &mut kb);
+        assert!(
+            cl.effective_trigger() > 0.8,
+            "baseline should have risen: {}",
+            cl.effective_trigger()
+        );
+        // Steady churn no longer fires...
+        let steady_fires = run_periods(&mut cl, 3, 40, 0.4, &mut kb);
+        assert_eq!(steady_fires, 0, "steady churn must not fire adaptively");
+        // ...but a full template swap (phase switch) still does.
+        let mut fired = false;
+        for i in 0..40 {
+            fired |= cl.observe(2_000_000 + i);
+        }
+        assert!(fired, "a 100% unseen burst must fire even adaptively");
+    }
+
+    #[test]
+    fn adaptive_floor_is_configured_trigger() {
+        let cl = OnlineClusterer::new(ClustererConfig {
+            new_template_trigger: 0.3,
+            adaptive_trigger: true,
+            ..ClustererConfig::default()
+        });
+        // With no learned baseline the effective trigger is at least the
+        // configured constant.
+        assert!(cl.effective_trigger() >= 0.3);
+    }
+}

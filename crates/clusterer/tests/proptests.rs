@@ -1,0 +1,138 @@
+//! Property-based tests for the kd-tree and the online clusterer.
+
+use proptest::prelude::*;
+use qb_clusterer::{
+    ClustererConfig, KdTree, OnlineClusterer, SimilarityMetric, TemplateFeature,
+    TemplateSnapshot,
+};
+
+fn points(dim: usize) -> impl Strategy<Value = Vec<(Vec<f64>, usize)>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, dim), 1..80)
+        .prop_map(|ps| ps.into_iter().enumerate().map(|(i, p)| (p, i)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// kd-tree nearest always matches a linear scan.
+    #[test]
+    fn kdtree_matches_linear_scan(
+        ps in points(4),
+        q in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let tree = KdTree::build(ps.clone());
+        let (got, got_d) = tree.nearest(&q).expect("non-empty");
+        let want_d = ps
+            .iter()
+            .map(|(p, _)| qb_linalg::sq_l2_distance(p, &q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got_d - want_d).abs() < 1e-9, "distance mismatch");
+        // The returned payload is a genuine argmin.
+        let actual = qb_linalg::sq_l2_distance(&ps[*got].0, &q);
+        prop_assert!((actual - want_d).abs() < 1e-9);
+    }
+
+    /// Every template ends up in exactly one cluster, and cluster volumes
+    /// sum to the total template volume.
+    #[test]
+    fn clusterer_partitions_templates(
+        features in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 6), 1..40),
+        rho in 0.5f64..0.95,
+    ) {
+        let mut cl = OnlineClusterer::new(ClustererConfig {
+            rho,
+            metric: SimilarityMetric::Cosine,
+            ..ClustererConfig::default()
+        });
+        let snaps: Vec<TemplateSnapshot> = features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| TemplateSnapshot {
+                key: i as u64,
+                feature: TemplateFeature::full(f.clone()),
+                volume: 1.0 + i as f64,
+                last_seen: 0,
+            })
+            .collect();
+        let n = snaps.len();
+        cl.update(snaps, 0);
+
+        prop_assert_eq!(cl.num_templates(), n);
+        let mut seen = std::collections::HashSet::new();
+        let mut volume = 0.0;
+        for c in cl.clusters() {
+            prop_assert!(!c.members.is_empty(), "empty cluster survived");
+            for &m in &c.members {
+                prop_assert!(seen.insert(m), "template {} in two clusters", m);
+            }
+            volume += c.volume;
+        }
+        prop_assert_eq!(seen.len(), n, "every template clustered");
+        let expected: f64 = (0..n).map(|i| 1.0 + i as f64).sum();
+        prop_assert!((volume - expected).abs() < 1e-6);
+
+        // Coverage ratio is monotone and reaches 1.
+        let mut prev = 0.0;
+        for k in 1..=cl.num_clusters() {
+            let c = cl.coverage_ratio(k);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        prop_assert!((cl.coverage_ratio(cl.num_clusters()) - 1.0).abs() < 1e-9);
+    }
+
+    /// Identical feature vectors always co-cluster (similarity 1 > any
+    /// valid rho).
+    #[test]
+    fn identical_features_co_cluster(
+        f in proptest::collection::vec(0.1f64..100.0, 4),
+        copies in 2usize..10,
+    ) {
+        let mut cl = OnlineClusterer::new(ClustererConfig::default());
+        let snaps: Vec<TemplateSnapshot> = (0..copies)
+            .map(|i| TemplateSnapshot {
+                key: i as u64,
+                feature: TemplateFeature::full(f.clone()),
+                volume: 1.0,
+                last_seen: 0,
+            })
+            .collect();
+        cl.update(snaps, 0);
+        prop_assert_eq!(cl.num_clusters(), 1);
+    }
+
+    /// Updates are idempotent: re-submitting identical snapshots changes
+    /// nothing.
+    #[test]
+    fn update_idempotent(
+        features in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..50.0, 5), 1..20),
+    ) {
+        let make = || -> Vec<TemplateSnapshot> {
+            features
+                .iter()
+                .enumerate()
+                .map(|(i, f)| TemplateSnapshot {
+                    key: i as u64,
+                    feature: TemplateFeature::full(f.clone()),
+                    volume: 1.0,
+                    last_seen: 0,
+                })
+                .collect()
+        };
+        let mut cl = OnlineClusterer::new(ClustererConfig::default());
+        cl.update(make(), 0);
+        // Let step-2 reassignments settle (bounded by template count).
+        for _ in 0..features.len() {
+            cl.update(make(), 0);
+        }
+        let before: Vec<usize> =
+            (0..features.len()).map(|i| cl.cluster_of(i as u64).expect("tracked").0 as usize).collect();
+        let report = cl.update(make(), 0);
+        let after: Vec<usize> =
+            (0..features.len()).map(|i| cl.cluster_of(i as u64).expect("tracked").0 as usize).collect();
+        prop_assert_eq!(report.new_templates, 0);
+        prop_assert_eq!(before, after, "assignments changed on settled re-update");
+    }
+}

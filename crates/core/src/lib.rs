@@ -1,0 +1,79 @@
+//! # QueryBot 5000
+//!
+//! A Rust reproduction of **QueryBot 5000 (QB5000)**, the query-based
+//! workload-forecasting framework for self-driving DBMSs from
+//! *Query-based Workload Forecasting for Self-Driving Database Management
+//! Systems* (Ma et al., SIGMOD 2018).
+//!
+//! The framework receives the SQL stream a DBMS executes and learns to
+//! predict how many queries of each kind will arrive in the future:
+//!
+//! 1. the **Pre-Processor** ([`qb_preprocessor`]) strips constants out of
+//!    each statement, normalizes it, and folds semantically equivalent
+//!    templates together, recording per-template arrival-rate histories;
+//! 2. the **Clusterer** ([`qb_clusterer`]) groups templates whose arrival
+//!    histories follow the same temporal pattern with an online DBSCAN
+//!    variant over cosine similarity;
+//! 3. the **Forecaster** ([`qb_forecast`]) trains one joint model per
+//!    prediction horizon on the highest-volume clusters and serves
+//!    arrival-rate predictions; the deployed model is HYBRID =
+//!    avg(LR, LSTM) corrected by kernel regression for recurring spikes.
+//!
+//! [`QueryBot5000`] wires the three together behind a small API:
+//!
+//! ```
+//! use qb5000::{QueryBot5000, Qb5000Config};
+//! use qb_timeseries::Interval;
+//!
+//! let mut bot = QueryBot5000::new(Qb5000Config::default());
+//! // Feed the framework queries as the DBMS executes them...
+//! for minute in 0..600 {
+//!     let volume = if (minute / 60) % 12 < 6 { 40 } else { 4 };
+//!     bot.ingest_weighted(minute, "SELECT x FROM t WHERE id = 7", volume).unwrap();
+//! }
+//! // ...periodically re-cluster...
+//! bot.update_clusters(600);
+//! // ...and train a forecaster over the tracked clusters.
+//! let job = bot
+//!     .forecast_job(600, Interval::HOUR, /*window:*/ 4, /*horizon:*/ 1)
+//!     .expect("one cluster is tracked");
+//! let mut model = qb_forecast::LinearRegression::default();
+//! let prediction = job.fit_predict(&mut model).unwrap();
+//! assert_eq!(prediction.len(), 1); // one tracked cluster
+//! ```
+//!
+//! The [`controller`] module implements the paper's §7.6 closed loop: the
+//! forecasts drive an AutoAdmin-style index advisor against the `qb-dbsim`
+//! engine, reproducing the AUTO / STATIC / AUTO-LOGICAL comparison of
+//! Figures 11–12.
+
+pub mod controller;
+pub mod manager;
+pub mod pipeline;
+pub mod schemas;
+
+pub use controller::{
+    ControllerConfig, ExperimentResult, IndexSelectionExperiment, PerfSample, Strategy,
+};
+pub use manager::{ForecastManager, HorizonSpec, RetrainOutcome};
+pub use pipeline::{ClusterInfo, FeatureMode, ForecastJob, Qb5000Config, QueryBot5000};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_timeseries::Interval;
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        for minute in 0..600 {
+            let volume = if (minute / 60) % 12 < 6 { 40 } else { 4 };
+            bot.ingest_weighted(minute, "SELECT x FROM t WHERE id = 7", volume).unwrap();
+        }
+        bot.update_clusters(600);
+        let job = bot.forecast_job(600, Interval::HOUR, 4, 1).unwrap();
+        let mut model = qb_forecast::LinearRegression::default();
+        let prediction = job.fit_predict(&mut model).unwrap();
+        assert_eq!(prediction.len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Multi-horizon model management (§6.2 / §3).
+//!
+//! "The planning module of a self-driving DBMS also decides how far ahead
+//! of time its models need to make predictions. QB5000 builds a forecasting
+//! model for each required prediction horizon." And from §3: "Every time
+//! the cluster assignment changes for templates, QB5000 re-trains its
+//! models."
+//!
+//! [`ForecastManager`] owns one model per configured horizon, tracks which
+//! cluster set each was trained on, and retrains lazily when the Clusterer's
+//! assignments change (or on first use). Prediction always feeds the most
+//! recent data into the models, per §3.
+
+use qb_clusterer::ClusterId;
+use qb_forecast::{ForecastError, Forecaster};
+use qb_timeseries::{Interval, Minute};
+
+use crate::pipeline::QueryBot5000;
+
+/// One prediction horizon the planning module requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HorizonSpec {
+    /// Aggregation interval for this model's series.
+    pub interval: Interval,
+    /// Input window, in steps of `interval` (one day at the interval is the
+    /// paper's choice for LR/RNN).
+    pub window: usize,
+    /// Steps ahead to predict.
+    pub horizon: usize,
+    /// Training span, in steps (the paper trains on up to three weeks).
+    pub train_steps: usize,
+}
+
+impl HorizonSpec {
+    /// The paper's standard hourly-interval spec for a horizon in hours.
+    pub fn hourly(horizon_hours: usize) -> Self {
+        Self {
+            interval: Interval::HOUR,
+            window: 24,
+            horizon: horizon_hours,
+            train_steps: 21 * 24,
+        }
+    }
+}
+
+/// Why (or whether) the last `ensure_trained` call retrained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetrainOutcome {
+    /// Models were current; nothing retrained.
+    UpToDate,
+    /// Models retrained (first train, or cluster assignments changed).
+    Retrained { horizons: usize },
+    /// Training skipped: no clusters tracked yet.
+    NoClusters,
+}
+
+/// Per-horizon forecasting models with §3's retrain rule.
+pub struct ForecastManager {
+    specs: Vec<HorizonSpec>,
+    make_model: Box<dyn Fn() -> Box<dyn Forecaster> + Send + Sync>,
+    models: Vec<Option<Box<dyn Forecaster>>>,
+    /// The cluster state (ids + member sets) each live model was trained on.
+    trained_clusters: Option<Vec<(ClusterId, Vec<u32>)>>,
+    /// Number of retrain rounds performed (observability).
+    pub retrain_count: u64,
+}
+
+impl ForecastManager {
+    /// Creates a manager with a model factory (one fresh model per horizon
+    /// per retrain round).
+    pub fn new(
+        specs: Vec<HorizonSpec>,
+        make_model: impl Fn() -> Box<dyn Forecaster> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(!specs.is_empty(), "ForecastManager: need at least one horizon");
+        let models = specs.iter().map(|_| None).collect();
+        Self {
+            specs,
+            make_model: Box::new(make_model),
+            models,
+            trained_clusters: None,
+            retrain_count: 0,
+        }
+    }
+
+    /// The configured horizons.
+    pub fn specs(&self) -> &[HorizonSpec] {
+        &self.specs
+    }
+
+    /// True when every horizon has a live model for the current clusters
+    /// (same cluster ids AND the same member assignments — §3 retrains on
+    /// any assignment change, not just on id churn).
+    pub fn is_current(&self, bot: &QueryBot5000) -> bool {
+        self.trained_clusters.as_deref() == Some(&Self::cluster_state(bot)[..])
+            && self.models.iter().all(Option::is_some)
+    }
+
+    /// The tracked-cluster identity the models are keyed on: cluster id
+    /// plus its (sorted) member template ids.
+    fn cluster_state(bot: &QueryBot5000) -> Vec<(ClusterId, Vec<u32>)> {
+        bot.tracked_clusters()
+            .iter()
+            .map(|c| {
+                let mut members: Vec<u32> = c.members.iter().map(|m| m.0).collect();
+                members.sort_unstable();
+                (c.id, members)
+            })
+            .collect()
+    }
+
+    /// Retrains if the tracked cluster set changed since the last round
+    /// (§3's rule) or no models exist yet.
+    pub fn ensure_trained(
+        &mut self,
+        bot: &QueryBot5000,
+        now: Minute,
+    ) -> Result<RetrainOutcome, ForecastError> {
+        if bot.tracked_clusters().is_empty() {
+            return Ok(RetrainOutcome::NoClusters);
+        }
+        if self.is_current(bot) {
+            return Ok(RetrainOutcome::UpToDate);
+        }
+        let mut trained = 0;
+        for (i, spec) in self.specs.iter().enumerate() {
+            let Some(job) = bot.forecast_job_spanning(
+                now,
+                spec.interval,
+                spec.window,
+                spec.horizon,
+                spec.train_steps,
+            ) else {
+                // Not enough recorded history for this horizon yet.
+                return Ok(RetrainOutcome::NoClusters);
+            };
+            let mut model = (self.make_model)();
+            model.fit(&job.series, job.spec)?;
+            self.models[i] = Some(model);
+            trained += 1;
+        }
+        self.trained_clusters = Some(Self::cluster_state(bot));
+        self.retrain_count += 1;
+        Ok(RetrainOutcome::Retrained { horizons: trained })
+    }
+
+    /// Predicts every tracked cluster's rate at the given horizon index,
+    /// using the latest data ending at `now`.
+    ///
+    /// # Panics
+    /// Panics if `horizon_idx` is out of range or the manager has never
+    /// been trained (call [`ForecastManager::ensure_trained`] first).
+    pub fn predict(&self, bot: &QueryBot5000, now: Minute, horizon_idx: usize) -> Vec<f64> {
+        let spec = self.specs[horizon_idx];
+        let model = self.models[horizon_idx]
+            .as_deref()
+            .expect("ForecastManager::predict before ensure_trained");
+        assert!(
+            self.is_current(bot),
+            "ForecastManager::predict with stale models: cluster assignments              changed since training — call ensure_trained first"
+        );
+        let end = spec.interval.bucket_start(now);
+        let start = end - spec.window as i64 * spec.interval.as_minutes();
+        let recent: Vec<Vec<f64>> = bot
+            .tracked_clusters()
+            .iter()
+            .map(|c| bot.cluster_series(c, start, end, spec.interval))
+            .collect();
+        model.predict(&recent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Qb5000Config;
+    use qb_timeseries::MINUTES_PER_DAY;
+
+    fn fed_bot(days: i64) -> QueryBot5000 {
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        for minute in 0..days * MINUTES_PER_DAY {
+            let hour = (minute / 60) % 24;
+            let v = if (8..20).contains(&hour) { 30 } else { 3 };
+            bot.ingest_weighted(minute, "SELECT a FROM t WHERE id = 1", v).unwrap();
+        }
+        bot.update_clusters(days * MINUTES_PER_DAY);
+        bot
+    }
+
+    fn manager() -> ForecastManager {
+        ForecastManager::new(
+            vec![HorizonSpec::hourly(1), HorizonSpec::hourly(12)],
+            || Box::new(qb_forecast::LinearRegression::default()),
+        )
+    }
+
+    #[test]
+    fn trains_once_then_up_to_date() {
+        let bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let mut mgr = manager();
+        assert!(!mgr.is_current(&bot));
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert_eq!(r, RetrainOutcome::Retrained { horizons: 2 });
+        assert!(mgr.is_current(&bot));
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert_eq!(r, RetrainOutcome::UpToDate);
+        assert_eq!(mgr.retrain_count, 1);
+    }
+
+    #[test]
+    fn retrains_when_clusters_change() {
+        let mut bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let mut mgr = manager();
+        mgr.ensure_trained(&bot, now).unwrap();
+        // A new template with a brand-new pattern forces a new cluster.
+        for minute in 0..6 * MINUTES_PER_DAY {
+            let hour = (minute / 60) % 24;
+            let v = if (0..6).contains(&hour) { 40 } else { 1 };
+            bot.ingest_weighted(minute, "SELECT b FROM u WHERE id = 2", v).unwrap();
+        }
+        bot.update_clusters(now);
+        assert!(!mgr.is_current(&bot), "cluster set changed");
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(matches!(r, RetrainOutcome::Retrained { .. }));
+        assert_eq!(mgr.retrain_count, 2);
+    }
+
+    #[test]
+    fn predictions_reflect_each_horizon() {
+        let bot = fed_bot(8);
+        let now = 8 * MINUTES_PER_DAY; // midnight
+        let mut mgr = manager();
+        mgr.ensure_trained(&bot, now).unwrap();
+        // Horizon 1 h from midnight: night volume (~3/min ≈ 180/h).
+        let short = mgr.predict(&bot, now, 0);
+        // Horizon 12 h from midnight: daytime volume (~30/min ≈ 1800/h).
+        let long = mgr.predict(&bot, now, 1);
+        assert_eq!(short.len(), long.len());
+        assert!(
+            long[0] > short[0] * 2.0,
+            "noon prediction {} should exceed 1am prediction {}",
+            long[0],
+            short[0]
+        );
+    }
+
+    #[test]
+    fn no_clusters_reports_gracefully() {
+        let bot = QueryBot5000::new(Qb5000Config::default());
+        let mut mgr = manager();
+        assert_eq!(mgr.ensure_trained(&bot, 0).unwrap(), RetrainOutcome::NoClusters);
+    }
+
+    #[test]
+    #[should_panic(expected = "before ensure_trained")]
+    fn predict_before_training_panics() {
+        let bot = fed_bot(6);
+        manager().predict(&bot, 6 * MINUTES_PER_DAY, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Schemas and runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types. Deliberately small: the trace schemas only need these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Integer,
+    Float,
+    Text,
+    Boolean,
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Self { name: name.to_ascii_lowercase(), ty }
+    }
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Average row width in bytes, used by the page-count cost model.
+    pub row_bytes: usize,
+}
+
+impl TableSchema {
+    pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
+        // Rough width: 8 bytes per numeric column, 32 per text.
+        let row_bytes = columns
+            .iter()
+            .map(|c| match c.ty {
+                ColumnType::Text => 32,
+                _ => 8,
+            })
+            .sum::<usize>()
+            .max(8);
+        Self { name: name.to_ascii_lowercase(), columns, row_bytes }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// A runtime value. NULL compares as unknown (excluded by predicates),
+/// matching SQL three-valued logic closely enough for the trace queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Integer(i64),
+    Float(f64),
+    Text(String),
+    Boolean(bool),
+    Null,
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (integers widen to float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Boolean(b) => Some(f64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison. Returns `None` when either side is NULL or the types
+    /// are incomparable (treated as predicate-false upstream).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total order for index keys: NULLs first, then by type class, then by
+    /// value. Unlike [`Value::compare`] this never fails — indexes need a
+    /// total order.
+    pub fn index_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Boolean(_) => 1,
+                Value::Integer(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
+            (a, b) if class(a) == 2 && class(b) == 2 => {
+                a.as_f64().expect("numeric").total_cmp(&b.as_f64().expect("numeric"))
+            }
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Integer(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<qb_sqlparse::Literal> for Value {
+    fn from(l: qb_sqlparse::Literal) -> Self {
+        match l {
+            qb_sqlparse::Literal::Integer(v) => Value::Integer(v),
+            qb_sqlparse::Literal::Float(v) => Value::Float(v),
+            qb_sqlparse::Literal::String(s) => Value::Text(s),
+            qb_sqlparse::Literal::Boolean(b) => Value::Boolean(b),
+            qb_sqlparse::Literal::Null => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Integer(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Integer(1).compare(&Value::Float(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn null_comparison_is_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Integer(1)), None);
+        assert_eq!(Value::Integer(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn text_comparison() {
+        assert_eq!(
+            Value::Text("abc".into()).compare(&Value::Text("abd".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Value::Text("1".into()).compare(&Value::Integer(1)), None);
+    }
+
+    #[test]
+    fn index_cmp_is_total() {
+        let values = vec![
+            Value::Null,
+            Value::Boolean(false),
+            Value::Integer(-5),
+            Value::Float(3.25),
+            Value::Text("z".into()),
+        ];
+        // Antisymmetry + totality smoke check over all pairs.
+        for a in &values {
+            for b in &values {
+                let ab = a.index_cmp(b);
+                let ba = b.index_cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn schema_column_lookup() {
+        let s = TableSchema::new(
+            "T",
+            vec![ColumnDef::new("Id", ColumnType::Integer), ColumnDef::new("n", ColumnType::Text)],
+        );
+        assert_eq!(s.name, "t");
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.row_bytes, 40);
+    }
+}

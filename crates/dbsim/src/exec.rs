@@ -1,0 +1,1137 @@
+//! Statement execution with cost accounting.
+//!
+//! Access-path selection is deliberately simple — exactly what the §7.6
+//! experiment needs: for each table access, pick an equality or range
+//! predicate whose column leads an existing (or hypothetical) index and
+//! use it; otherwise scan. Joins run as nested loops with index lookups on
+//! the inner side when the ON condition is an indexed equality.
+
+use qb_sqlparse::{
+    BinaryOp, Expr, OrderDirection, SelectStatement, Statement,
+};
+
+use crate::advisor::IndexCandidate;
+use crate::catalog::Value;
+use crate::cost::Cost;
+use crate::expr::{eval, truthy, RowContext};
+use crate::storage::RowId;
+use crate::Database;
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    Parse(String),
+    UnknownTable(String),
+    UnknownColumn(String, String),
+    AmbiguousColumn(String),
+    TypeError(String),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Parse(m) => write!(f, "parse error: {m}"),
+            ExecError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            ExecError::UnknownColumn(t, c) => write!(f, "unknown column `{c}` in `{t}`"),
+            ExecError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result rows of a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// SELECT result set.
+    Rows(Vec<Vec<Value>>),
+    /// DML statement (no rows).
+    None,
+}
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    pub output: QueryOutput,
+    /// Rows inserted/updated/deleted (0 for SELECT).
+    pub rows_affected: usize,
+    pub cost: Cost,
+}
+
+/// A sargable predicate found in a WHERE conjunct.
+#[derive(Debug, Clone)]
+enum Sarg {
+    Eq { column: String, value: Value },
+    Range { column: String, lo: Option<Value>, hi: Option<Value> },
+}
+
+impl Sarg {
+    fn column(&self) -> &str {
+        match self {
+            Sarg::Eq { column, .. } | Sarg::Range { column, .. } => column,
+        }
+    }
+}
+
+/// Splits a WHERE tree into top-level AND conjuncts.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Extracts sargable predicates for the given binding from conjuncts.
+/// Only literal comparisons qualify (the templated trace queries always
+/// compare columns against constants).
+fn extract_sargs(expr: Option<&Expr>, binding: &str) -> Vec<Sarg> {
+    let Some(expr) = expr else { return Vec::new() };
+    let mut out = Vec::new();
+    for c in conjuncts(expr) {
+        match c {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let (col, lit, flipped) = match (&**left, &**right) {
+                    (Expr::Column { table, column }, Expr::Literal(l))
+                        if table.as_deref().is_none_or(|t| t == binding) =>
+                    {
+                        (column.clone(), Value::from(l.clone()), false)
+                    }
+                    (Expr::Literal(l), Expr::Column { table, column })
+                        if table.as_deref().is_none_or(|t| t == binding) =>
+                    {
+                        (column.clone(), Value::from(l.clone()), true)
+                    }
+                    _ => continue,
+                };
+                let op = if flipped {
+                    match op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        other => *other,
+                    }
+                } else {
+                    *op
+                };
+                match op {
+                    BinaryOp::Eq => out.push(Sarg::Eq { column: col, value: lit }),
+                    BinaryOp::Lt | BinaryOp::LtEq => {
+                        out.push(Sarg::Range { column: col, lo: None, hi: Some(lit) })
+                    }
+                    BinaryOp::Gt | BinaryOp::GtEq => {
+                        out.push(Sarg::Range { column: col, lo: Some(lit), hi: None })
+                    }
+                    _ => {}
+                }
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                if let (Expr::Column { table, column }, Expr::Literal(lo), Expr::Literal(hi)) =
+                    (&**expr, &**low, &**high)
+                {
+                    if table.as_deref().is_none_or(|t| t == binding) {
+                        out.push(Sarg::Range {
+                            column: column.clone(),
+                            lo: Some(Value::from(lo.clone())),
+                            hi: Some(Value::from(hi.clone())),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Chooses rows for a single-table access: index path when a sarg's column
+/// leads an index, else full scan. Returns `(row ids, access cost)`.
+fn access_table(
+    db: &Database,
+    table: &str,
+    sargs: &[Sarg],
+) -> Result<(Vec<RowId>, Cost), ExecError> {
+    let t = db.table(table).ok_or_else(|| ExecError::UnknownTable(table.to_string()))?;
+    let model = db.cost_model();
+
+    // Prefer an equality sarg with an index, then a range sarg.
+    for want_eq in [true, false] {
+        for sarg in sargs {
+            let is_eq = matches!(sarg, Sarg::Eq { .. });
+            if is_eq != want_eq {
+                continue;
+            }
+            let Some(col_idx) = t.schema().column_index(sarg.column()) else { continue };
+            let Some(index) = t.index_on(col_idx) else { continue };
+            let ids = match sarg {
+                Sarg::Eq { value, .. } => index.lookup_eq_prefix(value),
+                Sarg::Range { lo, hi, .. } => index.lookup_range(lo.as_ref(), hi.as_ref()),
+            };
+            let cost = model.index_scan(t.len(), ids.len());
+            return Ok((ids, cost));
+        }
+    }
+    let ids: Vec<RowId> = t.scan().map(|(id, _)| id).collect();
+    let cost = model.seq_scan(t.pages(), t.len());
+    Ok((ids, cost))
+}
+
+/// Executes any statement.
+pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ExecResult, ExecError> {
+    match stmt {
+        Statement::Select(s) => execute_select(db, s),
+        Statement::Insert(i) => {
+            let mut cost = Cost::ZERO;
+            let n = {
+                let model = *db.cost_model();
+                let t = db
+                    .table_mut(&i.table)
+                    .ok_or_else(|| ExecError::UnknownTable(i.table.clone()))?;
+                let schema_cols = t.schema().columns.len();
+                let mut inserted = 0;
+                for row_exprs in &i.rows {
+                    let mut row = vec![Value::Null; schema_cols];
+                    if i.columns.is_empty() {
+                        if row_exprs.len() != schema_cols {
+                            return Err(ExecError::TypeError(format!(
+                                "INSERT arity {} vs schema {}",
+                                row_exprs.len(),
+                                schema_cols
+                            )));
+                        }
+                        for (c, e) in row_exprs.iter().enumerate() {
+                            row[c] = literal_value(e)?;
+                        }
+                    } else {
+                        for (name, e) in i.columns.iter().zip(row_exprs) {
+                            let idx = t.schema().column_index(name).ok_or_else(|| {
+                                ExecError::UnknownColumn(i.table.clone(), name.clone())
+                            })?;
+                            row[idx] = literal_value(e)?;
+                        }
+                    }
+                    let num_ix = t.indexes().len();
+                    t.insert(row);
+                    cost.add(model.insert(num_ix));
+                    inserted += 1;
+                }
+                inserted
+            };
+            Ok(ExecResult { output: QueryOutput::None, rows_affected: n, cost })
+        }
+        Statement::Update(u) => {
+            let sargs = extract_sargs(u.where_clause.as_ref(), &u.table);
+            let (candidates, mut cost) = access_table(db, &u.table, &sargs)?;
+            let model = *db.cost_model();
+            let t = db.table_mut(&u.table).expect("access_table verified");
+            let schema = t.schema().clone();
+            let ctx = RowContext::single(&u.table, &schema);
+
+            // Resolve assignment targets once.
+            let mut targets = Vec::with_capacity(u.assignments.len());
+            for a in &u.assignments {
+                let idx = schema.column_index(&a.column).ok_or_else(|| {
+                    ExecError::UnknownColumn(u.table.clone(), a.column.clone())
+                })?;
+                targets.push(idx);
+            }
+
+            let mut updated = 0;
+            for id in candidates {
+                let Some(row) = t.row(id) else { continue };
+                let row = row.to_vec();
+                let keep = match &u.where_clause {
+                    Some(w) => truthy(&eval(w, &ctx, &row)?),
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                let mut changes = Vec::with_capacity(targets.len());
+                for (a, &idx) in u.assignments.iter().zip(&targets) {
+                    changes.push((idx, eval(&a.value, &ctx, &row)?));
+                }
+                t.update(id, &changes);
+                updated += 1;
+            }
+            cost.add(model.index_maintenance(t.indexes().len(), updated));
+            Ok(ExecResult { output: QueryOutput::None, rows_affected: updated, cost })
+        }
+        Statement::Delete(d) => {
+            let sargs = extract_sargs(d.where_clause.as_ref(), &d.table);
+            let (candidates, mut cost) = access_table(db, &d.table, &sargs)?;
+            let model = *db.cost_model();
+            let t = db.table_mut(&d.table).expect("access_table verified");
+            let schema = t.schema().clone();
+            let ctx = RowContext::single(&d.table, &schema);
+            let mut deleted = 0;
+            for id in candidates {
+                let Some(row) = t.row(id) else { continue };
+                let row = row.to_vec();
+                let keep = match &d.where_clause {
+                    Some(w) => truthy(&eval(w, &ctx, &row)?),
+                    None => true,
+                };
+                if keep {
+                    t.delete(id);
+                    deleted += 1;
+                }
+            }
+            cost.add(model.index_maintenance(t.indexes().len(), deleted));
+            Ok(ExecResult { output: QueryOutput::None, rows_affected: deleted, cost })
+        }
+    }
+}
+
+fn literal_value(e: &Expr) -> Result<Value, ExecError> {
+    match e {
+        Expr::Literal(l) => Ok(Value::from(l.clone())),
+        Expr::Unary { op: qb_sqlparse::UnaryOp::Neg, expr } => match literal_value(expr)? {
+            Value::Integer(i) => Ok(Value::Integer(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(ExecError::TypeError(format!("cannot negate {other}"))),
+        },
+        _ => Err(ExecError::Unsupported("non-literal INSERT value".into())),
+    }
+}
+
+fn execute_select(db: &mut Database, s: &SelectStatement) -> Result<ExecResult, ExecError> {
+    let Some(from) = &s.from else {
+        return Err(ExecError::Unsupported("SELECT without FROM".into()));
+    };
+    let base_binding = from.alias.clone().unwrap_or_else(|| from.name.clone());
+
+    // Rewrite uncorrelated IN-subqueries into IN lists first.
+    let where_clause = match &s.where_clause {
+        Some(w) => Some(rewrite_subqueries(db, w)?),
+        None => None,
+    };
+
+    // Base-table access.
+    let sargs = extract_sargs(where_clause.as_ref(), &base_binding);
+    let (base_ids, mut cost) = access_table(db, &from.name, &sargs)?;
+
+    // Materialize joined rows (nested loop; indexed inner when possible).
+    let base_table = db.table(&from.name).expect("verified");
+    let base_schema = base_table.schema().clone();
+    let mut ctx = RowContext::single(&base_binding, &base_schema);
+    let mut rows: Vec<Vec<Value>> = base_ids
+        .iter()
+        .filter_map(|&id| base_table.row(id).map(<[Value]>::to_vec))
+        .collect();
+
+    let mut join_schemas = Vec::new();
+    for j in &s.joins {
+        let jt = db
+            .table(&j.table.name)
+            .ok_or_else(|| ExecError::UnknownTable(j.table.name.clone()))?;
+        join_schemas.push((j, jt.schema().clone()));
+    }
+    for (j, jschema) in &join_schemas {
+        let binding = j.table.alias.clone().unwrap_or_else(|| j.table.name.clone());
+        let jt = db.table(&j.table.name).expect("checked above");
+        let next_ctx_probe = RowContext::single("", &base_schema); // placeholder, rebuilt below
+        let _ = next_ctx_probe;
+
+        // Find an indexed equality join key: ON <outer>.x = <inner>.y.
+        let inner_key = j.on.as_ref().and_then(|on| {
+            for c in conjuncts(on) {
+                if let Expr::Binary { left, op: BinaryOp::Eq, right } = c {
+                    for (a, b) in [(left, right), (right, left)] {
+                        if let (
+                            Expr::Column { table: ta, column: ca },
+                            Expr::Column { table: tb, column: cb },
+                        ) = (&**a, &**b)
+                        {
+                            let inner_side =
+                                tb.as_deref() == Some(binding.as_str());
+                            let outer_ok = ta.as_deref() != Some(binding.as_str());
+                            if inner_side && outer_ok {
+                                let outer_idx = ctx.resolve(ta.as_deref(), ca).ok()?;
+                                let inner_col = jschema.column_index(cb)?;
+                                return Some((outer_idx, inner_col));
+                            }
+                        }
+                    }
+                }
+            }
+            None
+        });
+
+        let model = *db.cost_model();
+        let mut joined = Vec::new();
+        match inner_key {
+            Some((outer_idx, inner_col)) if jt.index_on(inner_col).is_some() => {
+                let index = jt.index_on(inner_col).expect("checked");
+                for outer in &rows {
+                    let key = &outer[outer_idx];
+                    let ids = index.lookup_eq_prefix(key);
+                    cost.add(model.index_scan(jt.len(), ids.len()));
+                    for id in ids {
+                        if let Some(inner) = jt.row(id) {
+                            let mut combined = outer.clone();
+                            combined.extend_from_slice(inner);
+                            joined.push(combined);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Full inner scan per outer row batch (one scan charged per
+                // outer row, matching a naive nested loop).
+                let inner_rows: Vec<Vec<Value>> =
+                    jt.scan().map(|(_, r)| r.to_vec()).collect();
+                cost.add(model.seq_scan(jt.pages() * rows.len().max(1), jt.len() * rows.len()));
+                for outer in &rows {
+                    for inner in &inner_rows {
+                        let mut combined = outer.clone();
+                        combined.extend_from_slice(inner);
+                        joined.push(combined);
+                    }
+                }
+            }
+        }
+        // Extend the context, then filter by the ON condition (for the
+        // indexed path the equality already holds; residual conjuncts may
+        // remain).
+        ctx = ctx.join(&binding, {
+            // SAFETY of lifetime: join_schemas lives until end of function.
+            // We push a reference to the cloned schema stored in the vec.
+            let (_, ref sch) = join_schemas[join_schemas
+                .iter()
+                .position(|(jj, _)| std::ptr::eq(*jj, *j))
+                .expect("present")];
+            sch
+        });
+        if let Some(on) = &j.on {
+            let mut kept = Vec::with_capacity(joined.len());
+            for row in joined {
+                if truthy(&eval(on, &ctx, &row)?) {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        } else {
+            rows = joined;
+        }
+    }
+
+    // Residual WHERE filter.
+    if let Some(w) = &where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if truthy(&eval(w, &ctx, &row)?) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // Aggregation / projection.
+    let has_aggregate = s.items.iter().any(|i| contains_aggregate(&i.expr))
+        || s.having.as_ref().is_some_and(contains_aggregate);
+    let mut result: Vec<Vec<Value>> = if has_aggregate || !s.group_by.is_empty() {
+        aggregate_rows(s, &ctx, &rows)?
+    } else {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut proj = Vec::with_capacity(s.items.len());
+            for item in &s.items {
+                if matches!(item.expr, Expr::Wildcard) {
+                    proj.extend_from_slice(row);
+                } else {
+                    proj.push(eval(&item.expr, &ctx, row)?);
+                }
+            }
+            out.push(proj);
+        }
+        // ORDER BY on the *source* rows (projection may drop sort keys).
+        if !s.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            for (row, proj) in rows.iter().zip(out) {
+                let mut keys = Vec::with_capacity(s.order_by.len());
+                for ob in &s.order_by {
+                    keys.push(eval(&ob.expr, &ctx, row)?);
+                }
+                keyed.push((keys, proj));
+            }
+            keyed.sort_by(|a, b| {
+                for (i, ob) in s.order_by.iter().enumerate() {
+                    let ord = a.0[i].index_cmp(&b.0[i]);
+                    let ord = if ob.direction == OrderDirection::Desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            keyed.into_iter().map(|(_, p)| p).collect()
+        } else {
+            out
+        }
+    };
+
+    // DISTINCT.
+    if s.distinct {
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        result.retain(|row| {
+            if seen.contains(row) {
+                false
+            } else {
+                seen.push(row.clone());
+                true
+            }
+        });
+    }
+
+    // OFFSET / LIMIT.
+    if let Some(off) = &s.offset {
+        if let Value::Integer(n) = literal_value(off)? {
+            let n = n.max(0) as usize;
+            result = result.into_iter().skip(n).collect();
+        }
+    }
+    if let Some(lim) = &s.limit {
+        if let Value::Integer(n) = literal_value(lim)? {
+            result.truncate(n.max(0) as usize);
+        }
+    }
+
+    Ok(ExecResult { output: QueryOutput::Rows(result), rows_affected: 0, cost })
+}
+
+fn contains_aggregate(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        if let Expr::Function { name, .. } = n {
+            if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// GROUP BY + aggregate evaluation (also handles global aggregates).
+fn aggregate_rows(
+    s: &SelectStatement,
+    ctx: &RowContext<'_>,
+    rows: &[Vec<Value>],
+) -> Result<Vec<Vec<Value>>, ExecError> {
+    use std::collections::BTreeMap;
+
+    // Group rows by the GROUP BY key (empty key = one global group).
+    let mut groups: BTreeMap<Vec<String>, Vec<&Vec<Value>>> = BTreeMap::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(s.group_by.len());
+        for g in &s.group_by {
+            // Debug formatting carries the type tag, so Integer(1) and
+            // Text("1") (identical Display strings) stay distinct groups.
+            key.push(format!("{:?}", eval(g, ctx, row)?));
+        }
+        groups.entry(key).or_default().push(row);
+    }
+    if groups.is_empty() && s.group_by.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(groups.len());
+    for rows in groups.values() {
+        // HAVING filter.
+        if let Some(h) = &s.having {
+            if !truthy(&eval_agg(h, ctx, rows)?) {
+                continue;
+            }
+        }
+        let mut proj = Vec::with_capacity(s.items.len());
+        for item in &s.items {
+            proj.push(eval_agg(&item.expr, ctx, rows)?);
+        }
+        // ORDER BY keys evaluate in aggregate context too (e.g.
+        // `ORDER BY COUNT(*) DESC` or by a grouping column).
+        let mut keys = Vec::with_capacity(s.order_by.len());
+        for ob in &s.order_by {
+            keys.push(eval_agg(&ob.expr, ctx, rows)?);
+        }
+        keyed.push((keys, proj));
+    }
+    if !s.order_by.is_empty() {
+        keyed.sort_by(|a, b| {
+            for (i, ob) in s.order_by.iter().enumerate() {
+                let ord = a.0[i].index_cmp(&b.0[i]);
+                let ord =
+                    if ob.direction == OrderDirection::Desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    Ok(keyed.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Evaluates an expression in aggregate context: aggregate functions reduce
+/// over the group; other expressions evaluate on the group's first row.
+fn eval_agg(
+    e: &Expr,
+    ctx: &RowContext<'_>,
+    rows: &[&Vec<Value>],
+) -> Result<Value, ExecError> {
+    match e {
+        Expr::Function { name, args, distinct }
+            if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") =>
+        {
+            let values: Vec<Value> = if matches!(args.first(), Some(Expr::Wildcard) | None) {
+                rows.iter().map(|_| Value::Integer(1)).collect()
+            } else {
+                let mut v = Vec::with_capacity(rows.len());
+                for row in rows {
+                    v.push(eval(&args[0], ctx, row)?);
+                }
+                v
+            };
+            let mut values: Vec<Value> =
+                values.into_iter().filter(|v| !v.is_null()).collect();
+            if *distinct {
+                let mut seen: Vec<Value> = Vec::new();
+                values.retain(|v| {
+                    if seen.iter().any(|s| s == v) {
+                        false
+                    } else {
+                        seen.push(v.clone());
+                        true
+                    }
+                });
+            }
+            match name.as_str() {
+                "count" => Ok(Value::Integer(values.len() as i64)),
+                "sum" => {
+                    // SQL: SUM over an empty (or all-NULL) group is NULL.
+                    if values.is_empty() {
+                        return Ok(Value::Null);
+                    }
+                    let mut acc = 0.0;
+                    let mut all_int = true;
+                    for v in &values {
+                        all_int &= matches!(v, Value::Integer(_));
+                        acc += v
+                            .as_f64()
+                            .ok_or_else(|| ExecError::TypeError(format!("SUM({v})")))?;
+                    }
+                    Ok(if all_int { Value::Integer(acc as i64) } else { Value::Float(acc) })
+                }
+                "avg" => {
+                    if values.is_empty() {
+                        return Ok(Value::Null);
+                    }
+                    let mut acc = 0.0;
+                    for v in &values {
+                        acc += v
+                            .as_f64()
+                            .ok_or_else(|| ExecError::TypeError(format!("AVG({v})")))?;
+                    }
+                    Ok(Value::Float(acc / values.len() as f64))
+                }
+                "min" | "max" => {
+                    let mut best: Option<Value> = None;
+                    for v in values {
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let take_new = match v.index_cmp(&b) {
+                                    std::cmp::Ordering::Less => name == "min",
+                                    std::cmp::Ordering::Greater => name == "max",
+                                    std::cmp::Ordering::Equal => false,
+                                };
+                                if take_new {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                    Ok(best.unwrap_or(Value::Null))
+                }
+                _ => unreachable!(),
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_agg(left, ctx, rows)?;
+            let r = eval_agg(right, ctx, rows)?;
+            // Reuse row-level binary semantics via a tiny shim.
+            let shim_ctx = ctx;
+            let _ = shim_ctx;
+            crate::expr::eval(
+                &Expr::Binary {
+                    left: Box::new(Expr::Literal(value_to_literal(&l))),
+                    op: *op,
+                    right: Box::new(Expr::Literal(value_to_literal(&r))),
+                },
+                ctx,
+                rows.first().map(|r| r.as_slice()).unwrap_or(&[]),
+            )
+        }
+        other => match rows.first() {
+            Some(row) => eval(other, ctx, row),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn value_to_literal(v: &Value) -> qb_sqlparse::Literal {
+    match v {
+        Value::Integer(i) => qb_sqlparse::Literal::Integer(*i),
+        Value::Float(f) => qb_sqlparse::Literal::Float(*f),
+        Value::Text(s) => qb_sqlparse::Literal::String(s.clone()),
+        Value::Boolean(b) => qb_sqlparse::Literal::Boolean(*b),
+        Value::Null => qb_sqlparse::Literal::Null,
+    }
+}
+
+/// Replaces uncorrelated `IN (SELECT ...)` predicates with literal IN
+/// lists by executing the subquery.
+fn rewrite_subqueries(db: &mut Database, e: &Expr) -> Result<Expr, ExecError> {
+    Ok(match e {
+        Expr::InSubquery { expr, subquery, negated } => {
+            let sub = Statement::Select((**subquery).clone());
+            let result = execute(db, &sub)?;
+            let QueryOutput::Rows(rows) = result.output else {
+                return Err(ExecError::Unsupported("subquery returned no rows".into()));
+            };
+            let list: Vec<Expr> = rows
+                .into_iter()
+                .filter_map(|mut r| {
+                    if r.is_empty() {
+                        None
+                    } else {
+                        Some(Expr::Literal(value_to_literal(&r.remove(0))))
+                    }
+                })
+                .collect();
+            Expr::InList { expr: expr.clone(), list, negated: *negated }
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_subqueries(db, left)?),
+            op: *op,
+            right: Box::new(rewrite_subqueries(db, right)?),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite_subqueries(db, expr)?) }
+        }
+        other => other.clone(),
+    })
+}
+
+/// Cost-only estimation with optional hypothetical indexes (AutoAdmin
+/// what-if). Selectivity is measured on a bounded row sample, so estimates
+/// stay cheap on large tables.
+pub fn estimate(
+    db: &Database,
+    stmt: &Statement,
+    hypothetical: &[IndexCandidate],
+) -> Result<Cost, ExecError> {
+    let model = db.cost_model();
+    let (table_name, where_clause): (&str, Option<&Expr>) = match stmt {
+        Statement::Select(s) => {
+            let Some(from) = &s.from else {
+                return Err(ExecError::Unsupported("SELECT without FROM".into()));
+            };
+            (&from.name, s.where_clause.as_ref())
+        }
+        Statement::Insert(i) => {
+            let t = db
+                .table(&i.table)
+                .ok_or_else(|| ExecError::UnknownTable(i.table.clone()))?;
+            let extra = hypothetical.iter().filter(|h| h.table == i.table).count();
+            let mut c = Cost::ZERO;
+            for _ in &i.rows {
+                c.add(model.insert(t.indexes().len() + extra));
+            }
+            return Ok(c);
+        }
+        Statement::Update(u) => (&u.table, u.where_clause.as_ref()),
+        Statement::Delete(d) => (&d.table, d.where_clause.as_ref()),
+    };
+
+    let t = db
+        .table(table_name)
+        .ok_or_else(|| ExecError::UnknownTable(table_name.to_string()))?;
+    let binding = match stmt {
+        Statement::Select(s) => s
+            .from
+            .as_ref()
+            .and_then(|f| f.alias.clone())
+            .unwrap_or_else(|| table_name.to_string()),
+        _ => table_name.to_string(),
+    };
+    let sargs = extract_sargs(where_clause, &binding);
+
+    // Does any sarg column lead a real or hypothetical index?
+    let indexed_sarg = sargs.iter().find(|sarg| {
+        let Some(col_idx) = t.schema().column_index(sarg.column()) else { return false };
+        let real = t.index_on(col_idx).is_some();
+        let hypo = hypothetical
+            .iter()
+            .any(|h| h.table == *table_name && h.columns.first().map(String::as_str) == Some(sarg.column()));
+        real || hypo
+    });
+
+    let rows = t.len();
+    // Index maintenance reflects every index the table would carry: the
+    // real ones plus the hypothetical candidates under evaluation.
+    let hypo_on_table = hypothetical.iter().filter(|h| h.table == *table_name).count();
+    let total_indexes = t.indexes().len() + hypo_on_table;
+    let mut c = if let Some(sarg) = indexed_sarg {
+        // Estimate matched rows from a sample.
+        let selectivity = estimate_selectivity(t, sarg)?;
+        let matched = (rows as f64 * selectivity).ceil() as usize;
+        let mut c = model.index_scan(rows, matched);
+        if matches!(stmt, Statement::Update(_) | Statement::Delete(_)) {
+            c.add(model.index_maintenance(total_indexes, matched));
+        }
+        c
+    } else {
+        let mut c = model.seq_scan(t.pages(), rows);
+        if matches!(stmt, Statement::Update(_) | Statement::Delete(_)) {
+            c.add(model.index_maintenance(total_indexes, rows / 2));
+        }
+        c
+    };
+    // Joins multiply work; charge inner scans on BOTH paths so the indexed
+    // estimate does not overstate its advantage on join queries.
+    if let Statement::Select(s) = stmt {
+        for j in &s.joins {
+            if let Some(jt) = db.table(&j.table.name) {
+                c.add(model.seq_scan(jt.pages(), jt.len()));
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Fraction of rows matching a sarg, measured over ≤1024 sampled rows.
+fn estimate_selectivity(t: &crate::storage::Table, sarg: &Sarg) -> Result<f64, ExecError> {
+    let col = t
+        .schema()
+        .column_index(sarg.column())
+        .ok_or_else(|| ExecError::UnknownColumn(t.schema().name.clone(), sarg.column().into()))?;
+    let n = t.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let stride = (n / 1024).max(1);
+    let mut sampled = 0usize;
+    let mut matched = 0usize;
+    for (i, (_, row)) in t.scan().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        sampled += 1;
+        let v = &row[col];
+        let hit = match sarg {
+            Sarg::Eq { value, .. } => v.compare(value) == Some(std::cmp::Ordering::Equal),
+            Sarg::Range { lo, hi, .. } => {
+                let ge = lo.as_ref().is_none_or(|l| {
+                    matches!(
+                        v.compare(l),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    )
+                });
+                let le = hi.as_ref().is_none_or(|h| {
+                    matches!(
+                        v.compare(h),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    )
+                });
+                ge && le
+            }
+        };
+        if hit {
+            matched += 1;
+        }
+    }
+    Ok(matched as f64 / sampled.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, ColumnType, TableSchema};
+    use crate::cost::CostModel;
+
+    fn setup() -> Database {
+        let mut db = Database::new(CostModel::default());
+        db.create_table(TableSchema::new(
+            "users",
+            vec![
+                ColumnDef::new("id", ColumnType::Integer),
+                ColumnDef::new("name", ColumnType::Text),
+                ColumnDef::new("dept", ColumnType::Integer),
+            ],
+        ));
+        db.create_table(TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("order_id", ColumnType::Integer),
+                ColumnDef::new("user_id", ColumnType::Integer),
+                ColumnDef::new("total", ColumnType::Float),
+            ],
+        ));
+        for i in 0..100 {
+            db.execute_sql(&format!(
+                "INSERT INTO users (id, name, dept) VALUES ({i}, 'user{i}', {})",
+                i % 5
+            ))
+            .unwrap();
+        }
+        for i in 0..300 {
+            db.execute_sql(&format!(
+                "INSERT INTO orders (order_id, user_id, total) VALUES ({i}, {}, {})",
+                i % 100,
+                (i % 17) as f64 * 10.0
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    fn rows(r: ExecResult) -> Vec<Vec<Value>> {
+        match r.output {
+            QueryOutput::Rows(rows) => rows,
+            QueryOutput::None => panic!("expected rows"),
+        }
+    }
+
+    #[test]
+    fn filtered_select() {
+        let mut db = setup();
+        let r = rows(db.execute_sql("SELECT name FROM users WHERE dept = 2 AND id < 10").unwrap());
+        assert_eq!(r.len(), 2); // ids 2 and 7
+    }
+
+    #[test]
+    fn join_with_and_without_index() {
+        let mut db = setup();
+        let q = "SELECT u.name, o.total FROM users AS u \
+                 JOIN orders AS o ON u.id = o.user_id WHERE u.id = 42";
+        let slow = db.execute_sql(q).unwrap();
+        db.create_index("orders", &["user_id"]).unwrap();
+        let fast = db.execute_sql(q).unwrap();
+        assert_eq!(slow.output, fast.output);
+        assert_eq!(rows(slow).len(), 3);
+        assert!(fast.cost.total() < db.execute_sql(q).unwrap().cost.total() + 1e9);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut db = setup();
+        let r = rows(db.execute_sql("SELECT COUNT(*), MIN(id), MAX(id) FROM users").unwrap());
+        assert_eq!(r[0], vec![Value::Integer(100), Value::Integer(0), Value::Integer(99)]);
+        let r = rows(db.execute_sql("SELECT AVG(total) FROM orders WHERE user_id = 1").unwrap());
+        assert!(matches!(r[0][0], Value::Float(_)));
+    }
+
+    #[test]
+    fn group_by_having() {
+        let mut db = setup();
+        let r = rows(
+            db.execute_sql(
+                "SELECT dept, COUNT(*) FROM users GROUP BY dept HAVING COUNT(*) > 19",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 5); // all depts have 20 users
+        let r = rows(
+            db.execute_sql(
+                "SELECT dept, COUNT(*) FROM users GROUP BY dept HAVING COUNT(*) > 20",
+            )
+            .unwrap(),
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn order_by_limit_offset() {
+        let mut db = setup();
+        let r = rows(
+            db.execute_sql("SELECT id FROM users ORDER BY id DESC LIMIT 3 OFFSET 1").unwrap(),
+        );
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::Integer(98)],
+                vec![Value::Integer(97)],
+                vec![Value::Integer(96)]
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct() {
+        let mut db = setup();
+        let r = rows(db.execute_sql("SELECT DISTINCT dept FROM users").unwrap());
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn in_subquery_rewrite() {
+        let mut db = setup();
+        let r = rows(
+            db.execute_sql(
+                "SELECT name FROM users WHERE id IN (SELECT user_id FROM orders WHERE total > 150.0)",
+            )
+            .unwrap(),
+        );
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn estimate_prefers_hypothetical_index() {
+        // Needs a table large enough that a scan genuinely loses.
+        let mut db = Database::new(CostModel::default());
+        db.create_table(TableSchema::new(
+            "users",
+            vec![
+                ColumnDef::new("id", ColumnType::Integer),
+                ColumnDef::new("name", ColumnType::Text),
+            ],
+        ));
+        for i in 0..3000 {
+            db.execute_sql(&format!("INSERT INTO users (id, name) VALUES ({i}, 'u{i}')"))
+                .unwrap();
+        }
+        let stmt =
+            qb_sqlparse::parse_statement("SELECT name FROM users WHERE id = 42").unwrap();
+        let no_ix = db.estimate_cost(&stmt, &[]).unwrap();
+        let with_ix = db
+            .estimate_cost(
+                &stmt,
+                &[IndexCandidate { table: "users".into(), columns: vec!["id".into()] }],
+            )
+            .unwrap();
+        assert!(with_ix.total() < no_ix.total());
+    }
+
+    #[test]
+    fn estimate_insert_charges_index_maintenance() {
+        let db = setup();
+        let stmt = qb_sqlparse::parse_statement(
+            "INSERT INTO users (id, name, dept) VALUES (1000, 'x', 1)",
+        )
+        .unwrap();
+        let plain = db.estimate_cost(&stmt, &[]).unwrap();
+        let with_ix = db
+            .estimate_cost(
+                &stmt,
+                &[IndexCandidate { table: "users".into(), columns: vec!["dept".into()] }],
+            )
+            .unwrap();
+        assert!(with_ix.total() > plain.total());
+    }
+
+    #[test]
+    fn update_with_index_path() {
+        let mut db = setup();
+        db.create_index("users", &["id"]).unwrap();
+        let r = db.execute_sql("UPDATE users SET dept = 9 WHERE id = 10").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let check = rows(db.execute_sql("SELECT dept FROM users WHERE id = 10").unwrap());
+        assert_eq!(check[0][0], Value::Integer(9));
+    }
+
+    #[test]
+    fn between_uses_range_index() {
+        let mut db = setup();
+        let q = "SELECT name FROM users WHERE id BETWEEN 10 AND 19";
+        let slow = db.execute_sql(q).unwrap();
+        db.create_index("users", &["id"]).unwrap();
+        let fast = db.execute_sql(q).unwrap();
+        assert_eq!(rows(slow).len(), 10);
+        assert_eq!(rows(fast).len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod aggregate_order_tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, ColumnType, TableSchema};
+    use crate::cost::CostModel;
+
+    fn db() -> Database {
+        let mut db = Database::new(CostModel::default());
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("g", ColumnType::Integer), ColumnDef::new("v", ColumnType::Integer)],
+        ));
+        // Group sizes: g=2 → 1 row, g=10 → 3 rows, g=5 → 2 rows. Numeric
+        // ordering differs from string ordering ("10" < "2" < "5").
+        for (g, v) in [(10, 1), (10, 2), (10, 3), (5, 4), (5, 5), (2, 6)] {
+            db.execute_sql(&format!("INSERT INTO t (g, v) VALUES ({g}, {v})")).unwrap();
+        }
+        db
+    }
+
+    fn rows(r: ExecResult) -> Vec<Vec<Value>> {
+        match r.output {
+            QueryOutput::Rows(rows) => rows,
+            QueryOutput::None => panic!("expected rows"),
+        }
+    }
+
+    #[test]
+    fn group_by_orders_numerically() {
+        let mut db = db();
+        let r = rows(db.execute_sql("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g").unwrap());
+        let gs: Vec<i64> = r
+            .iter()
+            .map(|row| match row[0] {
+                Value::Integer(g) => g,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(gs, vec![2, 5, 10], "numeric ORDER BY on group key");
+    }
+
+    #[test]
+    fn order_by_aggregate_value() {
+        let mut db = db();
+        let r = rows(
+            db.execute_sql("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY COUNT(*) DESC")
+                .unwrap(),
+        );
+        let counts: Vec<i64> = r
+            .iter()
+            .map(|row| match row[1] {
+                Value::Integer(c) => c,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(counts, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn limit_applies_after_aggregate_ordering() {
+        let mut db = db();
+        let r = rows(
+            db.execute_sql(
+                "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY SUM(v) DESC LIMIT 1",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0][1], Value::Integer(9)); // g=5 sums to 9, the largest
+    }
+}

@@ -1,0 +1,445 @@
+//! Expression evaluation over stored rows.
+
+use qb_sqlparse::{BinaryOp, Expr, UnaryOp};
+
+use crate::catalog::{TableSchema, Value};
+use crate::exec::ExecError;
+
+/// A row-evaluation context: one or two bound tables (for joins the row is
+/// the concatenation and columns resolve through both schemas).
+pub struct RowContext<'a> {
+    /// `(binding name, schema, column offset)` per bound table. The binding
+    /// name is the alias if present, else the table name.
+    bindings: Vec<(String, &'a TableSchema, usize)>,
+    width: usize,
+}
+
+impl<'a> RowContext<'a> {
+    pub fn single(binding: &str, schema: &'a TableSchema) -> Self {
+        Self {
+            bindings: vec![(binding.to_string(), schema, 0)],
+            width: schema.columns.len(),
+        }
+    }
+
+    /// Adds a second (joined) table; its columns follow the first table's.
+    pub fn join(mut self, binding: &str, schema: &'a TableSchema) -> Self {
+        self.bindings.push((binding.to_string(), schema, self.width));
+        self.width += schema.columns.len();
+        self
+    }
+
+    /// Resolves a possibly-qualified column to its offset in the combined
+    /// row.
+    pub fn resolve(&self, table: Option<&str>, column: &str) -> Result<usize, ExecError> {
+        match table {
+            Some(t) => {
+                for (name, schema, off) in &self.bindings {
+                    if name == t {
+                        return schema
+                            .column_index(column)
+                            .map(|i| off + i)
+                            .ok_or_else(|| {
+                                ExecError::UnknownColumn(t.to_string(), column.to_string())
+                            });
+                    }
+                }
+                Err(ExecError::UnknownTable(t.to_string()))
+            }
+            None => {
+                let mut found = None;
+                for (_, schema, off) in &self.bindings {
+                    if let Some(i) = schema.column_index(column) {
+                        if found.is_some() {
+                            return Err(ExecError::AmbiguousColumn(column.to_string()));
+                        }
+                        found = Some(off + i);
+                    }
+                }
+                found.ok_or_else(|| {
+                    ExecError::UnknownColumn("<any>".to_string(), column.to_string())
+                })
+            }
+        }
+    }
+}
+
+/// Evaluates a scalar expression against a row. Aggregates and subqueries
+/// are rejected here — the executor handles them at the statement level.
+pub fn eval(expr: &Expr, ctx: &RowContext<'_>, row: &[Value]) -> Result<Value, ExecError> {
+    match expr {
+        Expr::Literal(l) => Ok(Value::from(l.clone())),
+        Expr::Placeholder => Err(ExecError::Unsupported(
+            "placeholder in executable statement (bind parameters first)".into(),
+        )),
+        Expr::Column { table, column } => {
+            let idx = ctx.resolve(table.as_deref(), column)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Wildcard => Err(ExecError::Unsupported("bare * outside select list".into())),
+        Expr::Binary { left, op, right } => {
+            let l = eval(left, ctx, row)?;
+            let r = eval(right, ctx, row)?;
+            eval_binary(*op, &l, &r)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, ctx, row)?;
+            match op {
+                UnaryOp::Not => Ok(match kleene(&v) {
+                    Some(b) => Value::Boolean(!b),
+                    None => Value::Null,
+                }),
+                UnaryOp::Neg => match v {
+                    Value::Integer(i) => Ok(Value::Integer(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(ExecError::TypeError(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        Expr::Function { name, args, .. } => eval_scalar_function(name, args, ctx, row),
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, ctx, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, ctx, row)?;
+                if iv.is_null() {
+                    saw_null = true;
+                } else if v.compare(&iv) == Some(std::cmp::Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            // SQL: `x IN (..., NULL)` is NULL when no element matches.
+            if !found && saw_null {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Boolean(found != *negated))
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, ctx, row)?;
+            let lo = eval(low, ctx, row)?;
+            let hi = eval(high, ctx, row)?;
+            let inside = matches!(
+                v.compare(&lo),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ) && matches!(
+                v.compare(&hi),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            Ok(Value::Boolean(inside != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx, row)?;
+            Ok(Value::Boolean(v.is_null() != *negated))
+        }
+        Expr::Case { branches, else_expr } => {
+            for (cond, val) in branches {
+                if truthy(&eval(cond, ctx, row)?) {
+                    return eval(val, ctx, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, ctx, row),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::Subquery(_) => Err(
+            ExecError::Unsupported("correlated subquery in row predicate".into()),
+        ),
+    }
+}
+
+fn eval_scalar_function(
+    name: &str,
+    args: &[Expr],
+    ctx: &RowContext<'_>,
+    row: &[Value],
+) -> Result<Value, ExecError> {
+    match name {
+        "coalesce" => {
+            for a in args {
+                let v = eval(a, ctx, row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "abs" => {
+            let v = eval(args.first().ok_or_else(|| arity("abs"))?, ctx, row)?;
+            match v {
+                Value::Integer(i) => Ok(Value::Integer(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                Value::Null => Ok(Value::Null),
+                other => Err(ExecError::TypeError(format!("abs({other})"))),
+            }
+        }
+        "lower" | "upper" => {
+            let v = eval(args.first().ok_or_else(|| arity(name))?, ctx, row)?;
+            match v {
+                Value::Text(s) => Ok(Value::Text(if name == "lower" {
+                    s.to_lowercase()
+                } else {
+                    s.to_uppercase()
+                })),
+                Value::Null => Ok(Value::Null),
+                other => Err(ExecError::TypeError(format!("{name}({other})"))),
+            }
+        }
+        other => Err(ExecError::Unsupported(format!("scalar function `{other}`"))),
+    }
+}
+
+fn arity(name: &str) -> ExecError {
+    ExecError::TypeError(format!("wrong number of arguments to {name}"))
+}
+
+/// SQL truthiness at the filter boundary: TRUE is true; NULL and FALSE
+/// are not.
+pub fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Boolean(true))
+}
+
+/// Kleene view of a value: `Some(bool)` for booleans, `None` for NULL
+/// (unknown). Non-boolean non-null values are treated as FALSE.
+fn kleene(v: &Value) -> Option<bool> {
+    match v {
+        Value::Boolean(b) => Some(*b),
+        Value::Null => None,
+        _ => Some(false),
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, ExecError> {
+    use std::cmp::Ordering::*;
+    match op {
+        // Kleene three-valued logic: NULL is "unknown", so `NOT NULL` is
+        // NULL (not TRUE) and `FALSE AND NULL` is FALSE while
+        // `TRUE AND NULL` is NULL. `truthy` at the filter boundary treats
+        // NULL as not-true, which gives the standard WHERE semantics.
+        BinaryOp::And => Ok(match (kleene(l), kleene(r)) {
+            (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
+            (Some(true), Some(true)) => Value::Boolean(true),
+            _ => Value::Null,
+        }),
+        BinaryOp::Or => Ok(match (kleene(l), kleene(r)) {
+            (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
+            (Some(false), Some(false)) => Value::Boolean(false),
+            _ => Value::Null,
+        }),
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        | BinaryOp::GtEq => {
+            // A comparison with NULL is NULL; comparisons between
+            // incomparable non-null types are FALSE (a type mismatch, not
+            // an unknown).
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let Some(ord) = l.compare(r) else { return Ok(Value::Boolean(false)) };
+            let b = match op {
+                BinaryOp::Eq => ord == Equal,
+                BinaryOp::NotEq => ord != Equal,
+                BinaryOp::Lt => ord == Less,
+                BinaryOp::LtEq => ord != Greater,
+                BinaryOp::Gt => ord == Greater,
+                BinaryOp::GtEq => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Boolean(b))
+        }
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic stays integral when both sides are ints.
+            if let (Value::Integer(a), Value::Integer(b)) = (l, r) {
+                let v = match op {
+                    BinaryOp::Add => a.checked_add(*b),
+                    BinaryOp::Sub => a.checked_sub(*b),
+                    BinaryOp::Mul => a.checked_mul(*b),
+                    BinaryOp::Div => {
+                        if *b == 0 {
+                            return Err(ExecError::TypeError("division by zero".into()));
+                        }
+                        a.checked_div(*b)
+                    }
+                    BinaryOp::Mod => {
+                        if *b == 0 {
+                            return Err(ExecError::TypeError("modulo by zero".into()));
+                        }
+                        a.checked_rem(*b)
+                    }
+                    _ => unreachable!(),
+                };
+                return v
+                    .map(Value::Integer)
+                    .ok_or_else(|| ExecError::TypeError("integer overflow".into()));
+            }
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| ExecError::TypeError(format!("non-numeric {l}")))?,
+                r.as_f64().ok_or_else(|| ExecError::TypeError(format!("non-numeric {r}")))?,
+            );
+            let v = match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        return Err(ExecError::TypeError("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+        BinaryOp::Concat => match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => Ok(Value::Text(format!("{a}{b}"))),
+        },
+        BinaryOp::Like => match (l, r) {
+            (Value::Text(s), Value::Text(p)) => Ok(Value::Boolean(like_match(s, p))),
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Boolean(false)),
+            _ => Err(ExecError::TypeError("LIKE requires text operands".into())),
+        },
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any single char); case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // % matches zero or more characters.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, ColumnType};
+    use qb_sqlparse::parse_statement;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnType::Integer),
+                ColumnDef::new("b", ColumnType::Text),
+                ColumnDef::new("c", ColumnType::Float),
+            ],
+        )
+    }
+
+    /// Evaluates the WHERE clause of `SELECT * FROM t WHERE <pred>`.
+    fn eval_pred(pred: &str, row: &[Value]) -> bool {
+        let sql = format!("SELECT * FROM t WHERE {pred}");
+        let qb_sqlparse::Statement::Select(sel) = parse_statement(&sql).unwrap() else {
+            panic!()
+        };
+        let s = schema();
+        let ctx = RowContext::single("t", &s);
+        truthy(&eval(&sel.where_clause.unwrap(), &ctx, row).unwrap())
+    }
+
+    fn row(a: i64, b: &str, c: f64) -> Vec<Value> {
+        vec![Value::Integer(a), Value::Text(b.into()), Value::Float(c)]
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(eval_pred("a = 5", &row(5, "x", 0.0)));
+        assert!(!eval_pred("a = 5", &row(6, "x", 0.0)));
+        assert!(eval_pred("a < 10 AND c >= 1.5", &row(5, "x", 1.5)));
+        assert!(eval_pred("a <> 4 OR b = 'zzz'", &row(5, "x", 0.0)));
+    }
+
+    #[test]
+    fn between_and_in() {
+        assert!(eval_pred("a BETWEEN 1 AND 10", &row(5, "x", 0.0)));
+        assert!(!eval_pred("a NOT BETWEEN 1 AND 10", &row(5, "x", 0.0)));
+        assert!(eval_pred("a IN (1, 5, 9)", &row(5, "x", 0.0)));
+        assert!(eval_pred("a NOT IN (1, 9)", &row(5, "x", 0.0)));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_l"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("a", "_%_"));
+        assert!(eval_pred("b LIKE 'al%'", &row(0, "alice", 0.0)));
+    }
+
+    #[test]
+    fn null_semantics() {
+        let null_row = vec![Value::Null, Value::Text("x".into()), Value::Float(0.0)];
+        assert!(!eval_pred("a = 5", &null_row), "NULL = 5 is not true");
+        assert!(!eval_pred("a <> 5", &null_row), "NULL <> 5 is not true");
+        assert!(eval_pred("a IS NULL", &null_row));
+        assert!(!eval_pred("a IS NOT NULL", &null_row));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert!(eval_pred("a + 1 = 6", &row(5, "x", 0.0)));
+        assert!(eval_pred("a * 2 > 9", &row(5, "x", 0.0)));
+        assert!(eval_pred("c / 2.0 = 0.75", &row(0, "x", 1.5)));
+        assert!(eval_pred("a % 3 = 2", &row(5, "x", 0.0)));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let sql = "SELECT * FROM t WHERE a / 0 = 1";
+        let qb_sqlparse::Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        let s = schema();
+        let ctx = RowContext::single("t", &s);
+        assert!(matches!(
+            eval(&sel.where_clause.unwrap(), &ctx, &row(5, "x", 0.0)),
+            Err(ExecError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn case_expression() {
+        assert!(eval_pred("CASE WHEN a > 3 THEN TRUE ELSE FALSE END", &row(5, "x", 0.0)));
+        assert!(!eval_pred("CASE WHEN a > 30 THEN TRUE ELSE FALSE END", &row(5, "x", 0.0)));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert!(eval_pred("coalesce(a, 0) = 5", &row(5, "x", 0.0)));
+        assert!(eval_pred("abs(a - 8) = 3", &row(5, "x", 0.0)));
+        assert!(eval_pred("lower(b) = 'alice'", &row(0, "ALICE", 0.0)));
+    }
+
+    #[test]
+    fn qualified_and_ambiguous_columns() {
+        let s1 = schema();
+        let mut s2 = schema();
+        s2.name = "u".into();
+        let ctx = RowContext::single("t", &s1).join("u", &s2);
+        // Qualified resolution reaches the second table's columns.
+        let e = qb_sqlparse::Expr::qcol("u", "a");
+        let r: Vec<Value> = [row(1, "x", 0.0), row(2, "y", 0.0)].concat();
+        assert_eq!(eval(&e, &ctx, &r).unwrap(), Value::Integer(2));
+        // Unqualified `a` is ambiguous.
+        let e = qb_sqlparse::Expr::col("a");
+        assert!(matches!(eval(&e, &ctx, &r), Err(ExecError::AmbiguousColumn(_))));
+    }
+}

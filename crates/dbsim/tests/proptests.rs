@@ -1,0 +1,145 @@
+//! Property-based tests for the storage engine: plan-independence (index
+//! vs. scan answers) and LIKE semantics.
+
+use proptest::prelude::*;
+use qb_dbsim::{ColumnDef, ColumnType, CostModel, Database, QueryOutput, TableSchema, Value};
+
+/// Reference LIKE implementation via dynamic programming.
+fn like_reference(s: &str, p: &str) -> bool {
+    let s: Vec<u8> = s.bytes().collect();
+    let p: Vec<u8> = p.bytes().collect();
+    let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        dp[0][j] = p[j - 1] == b'%' && dp[0][j - 1];
+    }
+    for i in 1..=s.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = match p[j - 1] {
+                b'%' => dp[i][j - 1] || dp[i - 1][j],
+                b'_' => dp[i - 1][j - 1],
+                c => s[i - 1] == c && dp[i - 1][j - 1],
+            };
+        }
+    }
+    dp[s.len()][p.len()]
+}
+
+fn rows_of(r: qb_dbsim::ExecResult) -> Vec<Vec<Value>> {
+    match r.output {
+        QueryOutput::Rows(rows) => rows,
+        QueryOutput::None => panic!("expected rows"),
+    }
+}
+
+fn table_data() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..500, 0i64..20), 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LIKE matches the DP reference on arbitrary strings/patterns.
+    #[test]
+    fn like_matches_reference(s in "[a-c]{0,8}", p in "[a-c%_]{0,6}") {
+        prop_assert_eq!(
+            qb_dbsim::expr::like_match(&s, &p),
+            like_reference(&s, &p),
+            "s={:?} p={:?}", s, p
+        );
+    }
+
+    /// SELECT answers are identical with and without an index (only the
+    /// cost may change) for equality, range, and BETWEEN predicates.
+    #[test]
+    fn index_never_changes_select_answers(
+        data in table_data(),
+        probe in 0i64..500,
+        lo in 0i64..250,
+        span in 0i64..250,
+    ) {
+        let build = |indexed: bool| -> Database {
+            let mut db = Database::new(CostModel::default());
+            db.create_table(TableSchema::new(
+                "t",
+                vec![ColumnDef::new("a", ColumnType::Integer), ColumnDef::new("b", ColumnType::Integer)],
+            ));
+            for (a, b) in &data {
+                db.execute_sql(&format!("INSERT INTO t (a, b) VALUES ({a}, {b})")).expect("insert");
+            }
+            if indexed {
+                db.create_index("t", &["a"]).expect("index");
+                db.create_index("t", &["b"]).expect("index");
+            }
+            db
+        };
+        let mut plain = build(false);
+        let mut indexed = build(true);
+        let hi = lo + span;
+        let queries = [
+            format!("SELECT a, b FROM t WHERE a = {probe} ORDER BY a, b"),
+            format!("SELECT a, b FROM t WHERE a BETWEEN {lo} AND {hi} ORDER BY a, b"),
+            format!("SELECT a, b FROM t WHERE a >= {lo} AND b = {} ORDER BY a, b", probe % 20),
+            format!("SELECT COUNT(*) FROM t WHERE a < {probe}"),
+            format!("SELECT b, COUNT(*) FROM t WHERE a > {lo} GROUP BY b ORDER BY b"),
+        ];
+        for q in &queries {
+            let r1 = rows_of(plain.execute_sql(q).expect("plain"));
+            let r2 = rows_of(indexed.execute_sql(q).expect("indexed"));
+            prop_assert_eq!(r1, r2, "answers diverged for `{}`", q);
+        }
+    }
+
+    /// UPDATE/DELETE affect the same rows regardless of access path.
+    #[test]
+    fn index_never_changes_dml_effects(data in table_data(), probe in 0i64..500) {
+        let run = |indexed: bool| -> (usize, usize, Vec<Vec<Value>>) {
+            let mut db = Database::new(CostModel::default());
+            db.create_table(TableSchema::new(
+                "t",
+                vec![ColumnDef::new("a", ColumnType::Integer), ColumnDef::new("b", ColumnType::Integer)],
+            ));
+            for (a, b) in &data {
+                db.execute_sql(&format!("INSERT INTO t (a, b) VALUES ({a}, {b})")).expect("insert");
+            }
+            if indexed {
+                db.create_index("t", &["a"]).expect("index");
+            }
+            let u = db
+                .execute_sql(&format!("UPDATE t SET b = 999 WHERE a = {probe}"))
+                .expect("update")
+                .rows_affected;
+            let d = db
+                .execute_sql(&format!("DELETE FROM t WHERE a > {}", probe / 2))
+                .expect("delete")
+                .rows_affected;
+            let rows = rows_of(
+                db.execute_sql("SELECT a, b FROM t ORDER BY a, b").expect("select"),
+            );
+            (u, d, rows)
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Aggregates agree with manual computation.
+    #[test]
+    fn aggregates_match_manual(data in table_data()) {
+        let mut db = Database::new(CostModel::default());
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ColumnType::Integer), ColumnDef::new("b", ColumnType::Integer)],
+        ));
+        for (a, b) in &data {
+            db.execute_sql(&format!("INSERT INTO t (a, b) VALUES ({a}, {b})")).expect("insert");
+        }
+        let rows = rows_of(db.execute_sql("SELECT COUNT(*), SUM(a), MIN(a), MAX(a)  FROM t").expect("agg"));
+        let count = data.len() as i64;
+        let sum: i64 = data.iter().map(|(a, _)| a).sum();
+        let min = data.iter().map(|(a, _)| *a).min().expect("non-empty");
+        let max = data.iter().map(|(a, _)| *a).max().expect("non-empty");
+        prop_assert_eq!(&rows[0][0], &Value::Integer(count));
+        prop_assert_eq!(&rows[0][1], &Value::Integer(sum));
+        prop_assert_eq!(&rows[0][2], &Value::Integer(min));
+        prop_assert_eq!(&rows[0][3], &Value::Integer(max));
+    }
+}

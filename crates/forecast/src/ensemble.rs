@@ -1,0 +1,106 @@
+//! The ENSEMBLE model (§6.1): the equal average of LR and RNN predictions.
+//!
+//! "We apply an ensemble method by equally averaging the prediction results
+//! of the LR and RNN models. We also tried averaging the models with
+//! weights derived from the training history, but that led to overfitting."
+
+use crate::dataset::{ForecastError, WindowSpec};
+use crate::lr::LinearRegression;
+use crate::rnn::{Rnn, RnnConfig};
+use crate::Forecaster;
+
+/// LR + RNN averaged with equal weights.
+pub struct Ensemble {
+    lr: LinearRegression,
+    rnn: Rnn,
+}
+
+impl Default for Ensemble {
+    fn default() -> Self {
+        Self::new(RnnConfig::default())
+    }
+}
+
+impl Ensemble {
+    pub fn new(rnn_cfg: RnnConfig) -> Self {
+        Self { lr: LinearRegression::default(), rnn: Rnn::new(rnn_cfg) }
+    }
+
+    /// Builds from already-configured members (lets the harness share
+    /// settings across the standalone and ensemble evaluations).
+    pub fn from_parts(lr: LinearRegression, rnn: Rnn) -> Self {
+        Self { lr, rnn }
+    }
+
+    /// Read access to the members, for the §7.3 per-model spike plots.
+    pub fn members(&self) -> (&LinearRegression, &Rnn) {
+        (&self.lr, &self.rnn)
+    }
+}
+
+impl Forecaster for Ensemble {
+    fn name(&self) -> &'static str {
+        "ENSEMBLE"
+    }
+
+    fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
+        self.lr.fit(series, spec)?;
+        self.rnn.fit(series, spec)?;
+        Ok(())
+    }
+
+    fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+        let a = self.lr.predict(recent);
+        let b = self.rnn.predict(recent);
+        a.iter().zip(&b).map(|(x, y)| 0.5 * (x + y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_rnn() -> RnnConfig {
+        RnnConfig { epochs: 15, hidden: 8, embedding: 6, ..RnnConfig::default() }
+    }
+
+    #[test]
+    fn prediction_is_member_average() {
+        let series = vec![(0..150)
+            .map(|t| 80.0 + 40.0 * ((t % 10) as f64 / 10.0 * std::f64::consts::TAU).sin())
+            .collect::<Vec<f64>>()];
+        let spec = WindowSpec { window: 10, horizon: 1 };
+        let mut e = Ensemble::new(quick_rnn());
+        e.fit(&series, spec).unwrap();
+        let recent = vec![series[0][130..140].to_vec()];
+        let pred = e.predict(&recent);
+        let (lr, rnn) = e.members();
+        let want = 0.5 * (lr.predict(&recent)[0] + rnn.predict(&recent)[0]);
+        assert!((pred[0] - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ensemble_not_worse_than_worst_member() {
+        let series = vec![(0..220)
+            .map(|t| 100.0 + 70.0 * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect::<Vec<f64>>()];
+        let spec = WindowSpec { window: 24, horizon: 1 };
+        let mut e = Ensemble::new(quick_rnn());
+        e.fit(&series, spec).unwrap();
+        let mse_e = crate::evaluate_mse_log(&e, &series, spec, 190);
+        let (lr, rnn) = e.members();
+        let mse_lr = crate::evaluate_mse_log(lr, &series, spec, 190);
+        let mse_rnn = crate::evaluate_mse_log(rnn, &series, spec, 190);
+        let worst = mse_lr.max(mse_rnn);
+        assert!(
+            mse_e <= worst + 0.05,
+            "ensemble {mse_e} worse than worst member {worst}"
+        );
+    }
+
+    #[test]
+    fn fit_error_propagates() {
+        let mut e = Ensemble::new(quick_rnn());
+        assert!(e.fit(&[vec![1.0; 3]], WindowSpec { window: 10, horizon: 1 }).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Automatic prediction-interval selection.
+//!
+//! §7.4 measures the accuracy/cost trade-off of the prediction interval and
+//! concludes: "One must consider these trade-offs when setting the
+//! interval ... Automatically determining the interval is beyond the scope
+//! of this paper and we leave it as future work." This module implements
+//! that future work: given the per-minute history, it evaluates candidate
+//! intervals with a held-out validation split and picks the finest interval
+//! whose training cost fits a caller-supplied budget — the same rule a
+//! planning module would apply (§7.4: finer is more accurate but more
+//! expensive).
+
+use std::time::{Duration, Instant};
+
+use crate::dataset::{ForecastError, WindowSpec};
+use crate::lr::LinearRegression;
+use crate::Forecaster;
+
+/// One evaluated candidate interval.
+#[derive(Debug, Clone)]
+pub struct IntervalReport {
+    /// Interval width in minutes.
+    pub minutes: i64,
+    /// Validation MSE in log space (per-hour totals, the §7.4 protocol).
+    pub validation_mse: f64,
+    /// Wall-clock cost of fitting the probe model at this interval.
+    pub train_time: Duration,
+    /// Whether the candidate fit inside the training budget.
+    pub within_budget: bool,
+}
+
+/// The outcome of a selection run.
+#[derive(Debug, Clone)]
+pub struct IntervalSelection {
+    /// The chosen interval, in minutes.
+    pub chosen_minutes: i64,
+    /// Every candidate's report, finest first.
+    pub reports: Vec<IntervalReport>,
+}
+
+/// Aggregates per-minute series into `k`-minute buckets (summing counts).
+/// A partial trailing chunk is dropped: it would undercount the final
+/// bucket and bias the validation window.
+fn aggregate(series: &[f64], k: usize) -> Vec<f64> {
+    series.chunks_exact(k).map(|c| c.iter().sum()).collect()
+}
+
+/// Selects a prediction interval for the given per-minute cluster series.
+///
+/// * `minute_series` — cluster-major per-minute history;
+/// * `horizon_minutes` — the horizon the final model will serve;
+/// * `candidates` — interval widths to consider, in minutes;
+/// * `budget` — maximum acceptable probe-training time. The probe is the
+///   closed-form LR model: its cost scales with the same example count and
+///   input width that dominate every other model's cost, so it ranks
+///   intervals correctly at a fraction of the price.
+///
+/// Returns the candidate with the lowest validation MSE among those within
+/// budget; if none fit, the cheapest candidate.
+pub fn select_interval(
+    minute_series: &[Vec<f64>],
+    horizon_minutes: usize,
+    candidates: &[i64],
+    budget: Duration,
+) -> Result<IntervalSelection, ForecastError> {
+    if minute_series.is_empty() {
+        return Err(ForecastError::MalformedSeries("no cluster series".into()));
+    }
+    assert!(!candidates.is_empty(), "select_interval: no candidate intervals");
+    let mut reports = Vec::with_capacity(candidates.len());
+
+    for &k in candidates {
+        assert!(k > 0, "interval must be positive");
+        let k_us = k as usize;
+        // An interval coarser than the horizon cannot express the requested
+        // prediction; mark it unusable rather than silently evaluating a
+        // longer effective horizon.
+        if k_us > horizon_minutes.max(1) {
+            reports.push(IntervalReport {
+                minutes: k,
+                validation_mse: f64::INFINITY,
+                train_time: Duration::ZERO,
+                within_budget: false,
+            });
+            continue;
+        }
+        let series: Vec<Vec<f64>> =
+            minute_series.iter().map(|s| aggregate(s, k_us)).collect();
+        let len = series[0].len();
+        // Window = one day; horizon converted to steps (≥ 1).
+        let window = (24 * 60 / k_us).max(2);
+        let horizon = (horizon_minutes / k_us).max(1);
+        let spec = WindowSpec { window, horizon };
+        let min_len = spec.min_len() + 8;
+        if len < min_len {
+            reports.push(IntervalReport {
+                minutes: k,
+                validation_mse: f64::INFINITY,
+                train_time: Duration::ZERO,
+                within_budget: false,
+            });
+            continue;
+        }
+        let test_start = (len - len / 5).max(spec.min_len() + 1);
+
+        let t0 = Instant::now();
+        let mut probe = LinearRegression::default();
+        let train: Vec<Vec<f64>> = series.iter().map(|s| s[..test_start].to_vec()).collect();
+        probe.fit(&train, spec)?;
+        let train_time = t0.elapsed();
+
+        let (actual, predicted) = crate::rolling_forecast(&probe, &series, spec, test_start);
+        // Normalize to per-hour totals before scoring (§7.4's protocol:
+        // "we compute the total prediction for each hour ... by summing
+        // the predictions across the intervals within that hour"), so MSEs
+        // at different bucket widths are comparable.
+        let buckets_per_hour = (60 / k_us).max(1);
+        let to_hourly = |xs: &[f64]| -> Vec<f64> {
+            if k_us >= 60 {
+                // Coarser than an hour: split the bucket evenly (§7.4:
+                // "dividing the interval that contains that hour into two").
+                let parts = k_us / 60;
+                xs.iter().flat_map(|&v| std::iter::repeat(v / parts as f64).take(parts)).collect()
+            } else {
+                xs.chunks_exact(buckets_per_hour).map(|c| c.iter().sum()).collect()
+            }
+        };
+        let per: Vec<f64> = actual
+            .iter()
+            .zip(&predicted)
+            .filter(|(a, _)| !a.is_empty())
+            .map(|(a, p)| {
+                let (ah, ph) = (to_hourly(a), to_hourly(p));
+                if ah.is_empty() {
+                    f64::NAN
+                } else {
+                    qb_timeseries::mse_log_space(&ah, &ph)
+                }
+            })
+            .filter(|m| m.is_finite())
+            .collect();
+        let validation_mse = if per.is_empty() {
+            f64::INFINITY
+        } else {
+            per.iter().sum::<f64>() / per.len() as f64
+        };
+
+        reports.push(IntervalReport {
+            minutes: k,
+            validation_mse,
+            train_time,
+            within_budget: train_time <= budget,
+        });
+    }
+
+    let usable = |r: &&IntervalReport| r.validation_mse.is_finite();
+    let chosen = reports
+        .iter()
+        .filter(|r| r.within_budget)
+        .filter(usable)
+        .min_by(|a, b| a.validation_mse.total_cmp(&b.validation_mse))
+        // Over budget everywhere: fall back to the cheapest interval that
+        // was actually evaluable (never a skipped/unusable candidate).
+        .or_else(|| reports.iter().filter(usable).min_by_key(|r| r.train_time));
+    let Some(chosen) = chosen else {
+        return Err(ForecastError::NotEnoughData {
+            needed: 24 * 60,
+            got: minute_series[0].len(),
+        });
+    };
+    Ok(IntervalSelection { chosen_minutes: chosen.minutes, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 10 days of per-minute data with a strong daily cycle.
+    fn cyclic_minutes() -> Vec<Vec<f64>> {
+        vec![(0..10 * 1440)
+            .map(|t| {
+                let h = (t / 60) % 24;
+                if (7..22).contains(&h) {
+                    8.0
+                } else {
+                    1.0
+                }
+            })
+            .collect()]
+    }
+
+    #[test]
+    fn picks_a_candidate_and_reports_all() {
+        let sel = select_interval(
+            &cyclic_minutes(),
+            60,
+            &[10, 30, 60, 120],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(sel.reports.len(), 4);
+        // 120-minute buckets cannot express a 60-minute horizon: excluded.
+        assert!([10, 30, 60].contains(&sel.chosen_minutes));
+        for r in &sel.reports {
+            if r.minutes <= 60 {
+                assert!(r.validation_mse.is_finite(), "{r:?}");
+            } else {
+                assert!(!r.within_budget, "coarser-than-horizon must be unusable: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_forces_coarser_interval() {
+        let series = cyclic_minutes();
+        // Horizon of 2h so both candidates can express it.
+        let generous =
+            select_interval(&series, 120, &[10, 120], Duration::from_secs(60)).unwrap();
+        // A budget of zero excludes everything; the fallback is the
+        // cheapest usable probe, which is the coarsest interval.
+        let strict = select_interval(&series, 120, &[10, 120], Duration::ZERO).unwrap();
+        assert_eq!(strict.chosen_minutes, 120);
+        // With time to spare, the finer (more accurate) interval can win.
+        let fine = generous.reports.iter().find(|r| r.minutes == 10).unwrap();
+        let coarse = generous.reports.iter().find(|r| r.minutes == 120).unwrap();
+        assert!(fine.train_time >= coarse.train_time);
+    }
+
+    #[test]
+    fn coarser_than_horizon_never_chosen_via_fallback() {
+        // Even with zero budget, the fallback must not pick the unusable
+        // 120-minute candidate for a 60-minute horizon.
+        let strict =
+            select_interval(&cyclic_minutes(), 60, &[10, 120], Duration::ZERO).unwrap();
+        assert_eq!(strict.chosen_minutes, 10);
+    }
+
+    #[test]
+    fn short_history_marks_candidate_unusable() {
+        // Two days of data cannot support a 120-minute interval with a
+        // one-day window plus slack.
+        let series = vec![vec![5.0; 2 * 1440]];
+        let sel =
+            select_interval(&series, 60, &[60, 2880], Duration::from_secs(30)).unwrap();
+        let too_coarse = sel.reports.iter().find(|r| r.minutes == 2880).unwrap();
+        assert!(!too_coarse.within_budget);
+        assert_eq!(sel.chosen_minutes, 60);
+    }
+
+    #[test]
+    fn empty_series_errors() {
+        assert!(matches!(
+            select_interval(&[], 60, &[60], Duration::from_secs(1)),
+            Err(ForecastError::MalformedSeries(_))
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Kernel regression (KR, §6.1): the Nadaraya–Watson estimator.
+//!
+//! "The prediction for a given input is a weighted average of training
+//! outputs where the weights decrease with distance between the given input
+//! and corresponding training inputs." We use a Gaussian (RBF) kernel whose
+//! bandwidth defaults to the median pairwise distance heuristic.
+//!
+//! KR needs no iterative training — fitting just stores the design matrix —
+//! which matches Table 4's "KR requires no training time". It is the only
+//! model that predicts the annual Admissions spikes (§7.3, Appendix B):
+//! when this year's pre-deadline window lands near last year's in input
+//! space, the estimator re-emits last year's spike.
+//!
+//! Implementation note: the estimate is truncated to the `k` nearest
+//! training inputs and, unless a fixed bandwidth is supplied, the RBF
+//! bandwidth adapts locally (a fraction of the median distance among those
+//! neighbors). A single global bandwidth drowns a rare pre-spike ramp under
+//! thousands of near-duplicate baseline windows; local truncation preserves
+//! the spike-separation property of Appendix B on heavily repetitive
+//! workloads.
+
+use qb_linalg::Matrix;
+
+use crate::dataset::{encode_recent, sliding_windows, ForecastError, WindowSpec};
+use crate::Forecaster;
+
+/// Nadaraya–Watson kernel regression with an RBF kernel, truncated to the
+/// `k` nearest training inputs with a locally adaptive bandwidth.
+#[derive(Debug, Clone)]
+pub struct KernelRegression {
+    /// Fixed RBF bandwidth σ; `None` (default) adapts per query to a
+    /// fraction of the median neighbor distance.
+    pub bandwidth: Option<f64>,
+    /// Neighborhood size for the truncated estimate.
+    pub k_neighbors: usize,
+    spec: Option<WindowSpec>,
+    x: Option<Matrix>,
+    y: Option<Matrix>,
+    clusters: usize,
+}
+
+impl Default for KernelRegression {
+    fn default() -> Self {
+        Self { bandwidth: None, k_neighbors: 32, spec: None, x: None, y: None, clusters: 0 }
+    }
+}
+
+impl KernelRegression {
+    pub fn with_bandwidth(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "bandwidth must be positive");
+        Self { bandwidth: Some(sigma), ..Self::default() }
+    }
+
+    /// Number of stored training rows (KR's storage grows with history —
+    /// Table 4's "training-data size increases linearly").
+    pub fn num_stored(&self) -> usize {
+        self.x.as_ref().map_or(0, Matrix::rows)
+    }
+
+    /// The fitted bandwidth² for a given neighbor-distance profile.
+    fn sigma2_for(&self, neighbor_dists: &[f64]) -> f64 {
+        if let Some(s) = self.bandwidth {
+            return s * s;
+        }
+        // Locally adaptive: a third of the median neighbor distance. The
+        // softmax max-subtraction keeps a near-zero σ numerically safe
+        // (only exact matches retain weight — the right limit for heavily
+        // duplicated windows).
+        let mut d = neighbor_dists.to_vec();
+        d.sort_by(f64::total_cmp);
+        let med = d[d.len() / 2];
+        let sigma = (med / 3.0).max(1e-9);
+        sigma * sigma
+    }
+}
+
+impl Forecaster for KernelRegression {
+    fn name(&self) -> &'static str {
+        "KR"
+    }
+
+    fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
+        let (x, y) = sliding_windows(series, spec)?;
+        self.spec = Some(spec);
+        self.clusters = series.len();
+        self.x = Some(x);
+        self.y = Some(y);
+        Ok(())
+    }
+
+    fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+        let spec = self.spec.expect("KR::predict before fit");
+        let x = self.x.as_ref().expect("KR::predict before fit");
+        let y = self.y.as_ref().expect("KR::predict before fit");
+        assert_eq!(recent.len(), self.clusters, "KR::predict: cluster count changed");
+        let q = encode_recent(recent, spec.window);
+
+        // Distances to all training inputs, truncated to the k nearest.
+        let mut dists: Vec<(f64, usize)> = (0..x.rows())
+            .map(|r| (qb_linalg::l2_distance(x.row(r), &q), r))
+            .collect();
+        let k = self.k_neighbors.clamp(1, dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbors = &dists[..k];
+        let ndists: Vec<f64> = neighbors.iter().map(|(d, _)| *d).collect();
+        let sigma2 = self.sigma2_for(&ndists);
+
+        // Subtract the max exponent for numerical stability (softmax trick):
+        // weights are invariant to a common factor.
+        let neg_d2: Vec<f64> =
+            neighbors.iter().map(|(d, _)| -(d * d) / (2.0 * sigma2)).collect();
+        let m = neg_d2.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = neg_d2.iter().map(|&e| (e - m).exp()).collect();
+        let wsum: f64 = weights.iter().sum();
+
+        (0..self.clusters)
+            .map(|c| {
+                let num: f64 = weights
+                    .iter()
+                    .zip(neighbors)
+                    .map(|(&w, &(_, r))| w * y[(r, c)])
+                    .sum();
+                (num / wsum).exp_m1().max(0.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A series with a rare spike: near-zero baseline, a burst every 100
+    /// steps. KR must reproduce the burst when shown the pre-burst ramp.
+    fn spiky_series(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|t| {
+                let phase = t % 100;
+                match phase {
+                    95..=97 => 50.0,          // ramp before the spike
+                    98..=99 => 5_000.0,       // the spike
+                    _ => 10.0,                // baseline
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predicts_recurring_spike_from_few_occurrences() {
+        let series = spiky_series(500); // five spike occurrences
+        let spec = WindowSpec { window: 10, horizon: 1 };
+        let mut kr = KernelRegression::default();
+        kr.fit(&[series.clone()], spec).unwrap();
+        // The window ending at phase 97 (ramp visible) precedes a spike.
+        let recent: Vec<f64> = series[488..498].to_vec();
+        assert_eq!(498 % 100, 98, "sanity: next step is a spike");
+        let pred = kr.predict(&[recent]);
+        assert!(pred[0] > 1_000.0, "KR should predict the spike, got {}", pred[0]);
+        // And a mid-baseline window must NOT predict a spike.
+        let calm: Vec<f64> = series[430..440].to_vec();
+        let pred = kr.predict(&[calm]);
+        assert!(pred[0] < 100.0, "no spike expected, got {}", pred[0]);
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let series: Vec<f64> =
+            (0..300).map(|t| 100.0 + 50.0 * ((t % 20) as f64 / 20.0 * 6.28).sin()).collect();
+        let spec = WindowSpec { window: 20, horizon: 1 };
+        let mut kr = KernelRegression::default();
+        kr.fit(&[series.clone()], spec).unwrap();
+        let mse = crate::evaluate_mse_log(&kr, &[series], spec, 280);
+        assert!(mse < 0.05, "{mse}");
+    }
+
+    #[test]
+    fn extrapolation_falls_back_to_average() {
+        // KR "does not extrapolate well": an unseen input far from all
+        // training points yields ~the mean of training outputs, not the
+        // continuation of a trend.
+        let series: Vec<f64> = (0..100).map(|t| t as f64).collect(); // linear growth
+        let spec = WindowSpec { window: 5, horizon: 1 };
+        let mut kr = KernelRegression::default();
+        kr.fit(&[series], spec).unwrap();
+        let pred = kr.predict(&[vec![1e6; 5]]);
+        assert!(pred[0] < 200.0, "KR must not extrapolate the trend: {}", pred[0]);
+    }
+
+    #[test]
+    fn no_training_iteration_needed() {
+        // Fit is just storage: stored rows == number of windows.
+        let series = vec![vec![1.0; 50]];
+        let spec = WindowSpec { window: 10, horizon: 1 };
+        let mut kr = KernelRegression::default();
+        kr.fit(&series, spec).unwrap();
+        assert_eq!(kr.num_stored(), 40);
+    }
+
+    #[test]
+    fn fixed_bandwidth_respected() {
+        let kr = KernelRegression::with_bandwidth(2.0);
+        // A fixed bandwidth ignores the neighbor-distance profile.
+        assert!((kr.sigma2_for(&[100.0, 200.0]) - 4.0).abs() < 1e-12);
+        let adaptive = KernelRegression::default();
+        assert!(adaptive.sigma2_for(&[3.0, 3.0, 3.0]) < 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn invalid_bandwidth_panics() {
+        KernelRegression::with_bandwidth(0.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Shared neural-network building blocks: parameter tensors with Adam
+//! state, dense layers, activations, and an LSTM cell with full
+//! backpropagation-through-time. Everything is plain `f64` on CPU — the
+//! paper's models are small (embedding 25, two LSTM layers of 20 cells) so
+//! a GPU substrate is unnecessary for the reproduction (see DESIGN.md).
+
+use qb_linalg::Matrix;
+use rand::Rng;
+
+/// A parameter matrix with its gradient accumulator and Adam moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub value: Matrix,
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (rows + cols) as f64).sqrt();
+        Self::new(Matrix::random_uniform(rows, cols, scale, rng))
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(Matrix::zeros(rows, cols))
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// One Adam update; `t` is the 1-based global step for bias correction.
+    pub fn adam_step(&mut self, lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        let g = self.grad.as_slice();
+        let m = self.m.as_mut_slice();
+        let v = self.v.as_mut_slice();
+        let p = self.value.as_mut_slice();
+        for i in 0..p.len() {
+            m[i] = B1 * m[i] + (1.0 - B1) * g[i];
+            v[i] = B2 * v[i] + (1.0 - B2) * g[i] * g[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            p[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+
+    /// Global-norm gradient clipping across a set of parameters.
+    pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f64) {
+        let total: f64 = params
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let scale = max_norm / total;
+            for p in params.iter_mut() {
+                p.grad.scale_mut(scale);
+            }
+        }
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A fully-connected layer `y = W x + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    pub w: Param,
+    pub b: Param,
+}
+
+impl Dense {
+    pub fn new<R: Rng>(input: usize, output: usize, rng: &mut R) -> Self {
+        Self { w: Param::xavier(output, input, rng), b: Param::zeros(output, 1) }
+    }
+
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.w.value.matvec(x);
+        for (yi, bi) in y.iter_mut().zip(self.b.value.as_slice()) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db`, returns `dx`.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        let (out, inp) = self.w.value.shape();
+        debug_assert_eq!(x.len(), inp);
+        debug_assert_eq!(dy.len(), out);
+        for o in 0..out {
+            let g = dy[o];
+            if g == 0.0 {
+                continue;
+            }
+            let grow = self.w.grad.row_mut(o);
+            for (gi, &xi) in grow.iter_mut().zip(x) {
+                *gi += g * xi;
+            }
+            self.b.grad.as_mut_slice()[o] += g;
+        }
+        self.w.value.tr_matvec(dy)
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    pub fn adam_step(&mut self, lr: f64, t: usize) {
+        self.w.adam_step(lr, t);
+        self.b.adam_step(lr, t);
+    }
+
+    pub fn num_parameters(&self) -> usize {
+        let (r, c) = self.w.value.shape();
+        r * c + r
+    }
+}
+
+/// One LSTM layer (Hochreiter & Schmidhuber \[27\]); gate order `i, f, g, o`.
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    pub wx: Param,
+    pub wh: Param,
+    pub b: Param,
+    pub hidden: usize,
+    pub input: usize,
+}
+
+/// Cached activations for one time step (needed by BPTT).
+#[derive(Debug, Clone)]
+pub struct LstmStep {
+    pub x: Vec<f64>,
+    pub i: Vec<f64>,
+    pub f: Vec<f64>,
+    pub g: Vec<f64>,
+    pub o: Vec<f64>,
+    pub c: Vec<f64>,
+    pub h: Vec<f64>,
+    pub c_prev: Vec<f64>,
+    pub h_prev: Vec<f64>,
+}
+
+impl LstmLayer {
+    pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        let mut b = Param::zeros(4 * hidden, 1);
+        // Forget-gate bias starts at 1.0: the standard trick that lets
+        // memory persist early in training.
+        for j in hidden..2 * hidden {
+            b.value.as_mut_slice()[j] = 1.0;
+        }
+        Self {
+            wx: Param::xavier(4 * hidden, input, rng),
+            wh: Param::xavier(4 * hidden, hidden, rng),
+            b,
+            hidden,
+            input,
+        }
+    }
+
+    /// One forward step; returns the cached activations.
+    pub fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> LstmStep {
+        let hidden = self.hidden;
+        let mut z = self.wx.value.matvec(x);
+        let zh = self.wh.value.matvec(h_prev);
+        for ((zi, &zhi), &bi) in z.iter_mut().zip(&zh).zip(self.b.value.as_slice()) {
+            *zi += zhi + bi;
+        }
+        let mut i = vec![0.0; hidden];
+        let mut f = vec![0.0; hidden];
+        let mut g = vec![0.0; hidden];
+        let mut o = vec![0.0; hidden];
+        for j in 0..hidden {
+            i[j] = sigmoid(z[j]);
+            f[j] = sigmoid(z[hidden + j]);
+            g[j] = z[2 * hidden + j].tanh();
+            o[j] = sigmoid(z[3 * hidden + j]);
+        }
+        let mut c = vec![0.0; hidden];
+        let mut h = vec![0.0; hidden];
+        for j in 0..hidden {
+            c[j] = f[j] * c_prev[j] + i[j] * g[j];
+            h[j] = o[j] * c[j].tanh();
+        }
+        LstmStep {
+            x: x.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            h,
+            c_prev: c_prev.to_vec(),
+            h_prev: h_prev.to_vec(),
+        }
+    }
+
+    /// Backward through one step. `dh`/`dc` are the gradients flowing into
+    /// this step's outputs; returns `(dx, dh_prev, dc_prev)` and
+    /// accumulates weight gradients.
+    pub fn backward_step(
+        &mut self,
+        s: &LstmStep,
+        dh: &[f64],
+        dc_in: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let hidden = self.hidden;
+        let mut dz = vec![0.0; 4 * hidden];
+        let mut dc_prev = vec![0.0; hidden];
+        for j in 0..hidden {
+            let tanh_c = s.c[j].tanh();
+            let dc = dc_in[j] + dh[j] * s.o[j] * (1.0 - tanh_c * tanh_c);
+            let do_ = dh[j] * tanh_c;
+            // Gate pre-activation gradients.
+            dz[3 * hidden + j] = do_ * s.o[j] * (1.0 - s.o[j]);
+            dz[j] = dc * s.g[j] * s.i[j] * (1.0 - s.i[j]);
+            dz[hidden + j] = dc * s.c_prev[j] * s.f[j] * (1.0 - s.f[j]);
+            dz[2 * hidden + j] = dc * s.i[j] * (1.0 - s.g[j] * s.g[j]);
+            dc_prev[j] = dc * s.f[j];
+        }
+        // Accumulate weight gradients: dWx += dz xᵀ, dWh += dz h_prevᵀ.
+        for r in 0..4 * hidden {
+            let gz = dz[r];
+            if gz == 0.0 {
+                continue;
+            }
+            for (gw, &xv) in self.wx.grad.row_mut(r).iter_mut().zip(&s.x) {
+                *gw += gz * xv;
+            }
+            for (gw, &hv) in self.wh.grad.row_mut(r).iter_mut().zip(&s.h_prev) {
+                *gw += gz * hv;
+            }
+            self.b.grad.as_mut_slice()[r] += gz;
+        }
+        let dx = self.wx.value.tr_matvec(&dz);
+        let dh_prev = self.wh.value.tr_matvec(&dz);
+        (dx, dh_prev, dc_prev)
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.wx.zero_grad();
+        self.wh.zero_grad();
+        self.b.zero_grad();
+    }
+
+    pub fn adam_step(&mut self, lr: f64, t: usize) {
+        self.wx.adam_step(lr, t);
+        self.wh.adam_step(lr, t);
+        self.b.adam_step(lr, t);
+    }
+
+    pub fn num_parameters(&self) -> usize {
+        4 * self.hidden * (self.input + self.hidden + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.w.value = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        d.b.value = Matrix::from_rows(&[vec![0.5], vec![-0.5]]);
+        assert_eq!(d.forward(&[1.0, 1.0]), vec![3.5, 6.5]);
+    }
+
+    /// Finite-difference check of the dense layer's gradients.
+    #[test]
+    fn dense_gradients_match_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = vec![0.5, -1.0, 2.0];
+        let target = vec![1.0, -1.0];
+        let loss = |d: &Dense, x: &[f64]| {
+            let y = d.forward(x);
+            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b) * (a - b)).sum::<f64>()
+        };
+        // Analytic gradient.
+        let y = d.forward(&x);
+        let dy: Vec<f64> = y.iter().zip(&target).map(|(a, b)| a - b).collect();
+        d.zero_grad();
+        let dx = d.backward(&x, &dy);
+        // Finite difference on one weight and one input.
+        let eps = 1e-6;
+        let mut d2 = d.clone();
+        d2.w.value[(1, 2)] += eps;
+        let fd_w = (loss(&d2, &x) - loss(&d, &x)) / eps;
+        assert!((fd_w - d.w.grad[(1, 2)]).abs() < 1e-4, "{fd_w} vs {}", d.w.grad[(1, 2)]);
+        let mut x2 = x.clone();
+        x2[0] += eps;
+        let fd_x = (loss(&d, &x2) - loss(&d, &x)) / eps;
+        assert!((fd_x - dx[0]).abs() < 1e-4);
+    }
+
+    /// Full BPTT finite-difference check over a 3-step sequence.
+    #[test]
+    fn lstm_gradients_match_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut layer = LstmLayer::new(2, 3, &mut rng);
+        let xs = [vec![0.3, -0.7], vec![1.1, 0.2], vec![-0.5, 0.9]];
+        let target = vec![0.5, -0.2, 0.8];
+
+        // Loss: 0.5‖h_T − target‖² after running the sequence.
+        let run = |layer: &LstmLayer| {
+            let mut h = vec![0.0; 3];
+            let mut c = vec![0.0; 3];
+            let mut steps = Vec::new();
+            for x in &xs {
+                let s = layer.step(x, &h, &c);
+                h = s.h.clone();
+                c = s.c.clone();
+                steps.push(s);
+            }
+            let loss: f64 =
+                h.iter().zip(&target).map(|(a, b)| 0.5 * (a - b) * (a - b)).sum();
+            (loss, steps, h)
+        };
+
+        let (_, steps, h_t) = run(&layer);
+        layer.zero_grad();
+        let mut dh: Vec<f64> = h_t.iter().zip(&target).map(|(a, b)| a - b).collect();
+        let mut dc = vec![0.0; 3];
+        for s in steps.iter().rev() {
+            let (_dx, dh_prev, dc_prev) = layer.backward_step(s, &dh, &dc);
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+
+        // Check several weights across all three parameter tensors.
+        let eps = 1e-6;
+        let checks: Vec<(&str, usize, usize)> =
+            vec![("wx", 0, 1), ("wx", 7, 0), ("wh", 3, 2), ("wh", 11, 0)];
+        for (which, r, c) in checks {
+            let mut pert = layer.clone();
+            let (base, _, _) = run(&layer);
+            let (grad, val) = match which {
+                "wx" => {
+                    pert.wx.value[(r, c)] += eps;
+                    (layer.wx.grad[(r, c)], {
+                        let (l, _, _) = run(&pert);
+                        (l - base) / eps
+                    })
+                }
+                _ => {
+                    pert.wh.value[(r, c)] += eps;
+                    (layer.wh.grad[(r, c)], {
+                        let (l, _, _) = run(&pert);
+                        (l - base) / eps
+                    })
+                }
+            };
+            assert!(
+                (grad - val).abs() < 1e-4,
+                "{which}[{r},{c}]: analytic {grad} vs fd {val}"
+            );
+        }
+    }
+
+    #[test]
+    fn adam_reduces_simple_quadratic() {
+        // Minimize (w − 3)² with Adam: w must approach 3.
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        for t in 1..=2000 {
+            let w = p.value[(0, 0)];
+            p.grad[(0, 0)] = 2.0 * (w - 3.0);
+            p.adam_step(0.05, t);
+        }
+        assert!((p.value[(0, 0)] - 3.0).abs() < 0.05, "{}", p.value[(0, 0)]);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_norm() {
+        let mut a = Param::new(Matrix::zeros(2, 2));
+        a.grad = Matrix::from_rows(&[vec![30.0, 0.0], vec![0.0, 40.0]]);
+        Param::clip_global_norm(&mut [&mut a], 5.0);
+        let norm: f64 =
+            a.grad.as_slice().iter().map(|g| g * g).sum::<f64>().sqrt();
+        assert!((norm - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let layer = LstmLayer::new(3, 4, &mut rng);
+        for j in 4..8 {
+            assert_eq!(layer.b.value.as_slice()[j], 1.0);
+        }
+        assert_eq!(layer.b.value.as_slice()[0], 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Model serialization.
+//!
+//! Table 4 accounts for each model's storage footprint: "LR Model: ... the
+//! size of the learned weights. RNN Model: ... the size of the serialized
+//! model object ..., which contains both the model parameters and network
+//! structure." This module provides that serialization as a small
+//! self-describing binary format (magic, version, shape header, little-
+//! endian `f64` payload) — no external serialization crates needed.
+
+use crate::dataset::WindowSpec;
+
+/// Serialization format errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Magic or version mismatch, or truncated input.
+    Malformed(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Malformed(m) => write!(f, "malformed model bytes: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Little-endian byte sink.
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new(magic: &[u8; 4], version: u16) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(magic);
+        buf.extend_from_slice(&version.to_le_bytes());
+        Self { buf }
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    pub fn spec(&mut self, s: WindowSpec) {
+        self.u64(s.window as u64);
+        self.u64(s.horizon as u64);
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian byte source with bounds checking.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8], magic: &[u8; 4], version: u16) -> Result<Self, PersistError> {
+        let mut r = Self { buf, pos: 0 };
+        let got = r.take(4)?;
+        if got != magic {
+            return Err(PersistError::Malformed(format!(
+                "bad magic {:?} (expected {:?})",
+                got, magic
+            )));
+        }
+        let v = u16::from_le_bytes(
+            r.take(2)?.try_into().expect("take(2) returns 2 bytes"),
+        );
+        if v != version {
+            return Err(PersistError::Malformed(format!(
+                "version {v} unsupported (expected {version})"
+            )));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.pos + n > self.buf.len() {
+            return Err(PersistError::Malformed(format!(
+                "truncated: need {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, PersistError> {
+        Ok(self.u64()? as usize)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.usize()?;
+        // Guard against absurd lengths from corrupt headers.
+        if n > self.buf.len() / 8 + 1 {
+            return Err(PersistError::Malformed(format!("implausible vector length {n}")));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    pub fn spec(&mut self) -> Result<WindowSpec, PersistError> {
+        Ok(WindowSpec { window: self.usize()?, horizon: self.usize()? })
+    }
+
+    pub fn expect_end(&self) -> Result<(), PersistError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(PersistError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new(b"TEST", 3);
+        w.u64(42);
+        w.f64(1.5);
+        w.f64s(&[1.0, 2.0, 3.0]);
+        w.spec(WindowSpec { window: 24, horizon: 7 });
+        let bytes = w.finish();
+
+        let mut r = Reader::new(&bytes, b"TEST", 3).unwrap();
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.f64s().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.spec().unwrap(), WindowSpec { window: 24, horizon: 7 });
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let w = Writer::new(b"AAAA", 1);
+        let bytes = w.finish();
+        assert!(Reader::new(&bytes, b"BBBB", 1).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let w = Writer::new(b"TEST", 1);
+        let bytes = w.finish();
+        assert!(Reader::new(&bytes, b"TEST", 2).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new(b"TEST", 1);
+        w.f64s(&[1.0, 2.0]);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 4);
+        let mut r = Reader::new(&bytes, b"TEST", 1).unwrap();
+        assert!(r.f64s().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new(b"TEST", 1);
+        w.u64(1);
+        let mut bytes = w.finish();
+        bytes.push(0);
+        let mut r = Reader::new(&bytes, b"TEST", 1).unwrap();
+        let _ = r.u64().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! The model-property matrix of Table 3.
+
+/// The three properties the paper classifies forecasting models by (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelProperties {
+    pub name: &'static str,
+    /// Assumes a linear input–output relationship.
+    pub linear: bool,
+    /// Retains memory of past observations beyond the input window.
+    pub memory: bool,
+    /// Achieves non-linearity through kernel feature maps.
+    pub kernel: bool,
+}
+
+/// Table 3 verbatim: LR, ARMA, KR, RNN, FNN, PSRNN.
+pub fn model_properties() -> [ModelProperties; 6] {
+    [
+        ModelProperties { name: "LR", linear: true, memory: false, kernel: false },
+        ModelProperties { name: "ARMA", linear: true, memory: true, kernel: false },
+        ModelProperties { name: "KR", linear: false, memory: false, kernel: true },
+        ModelProperties { name: "RNN", linear: false, memory: true, kernel: false },
+        ModelProperties { name: "FNN", linear: false, memory: false, kernel: false },
+        ModelProperties { name: "PSRNN", linear: false, memory: true, kernel: true },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table_3() {
+        let props = model_properties();
+        let by_name = |n: &str| *props.iter().find(|p| p.name == n).unwrap();
+        // Linear row: LR ✓, ARMA ✓, rest ✗.
+        assert!(by_name("LR").linear && by_name("ARMA").linear);
+        assert!(!by_name("KR").linear && !by_name("RNN").linear);
+        assert!(!by_name("FNN").linear && !by_name("PSRNN").linear);
+        // Memory row: ARMA, RNN, PSRNN.
+        assert!(by_name("ARMA").memory && by_name("RNN").memory && by_name("PSRNN").memory);
+        assert!(!by_name("LR").memory && !by_name("KR").memory && !by_name("FNN").memory);
+        // Kernel row: KR, PSRNN.
+        assert!(by_name("KR").kernel && by_name("PSRNN").kernel);
+        assert!(!by_name("LR").kernel && !by_name("ARMA").kernel);
+        assert!(!by_name("RNN").kernel && !by_name("FNN").kernel);
+    }
+
+    #[test]
+    fn six_models_listed() {
+        assert_eq!(model_properties().len(), 6);
+    }
+}

@@ -1,0 +1,411 @@
+//! # qb-preprocessor
+//!
+//! The QB5000 **Pre-Processor** (§4). For every query the DBMS forwards it:
+//!
+//! 1. extracts the constants (WHERE-predicate values, UPDATE `SET` values,
+//!    INSERT `VALUES`, batched-INSERT row counts) and replaces them with
+//!    placeholders, yielding a *template*;
+//! 2. normalizes spacing / case / parenthesis placement via the canonical
+//!    formatter in `qb-sqlparse`;
+//! 3. folds templates with equivalent *semantic features* (same tables, same
+//!    predicate structure, same projections) into one tracked template;
+//! 4. records the arrival-rate history per template at one-minute
+//!    granularity, compacting stale records into coarser buckets;
+//! 5. keeps a reservoir sample of each template's original parameters for
+//!    the planning module (Vitter's Algorithm R).
+//!
+//! The entry point is [`PreProcessor::ingest`].
+
+pub mod fingerprint;
+pub mod logical;
+pub mod reservoir;
+pub mod template;
+
+use std::collections::HashMap;
+
+use qb_sqlparse::{parse_statement, Literal, ParseError, Statement};
+use qb_timeseries::{ArrivalHistory, CompactionPolicy, Interval, Minute};
+
+pub use fingerprint::{semantic_fingerprint, Fingerprint};
+pub use logical::LogicalFeatures;
+pub use reservoir::Reservoir;
+pub use template::{bind_params, templatize, TemplatizedQuery};
+
+/// Stable identifier of a tracked template. Indexes into the Pre-Processor's
+/// template table and is the unit the Clusterer groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u32);
+
+/// Everything QB5000 tracks about one template.
+#[derive(Debug)]
+pub struct TemplateEntry {
+    pub id: TemplateId,
+    /// The canonical templated SQL text (placeholders for constants).
+    pub text: String,
+    /// Statement verb (`SELECT` / `INSERT` / `UPDATE` / `DELETE`).
+    pub kind: &'static str,
+    /// Tables the template touches.
+    pub tables: Vec<String>,
+    /// Logical feature vector for the §7.7 ablation.
+    pub logical: LogicalFeatures,
+    /// Per-minute arrival counts.
+    pub history: ArrivalHistory,
+    /// Reservoir of original parameter vectors.
+    pub params: Reservoir<Vec<Literal>>,
+    /// The templated AST, kept for the dbsim executor and index advisor.
+    pub statement: Statement,
+}
+
+/// Errors surfaced while ingesting a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreProcessError {
+    /// The SQL string failed to parse; QB5000 skips such statements.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for PreProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreProcessError::Parse(e) => write!(f, "unparseable query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PreProcessError {}
+
+impl From<ParseError> for PreProcessError {
+    fn from(e: ParseError) -> Self {
+        PreProcessError::Parse(e)
+    }
+}
+
+/// Aggregate counters for Table 1 / Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    pub total_queries: u64,
+    pub selects: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+}
+
+/// Configuration knobs for the Pre-Processor.
+#[derive(Debug, Clone)]
+pub struct PreProcessorConfig {
+    /// How many parameter vectors to keep per template.
+    pub reservoir_capacity: usize,
+    /// Stale-record compaction policy for arrival histories.
+    pub compaction: CompactionPolicy,
+    /// Fold semantically equivalent templates together (§4's final step).
+    /// Disable only for the ablation that measures how much the heuristic
+    /// equivalence reduces template counts.
+    pub semantic_folding: bool,
+    /// Seed for the reservoir's RNG (deterministic sampling).
+    pub seed: u64,
+}
+
+impl Default for PreProcessorConfig {
+    fn default() -> Self {
+        Self {
+            reservoir_capacity: 100,
+            compaction: CompactionPolicy::default(),
+            semantic_folding: true,
+            seed: 0x5000,
+        }
+    }
+}
+
+/// The Pre-Processor: maps raw SQL to templates and records arrival rates.
+pub struct PreProcessor {
+    config: PreProcessorConfig,
+    /// Semantic fingerprint → template id (the §4 equivalence folding).
+    by_fingerprint: HashMap<Fingerprint, TemplateId>,
+    /// Distinct canonical template texts seen (pre-folding), for Table 2.
+    distinct_texts: HashMap<String, TemplateId>,
+    entries: Vec<TemplateEntry>,
+    stats: IngestStats,
+    /// Cache: raw SQL string → template id. Real applications repeat the
+    /// same literal strings constantly; this short-circuits the parser for
+    /// exact repeats without affecting correctness.
+    raw_cache: HashMap<String, TemplateId>,
+    raw_cache_limit: usize,
+    cache_hits: u64,
+    next_seed: u64,
+}
+
+impl PreProcessor {
+    pub fn new(config: PreProcessorConfig) -> Self {
+        let next_seed = config.seed;
+        Self {
+            config,
+            by_fingerprint: HashMap::new(),
+            distinct_texts: HashMap::new(),
+            entries: Vec::new(),
+            stats: IngestStats::default(),
+            raw_cache: HashMap::new(),
+            raw_cache_limit: 65_536,
+            cache_hits: 0,
+            next_seed,
+        }
+    }
+
+    /// Ingests one query arriving at minute `t`.
+    pub fn ingest(&mut self, t: Minute, sql: &str) -> Result<TemplateId, PreProcessError> {
+        self.ingest_weighted(t, sql, 1)
+    }
+
+    /// Ingests `count` identical arrivals of `sql` at minute `t`.
+    ///
+    /// The batched form is how the trace generators replay high-volume
+    /// workloads without materializing duplicate strings; the templating
+    /// path is identical to [`PreProcessor::ingest`].
+    pub fn ingest_weighted(
+        &mut self,
+        t: Minute,
+        sql: &str,
+        count: u64,
+    ) -> Result<TemplateId, PreProcessError> {
+        if let Some(&id) = self.raw_cache.get(sql) {
+            // Re-parse one in 64 cache hits so repeated identical strings
+            // still feed the parameter reservoir (a permanent bypass would
+            // starve it of exactly the hottest queries).
+            self.cache_hits = self.cache_hits.wrapping_add(1);
+            if self.cache_hits % 64 != 0 {
+                self.bump(id, t, count, None);
+                return Ok(id);
+            }
+        }
+
+        let stmt = parse_statement(sql)?;
+        let templatized = templatize(&stmt);
+        let id = self.intern(&templatized);
+        self.bump(id, t, count, Some(templatized.params));
+
+        if self.raw_cache.len() < self.raw_cache_limit {
+            self.raw_cache.insert(sql.to_string(), id);
+        }
+        Ok(id)
+    }
+
+    /// Ingests an already-parsed statement (used by dbsim replay, which
+    /// parses once and executes many times).
+    pub fn ingest_statement(&mut self, t: Minute, stmt: &Statement, count: u64) -> TemplateId {
+        let templatized = templatize(stmt);
+        let id = self.intern(&templatized);
+        self.bump(id, t, count, Some(templatized.params));
+        id
+    }
+
+    fn intern(&mut self, tq: &TemplatizedQuery) -> TemplateId {
+        if let Some(&id) = self.distinct_texts.get(&tq.text) {
+            return id;
+        }
+        let fp = semantic_fingerprint(&tq.template);
+        if self.config.semantic_folding {
+            if let Some(&id) = self.by_fingerprint.get(&fp) {
+                // A new spelling that is semantically equivalent to a known
+                // template: count the distinct text but reuse the entry.
+                self.distinct_texts.insert(tq.text.clone(), id);
+                return id;
+            }
+        }
+        let id = TemplateId(self.entries.len() as u32);
+        self.next_seed = self.next_seed.wrapping_mul(6364136223846793005).wrapping_add(id.0 as u64);
+        self.entries.push(TemplateEntry {
+            id,
+            text: tq.text.clone(),
+            kind: tq.template.kind_name(),
+            tables: tq.template.tables(),
+            logical: LogicalFeatures::extract(&tq.template),
+            history: ArrivalHistory::new(),
+            params: Reservoir::new(self.config.reservoir_capacity, self.next_seed),
+            statement: tq.template.clone(),
+        });
+        self.by_fingerprint.insert(fp, id);
+        self.distinct_texts.insert(tq.text.clone(), id);
+        id
+    }
+
+    fn bump(&mut self, id: TemplateId, t: Minute, count: u64, params: Option<Vec<Literal>>) {
+        let entry = &mut self.entries[id.0 as usize];
+        entry.history.record(t, count);
+        if let Some(p) = params {
+            entry.params.offer(p);
+        }
+        self.stats.total_queries += count;
+        match entry.kind {
+            "SELECT" => self.stats.selects += count,
+            "INSERT" => self.stats.inserts += count,
+            "UPDATE" => self.stats.updates += count,
+            "DELETE" => self.stats.deletes += count,
+            _ => unreachable!("kind is one of the four DML verbs"),
+        }
+    }
+
+    /// Compacts every template's stale history records.
+    pub fn compact_histories(&mut self) {
+        let policy = self.config.compaction;
+        for e in &mut self.entries {
+            e.history.compact(&policy);
+        }
+    }
+
+    /// All tracked templates.
+    pub fn templates(&self) -> &[TemplateEntry] {
+        &self.entries
+    }
+
+    /// Lookup by id.
+    pub fn template(&self, id: TemplateId) -> &TemplateEntry {
+        &self.entries[id.0 as usize]
+    }
+
+    /// Number of templates after semantic folding (Table 2 row 2).
+    pub fn num_templates(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of distinct canonical texts before semantic folding.
+    pub fn num_distinct_texts(&self) -> usize {
+        self.distinct_texts.len()
+    }
+
+    /// Ingest counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Dense per-interval series for one template over `[start, end)`.
+    pub fn template_series(
+        &self,
+        id: TemplateId,
+        start: Minute,
+        end: Minute,
+        interval: Interval,
+    ) -> Vec<f64> {
+        self.entries[id.0 as usize].history.dense_series(start, end, interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp() -> PreProcessor {
+        PreProcessor::new(PreProcessorConfig::default())
+    }
+
+    #[test]
+    fn same_template_different_constants_merge() {
+        let mut p = pp();
+        let a = p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        let b = p.ingest(1, "SELECT x FROM t WHERE id = 999").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p.num_templates(), 1);
+        assert_eq!(p.stats().total_queries, 2);
+    }
+
+    #[test]
+    fn case_and_spacing_normalized() {
+        let mut p = pp();
+        let a = p.ingest(0, "select X  from T where ID=1").unwrap();
+        let b = p.ingest(0, "SELECT x FROM t WHERE id = 2").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_tables_different_templates() {
+        let mut p = pp();
+        let a = p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        let b = p.ingest(0, "SELECT x FROM u WHERE id = 1").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.num_templates(), 2);
+    }
+
+    #[test]
+    fn arrival_history_recorded_per_minute() {
+        let mut p = pp();
+        let id = p.ingest(10, "SELECT x FROM t WHERE id = 1").unwrap();
+        p.ingest(10, "SELECT x FROM t WHERE id = 2").unwrap();
+        p.ingest(11, "SELECT x FROM t WHERE id = 3").unwrap();
+        let series = p.template_series(id, 10, 12, Interval::MINUTE);
+        assert_eq!(series, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_ingest_counts() {
+        let mut p = pp();
+        let id = p.ingest_weighted(0, "SELECT x FROM t WHERE id = 5", 1000).unwrap();
+        assert_eq!(p.template(id).history.total(), 1000);
+        assert_eq!(p.stats().selects, 1000);
+    }
+
+    #[test]
+    fn kind_counters() {
+        let mut p = pp();
+        p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        p.ingest(0, "INSERT INTO t (a) VALUES (1)").unwrap();
+        p.ingest(0, "UPDATE t SET a = 2 WHERE id = 1").unwrap();
+        p.ingest(0, "DELETE FROM t WHERE id = 1").unwrap();
+        let s = p.stats();
+        assert_eq!((s.selects, s.inserts, s.updates, s.deletes), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn unparseable_sql_is_error() {
+        let mut p = pp();
+        assert!(p.ingest(0, "CREATE TABLE nope (x int)").is_err());
+        assert_eq!(p.stats().total_queries, 0);
+    }
+
+    #[test]
+    fn params_sampled() {
+        let mut p = pp();
+        let id = p.ingest(0, "SELECT x FROM t WHERE id = 42").unwrap();
+        let entry = p.template(id);
+        assert_eq!(entry.params.len(), 1);
+        assert_eq!(entry.params.items()[0], vec![Literal::Integer(42)]);
+    }
+
+    #[test]
+    fn raw_cache_hit_still_counts() {
+        let mut p = pp();
+        let a = p.ingest(0, "SELECT x FROM t WHERE id = 7").unwrap();
+        let b = p.ingest(5, "SELECT x FROM t WHERE id = 7").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p.template(a).history.total(), 2);
+    }
+
+    #[test]
+    fn template_text_has_placeholders() {
+        let mut p = pp();
+        let id = p.ingest(0, "SELECT x FROM t WHERE id = 7 AND name = 'bob'").unwrap();
+        let text = &p.template(id).text;
+        assert!(text.contains('?'), "{text}");
+        assert!(!text.contains('7') && !text.contains("bob"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod folding_tests {
+    use super::*;
+
+    #[test]
+    fn folding_merges_conjunct_orderings_ablation_does_not() {
+        let a = "SELECT x FROM t WHERE p = 1 AND q = 2";
+        let b = "SELECT x FROM t WHERE q = 5 AND p = 9";
+
+        let mut folded = PreProcessor::new(PreProcessorConfig::default());
+        folded.ingest(0, a).unwrap();
+        folded.ingest(0, b).unwrap();
+        assert_eq!(folded.num_templates(), 1, "semantic folding merges orderings");
+
+        let mut unfolded = PreProcessor::new(PreProcessorConfig {
+            semantic_folding: false,
+            ..PreProcessorConfig::default()
+        });
+        unfolded.ingest(0, a).unwrap();
+        unfolded.ingest(0, b).unwrap();
+        assert_eq!(unfolded.num_templates(), 2, "ablation keeps them distinct");
+    }
+}

@@ -1,0 +1,496 @@
+//! Constant extraction: raw statement → template + parameter vector.
+//!
+//! Implements the first Pre-Processor step of §4. Constants are replaced by
+//! `?` placeholders in:
+//!
+//! * WHERE-clause predicates (including HAVING, JOIN ON, BETWEEN bounds,
+//!   IN lists, and LIKE patterns);
+//! * the SET fields of UPDATE statements;
+//! * the VALUES fields of INSERT statements — batched inserts collapse to a
+//!   single-row template and the batch size is reported separately.
+//!
+//! Two extra normalizations keep template cardinality low, mirroring the
+//! reference implementation: an IN list of extracted constants collapses to
+//! a single placeholder (so `IN (1,2)` and `IN (1,2,3)` share a template),
+//! and `LIMIT`/`OFFSET` constants are preserved verbatim since they change
+//! the query's semantics for the planning module.
+
+use qb_sqlparse::{format_statement, Expr, InsertStatement, Literal, Statement};
+
+/// The result of templatizing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplatizedQuery {
+    /// The statement with constants replaced by placeholders.
+    pub template: Statement,
+    /// Canonical text of `template` (the template's identity string).
+    pub text: String,
+    /// The extracted constants, in syntax order.
+    pub params: Vec<Literal>,
+    /// For batched INSERTs, the number of tuples in the original statement;
+    /// 1 otherwise.
+    pub batch_size: usize,
+}
+
+/// Templatizes a parsed statement.
+pub fn templatize(stmt: &Statement) -> TemplatizedQuery {
+    let mut params = Vec::new();
+    let mut batch_size = 1;
+
+    let template = match stmt {
+        Statement::Select(s) => {
+            let mut s = s.clone();
+            for j in &mut s.joins {
+                if let Some(on) = &mut j.on {
+                    extract(on, &mut params);
+                }
+            }
+            if let Some(w) = &mut s.where_clause {
+                extract(w, &mut params);
+            }
+            if let Some(h) = &mut s.having {
+                extract(h, &mut params);
+            }
+            Statement::Select(s)
+        }
+        Statement::Insert(i) => {
+            batch_size = i.rows.len().max(1);
+            // Collapse to a one-row template; every value becomes `?`.
+            for row in &i.rows {
+                for v in row {
+                    collect_literals(v, &mut params);
+                }
+            }
+            let row_arity = i.rows.first().map_or(0, Vec::len);
+            let template_row: Vec<Expr> = (0..row_arity).map(|_| Expr::Placeholder).collect();
+            Statement::Insert(InsertStatement {
+                table: i.table.clone(),
+                columns: i.columns.clone(),
+                rows: vec![template_row],
+            })
+        }
+        Statement::Update(u) => {
+            let mut u = u.clone();
+            for a in &mut u.assignments {
+                extract(&mut a.value, &mut params);
+            }
+            if let Some(w) = &mut u.where_clause {
+                extract(w, &mut params);
+            }
+            Statement::Update(u)
+        }
+        Statement::Delete(d) => {
+            let mut d = d.clone();
+            if let Some(w) = &mut d.where_clause {
+                extract(w, &mut params);
+            }
+            Statement::Delete(d)
+        }
+    };
+
+    let text = format_statement(&template);
+    TemplatizedQuery { template, text, params, batch_size }
+}
+
+/// Recursively replaces literal constants in an expression with
+/// placeholders, appending the extracted values to `params`.
+fn extract(expr: &mut Expr, params: &mut Vec<Literal>) {
+    match expr {
+        Expr::Literal(lit) => {
+            params.push(lit.clone());
+            *expr = Expr::Placeholder;
+        }
+        Expr::Placeholder | Expr::Column { .. } | Expr::Wildcard => {}
+        Expr::Binary { left, right, .. } => {
+            extract(left, params);
+            extract(right, params);
+        }
+        Expr::Unary { expr: inner, .. } => extract(inner, params),
+        Expr::Function { args, .. } => {
+            for a in args {
+                extract(a, params);
+            }
+        }
+        Expr::InList { expr: inner, list, .. } => {
+            extract(inner, params);
+            let all_constants = list
+                .iter()
+                .all(|e| matches!(e, Expr::Literal(_) | Expr::Placeholder));
+            if all_constants {
+                // Collapse: `IN (1, 2, 3)` and `IN (5)` share one template,
+                // and the collapsed list contributes exactly ONE parameter
+                // (a representative element) so that bind_params consumes
+                // placeholders in lockstep with templatize's emissions —
+                // pushing all N values would desynchronize every
+                // placeholder after the IN list.
+                let representative = list.iter().find_map(|e| match e {
+                    Expr::Literal(l) => Some(l.clone()),
+                    _ => None,
+                });
+                if let Some(l) = representative {
+                    params.push(l);
+                }
+                *list = vec![Expr::Placeholder];
+            } else {
+                for e in list {
+                    extract(e, params);
+                }
+            }
+        }
+        Expr::InSubquery { expr: inner, subquery, .. } => {
+            extract(inner, params);
+            let mut sub = Statement::Select((**subquery).clone());
+            let tq = templatize(&sub);
+            params.extend(tq.params);
+            if let Statement::Select(s) = tq.template {
+                **subquery = s;
+            } else {
+                unreachable!("templatize preserves statement kind");
+            }
+            let _ = &mut sub;
+        }
+        Expr::Exists { subquery, .. } => {
+            let tq = templatize(&Statement::Select((**subquery).clone()));
+            params.extend(tq.params);
+            if let Statement::Select(s) = tq.template {
+                **subquery = s;
+            }
+        }
+        Expr::Subquery(subquery) => {
+            let tq = templatize(&Statement::Select((**subquery).clone()));
+            params.extend(tq.params);
+            if let Statement::Select(s) = tq.template {
+                **subquery = s;
+            }
+        }
+        Expr::Between { expr: inner, low, high, .. } => {
+            extract(inner, params);
+            extract(low, params);
+            extract(high, params);
+        }
+        Expr::IsNull { expr: inner, .. } => extract(inner, params),
+        Expr::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                extract(c, params);
+                extract(v, params);
+            }
+            if let Some(e) = else_expr {
+                extract(e, params);
+            }
+        }
+    }
+}
+
+/// Collects literals from an expression without rewriting (used for INSERT
+/// rows, which are wholesale replaced by a placeholder row).
+fn collect_literals(expr: &Expr, params: &mut Vec<Literal>) {
+    expr.walk(&mut |e| {
+        if let Expr::Literal(l) = e {
+            params.push(l.clone());
+        }
+    });
+}
+
+/// Re-binds a template's placeholders with concrete parameters (the inverse
+/// of [`templatize`]): placeholder `i` receives `params[i]` in syntax
+/// order. Used by the planning module when costing candidate optimizations
+/// against sampled parameters (§4: "An autonomous DBMS's planning module
+/// uses these parameter samples when estimating the cost/benefit of
+/// optimizations").
+///
+/// Extra parameters are ignored; missing ones leave placeholders in place
+/// (the caller may be binding a batched-INSERT template whose original had
+/// more rows).
+pub fn bind_params(template: &Statement, params: &[Literal]) -> Statement {
+    let mut next = 0usize;
+    let mut stmt = template.clone();
+    let mut bind_expr = |e: &mut Expr| rebind(e, params, &mut next);
+    match &mut stmt {
+        Statement::Select(s) => {
+            for j in &mut s.joins {
+                if let Some(on) = &mut j.on {
+                    bind_expr(on);
+                }
+            }
+            if let Some(w) = &mut s.where_clause {
+                bind_expr(w);
+            }
+            if let Some(h) = &mut s.having {
+                bind_expr(h);
+            }
+        }
+        Statement::Insert(i) => {
+            for row in &mut i.rows {
+                for v in row {
+                    bind_expr(v);
+                }
+            }
+        }
+        Statement::Update(u) => {
+            for a in &mut u.assignments {
+                bind_expr(&mut a.value);
+            }
+            if let Some(w) = &mut u.where_clause {
+                bind_expr(w);
+            }
+        }
+        Statement::Delete(d) => {
+            if let Some(w) = &mut d.where_clause {
+                bind_expr(w);
+            }
+        }
+    }
+    stmt
+}
+
+fn rebind(expr: &mut Expr, params: &[Literal], next: &mut usize) {
+    match expr {
+        Expr::Placeholder => {
+            if let Some(p) = params.get(*next) {
+                *expr = Expr::Literal(p.clone());
+            }
+            *next += 1;
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Wildcard => {}
+        Expr::Binary { left, right, .. } => {
+            rebind(left, params, next);
+            rebind(right, params, next);
+        }
+        Expr::Unary { expr, .. } => rebind(expr, params, next),
+        Expr::Function { args, .. } => {
+            for a in args {
+                rebind(a, params, next);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            rebind(expr, params, next);
+            for e in list {
+                rebind(e, params, next);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            rebind(expr, params, next);
+            rebind_select(subquery, params, next);
+        }
+        Expr::Exists { subquery, .. } => rebind_select(subquery, params, next),
+        Expr::Subquery(subquery) => rebind_select(subquery, params, next),
+        Expr::Between { expr, low, high, .. } => {
+            rebind(expr, params, next);
+            rebind(low, params, next);
+            rebind(high, params, next);
+        }
+        Expr::IsNull { expr, .. } => rebind(expr, params, next),
+        Expr::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                rebind(c, params, next);
+                rebind(v, params, next);
+            }
+            if let Some(e) = else_expr {
+                rebind(e, params, next);
+            }
+        }
+    }
+}
+
+fn rebind_select(s: &mut qb_sqlparse::SelectStatement, params: &[Literal], next: &mut usize) {
+    // Placeholders inside subqueries consume parameters in the same syntax
+    // order templatize emitted them.
+    for j in &mut s.joins {
+        if let Some(on) = &mut j.on {
+            rebind(on, params, next);
+        }
+    }
+    if let Some(w) = &mut s.where_clause {
+        rebind(w, params, next);
+    }
+    if let Some(h) = &mut s.having {
+        rebind(h, params, next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_sqlparse::parse_statement;
+
+    fn tq(sql: &str) -> TemplatizedQuery {
+        templatize(&parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn where_constants_extracted() {
+        let t = tq("SELECT a FROM t WHERE id = 42 AND name = 'bob'");
+        assert_eq!(t.params, vec![Literal::Integer(42), Literal::String("bob".into())]);
+        assert_eq!(t.text, "SELECT a FROM t WHERE id = ? AND name = ?");
+    }
+
+    #[test]
+    fn identical_templates_for_different_constants() {
+        assert_eq!(
+            tq("SELECT a FROM t WHERE id = 1").text,
+            tq("SELECT a FROM t WHERE id = 2").text
+        );
+    }
+
+    #[test]
+    fn update_set_and_where_extracted() {
+        let t = tq("UPDATE t SET a = 5, b = 'x' WHERE id = 9");
+        assert_eq!(t.text, "UPDATE t SET a = ?, b = ? WHERE id = ?");
+        assert_eq!(t.params.len(), 3);
+    }
+
+    #[test]
+    fn insert_values_extracted() {
+        let t = tq("INSERT INTO t (a, b) VALUES (1, 'x')");
+        assert_eq!(t.text, "INSERT INTO t (a, b) VALUES (?, ?)");
+        assert_eq!(t.params, vec![Literal::Integer(1), Literal::String("x".into())]);
+        assert_eq!(t.batch_size, 1);
+    }
+
+    #[test]
+    fn batched_insert_collapses_and_counts() {
+        let t = tq("INSERT INTO t (a) VALUES (1), (2), (3)");
+        assert_eq!(t.text, "INSERT INTO t (a) VALUES (?)");
+        assert_eq!(t.batch_size, 3);
+        assert_eq!(t.params.len(), 3);
+        // Batch sizes differ but the template is shared.
+        assert_eq!(t.text, tq("INSERT INTO t (a) VALUES (9)").text);
+    }
+
+    #[test]
+    fn in_list_collapses() {
+        let a = tq("SELECT a FROM t WHERE id IN (1, 2, 3)");
+        let b = tq("SELECT a FROM t WHERE id IN (7)");
+        assert_eq!(a.text, b.text);
+        // One representative parameter per collapsed list (placeholder
+        // count and parameter count must stay in lockstep for bind_params).
+        assert_eq!(a.params, vec![Literal::Integer(1)]);
+        assert_eq!(a.text, "SELECT a FROM t WHERE id IN (?)");
+    }
+
+    #[test]
+    fn in_list_collapse_keeps_bind_alignment() {
+        // A constant AFTER the IN list must bind to its own placeholder.
+        let stmt =
+            parse_statement("SELECT a FROM t WHERE id IN (1, 2, 3) AND ts > 99").unwrap();
+        let t = templatize(&stmt);
+        assert_eq!(t.params, vec![Literal::Integer(1), Literal::Integer(99)]);
+        let bound = bind_params(&t.template, &t.params);
+        let text = qb_sqlparse::format_statement(&bound);
+        assert!(text.contains("ts > 99"), "{text}");
+    }
+
+    #[test]
+    fn between_bounds_extracted() {
+        let t = tq("SELECT a FROM t WHERE ts BETWEEN 100 AND 200");
+        assert_eq!(t.text, "SELECT a FROM t WHERE ts BETWEEN ? AND ?");
+        assert_eq!(t.params, vec![Literal::Integer(100), Literal::Integer(200)]);
+    }
+
+    #[test]
+    fn like_pattern_extracted() {
+        let t = tq("SELECT a FROM t WHERE name LIKE 'J%'");
+        assert_eq!(t.text, "SELECT a FROM t WHERE name LIKE ?");
+    }
+
+    #[test]
+    fn subquery_constants_extracted() {
+        let t = tq("SELECT a FROM t WHERE id IN (SELECT b FROM u WHERE c = 5)");
+        assert!(t.text.contains("c = ?"), "{}", t.text);
+        assert_eq!(t.params, vec![Literal::Integer(5)]);
+    }
+
+    #[test]
+    fn having_constants_extracted() {
+        let t = tq("SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 10");
+        assert!(t.text.contains("HAVING count(*) > ?"), "{}", t.text);
+    }
+
+    #[test]
+    fn delete_where_extracted() {
+        let t = tq("DELETE FROM t WHERE ts < 500");
+        assert_eq!(t.text, "DELETE FROM t WHERE ts < ?");
+    }
+
+    #[test]
+    fn existing_placeholders_preserved() {
+        let t = tq("SELECT a FROM t WHERE id = ?");
+        assert_eq!(t.text, "SELECT a FROM t WHERE id = ?");
+        assert!(t.params.is_empty());
+    }
+
+    #[test]
+    fn null_and_bool_extracted() {
+        let t = tq("SELECT a FROM t WHERE b = TRUE AND c = NULL");
+        assert_eq!(t.params, vec![Literal::Boolean(true), Literal::Null]);
+    }
+
+    #[test]
+    fn projection_column_list_not_templated() {
+        // Column references are structure, not constants.
+        let t = tq("SELECT a, b FROM t WHERE a = 1");
+        assert!(t.text.starts_with("SELECT a, b FROM t"), "{}", t.text);
+    }
+
+    #[test]
+    fn case_expression_constants() {
+        let t = tq("SELECT a FROM t WHERE x = CASE WHEN y > 5 THEN 1 ELSE 0 END");
+        assert_eq!(t.params.len(), 3);
+    }
+
+    #[test]
+    fn join_on_constants_extracted() {
+        let t = tq("SELECT a FROM t JOIN u ON t.id = u.id AND u.kind = 3");
+        assert!(t.text.contains("u.kind = ?"), "{}", t.text);
+    }
+}
+
+#[cfg(test)]
+mod bind_tests {
+    use super::*;
+    use qb_sqlparse::{format_statement, parse_statement};
+
+    fn roundtrip(sql: &str) -> String {
+        let stmt = parse_statement(sql).unwrap();
+        let t = templatize(&stmt);
+        let bound = bind_params(&t.template, &t.params);
+        format_statement(&bound)
+    }
+
+    #[test]
+    fn bind_inverts_templatize_select() {
+        let sql = "SELECT a FROM t WHERE id = 42 AND name = 'bob'";
+        assert_eq!(roundtrip(sql), format_statement(&parse_statement(sql).unwrap()));
+    }
+
+    #[test]
+    fn bind_inverts_templatize_update_delete() {
+        for sql in [
+            "UPDATE t SET a = 5 WHERE id = 9",
+            "DELETE FROM t WHERE ts < 500",
+            "SELECT a FROM t WHERE ts BETWEEN 1 AND 2 AND name LIKE 'x%'",
+        ] {
+            assert_eq!(roundtrip(sql), format_statement(&parse_statement(sql).unwrap()));
+        }
+    }
+
+    #[test]
+    fn bind_subquery_params() {
+        let sql = "SELECT a FROM t WHERE id IN (SELECT b FROM u WHERE c = 7)";
+        assert_eq!(roundtrip(sql), format_statement(&parse_statement(sql).unwrap()));
+    }
+
+    #[test]
+    fn bind_single_row_insert() {
+        let sql = "INSERT INTO t (a, b) VALUES (1, 'x')";
+        assert_eq!(roundtrip(sql), format_statement(&parse_statement(sql).unwrap()));
+    }
+
+    #[test]
+    fn missing_params_leave_placeholders() {
+        let stmt = parse_statement("SELECT a FROM t WHERE x = 1 AND y = 2").unwrap();
+        let t = templatize(&stmt);
+        let bound = bind_params(&t.template, &t.params[..1]);
+        let text = format_statement(&bound);
+        assert!(text.contains("x = 1") && text.contains("y = ?"), "{text}");
+    }
+}

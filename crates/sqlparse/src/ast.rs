@@ -1,0 +1,449 @@
+//! Abstract syntax tree for the supported SQL DML subset.
+//!
+//! Identifiers are stored lowercased so that AST equality implements the
+//! case-normalization the Pre-Processor needs (§4): two spellings of the
+//! same query produce identical trees.
+
+/// A literal constant appearing in a query. These are exactly the values the
+/// Pre-Processor extracts into placeholders when templating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Integer(i64),
+    Float(f64),
+    String(String),
+    Boolean(bool),
+    Null,
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Integer(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                // Keep a decimal point so the canonical text re-parses as a
+                // float (plain `{}` prints `5` for 5.0, which would re-parse
+                // as Integer and change template identity).
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Boolean(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Binary operators, in SQL spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Concat,
+    Like,
+}
+
+impl BinaryOp {
+    /// The canonical SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+            BinaryOp::Like => "LIKE",
+        }
+    }
+
+    /// True for comparison operators usable as index-sargable predicates.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant literal.
+    Literal(Literal),
+    /// A `?` placeholder (either from a prepared statement in the input or
+    /// produced by the Pre-Processor's constant extraction).
+    Placeholder,
+    /// A possibly-qualified column reference: `col` or `table.col`.
+    Column { table: Option<String>, column: String },
+    /// `*` in a select list or `COUNT(*)`.
+    Wildcard,
+    /// Binary operation.
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// Unary operation.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Function call: `name(args)`, with optional DISTINCT (for aggregates).
+    Function { name: String, distinct: bool, args: Vec<Expr> },
+    /// `expr IN (list...)` or `expr NOT IN (list...)`.
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    /// `expr IN (SELECT ...)`.
+    InSubquery { expr: Box<Expr>, subquery: Box<SelectStatement>, negated: bool },
+    /// `EXISTS (SELECT ...)`.
+    Exists { subquery: Box<SelectStatement>, negated: bool },
+    /// `expr BETWEEN low AND high`.
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// Scalar subquery.
+    Subquery(Box<SelectStatement>),
+    /// `CASE WHEN cond THEN val ... [ELSE val] END`.
+    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
+}
+
+impl Expr {
+    /// Convenience constructor for a bare column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, column: name.to_ascii_lowercase() }
+    }
+
+    /// Convenience constructor for a qualified column reference.
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column {
+            table: Some(table.to_ascii_lowercase()),
+            column: name.to_ascii_lowercase(),
+        }
+    }
+
+    /// Walks the expression tree, invoking `f` on every node (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.walk(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::Exists { .. }
+            | Expr::Subquery(_)
+            | Expr::Literal(_)
+            | Expr::Placeholder
+            | Expr::Column { .. }
+            | Expr::Wildcard => {}
+        }
+    }
+}
+
+/// A table reference in FROM: `name [AS alias]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Cross,
+}
+
+/// `JOIN table ON condition`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    /// `None` only for CROSS joins.
+    pub on: Option<Expr>,
+}
+
+/// One item of a select list: expression plus optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderDirection {
+    Asc,
+    Desc,
+}
+
+/// `ORDER BY expr [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub direction: OrderDirection,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<Expr>,
+    pub offset: Option<Expr>,
+}
+
+/// An `INSERT` statement. `rows.len() > 1` for batched inserts; the
+/// Pre-Processor records the batch size separately (§4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStatement {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `SET column = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pub column: String,
+    pub value: Expr,
+}
+
+/// An `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStatement {
+    pub table: String,
+    pub assignments: Vec<Assignment>,
+    pub where_clause: Option<Expr>,
+}
+
+/// A `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStatement {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStatement),
+    Insert(InsertStatement),
+    Update(UpdateStatement),
+    Delete(DeleteStatement),
+}
+
+impl Statement {
+    /// The statement verb, used for Table 1's query-type breakdown and the
+    /// logical feature vector of §7.7.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Statement::Select(_) => "SELECT",
+            Statement::Insert(_) => "INSERT",
+            Statement::Update(_) => "UPDATE",
+            Statement::Delete(_) => "DELETE",
+        }
+    }
+
+    /// All table names the statement touches (FROM, JOINs, or the DML
+    /// target), lowercased, in first-appearance order.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |name: &str| {
+            if !out.iter().any(|t| t == name) {
+                out.push(name.to_string());
+            }
+        };
+        match self {
+            Statement::Select(s) => {
+                if let Some(t) = &s.from {
+                    push(&t.name);
+                }
+                for j in &s.joins {
+                    push(&j.table.name);
+                }
+                // Tables referenced by subqueries anywhere in the statement
+                // count toward the semantic fingerprint.
+                let mut sub_tables = Vec::new();
+                for item in &s.items {
+                    collect_subquery_tables(&item.expr, &mut sub_tables);
+                }
+                for j in &s.joins {
+                    if let Some(on) = &j.on {
+                        collect_subquery_tables(on, &mut sub_tables);
+                    }
+                }
+                if let Some(w) = &s.where_clause {
+                    collect_subquery_tables(w, &mut sub_tables);
+                }
+                if let Some(h) = &s.having {
+                    collect_subquery_tables(h, &mut sub_tables);
+                }
+                for t in sub_tables {
+                    push(&t);
+                }
+            }
+            Statement::Insert(i) => push(&i.table),
+            Statement::Update(u) => {
+                push(&u.table);
+                let mut sub_tables = Vec::new();
+                if let Some(w) = &u.where_clause {
+                    collect_subquery_tables(w, &mut sub_tables);
+                }
+                for t in sub_tables {
+                    push(&t);
+                }
+            }
+            Statement::Delete(d) => {
+                push(&d.table);
+                let mut sub_tables = Vec::new();
+                if let Some(w) = &d.where_clause {
+                    collect_subquery_tables(w, &mut sub_tables);
+                }
+                for t in sub_tables {
+                    push(&t);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn collect_subquery_tables(expr: &Expr, out: &mut Vec<String>) {
+    expr.walk(&mut |e| {
+        let sub = match e {
+            Expr::InSubquery { subquery, .. } => Some(subquery),
+            Expr::Exists { subquery, .. } => Some(subquery),
+            Expr::Subquery(subquery) => Some(subquery),
+            _ => None,
+        };
+        if let Some(s) = sub {
+            let stmt = Statement::Select((**s).clone());
+            for t in stmt.tables() {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::Integer(5).to_string(), "5");
+        assert_eq!(Literal::String("a'b".into()).to_string(), "'a''b'");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+        assert_eq!(Literal::Boolean(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::And,
+            right: Box::new(Expr::Between {
+                expr: Box::new(Expr::col("b")),
+                low: Box::new(Expr::Literal(Literal::Integer(1))),
+                high: Box::new(Expr::Literal(Literal::Integer(2))),
+                negated: false,
+            }),
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn statement_tables_dedup() {
+        let s = SelectStatement {
+            distinct: false,
+            items: vec![SelectItem { expr: Expr::Wildcard, alias: None }],
+            from: Some(TableRef { name: "t".into(), alias: None }),
+            joins: vec![JoinClause {
+                kind: JoinKind::Inner,
+                table: TableRef { name: "t".into(), alias: Some("t2".into()) },
+                on: None,
+            }],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        assert_eq!(Statement::Select(s).tables(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn binary_op_comparison_classification() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(BinaryOp::GtEq.is_comparison());
+        assert!(!BinaryOp::And.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,379 @@
+//! Canonical SQL formatter.
+//!
+//! Renders an AST back into a single normalized spelling: uppercase
+//! keywords, lowercase identifiers, single spaces, canonical parenthesis
+//! placement. Combined with the parser this implements the Pre-Processor's
+//! normalization step (§4): any two textual spellings of the same statement
+//! format to byte-identical strings, which is what template identity is
+//! keyed on.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Formats a statement into its canonical textual form.
+pub fn format_statement(stmt: &Statement) -> String {
+    let mut out = String::new();
+    match stmt {
+        Statement::Select(s) => write_select(&mut out, s),
+        Statement::Insert(i) => write_insert(&mut out, i),
+        Statement::Update(u) => write_update(&mut out, u),
+        Statement::Delete(d) => write_delete(&mut out, d),
+    }
+    out
+}
+
+fn write_select(out: &mut String, s: &SelectStatement) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(out, &item.expr);
+        if let Some(alias) = &item.alias {
+            let _ = write!(out, " AS {alias}");
+        }
+    }
+    if let Some(from) = &s.from {
+        out.push_str(" FROM ");
+        write_table_ref(out, from);
+    }
+    for j in &s.joins {
+        let kw = match j.kind {
+            JoinKind::Inner => " JOIN ",
+            JoinKind::Left => " LEFT JOIN ",
+            JoinKind::Right => " RIGHT JOIN ",
+            JoinKind::Cross => " CROSS JOIN ",
+        };
+        out.push_str(kw);
+        write_table_ref(out, &j.table);
+        if let Some(on) = &j.on {
+            out.push_str(" ON ");
+            write_expr(out, on);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, g) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, g);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h);
+    }
+    if !s.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, o) in s.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, &o.expr);
+            if o.direction == OrderDirection::Desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(l) = &s.limit {
+        out.push_str(" LIMIT ");
+        write_expr(out, l);
+    }
+    if let Some(o) = &s.offset {
+        out.push_str(" OFFSET ");
+        write_expr(out, o);
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    out.push_str(&t.name);
+    if let Some(a) = &t.alias {
+        let _ = write!(out, " AS {a}");
+    }
+}
+
+fn write_insert(out: &mut String, i: &InsertStatement) {
+    let _ = write!(out, "INSERT INTO {}", i.table);
+    if !i.columns.is_empty() {
+        out.push_str(" (");
+        out.push_str(&i.columns.join(", "));
+        out.push(')');
+    }
+    out.push_str(" VALUES ");
+    for (ri, row) in i.rows.iter().enumerate() {
+        if ri > 0 {
+            out.push_str(", ");
+        }
+        out.push('(');
+        for (ci, v) in row.iter().enumerate() {
+            if ci > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, v);
+        }
+        out.push(')');
+    }
+}
+
+fn write_update(out: &mut String, u: &UpdateStatement) {
+    let _ = write!(out, "UPDATE {} SET ", u.table);
+    for (i, a) in u.assignments.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} = ", a.column);
+        write_expr(out, &a.value);
+    }
+    if let Some(w) = &u.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w);
+    }
+}
+
+fn write_delete(out: &mut String, d: &DeleteStatement) {
+    let _ = write!(out, "DELETE FROM {}", d.table);
+    if let Some(w) = &d.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w);
+    }
+}
+
+/// Operator precedence for minimal-parenthesis rendering.
+fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq
+        | BinaryOp::Like => 3,
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Concat => 4,
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 5,
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    write_expr_prec(out, e, 0)
+}
+
+fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Literal(l) => {
+            let _ = write!(out, "{l}");
+        }
+        Expr::Placeholder => out.push('?'),
+        Expr::Column { table, column } => {
+            if let Some(t) = table {
+                let _ = write!(out, "{t}.{column}");
+            } else {
+                out.push_str(column);
+            }
+        }
+        Expr::Wildcard => out.push('*'),
+        Expr::Binary { left, op, right } => {
+            let prec = precedence(*op);
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                out.push('(');
+            }
+            // Comparisons are non-associative in the grammar: a comparison
+            // operand of another comparison must keep its parentheses.
+            let left_prec = if op.is_comparison() { prec + 1 } else { prec };
+            write_expr_prec(out, left, left_prec);
+            let _ = write!(out, " {} ", op.as_str());
+            // Right operand binds one level tighter to keep left-assoc shape.
+            write_expr_prec(out, right, prec + 1);
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => {
+                out.push_str("NOT ");
+                write_expr_prec(out, expr, 6);
+            }
+            UnaryOp::Neg => {
+                out.push('-');
+                // `--x` would lex as a line comment; parenthesize a negative
+                // operand so negation stays parseable.
+                let needs_parens = match &**expr {
+                    Expr::Unary { op: UnaryOp::Neg, .. } => true,
+                    Expr::Literal(crate::ast::Literal::Integer(i)) => *i < 0,
+                    Expr::Literal(crate::ast::Literal::Float(v)) => *v < 0.0,
+                    _ => false,
+                };
+                if needs_parens {
+                    out.push('(');
+                    write_expr_prec(out, expr, 0);
+                    out.push(')');
+                } else {
+                    write_expr_prec(out, expr, 6);
+                }
+            }
+        },
+        Expr::Function { name, distinct, args } => {
+            let _ = write!(out, "{name}(");
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::InList { expr, list, negated } => {
+            write_expr_prec(out, expr, 6);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, x) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, x);
+            }
+            out.push(')');
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            write_expr_prec(out, expr, 6);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            write_select(out, subquery);
+            out.push(')');
+        }
+        Expr::Exists { subquery, negated } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_select(out, subquery);
+            out.push(')');
+        }
+        Expr::Between { expr, low, high, negated } => {
+            write_expr_prec(out, expr, 6);
+            out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            write_expr_prec(out, low, 6);
+            out.push_str(" AND ");
+            write_expr_prec(out, high, 6);
+        }
+        Expr::IsNull { expr, negated } => {
+            write_expr_prec(out, expr, 6);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Expr::Subquery(s) => {
+            out.push('(');
+            write_select(out, s);
+            out.push(')');
+        }
+        Expr::Case { branches, else_expr } => {
+            out.push_str("CASE");
+            for (cond, val) in branches {
+                out.push_str(" WHEN ");
+                write_expr(out, cond);
+                out.push_str(" THEN ");
+                write_expr(out, val);
+            }
+            if let Some(e) = else_expr {
+                out.push_str(" ELSE ");
+                write_expr(out, e);
+            }
+            out.push_str(" END");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    /// The canonical-form property: format(parse(x)) is a fixed point.
+    fn roundtrip(sql: &str) -> String {
+        let s1 = parse_statement(sql).unwrap();
+        let f1 = format_statement(&s1);
+        let s2 = parse_statement(&f1).unwrap_or_else(|e| panic!("reparse of `{f1}` failed: {e}"));
+        assert_eq!(s1, s2, "AST changed across format/reparse for `{sql}`");
+        let f2 = format_statement(&s2);
+        assert_eq!(f1, f2, "format not idempotent for `{sql}`");
+        f1
+    }
+
+    #[test]
+    fn normalizes_spacing_and_case() {
+        let a = roundtrip("select   A , b FROM   T  where A=1");
+        let b = roundtrip("SELECT a, b FROM t WHERE a = 1");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_joins() {
+        roundtrip("SELECT u.a FROM users AS u LEFT JOIN orders o ON u.id = o.uid");
+        roundtrip("SELECT a FROM t CROSS JOIN s");
+    }
+
+    #[test]
+    fn roundtrips_insert_update_delete() {
+        roundtrip("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        roundtrip("UPDATE t SET a = a + 1 WHERE id = 3");
+        roundtrip("DELETE FROM t WHERE ts < 100");
+    }
+
+    #[test]
+    fn roundtrips_predicates() {
+        roundtrip("SELECT a FROM t WHERE a IN (1, 2) AND b NOT BETWEEN 1 AND 2 OR c IS NULL");
+        roundtrip("SELECT a FROM t WHERE name LIKE 'x%' AND NOT (a = 1 OR b = 2)");
+        roundtrip("SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE c = ?)");
+    }
+
+    #[test]
+    fn parenthesization_preserves_structure() {
+        // (a OR b) AND c must keep its parens; a OR (b AND c) must not gain any.
+        let f = roundtrip("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        assert!(f.contains("("), "needed parens dropped: {f}");
+        let f2 = roundtrip("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        assert!(!f2.contains('('), "unneeded parens added: {f2}");
+    }
+
+    #[test]
+    fn arithmetic_parens() {
+        let f = roundtrip("SELECT (a + b) * c FROM t");
+        assert!(f.contains("(a + b) * c"), "{f}");
+        let f2 = roundtrip("SELECT a + b * c FROM t");
+        assert!(f2.contains("a + b * c") && !f2.contains('('), "{f2}");
+    }
+
+    #[test]
+    fn roundtrips_placeholders() {
+        let f = roundtrip("SELECT a FROM t WHERE b = ? AND c IN (?, ?)");
+        assert_eq!(f.matches('?').count(), 3);
+    }
+
+    #[test]
+    fn roundtrips_aggregates_and_case() {
+        roundtrip("SELECT COUNT(*), SUM(DISTINCT x) FROM t GROUP BY y HAVING COUNT(*) > 2");
+        roundtrip("SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END FROM t");
+    }
+
+    #[test]
+    fn roundtrips_order_limit() {
+        let f = roundtrip("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2");
+        assert!(f.contains("ORDER BY a DESC, b LIMIT 5 OFFSET 2"), "{f}");
+    }
+
+    #[test]
+    fn string_escaping_roundtrip() {
+        let f = roundtrip("SELECT a FROM t WHERE s = 'it''s'");
+        assert!(f.contains("'it''s'"), "{f}");
+    }
+}

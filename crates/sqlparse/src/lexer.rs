@@ -1,0 +1,477 @@
+//! SQL lexer.
+//!
+//! Converts a raw SQL string into a token stream. Keywords are recognized
+//! case-insensitively; identifiers preserve their original spelling but
+//! compare case-insensitively downstream (the canonical formatter lowercases
+//! them, which implements the "normalize case" step of the Pre-Processor).
+
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A SQL keyword (`SELECT`, `FROM`, ...), stored uppercase.
+    Keyword(String),
+    /// An identifier (table, column, alias, function name).
+    Identifier(String),
+    /// A numeric literal. Stored as the raw spelling; the parser decides
+    /// whether it is integral or fractional.
+    Number(String),
+    /// A single-quoted string literal with quotes removed and `''` unescaped.
+    StringLit(String),
+    /// A `?` positional placeholder (already-prepared statements).
+    Placeholder,
+    /// `=`, `<`, `>`, `<=`, `>=`, `<>` / `!=`, `+`, `-`, `*`, `/`, `%`, `||`.
+    Operator(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `;`.
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Identifier(i) => write!(f, "{i}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::Placeholder => write!(f, "?"),
+            TokenKind::Operator(o) => write!(f, "{o}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source, for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// The reserved words the parser gives special meaning to.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "JOIN",
+    "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE",
+    "IS", "NULL", "AS", "DISTINCT", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+    "OFFSET", "TRUE", "FALSE", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION", "ALL",
+];
+
+/// Streaming lexer over a SQL source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+/// Lexing failure: an unexpected byte or an unterminated literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lexes the entire input into a vector ending with an `Eof` token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `-- line comment`
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // `/* block comment */`
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError {
+                                    offset: start,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_whitespace_and_comments()?;
+        let offset = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, offset });
+        };
+
+        let kind = match b {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'?' => {
+                self.pos += 1;
+                TokenKind::Placeholder
+            }
+            b'\'' => self.lex_string(offset)?,
+            b'0'..=b'9' => self.lex_number(),
+            b'.' => {
+                if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    self.lex_number()
+                } else {
+                    self.pos += 1;
+                    TokenKind::Dot
+                }
+            }
+            b'`' | b'"' => self.lex_quoted_identifier(offset)?,
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Operator("=".into())
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::Operator("<=".into())
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        TokenKind::Operator("<>".into())
+                    }
+                    _ => TokenKind::Operator("<".into()),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Operator(">=".into())
+                } else {
+                    TokenKind::Operator(">".into())
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    // Normalize to the standard spelling.
+                    TokenKind::Operator("<>".into())
+                } else {
+                    return Err(LexError { offset, message: "expected `=` after `!`".into() });
+                }
+            }
+            b'|' => {
+                self.pos += 1;
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    TokenKind::Operator("||".into())
+                } else {
+                    return Err(LexError { offset, message: "expected `|` after `|`".into() });
+                }
+            }
+            b'+' | b'-' | b'*' | b'/' | b'%' => {
+                self.pos += 1;
+                TokenKind::Operator((b as char).to_string())
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(),
+            other => {
+                return Err(LexError {
+                    offset,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.pos += 1;
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // `''` is an escaped quote inside a string literal.
+                    if self.peek() == Some(b'\'') {
+                        self.pos += 1;
+                        bytes.push(b'\'');
+                    } else {
+                        // Accumulated as raw bytes so multi-byte UTF-8
+                        // characters survive intact.
+                        return String::from_utf8(bytes)
+                            .map(TokenKind::StringLit)
+                            .map_err(|_| LexError {
+                                offset: start,
+                                message: "invalid UTF-8 in string literal".into(),
+                            });
+                    }
+                }
+                Some(b) => bytes.push(b),
+                None => {
+                    return Err(LexError {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_quoted_identifier(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        let quote = self.bump().expect("caller checked");
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b) if b == quote => {
+                    return String::from_utf8(bytes)
+                        .map(TokenKind::Identifier)
+                        .map_err(|_| LexError {
+                            offset: start,
+                            message: "invalid UTF-8 in quoted identifier".into(),
+                        })
+                }
+                Some(b) => bytes.push(b),
+                None => {
+                    return Err(LexError {
+                        offset: start,
+                        message: "unterminated quoted identifier".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let start = self.pos;
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !seen_dot && !seen_exp => {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !seen_exp => {
+                    // Only treat as exponent when followed by digit or sign+digit.
+                    let next = self.peek2();
+                    let after_sign = self.src.get(self.pos + 2).copied();
+                    let is_exp = matches!(next, Some(c) if c.is_ascii_digit())
+                        || (matches!(next, Some(b'+') | Some(b'-'))
+                            && matches!(after_sign, Some(c) if c.is_ascii_digit()));
+                    if !is_exp {
+                        break;
+                    }
+                    seen_exp = true;
+                    self.pos += 2; // consume `e` and the digit/sign
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("numeric bytes are ASCII")
+            .to_string();
+        TokenKind::Number(text)
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word =
+            std::str::from_utf8(&self.src[start..self.pos]).expect("word bytes are ASCII");
+        let upper = word.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Identifier(word.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let k = kinds("SELECT a FROM t");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Identifier("a".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Identifier("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword("SELECT".into()));
+    }
+
+    #[test]
+    fn string_literal_with_escape() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn numbers_integer_float_exponent() {
+        assert_eq!(kinds("42")[0], TokenKind::Number("42".into()));
+        assert_eq!(kinds("3.14")[0], TokenKind::Number("3.14".into()));
+        assert_eq!(kinds("1e5")[0], TokenKind::Number("1e5".into()));
+        assert_eq!(kinds("2.5E-3")[0], TokenKind::Number("2.5E-3".into()));
+    }
+
+    #[test]
+    fn dot_vs_decimal() {
+        // `t.c` is ident-dot-ident, `.5` is a number.
+        assert_eq!(
+            kinds("t.c"),
+            vec![
+                TokenKind::Identifier("t".into()),
+                TokenKind::Dot,
+                TokenKind::Identifier("c".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds(".5")[0], TokenKind::Number(".5".into()));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(kinds("<=")[0], TokenKind::Operator("<=".into()));
+        assert_eq!(kinds("<>")[0], TokenKind::Operator("<>".into()));
+        // `!=` normalizes to `<>`.
+        assert_eq!(kinds("!=")[0], TokenKind::Operator("<>".into()));
+        assert_eq!(kinds("||")[0], TokenKind::Operator("||".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT -- trailing\n a /* block */ FROM t");
+        assert_eq!(k.len(), 5);
+    }
+
+    #[test]
+    fn placeholder_token() {
+        assert_eq!(kinds("?")[0], TokenKind::Placeholder);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("`weird name`")[0], TokenKind::Identifier("weird name".into()));
+        assert_eq!(kinds("\"Quoted\"")[0], TokenKind::Identifier("Quoted".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(Lexer::new("SELECT #").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::new("SELECT a").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

@@ -1,0 +1,848 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+
+/// A parse failure, carrying the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { offset: e.offset, message: e.message }
+    }
+}
+
+/// Parses a single SQL statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let stmt = parser.statement()?;
+    parser.eat_if(&TokenKind::Semicolon);
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Token-stream parser. Construct via [`Parser::new`] or use the
+/// [`parse_statement`] convenience wrapper.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.offset(), message: msg.into() })
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{kw}`, found `{}`", self.peek()))
+        }
+    }
+
+    pub(crate) fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{kind}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn expect_identifier(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Identifier(name) => {
+                self.bump();
+                Ok(name.to_ascii_lowercase())
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    pub(crate) fn expect_eof(&self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.error(format!("unexpected trailing input `{}`", self.peek()))
+        }
+    }
+
+    /// Parses one statement.
+    pub fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(k) if k == "SELECT" => {
+                Ok(Statement::Select(self.select_statement()?))
+            }
+            TokenKind::Keyword(k) if k == "INSERT" => {
+                Ok(Statement::Insert(self.insert_statement()?))
+            }
+            TokenKind::Keyword(k) if k == "UPDATE" => {
+                Ok(Statement::Update(self.update_statement()?))
+            }
+            TokenKind::Keyword(k) if k == "DELETE" => {
+                Ok(Statement::Delete(self.delete_statement()?))
+            }
+            other => self.error(format!("expected a DML statement, found `{other}`")),
+        }
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+
+        let mut from = None;
+        let mut joins = Vec::new();
+        if self.eat_keyword("FROM") {
+            from = Some(self.table_ref()?);
+            loop {
+                let kind = if self.eat_keyword("JOIN") {
+                    Some(JoinKind::Inner)
+                } else if self.eat_keyword("INNER") {
+                    self.expect_keyword("JOIN")?;
+                    Some(JoinKind::Inner)
+                } else if self.eat_keyword("LEFT") {
+                    self.eat_keyword("OUTER");
+                    self.expect_keyword("JOIN")?;
+                    Some(JoinKind::Left)
+                } else if self.eat_keyword("RIGHT") {
+                    self.eat_keyword("OUTER");
+                    self.expect_keyword("JOIN")?;
+                    Some(JoinKind::Right)
+                } else if self.eat_keyword("CROSS") {
+                    self.expect_keyword("JOIN")?;
+                    Some(JoinKind::Cross)
+                } else {
+                    None
+                };
+                let Some(kind) = kind else { break };
+                let table = self.table_ref()?;
+                let on = if kind == JoinKind::Cross {
+                    None
+                } else {
+                    self.expect_keyword("ON")?;
+                    Some(self.expr()?)
+                };
+                joins.push(JoinClause { kind, table, on });
+            }
+        }
+
+        let where_clause =
+            if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let direction = if self.eat_keyword("DESC") {
+                    OrderDirection::Desc
+                } else {
+                    self.eat_keyword("ASC");
+                    OrderDirection::Asc
+                };
+                order_by.push(OrderByItem { expr, direction });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") { Some(self.primary_expr()?) } else { None };
+        let offset = if self.eat_keyword("OFFSET") { Some(self.primary_expr()?) } else { None };
+
+        Ok(SelectStatement {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if matches!(self.peek(), TokenKind::Operator(o) if o == "*") {
+            self.bump();
+            return Ok(SelectItem { expr: Expr::Wildcard, alias: None });
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_identifier()?)
+        } else if let TokenKind::Identifier(name) = self.peek().clone() {
+            // Bare alias: `SELECT a b FROM ...`.
+            self.bump();
+            Some(name.to_ascii_lowercase())
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let name = self.expect_identifier()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_identifier()?)
+        } else if let TokenKind::Identifier(a) = self.peek().clone() {
+            self.bump();
+            Some(a.to_ascii_lowercase())
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn insert_statement(&mut self) -> Result<InsertStatement, ParseError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_identifier()?;
+
+        let mut columns = Vec::new();
+        if self.eat_if(&TokenKind::LParen) {
+            columns.push(self.expect_identifier()?);
+            while self.eat_if(&TokenKind::Comma) {
+                columns.push(self.expect_identifier()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_if(&TokenKind::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            if !columns.is_empty() && row.len() != columns.len() {
+                return self.error(format!(
+                    "INSERT row has {} values but {} columns were named",
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(row);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStatement { table, columns, rows })
+    }
+
+    fn update_statement(&mut self) -> Result<UpdateStatement, ParseError> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.expect_identifier()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.expect_identifier()?;
+            match self.peek() {
+                TokenKind::Operator(o) if o == "=" => {
+                    self.bump();
+                }
+                other => return self.error(format!("expected `=`, found `{other}`")),
+            }
+            let value = self.expr()?;
+            assignments.push(Assignment { column, value });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(UpdateStatement { table, assignments, where_clause })
+    }
+
+    fn delete_statement(&mut self) -> Result<DeleteStatement, ParseError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_identifier()?;
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        Ok(DeleteStatement { table, where_clause })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    /// Parses a full boolean expression.
+    pub fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left =
+                Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.predicate()
+    }
+
+    /// Comparison / IN / BETWEEN / LIKE / IS NULL layer.
+    fn predicate(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive_expr()?;
+
+        // `IS [NOT] NULL`
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        // `[NOT] IN / BETWEEN / LIKE`
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            if self.at_keyword("SELECT") {
+                let sub = self.select_statement()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while self.eat_if(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive_expr()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.additive_expr()?;
+            let like = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Like,
+                right: Box::new(pattern),
+            };
+            return Ok(if negated {
+                Expr::Unary { op: UnaryOp::Not, expr: Box::new(like) }
+            } else {
+                like
+            });
+        }
+        if negated {
+            return self.error("expected IN, BETWEEN, or LIKE after NOT");
+        }
+
+        // Plain comparison.
+        if let TokenKind::Operator(op) = self.peek().clone() {
+            let bin_op = match op.as_str() {
+                "=" => Some(BinaryOp::Eq),
+                "<>" => Some(BinaryOp::NotEq),
+                "<" => Some(BinaryOp::Lt),
+                "<=" => Some(BinaryOp::LtEq),
+                ">" => Some(BinaryOp::Gt),
+                ">=" => Some(BinaryOp::GtEq),
+                _ => None,
+            };
+            if let Some(bin_op) = bin_op {
+                self.bump();
+                let right = self.additive_expr()?;
+                return Ok(Expr::Binary { left: Box::new(left), op: bin_op, right: Box::new(right) });
+            }
+        }
+        Ok(left)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Operator(o) if o == "+" => BinaryOp::Add,
+                TokenKind::Operator(o) if o == "-" => BinaryOp::Sub,
+                TokenKind::Operator(o) if o == "||" => BinaryOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative_expr()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Operator(o) if o == "*" => BinaryOp::Mul,
+                TokenKind::Operator(o) if o == "/" => BinaryOp::Div,
+                TokenKind::Operator(o) if o == "%" => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary_expr()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Operator(o) if o == "-") {
+            self.bump();
+            // Fold negation into numeric literals so `-5` templatizes as one
+            // constant rather than `-( ? )`.
+            let inner = self.unary_expr()?;
+            return Ok(match inner {
+                Expr::Literal(Literal::Integer(v)) => Expr::Literal(Literal::Integer(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(text) => {
+                self.bump();
+                if text.contains('.') || text.contains('e') || text.contains('E') {
+                    match text.parse::<f64>() {
+                        Ok(v) => Ok(Expr::Literal(Literal::Float(v))),
+                        Err(_) => self.error(format!("invalid numeric literal `{text}`")),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Ok(Expr::Literal(Literal::Integer(v))),
+                        // Overflowing integers degrade to floats.
+                        Err(_) => match text.parse::<f64>() {
+                            Ok(v) => Ok(Expr::Literal(Literal::Float(v))),
+                            Err(_) => self.error(format!("invalid numeric literal `{text}`")),
+                        },
+                    }
+                }
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Placeholder => {
+                self.bump();
+                Ok(Expr::Placeholder)
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Boolean(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Boolean(false)))
+            }
+            TokenKind::Keyword(k) if k == "EXISTS" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let sub = self.select_statement()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Exists { subquery: Box::new(sub), negated: false })
+            }
+            TokenKind::Keyword(k) if k == "CASE" => self.case_expr(),
+            TokenKind::LParen => {
+                self.bump();
+                if self.at_keyword("SELECT") {
+                    let sub = self.select_statement()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(sub)));
+                }
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Identifier(name) => {
+                self.bump();
+                // Function call?
+                if self.eat_if(&TokenKind::LParen) {
+                    let distinct = self.eat_keyword("DISTINCT");
+                    let mut args = Vec::new();
+                    if !self.eat_if(&TokenKind::RParen) {
+                        if matches!(self.peek(), TokenKind::Operator(o) if o == "*") {
+                            self.bump();
+                            args.push(Expr::Wildcard);
+                        } else {
+                            args.push(self.expr()?);
+                        }
+                        while self.eat_if(&TokenKind::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_lowercase(),
+                        distinct,
+                        args,
+                    });
+                }
+                // Qualified column?
+                if self.eat_if(&TokenKind::Dot) {
+                    if matches!(self.peek(), TokenKind::Operator(o) if o == "*") {
+                        self.bump();
+                        // `t.*` — treat as a wildcard for templating purposes.
+                        return Ok(Expr::Wildcard);
+                    }
+                    let column = self.expect_identifier()?;
+                    return Ok(Expr::Column {
+                        table: Some(name.to_ascii_lowercase()),
+                        column,
+                    });
+                }
+                Ok(Expr::Column { table: None, column: name.to_ascii_lowercase() })
+            }
+            other => self.error(format!("expected expression, found `{other}`")),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_keyword("CASE")?;
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.expr()?;
+            self.expect_keyword("THEN")?;
+            let value = self.expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return self.error("CASE requires at least one WHEN branch");
+        }
+        let else_expr =
+            if self.eat_keyword("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { branches, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> Statement {
+        parse_statement(sql).unwrap_or_else(|e| panic!("parse failed for `{sql}`: {e}"))
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = parse("SELECT a, b FROM t WHERE a = 5");
+        let Statement::Select(sel) = s else { panic!("not a select") };
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.from.as_ref().unwrap().name, "t");
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn select_star() {
+        let s = parse("SELECT * FROM t");
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items[0].expr, Expr::Wildcard);
+    }
+
+    #[test]
+    fn select_with_join_and_aliases() {
+        let s = parse(
+            "SELECT u.name, o.total FROM users AS u \
+             LEFT JOIN orders o ON u.id = o.user_id WHERE o.total > 100.5",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.joins[0].kind, JoinKind::Left);
+        assert_eq!(sel.joins[0].table.alias.as_deref(), Some("o"));
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let s = parse(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept \
+             HAVING COUNT(*) > 3 ORDER BY dept DESC LIMIT 10 OFFSET 5",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by[0].direction, OrderDirection::Desc);
+        assert_eq!(sel.limit, Some(Expr::Literal(Literal::Integer(10))));
+        assert_eq!(sel.offset, Some(Expr::Literal(Literal::Integer(5))));
+    }
+
+    #[test]
+    fn insert_single_row() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 'x')");
+        let Statement::Insert(ins) = s else { panic!() };
+        assert_eq!(ins.columns, vec!["a", "b"]);
+        assert_eq!(ins.rows.len(), 1);
+    }
+
+    #[test]
+    fn insert_batched() {
+        let s = parse("INSERT INTO t (a) VALUES (1), (2), (3)");
+        let Statement::Insert(ins) = s else { panic!() };
+        assert_eq!(ins.rows.len(), 3);
+    }
+
+    #[test]
+    fn insert_column_count_mismatch_rejected() {
+        assert!(parse_statement("INSERT INTO t (a, b) VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn update_with_where() {
+        let s = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 7");
+        let Statement::Update(u) = s else { panic!() };
+        assert_eq!(u.assignments.len(), 2);
+        assert!(u.where_clause.is_some());
+    }
+
+    #[test]
+    fn delete_statement() {
+        let s = parse("DELETE FROM t WHERE ts < 100");
+        let Statement::Delete(d) = s else { panic!() };
+        assert_eq!(d.table, "t");
+    }
+
+    #[test]
+    fn in_list_and_subquery() {
+        let s = parse("SELECT a FROM t WHERE a IN (1, 2, 3)");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(sel.where_clause, Some(Expr::InList { .. })));
+
+        let s = parse("SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE c = 1)");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(sel.where_clause, Some(Expr::InSubquery { .. })));
+    }
+
+    #[test]
+    fn not_in_negated() {
+        let s = parse("SELECT a FROM t WHERE a NOT IN (1)");
+        let Statement::Select(sel) = s else { panic!() };
+        let Some(Expr::InList { negated, .. }) = sel.where_clause else { panic!() };
+        assert!(negated);
+    }
+
+    #[test]
+    fn between_like_isnull() {
+        let s = parse(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND name LIKE 'J%' AND x IS NOT NULL",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        let mut betweens = 0;
+        let mut likes = 0;
+        let mut nulls = 0;
+        sel.where_clause.unwrap().walk(&mut |e| match e {
+            Expr::Between { .. } => betweens += 1,
+            Expr::Binary { op: BinaryOp::Like, .. } => likes += 1,
+            Expr::IsNull { negated: true, .. } => nulls += 1,
+            _ => {}
+        });
+        assert_eq!((betweens, likes, nulls), (1, 1, 1));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c parses as a + (b * c)
+        let s = parse("SELECT a + b * c FROM t");
+        let Statement::Select(sel) = s else { panic!() };
+        let Expr::Binary { op: BinaryOp::Add, right, .. } = &sel.items[0].expr else {
+            panic!("expected top-level Add: {:?}", sel.items[0].expr)
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let s = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+        let Statement::Select(sel) = s else { panic!() };
+        let Some(Expr::Binary { op: BinaryOp::Or, right, .. }) = sel.where_clause else {
+            panic!()
+        };
+        assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn negative_literal_folded() {
+        let s = parse("SELECT a FROM t WHERE a > -5");
+        let Statement::Select(sel) = s else { panic!() };
+        let Some(Expr::Binary { right, .. }) = sel.where_clause else { panic!() };
+        assert_eq!(*right, Expr::Literal(Literal::Integer(-5)));
+    }
+
+    #[test]
+    fn aggregates_and_functions() {
+        let s = parse("SELECT COUNT(*), SUM(x), COALESCE(a, 0) FROM t");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(&sel.items[0].expr, Expr::Function { name, .. } if name == "count"));
+        assert!(matches!(&sel.items[1].expr, Expr::Function { name, .. } if name == "sum"));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = parse("SELECT COUNT(DISTINCT user_id) FROM t");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(&sel.items[0].expr, Expr::Function { distinct: true, .. }));
+    }
+
+    #[test]
+    fn case_expression() {
+        let s = parse("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(&sel.items[0].expr, Expr::Case { .. }));
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let s = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.t_id = t.id)");
+        let Statement::Select(sel) = s else { panic!() };
+        let mut found = false;
+        sel.where_clause.unwrap().walk(&mut |e| {
+            if matches!(e, Expr::Exists { .. }) {
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn placeholders_accepted() {
+        let s = parse("SELECT a FROM t WHERE b = ? AND c IN (?, ?)");
+        let Statement::Select(sel) = s else { panic!() };
+        let mut n = 0;
+        sel.where_clause.unwrap().walk(&mut |e| {
+            if matches!(e, Expr::Placeholder) {
+                n += 1;
+            }
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        let s = parse("SELECT Foo.Bar FROM FOO");
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.as_ref().unwrap().name, "foo");
+        assert_eq!(sel.items[0].expr, Expr::qcol("foo", "bar"));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_statement("SELECT 1;").is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT 1 garbage garbage").is_err());
+        assert!(parse_statement("SELECT 1; SELECT 2").is_err());
+    }
+
+    #[test]
+    fn ddl_rejected() {
+        assert!(parse_statement("CREATE TABLE t (a INT)").is_err());
+        assert!(parse_statement("DROP TABLE t").is_err());
+    }
+
+    #[test]
+    fn tables_includes_subqueries() {
+        let s = parse("SELECT a FROM t WHERE a IN (SELECT b FROM u)");
+        assert_eq!(s.tables(), vec!["t".to_string(), "u".to_string()]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests: the canonical-form law.
+//!
+//! For any statement the parser accepts, `format(parse(s))` must be a fixed
+//! point: re-parsing yields an identical AST and re-formatting yields an
+//! identical string. Statements are generated structurally (random ASTs
+//! rendered to SQL) so the space covers joins, nested predicates, and every
+//! literal kind.
+
+use proptest::prelude::*;
+use qb_sqlparse::{format_statement, parse_statement};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "and" | "or" | "not" | "in" | "between" | "like"
+                | "is" | "null" | "as" | "on" | "join" | "left" | "right" | "inner" | "cross"
+                | "group" | "by" | "having" | "order" | "asc" | "desc" | "limit" | "offset"
+                | "insert" | "into" | "values" | "update" | "set" | "delete" | "true"
+                | "false" | "exists" | "case" | "when" | "then" | "else" | "end" | "outer"
+                | "distinct" | "union" | "all"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| v.to_string()),
+        (0u32..10_000, 1u32..1000).prop_map(|(a, b)| format!("{a}.{b}")),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| format!("'{s}'")),
+        Just("NULL".to_string()),
+        Just("TRUE".to_string()),
+        Just("FALSE".to_string()),
+    ]
+}
+
+fn comparison() -> impl Strategy<Value = String> {
+    (ident(), prop_oneof![
+        Just("="), Just("<"), Just(">"), Just("<="), Just(">="), Just("<>")
+    ], literal())
+        .prop_map(|(c, op, l)| format!("{c} {op} {l}"))
+}
+
+fn predicate() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        comparison(),
+        (ident(), literal(), literal())
+            .prop_map(|(c, a, b)| format!("{c} BETWEEN {a} AND {b}")),
+        (ident(), proptest::collection::vec(literal(), 1..4))
+            .prop_map(|(c, ls)| format!("{c} IN ({})", ls.join(", "))),
+        ident().prop_map(|c| format!("{c} IS NULL")),
+        ident().prop_map(|c| format!("{c} IS NOT NULL")),
+        (ident(), "[a-z%_]{1,6}").prop_map(|(c, p)| format!("{c} LIKE '{p}'")),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("AND"), Just("OR")], inner)
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+fn select_stmt() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(ident(), 1..4),
+        ident(),
+        proptest::option::of(predicate()),
+        proptest::option::of((ident(), prop_oneof![Just("ASC"), Just("DESC")])),
+        proptest::option::of(1u32..100),
+    )
+        .prop_map(|(cols, table, pred, order, limit)| {
+            let mut s = format!("SELECT {} FROM {table}", cols.join(", "));
+            if let Some(p) = pred {
+                s.push_str(&format!(" WHERE {p}"));
+            }
+            if let Some((c, d)) = order {
+                s.push_str(&format!(" ORDER BY {c} {d}"));
+            }
+            if let Some(l) = limit {
+                s.push_str(&format!(" LIMIT {l}"));
+            }
+            s
+        })
+}
+
+fn dml_stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        select_stmt(),
+        (ident(), proptest::collection::vec((ident(), literal()), 1..4))
+            .prop_map(|(t, cols)| {
+                let names: Vec<_> = cols.iter().map(|(c, _)| c.clone()).collect();
+                let vals: Vec<_> = cols.iter().map(|(_, v)| v.clone()).collect();
+                format!("INSERT INTO {t} ({}) VALUES ({})", names.join(", "), vals.join(", "))
+            }),
+        (ident(), ident(), literal(), proptest::option::of(predicate()))
+            .prop_map(|(t, c, v, pred)| {
+                let mut s = format!("UPDATE {t} SET {c} = {v}");
+                if let Some(p) = pred {
+                    s.push_str(&format!(" WHERE {p}"));
+                }
+                s
+            }),
+        (ident(), proptest::option::of(predicate())).prop_map(|(t, pred)| {
+            let mut s = format!("DELETE FROM {t}");
+            if let Some(p) = pred {
+                s.push_str(&format!(" WHERE {p}"));
+            }
+            s
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// format ∘ parse is idempotent and AST-preserving.
+    #[test]
+    fn canonical_form_is_fixed_point(sql in dml_stmt()) {
+        let ast1 = parse_statement(&sql)
+            .unwrap_or_else(|e| panic!("generated SQL must parse: `{sql}`: {e}"));
+        let text1 = format_statement(&ast1);
+        let ast2 = parse_statement(&text1)
+            .unwrap_or_else(|e| panic!("canonical text must re-parse: `{text1}`: {e}"));
+        prop_assert_eq!(&ast1, &ast2, "AST changed: `{}` vs `{}`", sql, text1);
+        let text2 = format_statement(&ast2);
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Upper/lower case and whitespace never change the parsed AST.
+    #[test]
+    fn case_and_space_insensitive(sql in select_stmt()) {
+        let a = parse_statement(&sql).expect("parses");
+        let shouty = sql.to_uppercase();
+        // Uppercasing string literals changes them; skip if quotes present.
+        prop_assume!(!sql.contains('\''));
+        let b = parse_statement(&shouty).expect("uppercase parses");
+        prop_assert_eq!(&a, &b);
+        let spaced = sql.replace(' ', "  ");
+        let c = parse_statement(&spaced).expect("spaced parses");
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// The lexer never panics on arbitrary bytes-as-strings.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in ".{0,120}") {
+        let _ = qb_sqlparse::Lexer::new(&s).tokenize();
+    }
+
+    /// The parser never panics on arbitrary input either.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in ".{0,120}") {
+        let _ = parse_statement(&s);
+    }
+}

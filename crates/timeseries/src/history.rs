@@ -1,0 +1,260 @@
+//! Per-template arrival-rate history with tiered compaction.
+
+use std::collections::BTreeMap;
+
+use crate::{Interval, Minute};
+
+/// How stale records are aggregated into coarser buckets (§4: "the system
+/// aggregates stale arrival rate records into larger intervals to save
+/// storage space").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Records older than this many minutes (relative to the newest record)
+    /// are rolled up.
+    pub raw_retention: i64,
+    /// Bucket width stale records are rolled up into.
+    pub compacted_interval: Interval,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        // Keep one month of raw per-minute data — the Clusterer's feature
+        // window (§5.1) — and roll anything older into hourly buckets, which
+        // is all the KR spike model needs (§6.2).
+        Self {
+            raw_retention: 31 * crate::MINUTES_PER_DAY,
+            compacted_interval: Interval::HOUR,
+        }
+    }
+}
+
+/// The arrival-rate record for one query template.
+///
+/// Counts are stored sparsely: a minute with no arrivals occupies no space.
+/// Two tiers exist — a raw per-minute map for the recent window, and a
+/// compacted map at [`CompactionPolicy::compacted_interval`] granularity for
+/// older history. Reads transparently merge both tiers.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalHistory {
+    /// Recent per-minute counts, keyed by minute.
+    raw: BTreeMap<Minute, u64>,
+    /// Compacted counts, keyed by bucket start.
+    compacted: BTreeMap<Minute, u64>,
+    /// Width of compacted buckets (None until first compaction).
+    compacted_width: Option<Interval>,
+    /// Total arrivals ever recorded.
+    total: u64,
+}
+
+impl ArrivalHistory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` arrivals at minute `t`.
+    pub fn record(&mut self, t: Minute, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.raw.entry(t).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Total arrivals ever recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Timestamp of the most recent arrival (raw or compacted bucket start).
+    pub fn last_seen(&self) -> Option<Minute> {
+        let raw_last = self.raw.keys().next_back().copied();
+        let compacted_last = self.compacted.keys().next_back().copied();
+        raw_last.max(compacted_last)
+    }
+
+    /// Timestamp of the earliest arrival.
+    pub fn first_seen(&self) -> Option<Minute> {
+        let raw_first = self.raw.keys().next().copied();
+        let compacted_first = self.compacted.keys().next().copied();
+        match (raw_first, compacted_first) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of stored entries across both tiers (the storage footprint
+    /// measured in Table 4).
+    pub fn stored_entries(&self) -> usize {
+        self.raw.len() + self.compacted.len()
+    }
+
+    /// Rolls raw records older than the policy's retention window into
+    /// compacted buckets. Idempotent; call periodically.
+    pub fn compact(&mut self, policy: &CompactionPolicy) {
+        let Some(newest) = self.raw.keys().next_back().copied() else { return };
+        let cutoff = newest - policy.raw_retention;
+        if let Some(width) = self.compacted_width {
+            assert_eq!(
+                width, policy.compacted_interval,
+                "compaction interval changed mid-stream"
+            );
+        }
+        self.compacted_width = Some(policy.compacted_interval);
+        // Split off everything strictly older than the cutoff.
+        let keep = self.raw.split_off(&cutoff);
+        let stale = std::mem::replace(&mut self.raw, keep);
+        for (t, c) in stale {
+            let bucket = policy.compacted_interval.bucket_start(t);
+            *self.compacted.entry(bucket).or_insert(0) += c;
+        }
+    }
+
+    /// Total arrivals in the half-open range `[start, end)`.
+    pub fn count_range(&self, start: Minute, end: Minute) -> u64 {
+        let raw: u64 = self.raw.range(start..end).map(|(_, c)| *c).sum();
+        // Compacted buckets are attributed entirely to their start minute;
+        // after compaction sub-bucket resolution is intentionally lost.
+        let compacted: u64 = self.compacted.range(start..end).map(|(_, c)| *c).sum();
+        raw + compacted
+    }
+
+    /// Materializes a dense series over `[start, end)` aggregated at
+    /// `interval`, one `f64` per bucket, zeros where nothing arrived.
+    ///
+    /// This is the input format the Clusterer and Forecaster consume.
+    pub fn dense_series(&self, start: Minute, end: Minute, interval: Interval) -> Vec<f64> {
+        let n = interval.buckets_between(start, end);
+        let mut out = vec![0.0; n];
+        let step = interval.as_minutes();
+        for (&t, &c) in self.raw.range(start..end) {
+            let idx = ((t - start) / step) as usize;
+            out[idx] += c as f64;
+        }
+        for (&t, &c) in self.compacted.range(start..end) {
+            let idx = ((t - start) / step) as usize;
+            out[idx] += c as f64;
+        }
+        out
+    }
+
+    /// Arrival counts sampled at specific minutes, aggregated at `interval`
+    /// around each sample (the Clusterer's feature extraction: "QB5000 takes
+    /// the subset of values at those timestamps to form a vector", §5.1).
+    pub fn sample_at(&self, timestamps: &[Minute], interval: Interval) -> Vec<f64> {
+        timestamps
+            .iter()
+            .map(|&t| {
+                let b = interval.bucket_start(t);
+                self.count_range(b, b + interval.as_minutes()) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut h = ArrivalHistory::new();
+        h.record(5, 3);
+        h.record(5, 2);
+        h.record(9, 1);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count_range(0, 10), 6);
+        assert_eq!(h.count_range(6, 10), 1);
+    }
+
+    #[test]
+    fn zero_count_is_noop() {
+        let mut h = ArrivalHistory::new();
+        h.record(1, 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.stored_entries(), 0);
+    }
+
+    #[test]
+    fn first_last_seen() {
+        let mut h = ArrivalHistory::new();
+        assert_eq!(h.last_seen(), None);
+        h.record(10, 1);
+        h.record(100, 1);
+        assert_eq!(h.first_seen(), Some(10));
+        assert_eq!(h.last_seen(), Some(100));
+    }
+
+    #[test]
+    fn dense_series_minute_buckets() {
+        let mut h = ArrivalHistory::new();
+        h.record(0, 2);
+        h.record(2, 5);
+        assert_eq!(h.dense_series(0, 4, Interval::MINUTE), vec![2.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_series_hour_aggregation() {
+        let mut h = ArrivalHistory::new();
+        h.record(0, 1);
+        h.record(59, 2);
+        h.record(60, 4);
+        assert_eq!(h.dense_series(0, 120, Interval::HOUR), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn compaction_preserves_totals_and_hourly_series() {
+        let mut h = ArrivalHistory::new();
+        // Two days of arrivals, one per minute.
+        for t in 0..2 * crate::MINUTES_PER_DAY {
+            h.record(t, 1);
+        }
+        let before_hourly =
+            h.dense_series(0, 2 * crate::MINUTES_PER_DAY, Interval::HOUR);
+        let policy = CompactionPolicy {
+            raw_retention: crate::MINUTES_PER_DAY,
+            compacted_interval: Interval::HOUR,
+        };
+        let entries_before = h.stored_entries();
+        h.compact(&policy);
+        assert!(h.stored_entries() < entries_before, "compaction should shrink storage");
+        assert_eq!(h.total(), 2 * crate::MINUTES_PER_DAY as u64);
+        // Hourly reads are unaffected because the compacted width divides
+        // the read interval.
+        let after_hourly = h.dense_series(0, 2 * crate::MINUTES_PER_DAY, Interval::HOUR);
+        assert_eq!(before_hourly, after_hourly);
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let mut h = ArrivalHistory::new();
+        for t in 0..3000 {
+            h.record(t, 2);
+        }
+        let policy =
+            CompactionPolicy { raw_retention: 100, compacted_interval: Interval::HOUR };
+        h.compact(&policy);
+        let entries = h.stored_entries();
+        let series = h.dense_series(0, 3000, Interval::HOUR);
+        h.compact(&policy);
+        assert_eq!(h.stored_entries(), entries);
+        assert_eq!(h.dense_series(0, 3000, Interval::HOUR), series);
+    }
+
+    #[test]
+    fn sample_at_uses_bucket() {
+        let mut h = ArrivalHistory::new();
+        h.record(61, 7);
+        h.record(62, 3);
+        // Sampling any minute within the hour bucket [60,120) at hourly
+        // interval returns the full bucket.
+        assert_eq!(h.sample_at(&[75], Interval::HOUR), vec![10.0]);
+        assert_eq!(h.sample_at(&[61], Interval::MINUTE), vec![7.0]);
+        assert_eq!(h.sample_at(&[0, 61], Interval::MINUTE), vec![0.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_history_dense_series_is_zero() {
+        let h = ArrivalHistory::new();
+        assert_eq!(h.dense_series(0, 120, Interval::HOUR), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for arrival-history storage and metrics.
+
+use proptest::prelude::*;
+use qb_timeseries::{
+    expm1_series, log1p_series, mse_log_space, ArrivalHistory, CompactionPolicy, Interval,
+};
+
+fn records() -> impl Strategy<Value = Vec<(i64, u64)>> {
+    proptest::collection::vec((0i64..50_000, 1u64..100), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total count equals the sum of recorded counts, before and after
+    /// compaction, at any read interval.
+    #[test]
+    fn totals_survive_compaction(recs in records(), retention in 10i64..5_000) {
+        let mut h = ArrivalHistory::new();
+        let expected: u64 = recs.iter().map(|(_, c)| c).sum();
+        for (t, c) in &recs {
+            h.record(*t, *c);
+        }
+        prop_assert_eq!(h.total(), expected);
+        prop_assert_eq!(h.count_range(0, 50_000), expected);
+
+        let policy = CompactionPolicy { raw_retention: retention, compacted_interval: Interval::HOUR };
+        h.compact(&policy);
+        prop_assert_eq!(h.total(), expected);
+        prop_assert_eq!(h.count_range(0, 50_000), expected);
+
+        // Hourly reads agree with the raw series summed per hour.
+        let dense = h.dense_series(0, 50_000, Interval::HOUR);
+        prop_assert!((dense.iter().sum::<f64>() - expected as f64).abs() < 1e-6);
+    }
+
+    /// Dense series at any interval sums to the range total.
+    #[test]
+    fn dense_series_sums_match(recs in records(), k in 1i64..500) {
+        let mut h = ArrivalHistory::new();
+        for (t, c) in &recs {
+            h.record(*t, *c);
+        }
+        let interval = Interval::minutes(k);
+        let dense = h.dense_series(0, 50_000, interval);
+        let total: f64 = dense.iter().sum();
+        prop_assert!((total - h.count_range(0, 50_000) as f64).abs() < 1e-6);
+    }
+
+    /// Compaction never loses first/last-seen ordering information beyond
+    /// bucket granularity.
+    #[test]
+    fn compaction_preserves_bounds(recs in records()) {
+        prop_assume!(!recs.is_empty());
+        let mut h = ArrivalHistory::new();
+        for (t, c) in &recs {
+            h.record(*t, *c);
+        }
+        let first = h.first_seen().expect("non-empty");
+        let last = h.last_seen().expect("non-empty");
+        let policy = CompactionPolicy { raw_retention: 60, compacted_interval: Interval::HOUR };
+        h.compact(&policy);
+        let f2 = h.first_seen().expect("still non-empty");
+        let l2 = h.last_seen().expect("still non-empty");
+        // Bucket starts may round down by at most an hour.
+        prop_assert!(f2 <= first && first - f2 < 60);
+        prop_assert!(l2 <= last && last - l2 < 60);
+    }
+
+    /// Interval bucket arithmetic: every timestamp lands in exactly the
+    /// bucket whose start it floors to.
+    #[test]
+    fn bucket_start_consistent(t in -100_000i64..100_000, k in 1i64..10_000) {
+        let iv = Interval::minutes(k);
+        let b = iv.bucket_start(t);
+        prop_assert!(b <= t);
+        prop_assert!(t - b < k);
+        prop_assert_eq!(b.rem_euclid(k), 0, "bucket start aligned to the interval");
+        prop_assert_eq!(iv.bucket_start(b), b, "bucket starts are fixed points");
+    }
+
+    /// log1p/expm1 are inverse on the valid domain.
+    #[test]
+    fn log_roundtrip(xs in proptest::collection::vec(0.0f64..1e9, 1..50)) {
+        let back = expm1_series(&log1p_series(&xs));
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// MSE in log space is non-negative and zero iff series are equal.
+    #[test]
+    fn mse_nonnegative(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        prop_assert_eq!(mse_log_space(&xs, &xs), 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|v| v + 1.0).collect();
+        prop_assert!(mse_log_space(&xs, &shifted) > 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The Admissions trace (§2.1): a graduate-admissions portal.
+//!
+//! "Students submit their application materials to programs in different
+//! departments. Faculties review the applications after the deadline."
+//! Applicant traffic follows the growth-and-spike pattern of Figure 1b —
+//! volume swells toward the **Dec 1** and **Dec 15** deadlines and repeats
+//! every year (the property KR exploits in §7.3) — while faculty-review
+//! traffic switches on after the deadlines. The mix is overwhelmingly
+//! SELECT (Table 1: 99.8 %).
+
+use rand::Rng;
+
+use crate::pattern::{daily_cycle, deadline_growth};
+use crate::trace::{TemplateSpec, TraceConfig, TraceGenerator};
+use crate::day_of_year;
+
+/// Day-of-year (0-based, non-leap) of the two application deadlines.
+pub const DEADLINE_DEC_1: f64 = 334.0;
+pub const DEADLINE_DEC_15: f64 = 348.0;
+
+/// Builds the Admissions generator.
+pub fn generator(cfg: TraceConfig) -> TraceGenerator {
+    let mut templates = Vec::new();
+
+    // Applicant-facing rate: diurnal cycle × two annual deadline ramps.
+    // 30-day lead, ~12× growth at the deadline (Figure 1b's final-two-day
+    // surge comes from the superlinear ramp shape).
+    let applicant_rate = || -> crate::pattern::RateFn {
+        let cycle = daily_cycle(0.25, 0.7, 0.9);
+        let d1 = deadline_growth(DEADLINE_DEC_1, 30.0, 12.0);
+        let d2 = deadline_growth(DEADLINE_DEC_15, 30.0, 12.0);
+        Box::new(move |t| cycle(t) * (d1(t) + d2(t) - 1.0).max(0.05))
+    };
+
+    let applicant = |weight: f64,
+                     make: Box<dyn Fn(&mut rand::rngs::SmallRng, i64) -> String + Send + Sync>| {
+        TemplateSpec { make_sql: make, weight, rate: applicant_rate() }
+    };
+
+    // Application status check — the single hottest query.
+    templates.push(applicant(
+        34.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT app_id, status, updated_at FROM applications \
+                 WHERE student_id = {} ORDER BY updated_at DESC",
+                rng.gen_range(1..200_000)
+            )
+        }),
+    ));
+
+    // Program browsing.
+    templates.push(applicant(
+        22.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT p.program_id, p.name, d.dept_name FROM programs AS p \
+                 JOIN departments AS d ON p.dept_id = d.dept_id WHERE p.program_id = {}",
+                rng.gen_range(1..300)
+            )
+        }),
+    ));
+
+    // Requirements checklist.
+    templates.push(applicant(
+        15.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT req_id, description, required FROM requirements WHERE program_id = {}",
+                rng.gen_range(1..300)
+            )
+        }),
+    ));
+
+    // Uploaded-document listing.
+    templates.push(applicant(
+        12.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT doc_id, kind, uploaded_at FROM documents \
+                 WHERE app_id = {} AND deleted = FALSE",
+                rng.gen_range(1..400_000)
+            )
+        }),
+    ));
+
+    // Recommendation-letter status.
+    templates.push(applicant(
+        8.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT letter_id, recommender_email, received FROM letters WHERE app_id = {}",
+                rng.gen_range(1..400_000)
+            )
+        }),
+    ));
+
+    // Account/session reads.
+    templates.push(applicant(
+        7.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT student_id, email, verified FROM students WHERE email = 'user{}@example.edu'",
+                rng.gen_range(1..200_000)
+            )
+        }),
+    ));
+
+    // Deadline countdown widget (aggregation).
+    templates.push(applicant(
+        3.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT COUNT(*) FROM applications WHERE program_id = {} AND status = 'submitted'",
+                rng.gen_range(1..300)
+            )
+        }),
+    ));
+
+    // Writes: material saves, submissions, document uploads. Small weights
+    // keep the Table 1 mix (~0.2 % combined).
+    templates.push(applicant(
+        0.09,
+        Box::new(|rng, t| {
+            format!(
+                "UPDATE applications SET essay_draft = 'draft-{}', updated_at = {} WHERE app_id = {}",
+                rng.gen_range(1..1_000_000),
+                t,
+                rng.gen_range(1..400_000)
+            )
+        }),
+    ));
+    templates.push(applicant(
+        0.05,
+        Box::new(|rng, t| {
+            format!(
+                "INSERT INTO documents (app_id, kind, blob_ref, uploaded_at) \
+                 VALUES ({}, 'transcript', 'blob-{}', {})",
+                rng.gen_range(1..400_000),
+                rng.gen_range(1..1_000_000),
+                t
+            )
+        }),
+    ));
+    templates.push(applicant(
+        0.04,
+        Box::new(|rng, t| {
+            format!(
+                "INSERT INTO applications (student_id, program_id, status, created_at) \
+                 VALUES ({}, {}, 'draft', {})",
+                rng.gen_range(1..200_000),
+                rng.gen_range(1..300),
+                t
+            )
+        }),
+    ));
+    templates.push(applicant(
+        0.02,
+        Box::new(|rng, _| {
+            format!("DELETE FROM documents WHERE doc_id = {}", rng.gen_range(1..1_000_000))
+        }),
+    ));
+
+    // Faculty review traffic: active in the weeks *after* the Dec 15
+    // deadline (day 349 → mid-February), office hours only.
+    let review_rate = || -> crate::pattern::RateFn {
+        let cycle = daily_cycle(0.1, 0.9, 0.4);
+        Box::new(move |t| {
+            let doy = day_of_year(t);
+            let in_season = !(46.0..349.0).contains(&doy);
+            if in_season {
+                cycle(t)
+            } else {
+                0.02 * cycle(t)
+            }
+        })
+    };
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "SELECT a.app_id, a.status, s.email FROM applications AS a \
+                 JOIN students AS s ON a.student_id = s.student_id \
+                 WHERE a.program_id = {} AND a.status = 'submitted' \
+                 ORDER BY a.created_at LIMIT 25",
+                rng.gen_range(1..300)
+            )
+        }),
+        weight: 4.0,
+        rate: review_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "SELECT review_id, score, comments FROM reviews \
+                 WHERE app_id = {} AND reviewer_id = {}",
+                rng.gen_range(1..400_000),
+                rng.gen_range(1..900)
+            )
+        }),
+        weight: 2.5,
+        rate: review_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!(
+                "INSERT INTO reviews (app_id, reviewer_id, score, created_at) \
+                 VALUES ({}, {}, {}, {})",
+                rng.gen_range(1..400_000),
+                rng.gen_range(1..900),
+                rng.gen_range(1..6),
+                t
+            )
+        }),
+        weight: 0.03,
+        rate: review_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!(
+                "UPDATE applications SET status = 'decided', decided_at = {} WHERE app_id = {}",
+                t,
+                rng.gen_range(1..400_000)
+            )
+        }),
+        weight: 0.02,
+        rate: review_rate(),
+    });
+
+    TraceGenerator::new(templates, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_timeseries::MINUTES_PER_DAY;
+
+    #[test]
+    fn all_sql_parses() {
+        let cfg = TraceConfig { start: 0, days: 3, scale: 0.2, seed: 21 };
+        for ev in generator(cfg).take(3000) {
+            qb_sqlparse::parse_statement(&ev.sql)
+                .unwrap_or_else(|e| panic!("unparseable `{}`: {e}", ev.sql));
+        }
+    }
+
+    #[test]
+    fn volume_grows_into_deadline() {
+        let cfg = TraceConfig { start: 0, days: 1, scale: 1.0, seed: 22 };
+        let g = generator(cfg);
+        // Compare noon expected rates: Nov 1 (day 304) vs Nov 30 (day 333).
+        let nov1 = 304 * MINUTES_PER_DAY + 12 * 60;
+        let nov30 = 333 * MINUTES_PER_DAY + 12 * 60;
+        let far = g.expected_rate(nov1);
+        let near = g.expected_rate(nov30);
+        assert!(near > far * 4.0, "deadline growth: {far} → {near}");
+    }
+
+    #[test]
+    fn spike_repeats_annually() {
+        let cfg = TraceConfig { start: 0, days: 1, scale: 1.0, seed: 23 };
+        let g = generator(cfg);
+        let dec1_2016 = 334 * MINUTES_PER_DAY + 12 * 60;
+        let dec1_2017 = dec1_2016 + crate::MINUTES_PER_YEAR;
+        let a = g.expected_rate(dec1_2016);
+        let b = g.expected_rate(dec1_2017);
+        assert!((a - b).abs() / a < 1e-9, "annual repetition: {a} vs {b}");
+    }
+
+    #[test]
+    fn review_traffic_follows_deadline() {
+        let cfg = TraceConfig { start: 0, days: 1, scale: 1.0, seed: 24 };
+        let g = generator(cfg);
+        // Review queries are zero-ish in October, active in January.
+        // Use the full expected rate deltas at 09:00.
+        let oct = 280 * MINUTES_PER_DAY + 9 * 60;
+        let jan = (365 + 10) * MINUTES_PER_DAY + 9 * 60;
+        // January has review season but no deadline surge; October has
+        // neither. January morning must exceed October morning.
+        assert!(g.expected_rate(jan) > g.expected_rate(oct));
+    }
+
+    #[test]
+    fn select_share_matches_table1() {
+        let cfg = TraceConfig { start: 300 * MINUTES_PER_DAY, days: 4, scale: 0.3, seed: 25 };
+        let mut selects = 0u64;
+        let mut total = 0u64;
+        for ev in generator(cfg) {
+            total += ev.count;
+            if ev.sql.starts_with("SELECT") {
+                selects += ev.count;
+            }
+        }
+        assert!(selects as f64 / total as f64 > 0.99, "{selects}/{total}");
+    }
+}

@@ -1,0 +1,293 @@
+//! The BusTracker trace (§2.1): live transit tracking.
+//!
+//! "It ingests bus location information at regular intervals from the
+//! transit system, and then helps users find nearby bus stops and get route
+//! information." Rider-facing queries follow the daily commuter cycle of
+//! Figure 1a (morning + evening rush, quieter weekends); ingest writes are
+//! steady; maintenance deletes run overnight. The query-type mix tracks
+//! Table 1's PostgreSQL column (~98 % SELECT, ~0.8 % INSERT, ~1 % UPDATE,
+//! ~0.2 % DELETE).
+
+use rand::Rng;
+
+use crate::pattern::{daily_cycle, weekday_factor};
+use crate::trace::{TemplateSpec, TraceConfig, TraceGenerator};
+use crate::hour_of_day;
+
+/// Builds the BusTracker generator.
+pub fn generator(cfg: TraceConfig) -> TraceGenerator {
+    let mut templates = Vec::new();
+
+    // Rider-facing traffic: daily cycle with rush peaks, weekend dip.
+    let rider = |weight: f64, make: Box<dyn Fn(&mut rand::rngs::SmallRng, i64) -> String + Send + Sync>| {
+        let cycle = daily_cycle(0.15, 1.0, 0.85);
+        let wk = weekday_factor(0.55);
+        TemplateSpec { make_sql: make, weight, rate: Box::new(move |t| cycle(t) * wk(t)) }
+    };
+
+    // The workhorse: nearby-stop search.
+    templates.push(rider(
+        30.0,
+        Box::new(|rng, _| {
+            let lat = 40.40 + rng.gen_range(0..500) as f64 * 1e-4;
+            let lon = -79.99 + rng.gen_range(0..500) as f64 * 1e-4;
+            format!(
+                "SELECT stop_id, stop_name, lat, lon FROM stops \
+                 WHERE lat BETWEEN {:.4} AND {:.4} AND lon BETWEEN {:.4} AND {:.4}",
+                lat - 0.01,
+                lat + 0.01,
+                lon - 0.01,
+                lon + 0.01
+            )
+        }),
+    ));
+
+    // ETA lookup for a stop+route.
+    templates.push(rider(
+        26.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT eta_seconds, bus_id FROM predictions \
+                 WHERE stop_id = {} AND route_id = {} ORDER BY eta_seconds LIMIT 3",
+                rng.gen_range(1..2000),
+                rng.gen_range(1..90)
+            )
+        }),
+    ));
+
+    // Live positions along a route.
+    templates.push(rider(
+        18.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT bus_id, lat, lon, heading FROM positions \
+                 WHERE route_id = {} ORDER BY recorded_at DESC LIMIT 8",
+                rng.gen_range(1..90)
+            )
+        }),
+    ));
+
+    // Route metadata.
+    templates.push(rider(
+        9.0,
+        Box::new(|rng, _| {
+            format!("SELECT route_id, route_name, color FROM routes WHERE route_id = {}", rng.gen_range(1..90))
+        }),
+    ));
+
+    // Stops served by a route.
+    templates.push(rider(
+        7.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT s.stop_id, s.stop_name, rs.seq FROM stops AS s \
+                 JOIN route_stops AS rs ON s.stop_id = rs.stop_id \
+                 WHERE rs.route_id = {} ORDER BY rs.seq",
+                rng.gen_range(1..90)
+            )
+        }),
+    ));
+
+    // Scheduled departures at a stop.
+    templates.push(rider(
+        6.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT trip_id, depart_time FROM schedule \
+                 WHERE stop_id = {} AND service_day = {} AND depart_time > {} \
+                 ORDER BY depart_time LIMIT 10",
+                rng.gen_range(1..2000),
+                rng.gen_range(0..7),
+                rng.gen_range(0..86_400)
+            )
+        }),
+    ));
+
+    // User favorites (dashboard load).
+    templates.push(rider(
+        5.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT f.stop_id, s.stop_name FROM favorites AS f \
+                 JOIN stops AS s ON f.stop_id = s.stop_id WHERE f.user_id = {}",
+                rng.gen_range(1..100_000)
+            )
+        }),
+    ));
+
+    // Service alerts.
+    templates.push(rider(
+        3.0,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT alert_id, message, severity FROM alerts \
+                 WHERE route_id = {} AND expires_at > {} ORDER BY severity DESC",
+                rng.gen_range(1..90),
+                rng.gen_range(0..1_000_000)
+            )
+        }),
+    ));
+
+    // Trip detail page.
+    templates.push(rider(
+        2.5,
+        Box::new(|rng, _| {
+            format!(
+                "SELECT t.trip_id, t.headsign, v.capacity FROM trips AS t \
+                 JOIN vehicles AS v ON t.vehicle_id = v.vehicle_id WHERE t.trip_id = {}",
+                rng.gen_range(1..50_000)
+            )
+        }),
+    ));
+
+    // Session touch (rider activity, UPDATE share of the mix).
+    templates.push(rider(
+        1.0,
+        Box::new(|rng, _| {
+            format!(
+                "UPDATE sessions SET last_seen = {}, hits = hits + 1 WHERE session_id = {}",
+                rng.gen_range(0..1_000_000),
+                rng.gen_range(1..500_000)
+            )
+        }),
+    ));
+
+    // Favorite add/remove (small INSERT/DELETE share, rider-shaped).
+    templates.push(rider(
+        0.12,
+        Box::new(|rng, _| {
+            format!(
+                "INSERT INTO favorites (user_id, stop_id, created_at) VALUES ({}, {}, {})",
+                rng.gen_range(1..100_000),
+                rng.gen_range(1..2000),
+                rng.gen_range(0..1_000_000)
+            )
+        }),
+    ));
+    templates.push(rider(
+        0.10,
+        Box::new(|rng, _| {
+            format!(
+                "DELETE FROM favorites WHERE user_id = {} AND stop_id = {}",
+                rng.gen_range(1..100_000),
+                rng.gen_range(1..2000)
+            )
+        }),
+    ));
+
+    // Steady machine traffic: position ingest from the transit feed, every
+    // interval regardless of hour ("ingests bus location information at
+    // regular intervals").
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!(
+                "INSERT INTO positions (bus_id, route_id, lat, lon, heading, recorded_at) \
+                 VALUES ({}, {}, {:.5}, {:.5}, {}, {})",
+                rng.gen_range(1..400),
+                rng.gen_range(1..90),
+                40.4 + rng.gen_range(0..1000) as f64 * 1e-5,
+                -80.0 + rng.gen_range(0..1000) as f64 * 1e-5,
+                rng.gen_range(0..360),
+                t
+            )
+        }),
+        weight: 0.55,
+        rate: Box::new(|_| 1.0),
+    });
+
+    // Prediction refresh (steady UPDATE).
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "UPDATE predictions SET eta_seconds = {}, updated_at = {} \
+                 WHERE stop_id = {} AND route_id = {}",
+                rng.gen_range(30..3600),
+                rng.gen_range(0..1_000_000),
+                rng.gen_range(1..2000),
+                rng.gen_range(1..90)
+            )
+        }),
+        weight: 0.35,
+        rate: Box::new(|_| 1.0),
+    });
+
+    // Overnight maintenance: purge stale positions between 02:00–04:00.
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!("DELETE FROM positions WHERE recorded_at < {}", t - rng.gen_range(80_000..100_000))
+        }),
+        weight: 0.6,
+        rate: Box::new(|t| {
+            let h = hour_of_day(t);
+            if (2.0..4.0).contains(&h) {
+                1.0
+            } else {
+                0.0
+            }
+        }),
+    });
+
+    TraceGenerator::new(templates, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_timeseries::MINUTES_PER_DAY;
+
+    fn small() -> TraceConfig {
+        TraceConfig { start: 0, days: 3, scale: 0.3, seed: 11 }
+    }
+
+    #[test]
+    fn all_sql_parses() {
+        for ev in generator(small()).take(3000) {
+            qb_sqlparse::parse_statement(&ev.sql)
+                .unwrap_or_else(|e| panic!("unparseable `{}`: {e}", ev.sql));
+        }
+    }
+
+    #[test]
+    fn select_dominates_mix() {
+        let mut selects = 0u64;
+        let mut total = 0u64;
+        for ev in generator(small()) {
+            total += ev.count;
+            if ev.sql.starts_with("SELECT") {
+                selects += ev.count;
+            }
+        }
+        let frac = selects as f64 / total as f64;
+        assert!(frac > 0.90, "SELECT fraction {frac} too low (Table 1: ~98%)");
+    }
+
+    #[test]
+    fn rush_hours_peak() {
+        let g = generator(small());
+        // Expected rate at 08:00 vs 03:00 on a weekday (day 3 = Monday).
+        let monday = 3 * MINUTES_PER_DAY;
+        let rush = g.expected_rate(monday + 8 * 60);
+        let night = g.expected_rate(monday + 3 * 60);
+        assert!(rush > night * 2.5, "rush {rush} vs night {night}");
+    }
+
+    #[test]
+    fn weekend_quieter_than_weekday() {
+        let g = generator(small());
+        let saturday_noon = MINUTES_PER_DAY + 12 * 60; // day 1 = Saturday
+        let monday_noon = 3 * MINUTES_PER_DAY + 12 * 60;
+        assert!(g.expected_rate(monday_noon) > g.expected_rate(saturday_noon) * 1.3);
+    }
+
+    #[test]
+    fn maintenance_only_overnight() {
+        let events: Vec<_> = generator(TraceConfig { days: 2, ..small() })
+            .filter(|e| e.sql.starts_with("DELETE FROM positions"))
+            .collect();
+        assert!(!events.is_empty(), "maintenance deletes should appear");
+        for e in &events {
+            let h = hour_of_day(e.minute);
+            assert!((2.0..4.0).contains(&h), "delete at hour {h}");
+        }
+    }
+}

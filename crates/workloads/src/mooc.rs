@@ -1,0 +1,273 @@
+//! The MOOC trace (§2.1): an online-course platform.
+//!
+//! "Instructors can upload their course materials, and students can check
+//! out the course content and submit their course assignments." MOOC is
+//! the *workload evolution* exemplar (Figure 1c): the set of distinct
+//! queries grows over the trace as instructors launch new courses and the
+//! organization ships new features — modeled as template *cohorts* that
+//! activate at staggered times, including one large feature-release burst.
+
+use rand::Rng;
+
+use crate::pattern::{daily_cycle, step_after, weekday_factor};
+use crate::trace::{TemplateSpec, TraceConfig, TraceGenerator};
+use qb_timeseries::MINUTES_PER_DAY;
+
+/// Day (relative to trace start) of the big feature release that causes
+/// Figure 1c's early-May shift.
+pub const FEATURE_RELEASE_DAY: i64 = 30;
+
+/// Builds the MOOC generator.
+pub fn generator(cfg: TraceConfig) -> TraceGenerator {
+    let mut templates = Vec::new();
+
+    let student_rate = || -> crate::pattern::RateFn {
+        let cycle = daily_cycle(0.3, 0.5, 1.0);
+        let wk = weekday_factor(0.8);
+        Box::new(move |t| cycle(t) * wk(t))
+    };
+
+    // --- Core templates, live from day one. ---
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "SELECT course_id, title, instructor_id FROM courses \
+                 WHERE published = TRUE AND category = {} ORDER BY enrolled DESC LIMIT 20",
+                rng.gen_range(1..40)
+            )
+        }),
+        weight: 14.0,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "SELECT m.module_id, m.title, m.video_ref FROM modules AS m \
+                 WHERE m.course_id = {} ORDER BY m.seq",
+                rng.gen_range(1..5000)
+            )
+        }),
+        weight: 18.0,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "SELECT e.course_id, c.title, e.progress FROM enrollments AS e \
+                 JOIN courses AS c ON e.course_id = c.course_id WHERE e.user_id = {}",
+                rng.gen_range(1..500_000)
+            )
+        }),
+        weight: 10.0,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!(
+                "SELECT a.assignment_id, a.due_at, s.grade FROM assignments AS a \
+                 LEFT JOIN submissions AS s ON a.assignment_id = s.assignment_id \
+                 WHERE a.course_id = {} AND s.user_id = {}",
+                rng.gen_range(1..5000),
+                rng.gen_range(1..500_000)
+            )
+        }),
+        weight: 7.0,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!(
+                "INSERT INTO submissions (assignment_id, user_id, payload_ref, submitted_at) \
+                 VALUES ({}, {}, 'blob-{}', {})",
+                rng.gen_range(1..60_000),
+                rng.gen_range(1..500_000),
+                rng.gen_range(1..10_000_000),
+                t
+            )
+        }),
+        weight: 1.2,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!(
+                "UPDATE enrollments SET progress = {}, last_active = {} \
+                 WHERE user_id = {} AND course_id = {}",
+                rng.gen_range(0..101),
+                t,
+                rng.gen_range(1..500_000),
+                rng.gen_range(1..5000)
+            )
+        }),
+        weight: 3.0,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, t| {
+            format!(
+                "INSERT INTO enrollments (user_id, course_id, enrolled_at, progress) \
+                 VALUES ({}, {}, {}, 0)",
+                rng.gen_range(1..500_000),
+                rng.gen_range(1..5000),
+                t
+            )
+        }),
+        weight: 0.8,
+        rate: student_rate(),
+    });
+    templates.push(TemplateSpec {
+        make_sql: Box::new(|rng, _| {
+            format!("DELETE FROM sessions WHERE expires_at < {}", rng.gen_range(0..10_000_000))
+        }),
+        weight: 0.4,
+        rate: Box::new(|_| 1.0),
+    });
+
+    // --- Instructor cohorts: a new course launch every ~9 days brings a
+    // fresh set of queries against course-specific structures. ---
+    let cohort_days = [5i64, 14, 23, 41, 50, 59, 68, 77];
+    for (k, &day) in cohort_days.iter().enumerate() {
+        let activate = cfg.start + day * MINUTES_PER_DAY;
+        let table = format!("course_forum_{k}");
+        let quiz_table = format!("quiz_bank_{k}");
+        {
+            let table = table.clone();
+            let gate = step_after(activate);
+            let cycle = daily_cycle(0.2, 0.4, 0.8);
+            templates.push(TemplateSpec {
+                make_sql: Box::new(move |rng, _| {
+                    format!(
+                        "SELECT post_id, author_id, body FROM {table} \
+                         WHERE thread_id = {} ORDER BY created_at DESC LIMIT 15",
+                        rng.gen_range(1..3000)
+                    )
+                }),
+                weight: 2.2,
+                rate: Box::new(move |t| gate(t) * cycle(t)),
+            });
+        }
+        {
+            let gate = step_after(activate);
+            let cycle = daily_cycle(0.2, 0.4, 0.8);
+            templates.push(TemplateSpec {
+                make_sql: Box::new(move |rng, t| {
+                    format!(
+                        "INSERT INTO {table} (thread_id, author_id, body, created_at) \
+                         VALUES ({}, {}, 'post-{}', {})",
+                        rng.gen_range(1..3000),
+                        rng.gen_range(1..500_000),
+                        rng.gen_range(1..1_000_000),
+                        t
+                    )
+                }),
+                weight: 0.25,
+                rate: Box::new(move |t| gate(t) * cycle(t)),
+            });
+        }
+        {
+            let gate = step_after(activate);
+            let cycle = daily_cycle(0.15, 0.3, 0.6);
+            templates.push(TemplateSpec {
+                make_sql: Box::new(move |rng, _| {
+                    format!(
+                        "SELECT question_id, prompt, answer_key FROM {quiz_table} \
+                         WHERE difficulty BETWEEN {} AND {}",
+                        rng.gen_range(1..3),
+                        rng.gen_range(3..6)
+                    )
+                }),
+                weight: 1.1,
+                rate: Box::new(move |t| gate(t) * cycle(t)),
+            });
+        }
+    }
+
+    // --- The feature release (Figure 1c's "New Release"): a burst of new
+    // functionality — live sessions, peer review, certificates — shifting
+    // the workload mixture. ---
+    let release = cfg.start + FEATURE_RELEASE_DAY * MINUTES_PER_DAY;
+    let feature_specs: Vec<(f64, &str)> = vec![
+        (6.0, "SELECT session_id, starts_at, capacity FROM live_sessions WHERE course_id = $C AND starts_at > $T ORDER BY starts_at LIMIT 5"),
+        (3.5, "SELECT r.review_id, r.score FROM peer_reviews AS r WHERE r.submission_id = $S"),
+        (2.0, "INSERT INTO peer_reviews (submission_id, reviewer_id, score, created_at) VALUES ($S, $U, $G, $T)"),
+        (2.5, "SELECT cert_id, issued_at FROM certificates WHERE user_id = $U AND course_id = $C"),
+        (1.0, "INSERT INTO certificates (user_id, course_id, issued_at) VALUES ($U, $C, $T)"),
+        (3.0, "SELECT badge_id, kind FROM badges WHERE user_id = $U ORDER BY earned_at DESC"),
+    ];
+    for (weight, shape) in feature_specs {
+        let gate = step_after(release);
+        let cycle = daily_cycle(0.3, 0.5, 1.0);
+        let shape = shape.to_string();
+        templates.push(TemplateSpec {
+            make_sql: Box::new(move |rng, t| {
+                shape
+                    .replace("$C", &rng.gen_range(1..5000).to_string())
+                    .replace("$S", &rng.gen_range(1..2_000_000).to_string())
+                    .replace("$U", &rng.gen_range(1..500_000).to_string())
+                    .replace("$G", &rng.gen_range(1..11).to_string())
+                    .replace("$T", &t.to_string())
+            }),
+            weight,
+            rate: Box::new(move |t| gate(t) * cycle(t)),
+        });
+    }
+
+    TraceGenerator::new(templates, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn cfg(days: u32) -> TraceConfig {
+        TraceConfig { start: 0, days, scale: 0.2, seed: 31 }
+    }
+
+    #[test]
+    fn all_sql_parses() {
+        for ev in generator(cfg(40)).take(5000) {
+            qb_sqlparse::parse_statement(&ev.sql)
+                .unwrap_or_else(|e| panic!("unparseable `{}`: {e}", ev.sql));
+        }
+    }
+
+    #[test]
+    fn distinct_templates_grow_over_time() {
+        // Count distinct templates (via real templating) by day 4 vs day 40.
+        let mut by_day4 = HashSet::new();
+        let mut by_day40 = HashSet::new();
+        for ev in generator(cfg(40)) {
+            let stmt = qb_sqlparse::parse_statement(&ev.sql).expect("valid SQL");
+            let templ = qb_preprocessor::templatize(&stmt).text;
+            if ev.minute < 4 * MINUTES_PER_DAY {
+                by_day4.insert(templ.clone());
+            }
+            by_day40.insert(templ);
+        }
+        assert!(
+            by_day40.len() >= by_day4.len() + 10,
+            "workload evolution: {} → {}",
+            by_day4.len(),
+            by_day40.len()
+        );
+    }
+
+    #[test]
+    fn feature_release_adds_burst_of_new_queries() {
+        let release = FEATURE_RELEASE_DAY * MINUTES_PER_DAY;
+        let mut seen_before = false;
+        let mut seen_after = false;
+        for ev in generator(cfg(35)) {
+            if ev.sql.contains("live_sessions") {
+                if ev.minute < release {
+                    seen_before = true;
+                } else {
+                    seen_after = true;
+                }
+            }
+        }
+        assert!(!seen_before, "feature queries must not appear before the release");
+        assert!(seen_after, "feature queries must appear after the release");
+    }
+}

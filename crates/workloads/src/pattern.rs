@@ -1,0 +1,136 @@
+//! Composable arrival-rate pattern functions (§2.2).
+//!
+//! A rate function maps a minute timestamp to an expected queries-per-minute
+//! intensity; generators multiply a template's weight by its group's rate
+//! and Poisson-sample the actual count.
+
+use qb_timeseries::Minute;
+
+use crate::{day_of_week, day_of_year, hour_of_day};
+
+/// A deterministic arrival-rate intensity function.
+pub type RateFn = Box<dyn Fn(Minute) -> f64 + Send + Sync>;
+
+/// The human daily cycle of Figure 1a: a low overnight base with Gaussian
+/// bumps at the morning and evening rush hours.
+///
+/// `base` is the overnight floor (relative units); the peaks reach
+/// `base + am + pm` contributions.
+pub fn daily_cycle(base: f64, am_peak: f64, pm_peak: f64) -> impl Fn(Minute) -> f64 {
+    move |t| {
+        let h = hour_of_day(t);
+        let bump = |center: f64, width: f64, height: f64| {
+            let d = (h - center).abs().min(24.0 - (h - center).abs());
+            height * (-d * d / (2.0 * width * width)).exp()
+        };
+        // Broad daytime swell plus the two rush peaks.
+        base + bump(13.0, 4.5, base * 1.5) + bump(8.0, 1.2, am_peak) + bump(17.5, 1.5, pm_peak)
+    }
+}
+
+/// Weekday/weekend modulation: weekdays 1.0, weekends `weekend` (< 1 for
+/// commuter apps like BusTracker).
+pub fn weekday_factor(weekend: f64) -> impl Fn(Minute) -> f64 {
+    move |t| {
+        let dow = day_of_week(t);
+        if dow == 5 || dow == 6 {
+            weekend
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The growth-and-spike pattern of Figure 1b: volume rises exponentially as
+/// a recurring annual deadline (day-of-year `deadline_doy`) approaches,
+/// spikes on the final days, then collapses.
+///
+/// * `lead_days` — how long before the deadline growth becomes visible;
+/// * `growth` — multiplier at the deadline relative to the base (the
+///   Admissions trace grows ~10× in the final two days).
+pub fn deadline_growth(deadline_doy: f64, lead_days: f64, growth: f64) -> impl Fn(Minute) -> f64 {
+    move |t| {
+        let doy = day_of_year(t);
+        // Days until the deadline, wrapping the year boundary.
+        let mut until = deadline_doy - doy;
+        if until < -2.0 {
+            until += 365.0;
+        }
+        if until > lead_days || until < -2.0 {
+            return 1.0;
+        }
+        if until >= 0.0 {
+            // Exponential ramp: 1 at lead_days out, `growth` at zero.
+            let frac = 1.0 - until / lead_days;
+            growth.powf(frac * frac)
+        } else {
+            // Post-deadline collapse over two days.
+            1.0 + (growth - 1.0) * (1.0 + until / 2.0).max(0.0) * 0.2
+        }
+    }
+}
+
+/// A one-off step: 0 before `start`, 1 after. Models MOOC feature releases
+/// that activate new template cohorts.
+pub fn step_after(start: Minute) -> impl Fn(Minute) -> f64 {
+    move |t| {
+        if t >= start {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_timeseries::MINUTES_PER_DAY;
+
+    #[test]
+    fn daily_cycle_peaks_at_rush_hours() {
+        let rate = daily_cycle(10.0, 50.0, 40.0);
+        let at = |h: f64| rate((h * 60.0) as Minute);
+        assert!(at(8.0) > at(3.0) * 3.0, "morning rush should dominate the night");
+        assert!(at(17.5) > at(3.0) * 2.5, "evening rush should dominate the night");
+        assert!(at(8.0) > at(12.0), "rush peak exceeds midday swell");
+    }
+
+    #[test]
+    fn daily_cycle_is_24h_periodic() {
+        let rate = daily_cycle(5.0, 20.0, 15.0);
+        for m in [0, 123, 456, 1000] {
+            assert!((rate(m) - rate(m + MINUTES_PER_DAY)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weekday_factor_drops_weekends() {
+        let f = weekday_factor(0.5);
+        // Day 0 = Friday, day 1 = Saturday, day 2 = Sunday, day 3 = Monday.
+        assert_eq!(f(0), 1.0);
+        assert_eq!(f(MINUTES_PER_DAY), 0.5);
+        assert_eq!(f(2 * MINUTES_PER_DAY), 0.5);
+        assert_eq!(f(3 * MINUTES_PER_DAY), 1.0);
+    }
+
+    #[test]
+    fn deadline_growth_ramps_and_collapses() {
+        // Deadline at day 100; 30-day lead; 10x growth.
+        let g = deadline_growth(100.0, 30.0, 10.0);
+        let at_day = |d: f64| g((d * MINUTES_PER_DAY as f64) as Minute);
+        assert_eq!(at_day(50.0), 1.0, "far before: flat");
+        assert!(at_day(95.0) > at_day(85.0), "growth accelerates");
+        assert!(at_day(99.9) > 8.0, "near-deadline spike");
+        assert!(at_day(103.5) < 1.5, "post-deadline collapse");
+        // Annual repetition.
+        assert!((at_day(99.9 + 365.0) - at_day(99.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_after_activates() {
+        let s = step_after(1000);
+        assert_eq!(s(999), 0.0);
+        assert_eq!(s(1000), 1.0);
+    }
+}

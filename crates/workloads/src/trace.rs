@@ -1,0 +1,257 @@
+//! Trace-generation machinery shared by the per-application modules.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qb_timeseries::{Minute, MINUTES_PER_DAY};
+
+use crate::pattern::RateFn;
+
+/// One batch of identical query arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEvent {
+    /// Arrival minute.
+    pub minute: Minute,
+    /// The SQL text (with concrete parameters).
+    pub sql: String,
+    /// How many arrivals of this statement occurred within the minute.
+    /// Parameters vary between real invocations; the generator materializes
+    /// one representative parameterization per minute to bound allocation.
+    pub count: u64,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// First minute of the trace (see `crate`-level epoch note).
+    pub start: Minute,
+    /// Trace length in days.
+    pub days: u32,
+    /// Global volume multiplier. 1.0 ≈ the paper's per-day volumes scaled
+    /// to laptop runtime; tests use ≪ 1.
+    pub scale: f64,
+    /// RNG seed (generators are fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { start: 0, days: 7, scale: 1.0, seed: 0xDB }
+    }
+}
+
+impl TraceConfig {
+    /// One past the last minute of the trace.
+    pub fn end(&self) -> Minute {
+        self.start + self.days as i64 * MINUTES_PER_DAY
+    }
+}
+
+/// A template the generator can emit: a SQL factory plus its rate shape.
+pub struct TemplateSpec {
+    /// Produces one concrete SQL string for an arrival at minute `t`.
+    pub make_sql: Box<dyn Fn(&mut SmallRng, Minute) -> String + Send + Sync>,
+    /// Mean arrivals/minute at rate 1.0 (before pattern & scale).
+    pub weight: f64,
+    /// The template's arrival-rate pattern.
+    pub rate: RateFn,
+}
+
+impl TemplateSpec {
+    /// Expected arrivals in minute `t` under `scale`.
+    pub fn lambda(&self, t: Minute, scale: f64) -> f64 {
+        self.weight * (self.rate)(t) * scale
+    }
+}
+
+/// Draws from a Poisson distribution. Knuth's product method for small λ,
+/// a rounded normal approximation above 30 (error ≪ the white noise the
+/// traces carry anyway).
+pub fn poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+/// Streams `QueryEvent`s minute by minute for a set of templates.
+pub struct TraceGenerator {
+    templates: Vec<TemplateSpec>,
+    cfg: TraceConfig,
+    rng: SmallRng,
+    current_minute: Minute,
+    /// Events already produced for the current minute, pending emission.
+    pending: Vec<QueryEvent>,
+}
+
+impl TraceGenerator {
+    pub fn new(templates: Vec<TemplateSpec>, cfg: TraceConfig) -> Self {
+        assert!(!templates.is_empty(), "TraceGenerator: no templates");
+        assert!(cfg.scale > 0.0, "TraceGenerator: scale must be positive");
+        Self {
+            templates,
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            current_minute: cfg.start,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// Number of distinct template specs.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The expected (noise-free) total arrival rate at minute `t`, summed
+    /// over templates — used by the Figure 1 pattern harness.
+    pub fn expected_rate(&self, t: Minute) -> f64 {
+        self.templates.iter().map(|s| s.lambda(t, self.cfg.scale)).sum()
+    }
+
+    fn fill_minute(&mut self) {
+        let t = self.current_minute;
+        for spec in &self.templates {
+            let lambda = spec.lambda(t, self.cfg.scale);
+            let count = poisson(&mut self.rng, lambda);
+            if count > 0 {
+                let sql = (spec.make_sql)(&mut self.rng, t);
+                self.pending.push(QueryEvent { minute: t, sql, count });
+            }
+        }
+        // Emit in insertion order; reverse so `pop` yields FIFO.
+        self.pending.reverse();
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = QueryEvent;
+
+    fn next(&mut self) -> Option<QueryEvent> {
+        loop {
+            if let Some(ev) = self.pending.pop() {
+                return Some(ev);
+            }
+            if self.current_minute >= self.cfg.end() {
+                return None;
+            }
+            self.fill_minute();
+            self.current_minute += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_template(weight: f64) -> TemplateSpec {
+        TemplateSpec {
+            make_sql: Box::new(|rng, _| {
+                format!("SELECT x FROM t WHERE id = {}", rng.gen_range(0..1000))
+            }),
+            weight,
+            rate: Box::new(|_| 1.0),
+        }
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &lambda in &[0.5, 3.0, 12.0, 80.0] {
+            let n = 30_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "lambda {lambda}: sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -5.0), 0);
+    }
+
+    #[test]
+    fn generator_covers_trace_range() {
+        let g = TraceGenerator::new(
+            vec![constant_template(2.0)],
+            TraceConfig { start: 0, days: 1, scale: 1.0, seed: 3 },
+        );
+        let events: Vec<QueryEvent> = g.collect();
+        assert!(!events.is_empty());
+        assert!(events.first().map(|e| e.minute).expect("non-empty") >= 0);
+        assert!(events.last().map(|e| e.minute).expect("non-empty") < MINUTES_PER_DAY);
+        // Total volume ≈ 2/min × 1440 min.
+        let total: u64 = events.iter().map(|e| e.count).sum();
+        assert!((total as f64 - 2880.0).abs() < 300.0, "{total}");
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let g = TraceGenerator::new(
+            vec![constant_template(1.0), constant_template(0.5)],
+            TraceConfig { start: 100, days: 1, scale: 1.0, seed: 4 },
+        );
+        let minutes: Vec<Minute> = g.map(|e| e.minute).collect();
+        assert!(minutes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            TraceGenerator::new(
+                vec![constant_template(1.0)],
+                TraceConfig { start: 0, days: 1, scale: 0.5, seed },
+            )
+            .map(|e| (e.minute, e.sql, e.count))
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn scale_multiplies_volume() {
+        let volume = |scale| {
+            TraceGenerator::new(
+                vec![constant_template(4.0)],
+                TraceConfig { start: 0, days: 1, scale, seed: 5 },
+            )
+            .map(|e| e.count)
+            .sum::<u64>() as f64
+        };
+        let v1 = volume(1.0);
+        let v3 = volume(3.0);
+        assert!((v3 / v1 - 3.0).abs() < 0.3, "{v1} vs {v3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no templates")]
+    fn empty_templates_panics() {
+        TraceGenerator::new(vec![], TraceConfig::default());
+    }
+}

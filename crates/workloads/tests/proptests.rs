@@ -1,0 +1,67 @@
+//! Property-based tests for the trace generators: every emitted statement
+//! parses, events are ordered, and generation is deterministic in the seed.
+
+use proptest::prelude::*;
+use qb_workloads::{TraceConfig, Workload};
+
+fn workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::Admissions),
+        Just(Workload::BusTracker),
+        Just(Workload::Mooc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated statement is valid SQL with positive count, inside
+    /// the trace range, in non-decreasing time order.
+    #[test]
+    fn generated_events_are_wellformed(
+        w in workload(),
+        seed in any::<u64>(),
+        start_day in 0i64..400,
+    ) {
+        let start = start_day * qb_timeseries::MINUTES_PER_DAY;
+        let cfg = TraceConfig { start, days: 1, scale: 0.05, seed };
+        let mut last = start;
+        let mut checked = 0;
+        for ev in w.generator(cfg).take(500) {
+            prop_assert!(ev.count > 0);
+            prop_assert!(ev.minute >= start);
+            prop_assert!(ev.minute < cfg.end());
+            prop_assert!(ev.minute >= last, "events out of order");
+            last = ev.minute;
+            // Parse every 10th event (parsing dominates test time).
+            if checked % 10 == 0 {
+                qb_sqlparse::parse_statement(&ev.sql)
+                    .map_err(|e| TestCaseError::fail(format!("`{}`: {e}", ev.sql)))?;
+            }
+            checked += 1;
+        }
+    }
+
+    /// Determinism: the same config yields the same event stream.
+    #[test]
+    fn generation_is_deterministic(w in workload(), seed in any::<u64>()) {
+        let cfg = TraceConfig { start: 0, days: 1, scale: 0.03, seed };
+        let a: Vec<_> = w.generator(cfg).take(200).map(|e| (e.minute, e.sql, e.count)).collect();
+        let b: Vec<_> = w.generator(cfg).take(200).map(|e| (e.minute, e.sql, e.count)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Volume scales roughly linearly with `scale`.
+    #[test]
+    fn volume_scales(w in workload(), seed in any::<u64>()) {
+        let total = |scale: f64| -> u64 {
+            let cfg = TraceConfig { start: 0, days: 1, scale, seed };
+            w.generator(cfg).map(|e| e.count).sum()
+        };
+        let v1 = total(0.05);
+        let v4 = total(0.20);
+        prop_assume!(v1 > 200); // enough signal for the ratio test
+        let ratio = v4 as f64 / v1 as f64;
+        prop_assert!((2.5..6.0).contains(&ratio), "ratio {} out of range", ratio);
+    }
+}

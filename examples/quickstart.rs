@@ -1,0 +1,71 @@
+//! Quickstart: feed QB5000 a cyclic query stream and forecast the next hour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qb5000::{Qb5000Config, QueryBot5000};
+use qb_forecast::{Forecaster, LinearRegression};
+use qb_timeseries::{Interval, MINUTES_PER_DAY};
+
+fn main() {
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+
+    // Simulate six days of an application with a strong day/night cycle:
+    // a dashboard query that is hot during business hours and a batch
+    // report that runs overnight. Constants differ on every invocation —
+    // the Pre-Processor folds them into two templates.
+    println!("Feeding 6 days of synthetic traffic...");
+    for minute in 0..6 * MINUTES_PER_DAY {
+        let hour = (minute / 60) % 24;
+        let daytime = (8..20).contains(&hour);
+
+        let dashboard_volume = if daytime { 50 } else { 5 };
+        let sql = format!(
+            "SELECT order_id, total FROM orders WHERE customer_id = {} AND total > {}",
+            minute % 1000,
+            (minute % 90) * 10
+        );
+        bot.ingest_weighted(minute, &sql, dashboard_volume).expect("valid SQL");
+
+        let batch_volume = if daytime { 2 } else { 30 };
+        let sql = format!(
+            "SELECT SUM(total) FROM orders WHERE created_at BETWEEN {} AND {}",
+            minute - 1440,
+            minute
+        );
+        bot.ingest_weighted(minute, &sql, batch_volume).expect("valid SQL");
+    }
+
+    let now = 6 * MINUTES_PER_DAY;
+    let report = bot.update_clusters(now);
+    println!(
+        "Pre-Processor: {} queries -> {} templates",
+        bot.preprocessor().stats().total_queries,
+        bot.preprocessor().num_templates()
+    );
+    println!(
+        "Clusterer: {} clusters ({} new templates assigned this round)",
+        bot.clusterer().num_clusters(),
+        report.new_templates
+    );
+
+    // Train a one-hour-ahead model over the tracked clusters and predict.
+    let job = bot
+        .forecast_job(now, Interval::HOUR, /*window=1 day*/ 24, /*horizon*/ 1)
+        .expect("clusters are tracked after update_clusters");
+    let mut model = LinearRegression::default();
+    let prediction = job.fit_predict(&mut model).expect("enough history");
+
+    println!("\nForecast for the next hour (model: {}):", model.name());
+    for (cluster, pred) in job.clusters.iter().zip(&prediction) {
+        println!(
+            "  cluster {:?} ({} templates, recent volume {:.0}): ~{:.0} queries/hour expected",
+            cluster.id,
+            cluster.members.len(),
+            cluster.volume,
+            pred
+        );
+    }
+    println!("\nA self-driving DBMS would now prepare for the predicted load (see the auto_indexing example).");
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: pipeline series → forecasting models.
+//!
+//! These tests assert the *paper-shape* claims on small synthetic runs:
+//! short horizons are easier than long ones, the ensemble is competitive,
+//! and KR alone anticipates recurring spikes.
+
+use qb5000::{Qb5000Config, QueryBot5000};
+use qb_forecast::{Forecaster, WindowSpec};
+use qb_timeseries::{mse_log_space, Interval, MINUTES_PER_DAY};
+use qb_workloads::{TraceConfig, Workload};
+
+/// Feeds a trace and returns hourly series of the tracked clusters.
+fn hourly_series(workload: Workload, days: u32, scale: f64, start: i64) -> Vec<Vec<f64>> {
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    let cfg = TraceConfig { start, days, scale, seed: 0xF0 };
+    for ev in workload.generator(cfg) {
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("valid SQL");
+    }
+    let end = start + days as i64 * MINUTES_PER_DAY;
+    bot.update_clusters(end);
+    bot.tracked_clusters()
+        .iter()
+        .map(|c| bot.cluster_series(c, start, end, Interval::HOUR))
+        .collect()
+}
+
+fn eval(model: &mut dyn Forecaster, series: &[Vec<f64>], spec: WindowSpec, test_start: usize) -> f64 {
+    let train: Vec<Vec<f64>> = series.iter().map(|s| s[..test_start].to_vec()).collect();
+    model.fit(&train, spec).expect("enough data");
+    let (actual, pred) = qb_forecast::rolling_forecast(model, series, spec, test_start);
+    let per: Vec<f64> = actual
+        .iter()
+        .zip(&pred)
+        .filter(|(a, _)| !a.is_empty())
+        .map(|(a, p)| mse_log_space(a, p))
+        .collect();
+    per.iter().sum::<f64>() / per.len().max(1) as f64
+}
+
+#[test]
+fn lr_short_horizon_beats_long_horizon() {
+    let series = hourly_series(Workload::BusTracker, 10, 0.05, 0);
+    assert!(!series.is_empty());
+    let len = series[0].len();
+    let test_start = len - 48;
+    let short = eval(
+        &mut qb_forecast::LinearRegression::default(),
+        &series,
+        WindowSpec { window: 24, horizon: 1 },
+        test_start,
+    );
+    let long = eval(
+        &mut qb_forecast::LinearRegression::default(),
+        &series,
+        WindowSpec { window: 24, horizon: 72 },
+        test_start,
+    );
+    assert!(
+        short < long * 1.2,
+        "1h horizon ({short:.3}) should not be clearly worse than 3d ({long:.3})"
+    );
+    assert!(short < 1.0, "cyclic workload should be predictable at 1h: {short:.3}");
+}
+
+#[test]
+fn ensemble_competitive_with_members() {
+    let series = hourly_series(Workload::BusTracker, 10, 0.05, 0);
+    let len = series[0].len();
+    let test_start = len - 48;
+    let spec = WindowSpec { window: 24, horizon: 24 };
+
+    let train: Vec<Vec<f64>> = series.iter().map(|s| s[..test_start].to_vec()).collect();
+    let mut lr = qb_forecast::LinearRegression::default();
+    lr.fit(&train, spec).unwrap();
+    let mut rnn = qb_forecast::Rnn::new(qb_forecast::RnnConfig {
+        epochs: 25,
+        hidden: 12,
+        embedding: 10,
+        ..qb_forecast::RnnConfig::default()
+    });
+    rnn.fit(&train, spec).unwrap();
+
+    let (actual, lr_pred) = qb_forecast::rolling_forecast(&lr, &series, spec, test_start);
+    let (_, rnn_pred) = qb_forecast::rolling_forecast(&rnn, &series, spec, test_start);
+    let mse_of = |pred: &Vec<Vec<f64>>| {
+        let per: Vec<f64> = actual
+            .iter()
+            .zip(pred)
+            .filter(|(a, _)| !a.is_empty())
+            .map(|(a, p)| mse_log_space(a, p))
+            .collect();
+        per.iter().sum::<f64>() / per.len().max(1) as f64
+    };
+    let ens: Vec<Vec<f64>> = lr_pred
+        .iter()
+        .zip(&rnn_pred)
+        .map(|(l, r)| l.iter().zip(r).map(|(a, b)| 0.5 * (a + b)).collect())
+        .collect();
+    let (m_lr, m_rnn, m_ens) = (mse_of(&lr_pred), mse_of(&rnn_pred), mse_of(&ens));
+    // §7.2: the ensemble "never has the worst performance".
+    assert!(
+        m_ens <= m_lr.max(m_rnn) + 0.05,
+        "ensemble {m_ens:.3} vs LR {m_lr:.3} / RNN {m_rnn:.3}"
+    );
+}
+
+#[test]
+fn kr_predicts_annual_admissions_spike_lr_does_not() {
+    // ~14 months covering two deadline seasons, aggregated hourly without
+    // clustering (keeps the test fast; the spike lives in the total).
+    let start = 310 * MINUTES_PER_DAY;
+    let days = 420u32;
+    let cfg = TraceConfig { start, days, scale: 0.004, seed: 0xAD };
+    let end = start + days as i64 * MINUTES_PER_DAY;
+    let hours = ((end - start) / 60) as usize;
+    let mut hourly = vec![0.0f64; hours];
+    for ev in Workload::Admissions.generator(cfg) {
+        hourly[((ev.minute - start) / 60) as usize] += ev.count as f64;
+    }
+    let series = vec![hourly];
+    let test_start = (((365 + 319) * MINUTES_PER_DAY - start) / 60) as usize;
+    let horizon = 168;
+
+    let actual: Vec<f64> = series[0][test_start..].to_vec();
+    let actual_peak = actual.iter().copied().fold(0.0f64, f64::max);
+
+    let roll = |model: &mut dyn Forecaster, window: usize| -> Vec<f64> {
+        let spec = WindowSpec { window, horizon };
+        let train: Vec<Vec<f64>> = series.iter().map(|s| s[..test_start].to_vec()).collect();
+        model.fit(&train, spec).expect("enough data");
+        qb_forecast::rolling_forecast(model, &series, spec, test_start).1[0].clone()
+    };
+    let lr_peak = roll(&mut qb_forecast::LinearRegression::default(), 24)
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    let kr_peak = roll(&mut qb_forecast::KernelRegression::default(), 504)
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+
+    assert!(
+        kr_peak > actual_peak * 0.5,
+        "KR should approach the spike: {kr_peak:.0} vs actual {actual_peak:.0}"
+    );
+    assert!(
+        kr_peak > lr_peak * 1.5,
+        "KR ({kr_peak:.0}) must beat LR ({lr_peak:.0}) at spike anticipation"
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: trace generators → Pre-Processor → Clusterer.
+
+use qb5000::{Qb5000Config, QueryBot5000};
+use qb_timeseries::{Interval, MINUTES_PER_DAY};
+use qb_workloads::{TraceConfig, Workload};
+
+fn feed(workload: Workload, days: u32, scale: f64, start: i64) -> QueryBot5000 {
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    let cfg = TraceConfig { start, days, scale, seed: 0xFEED };
+    let mut next_daily = start + MINUTES_PER_DAY;
+    for ev in workload.generator(cfg) {
+        if ev.minute >= next_daily {
+            bot.update_clusters(next_daily);
+            next_daily += MINUTES_PER_DAY;
+        }
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("trace SQL parses");
+    }
+    bot.update_clusters(start + days as i64 * MINUTES_PER_DAY);
+    bot
+}
+
+#[test]
+fn bustracker_full_pipeline() {
+    let bot = feed(Workload::BusTracker, 3, 0.05, 0);
+    let stats = bot.preprocessor().stats();
+    assert!(stats.total_queries > 3_000);
+    // Millions→templates→clusters reduction (Table 2's shape).
+    let templates = bot.preprocessor().num_templates();
+    assert!((10..=40).contains(&templates), "{templates} templates");
+    let clusters = bot.clusterer().num_clusters();
+    assert!(clusters <= templates);
+    assert!(clusters >= 2, "cyclic + steady patterns should separate");
+    // SELECT-dominated mix.
+    assert!(stats.selects as f64 / stats.total_queries as f64 > 0.9);
+    // The tracked clusters cover nearly all the volume.
+    assert!(bot.coverage_ratio(5) > 0.9);
+}
+
+#[test]
+fn rush_hour_visible_in_largest_cluster_series() {
+    let bot = feed(Workload::BusTracker, 3, 0.05, 0);
+    let largest = bot.tracked_clusters()[0].clone();
+    let series = bot.cluster_series(&largest, 0, 3 * MINUTES_PER_DAY, Interval::HOUR);
+    // Compare 8am vs 3am averaged across the three days.
+    let rush: f64 = (0..3).map(|d| series[d * 24 + 8]).sum();
+    let night: f64 = (0..3).map(|d| series[d * 24 + 3]).sum();
+    assert!(rush > night * 2.0, "rush {rush} vs night {night}");
+}
+
+#[test]
+fn mooc_evolution_creates_new_clusters() {
+    // Span the MOOC feature release (day 30): template count must grow.
+    let bot_early = feed(Workload::Mooc, 3, 0.05, 0);
+    let early_templates = bot_early.preprocessor().num_templates();
+    let bot_late = feed(Workload::Mooc, 33, 0.02, 0);
+    let late_templates = bot_late.preprocessor().num_templates();
+    assert!(
+        late_templates > early_templates + 5,
+        "evolution: {early_templates} -> {late_templates}"
+    );
+}
+
+#[test]
+fn noisy_workload_phase_switches_trigger_reclustering() {
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    let cfg = TraceConfig { start: 0, days: 2, scale: 0.2, seed: 5 };
+    for ev in qb_workloads::noisy::generator(cfg) {
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("valid");
+    }
+    // 48h = 4+ phases; each switch floods unseen templates.
+    assert!(bot.shift_triggers >= 3, "got {} shift triggers", bot.shift_triggers);
+}
+
+#[test]
+fn deterministic_replay() {
+    let a = feed(Workload::BusTracker, 2, 0.05, 0);
+    let b = feed(Workload::BusTracker, 2, 0.05, 0);
+    assert_eq!(a.preprocessor().stats(), b.preprocessor().stats());
+    assert_eq!(a.clusterer().num_clusters(), b.clusterer().num_clusters());
+}
+
+#[test]
+fn admissions_deadline_growth_in_series() {
+    // Trace the final two weeks before Dec 1 (day 334).
+    let start = 320 * MINUTES_PER_DAY;
+    let bot = feed(Workload::Admissions, 14, 0.05, start);
+    let largest = bot.tracked_clusters()[0].clone();
+    let series =
+        bot.cluster_series(&largest, start, start + 14 * MINUTES_PER_DAY, Interval::DAY);
+    let first_week: f64 = series[..7].iter().sum();
+    let second_week: f64 = series[7..].iter().sum();
+    assert!(
+        second_week > first_week * 1.5,
+        "deadline growth: {first_week} -> {second_week}"
+    );
+}
