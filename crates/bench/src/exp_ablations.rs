@@ -120,10 +120,12 @@ fn feature_forecastability(effort: Effort) -> String {
     for (label, mode) in
         [("arrival-rate", FeatureMode::ArrivalRate), ("logical", FeatureMode::Logical)]
     {
-        let mut qb = Qb5000Config::default();
-        qb.feature_mode = mode;
-        qb.max_clusters = 3;
-        qb.coverage_target = 2.0;
+        let mut qb = Qb5000Config {
+            feature_mode: mode,
+            max_clusters: 3,
+            coverage_target: 2.0,
+            ..Qb5000Config::default()
+        };
         if mode == FeatureMode::Logical {
             qb.clusterer.metric = SimilarityMetric::InverseL2;
             qb.clusterer.rho = 0.30;

@@ -29,6 +29,7 @@ fn config(workload: Workload, strategy: Strategy, effort: Effort) -> ControllerC
             _ => 21 * MINUTES_PER_DAY + 7 * 60,
         },
         seed: 0x1D7,
+        fault_plan: None,
     }
 }
 

@@ -55,8 +55,10 @@ pub mod schemas;
 pub use controller::{
     ControllerConfig, ExperimentResult, IndexSelectionExperiment, PerfSample, Strategy,
 };
-pub use manager::{ForecastManager, HorizonSpec, RetrainOutcome};
-pub use pipeline::{ClusterInfo, FeatureMode, ForecastJob, Qb5000Config, QueryBot5000};
+pub use manager::{ForecastHealth, ForecastManager, HorizonSpec, RetrainOutcome};
+pub use pipeline::{
+    ClusterInfo, FeatureMode, ForecastJob, PipelineHealth, Qb5000Config, QueryBot5000,
+};
 
 #[cfg(test)]
 mod tests {

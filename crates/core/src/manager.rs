@@ -10,12 +10,19 @@
 //! cluster set each was trained on, and retrains lazily when the Clusterer's
 //! assignments change (or on first use). Prediction always feeds the most
 //! recent data into the models, per §3.
+//!
+//! Resilience: a failed retrain (divergence, solver breakdown) never takes
+//! prediction dark. The previous models — the *last-known-good snapshot*,
+//! kept together with the [`ClusterInfo`] set they were trained on — keep
+//! serving, and retries are spaced by capped exponential backoff counted in
+//! retrain *rounds* (calls that would retrain), not wall-clock time, so
+//! replayed traces behave deterministically.
 
 use qb_clusterer::ClusterId;
 use qb_forecast::{ForecastError, Forecaster};
 use qb_timeseries::{Interval, Minute};
 
-use crate::pipeline::QueryBot5000;
+use crate::pipeline::{ClusterInfo, QueryBot5000};
 
 /// One prediction horizon the planning module requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +51,7 @@ impl HorizonSpec {
 }
 
 /// Why (or whether) the last `ensure_trained` call retrained.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RetrainOutcome {
     /// Models were current; nothing retrained.
     UpToDate,
@@ -52,6 +59,44 @@ pub enum RetrainOutcome {
     Retrained { horizons: usize },
     /// Training skipped: no clusters tracked yet.
     NoClusters,
+    /// Retrain failed; the last-known-good snapshot keeps serving and the
+    /// next retry is `retry_after_rounds` retrain rounds away.
+    RolledBack { error: ForecastError, retry_after_rounds: u64 },
+    /// Inside a backoff window: the retrain was skipped, `rounds_remaining`
+    /// more rounds pass before the next attempt.
+    BackedOff { rounds_remaining: u64 },
+}
+
+/// Backoff cap, in skipped retrain rounds.
+const MAX_BACKOFF_ROUNDS: u64 = 32;
+
+/// Observability snapshot of the manager's failure handling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastHealth {
+    /// Successful retrain rounds.
+    pub retrain_count: u64,
+    /// Failed retrain attempts since the last success.
+    pub consecutive_failures: u32,
+    /// Retrain rounds left in the current backoff window.
+    pub backoff_remaining: u64,
+    /// Total failed retrains that rolled back to a snapshot.
+    pub rollbacks: u64,
+    /// Message of the most recent training failure.
+    pub last_error: Option<String>,
+    /// True when predictions come from a last-known-good snapshot rather
+    /// than models trained on the current cluster assignments.
+    pub serving_snapshot: bool,
+}
+
+impl crate::pipeline::PipelineHealth {
+    /// Appends the forecaster stage's last error, completing the per-stage
+    /// picture for a pipeline driven through a [`ForecastManager`].
+    pub fn with_forecast(mut self, fh: &ForecastHealth) -> Self {
+        if let Some(e) = &fh.last_error {
+            self.last_errors.push(("forecaster", e.clone()));
+        }
+        self
+    }
 }
 
 /// Per-horizon forecasting models with §3's retrain rule.
@@ -61,8 +106,16 @@ pub struct ForecastManager {
     models: Vec<Option<Box<dyn Forecaster>>>,
     /// The cluster state (ids + member sets) each live model was trained on.
     trained_clusters: Option<Vec<(ClusterId, Vec<u32>)>>,
+    /// The full cluster set the live models were trained on; prediction
+    /// rebuilds its input series from these (not the bot's current
+    /// clusters), so a stale snapshot still knows what to predict.
+    trained_on: Option<Vec<ClusterInfo>>,
     /// Number of retrain rounds performed (observability).
     pub retrain_count: u64,
+    consecutive_failures: u32,
+    backoff_remaining: u64,
+    rollbacks: u64,
+    last_error: Option<String>,
 }
 
 impl ForecastManager {
@@ -79,7 +132,12 @@ impl ForecastManager {
             make_model: Box::new(make_model),
             models,
             trained_clusters: None,
+            trained_on: None,
             retrain_count: 0,
+            consecutive_failures: 0,
+            backoff_remaining: 0,
+            rollbacks: 0,
+            last_error: None,
         }
     }
 
@@ -109,8 +167,34 @@ impl ForecastManager {
             .collect()
     }
 
+    /// True when a full set of previously trained models exists and can
+    /// keep serving predictions even though a retrain failed.
+    fn has_snapshot(&self) -> bool {
+        self.trained_on.is_some() && self.models.iter().all(Option::is_some)
+    }
+
+    /// Health report: retrain/rollback counters, backoff state, and the
+    /// last training error (per-stage "forecaster" view of the pipeline).
+    pub fn health(&self) -> ForecastHealth {
+        ForecastHealth {
+            retrain_count: self.retrain_count,
+            consecutive_failures: self.consecutive_failures,
+            backoff_remaining: self.backoff_remaining,
+            rollbacks: self.rollbacks,
+            last_error: self.last_error.clone(),
+            serving_snapshot: self.consecutive_failures > 0 && self.has_snapshot(),
+        }
+    }
+
     /// Retrains if the tracked cluster set changed since the last round
     /// (§3's rule) or no models exist yet.
+    ///
+    /// A failed training round does NOT discard the previous models: they
+    /// stay installed as the last-known-good snapshot (predictions keep
+    /// flowing from them), the failure is recorded, and subsequent rounds
+    /// back off exponentially (1, 2, 4, … skipped rounds, capped at
+    /// [`MAX_BACKOFF_ROUNDS`]) before retrying. `Err` is only returned
+    /// when training fails with *no* snapshot to fall back on.
     pub fn ensure_trained(
         &mut self,
         bot: &QueryBot5000,
@@ -122,8 +206,14 @@ impl ForecastManager {
         if self.is_current(bot) {
             return Ok(RetrainOutcome::UpToDate);
         }
-        let mut trained = 0;
-        for (i, spec) in self.specs.iter().enumerate() {
+        if self.backoff_remaining > 0 {
+            self.backoff_remaining -= 1;
+            return Ok(RetrainOutcome::BackedOff { rounds_remaining: self.backoff_remaining });
+        }
+        // Train a complete replacement set before touching the live models,
+        // so a mid-round failure can't leave horizons half-updated.
+        let mut fresh: Vec<Box<dyn Forecaster>> = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
             let Some(job) = bot.forecast_job_spanning(
                 now,
                 spec.interval,
@@ -135,17 +225,48 @@ impl ForecastManager {
                 return Ok(RetrainOutcome::NoClusters);
             };
             let mut model = (self.make_model)();
-            model.fit(&job.series, job.spec)?;
-            self.models[i] = Some(model);
-            trained += 1;
+            if let Err(e) = model.fit(&job.series, job.spec) {
+                self.consecutive_failures += 1;
+                let shift = (self.consecutive_failures - 1).min(63);
+                self.backoff_remaining = (1u64 << shift).min(MAX_BACKOFF_ROUNDS);
+                self.last_error = Some(e.to_string());
+                if self.has_snapshot() {
+                    self.rollbacks += 1;
+                    return Ok(RetrainOutcome::RolledBack {
+                        error: e,
+                        retry_after_rounds: self.backoff_remaining,
+                    });
+                }
+                return Err(e);
+            }
+            fresh.push(model);
         }
+        let trained = fresh.len();
+        self.models = fresh.into_iter().map(Some).collect();
         self.trained_clusters = Some(Self::cluster_state(bot));
+        self.trained_on = Some(bot.tracked_clusters().to_vec());
         self.retrain_count += 1;
+        self.consecutive_failures = 0;
+        self.backoff_remaining = 0;
+        self.last_error = None;
         Ok(RetrainOutcome::Retrained { horizons: trained })
     }
 
-    /// Predicts every tracked cluster's rate at the given horizon index,
+    /// The cluster set predictions are currently produced for — the one the
+    /// live models (or the last-known-good snapshot) were trained on.
+    pub fn serving_clusters(&self) -> &[ClusterInfo] {
+        self.trained_on
+            .as_deref()
+            .expect("ForecastManager::serving_clusters before ensure_trained")
+    }
+
+    /// Predicts every serving cluster's rate at the given horizon index,
     /// using the latest data ending at `now`.
+    ///
+    /// Predictions come from the models' own training-time cluster set
+    /// ([`ForecastManager::serving_clusters`]) — after a failed retrain
+    /// this is the last-known-good snapshot, so prediction never goes dark
+    /// while retries back off.
     ///
     /// # Panics
     /// Panics if `horizon_idx` is out of range or the manager has never
@@ -155,14 +276,13 @@ impl ForecastManager {
         let model = self.models[horizon_idx]
             .as_deref()
             .expect("ForecastManager::predict before ensure_trained");
-        assert!(
-            self.is_current(bot),
-            "ForecastManager::predict with stale models: cluster assignments              changed since training — call ensure_trained first"
-        );
+        let clusters = self
+            .trained_on
+            .as_deref()
+            .expect("ForecastManager::predict before ensure_trained");
         let end = spec.interval.bucket_start(now);
         let start = end - spec.window as i64 * spec.interval.as_minutes();
-        let recent: Vec<Vec<f64>> = bot
-            .tracked_clusters()
+        let recent: Vec<Vec<f64>> = clusters
             .iter()
             .map(|c| bot.cluster_series(c, start, end, spec.interval))
             .collect();
@@ -258,5 +378,174 @@ mod tests {
     fn predict_before_training_panics() {
         let bot = fed_bot(6);
         manager().predict(&bot, 6 * MINUTES_PER_DAY, 0);
+    }
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// A forecaster that trains as LR, except when the shared flag forces
+    /// every `fit` to report divergence — simulates a model blowing up
+    /// mid-retrain without touching the data path.
+    struct FlakyModel {
+        inner: qb_forecast::LinearRegression,
+        fail: Arc<AtomicBool>,
+    }
+
+    impl Forecaster for FlakyModel {
+        fn name(&self) -> &'static str {
+            "FLAKY"
+        }
+        fn fit(
+            &mut self,
+            series: &[Vec<f64>],
+            spec: qb_forecast::WindowSpec,
+        ) -> Result<(), ForecastError> {
+            if self.fail.load(Ordering::SeqCst) {
+                return Err(ForecastError::Diverged {
+                    model: "FLAKY",
+                    detail: "forced by test".into(),
+                });
+            }
+            self.inner.fit(series, spec)
+        }
+        fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+            self.inner.predict(recent)
+        }
+    }
+
+    fn flaky_manager(fail: Arc<AtomicBool>) -> ForecastManager {
+        ForecastManager::new(vec![HorizonSpec::hourly(1)], move || {
+            Box::new(FlakyModel { inner: qb_forecast::LinearRegression::default(), fail: Arc::clone(&fail) })
+        })
+    }
+
+    /// Mutates the bot so the cluster assignments change and the manager
+    /// considers its models stale.
+    fn grow_second_cluster(bot: &mut QueryBot5000, days: i64) {
+        for minute in 0..days * MINUTES_PER_DAY {
+            let hour = (minute / 60) % 24;
+            let v = if (0..6).contains(&hour) { 40 } else { 1 };
+            bot.ingest_weighted(minute, "SELECT b FROM u WHERE id = 2", v).unwrap();
+        }
+        bot.update_clusters(days * MINUTES_PER_DAY);
+    }
+
+    #[test]
+    fn failed_retrain_rolls_back_to_snapshot() {
+        let mut bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let fail = Arc::new(AtomicBool::new(false));
+        let mut mgr = flaky_manager(Arc::clone(&fail));
+        mgr.ensure_trained(&bot, now).unwrap();
+        let before = mgr.predict(&bot, now, 0);
+        assert!(before.iter().all(|v| v.is_finite()));
+
+        // Cluster change + a now-diverging model: retrain must fail but
+        // the old snapshot keeps serving identical cluster coverage.
+        grow_second_cluster(&mut bot, 6);
+        fail.store(true, Ordering::SeqCst);
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(
+            matches!(r, RetrainOutcome::RolledBack { retry_after_rounds: 1, .. }),
+            "expected rollback, got {r:?}"
+        );
+        let after = mgr.predict(&bot, now, 0);
+        assert_eq!(after.len(), before.len(), "snapshot serves its own cluster set");
+        assert!(after.iter().all(|v| v.is_finite()));
+
+        let h = mgr.health();
+        assert!(h.serving_snapshot);
+        assert_eq!(h.rollbacks, 1);
+        assert_eq!(h.consecutive_failures, 1);
+        assert!(h.last_error.unwrap().contains("FLAKY diverged"));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_recovers() {
+        let mut bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let fail = Arc::new(AtomicBool::new(false));
+        let mut mgr = flaky_manager(Arc::clone(&fail));
+        mgr.ensure_trained(&bot, now).unwrap();
+        grow_second_cluster(&mut bot, 6);
+        fail.store(true, Ordering::SeqCst);
+
+        // Failure #1: retry after 1 skipped round.
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(matches!(r, RetrainOutcome::RolledBack { retry_after_rounds: 1, .. }));
+        assert!(matches!(
+            mgr.ensure_trained(&bot, now).unwrap(),
+            RetrainOutcome::BackedOff { rounds_remaining: 0 }
+        ));
+        // Failure #2: window doubles to 2 skipped rounds.
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(matches!(r, RetrainOutcome::RolledBack { retry_after_rounds: 2, .. }));
+        assert!(matches!(
+            mgr.ensure_trained(&bot, now).unwrap(),
+            RetrainOutcome::BackedOff { rounds_remaining: 1 }
+        ));
+        assert!(matches!(
+            mgr.ensure_trained(&bot, now).unwrap(),
+            RetrainOutcome::BackedOff { rounds_remaining: 0 }
+        ));
+
+        // Model "recovers": the next eligible round retrains and resets
+        // the failure accounting.
+        fail.store(false, Ordering::SeqCst);
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(matches!(r, RetrainOutcome::Retrained { .. }));
+        let h = mgr.health();
+        assert_eq!(h.consecutive_failures, 0);
+        assert_eq!(h.backoff_remaining, 0);
+        assert!(!h.serving_snapshot);
+        assert_eq!(h.last_error, None);
+        assert_eq!(h.rollbacks, 2);
+        // And the new models serve the new (two-cluster) assignment.
+        assert!(mgr.is_current(&bot));
+        assert_eq!(mgr.predict(&bot, now, 0).len(), bot.tracked_clusters().len());
+    }
+
+    #[test]
+    fn first_train_failure_surfaces_error() {
+        let bot = fed_bot(6);
+        let fail = Arc::new(AtomicBool::new(true));
+        let mut mgr = flaky_manager(Arc::clone(&fail));
+        let err = mgr.ensure_trained(&bot, 6 * MINUTES_PER_DAY).unwrap_err();
+        assert!(err.is_model_failure(), "no snapshot exists, error must surface: {err}");
+        // Backoff still applies before the next attempt...
+        assert!(matches!(
+            mgr.ensure_trained(&bot, 6 * MINUTES_PER_DAY).unwrap(),
+            RetrainOutcome::BackedOff { .. }
+        ));
+        // ...and recovery is possible once the model behaves.
+        fail.store(false, Ordering::SeqCst);
+        let r = mgr.ensure_trained(&bot, 6 * MINUTES_PER_DAY).unwrap();
+        assert!(matches!(r, RetrainOutcome::Retrained { .. }));
+    }
+
+    #[test]
+    fn backoff_cap_holds() {
+        let mut bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let fail = Arc::new(AtomicBool::new(false));
+        let mut mgr = flaky_manager(Arc::clone(&fail));
+        mgr.ensure_trained(&bot, now).unwrap();
+        grow_second_cluster(&mut bot, 6);
+        fail.store(true, Ordering::SeqCst);
+        let mut last_window = 0;
+        for _ in 0..10 {
+            // Drain any backoff, then observe the next failure's window.
+            loop {
+                match mgr.ensure_trained(&bot, now).unwrap() {
+                    RetrainOutcome::BackedOff { .. } => continue,
+                    RetrainOutcome::RolledBack { retry_after_rounds, .. } => {
+                        last_window = retry_after_rounds;
+                        break;
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
+        assert_eq!(last_window, MAX_BACKOFF_ROUNDS, "window saturates at the cap");
     }
 }

@@ -67,6 +67,35 @@ pub struct ClusterInfo {
     pub members: Vec<TemplateId>,
 }
 
+/// End-to-end ingest accounting for the resilience layer: how much of the
+/// offered stream was accepted, rejected, or arrived suspiciously
+/// (duplicate / out-of-order delivery), plus each stage's last error.
+///
+/// The accounting identity `ingested_statements + rejected_statements ==
+/// total ingest calls` always holds — nothing is silently dropped.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineHealth {
+    /// Statements accepted by the Pre-Processor.
+    pub ingested_statements: u64,
+    /// Weighted arrivals accepted.
+    pub ingested_arrivals: u64,
+    /// Statements rejected (quarantined) by the Pre-Processor.
+    pub rejected_statements: u64,
+    /// Weighted arrivals rejected.
+    pub rejected_arrivals: u64,
+    /// Ingest calls identical (same minute + SQL) to the immediately
+    /// preceding call. These are still ingested — two arrivals of one
+    /// query in one minute are legitimate — but a high rate flags
+    /// duplicate delivery upstream.
+    pub deduplicated: u64,
+    /// Ingest calls whose timestamp ran backwards relative to the previous
+    /// call. Arrival histories absorb them (time-keyed storage), but the
+    /// count flags out-of-order delivery upstream.
+    pub reordered: u64,
+    /// Per-stage last error as `(stage, message)`, most recent per stage.
+    pub last_errors: Vec<(&'static str, String)>,
+}
+
 /// The assembled framework.
 pub struct QueryBot5000 {
     config: Qb5000Config,
@@ -78,13 +107,36 @@ pub struct QueryBot5000 {
     last_update: Option<Minute>,
     /// Count of early re-clusterings triggered by unseen-template bursts.
     pub shift_triggers: u64,
+    /// Accepted-statement / accepted-arrival counters for `health()`.
+    ingested_statements: u64,
+    ingested_arrivals: u64,
+    deduplicated: u64,
+    reordered: u64,
+    /// Timestamp of the previous ingest call (order detector).
+    last_ingest_minute: Option<Minute>,
+    /// (minute, SQL fingerprint) of the previous ingest call (duplicate
+    /// detector; a fingerprint avoids retaining every SQL string).
+    last_ingest_event: Option<(Minute, u64)>,
 }
 
 impl QueryBot5000 {
     pub fn new(config: Qb5000Config) -> Self {
         let pre = PreProcessor::new(config.preprocessor.clone());
         let clusterer = OnlineClusterer::new(config.clusterer.clone());
-        Self { config, pre, clusterer, tracked: Vec::new(), last_update: None, shift_triggers: 0 }
+        Self {
+            config,
+            pre,
+            clusterer,
+            tracked: Vec::new(),
+            last_update: None,
+            shift_triggers: 0,
+            ingested_statements: 0,
+            ingested_arrivals: 0,
+            deduplicated: 0,
+            reordered: 0,
+            last_ingest_minute: None,
+            last_ingest_event: None,
+        }
     }
 
     /// Forwards one query to the framework (the DBMS-side hook).
@@ -97,18 +149,64 @@ impl QueryBot5000 {
     }
 
     /// Weighted ingest for batched replay.
+    ///
+    /// Rejected statements are quarantined inside the Pre-Processor (see
+    /// [`PreProcessor::quarantine`]) and counted in [`QueryBot5000::health`];
+    /// the `Err` reports the rejection but the pipeline stays healthy.
     pub fn ingest_weighted(
         &mut self,
         t: Minute,
         sql: &str,
         count: u64,
     ) -> Result<TemplateId, PreProcessError> {
+        // Delivery-order accounting (observability only — histories are
+        // time-keyed and absorb duplicates and reordering either way).
+        if self.last_ingest_minute.is_some_and(|prev| t < prev) {
+            self.reordered += 1;
+        }
+        self.last_ingest_minute = Some(t);
+        let event = (t, Self::sql_fingerprint(sql));
+        if self.last_ingest_event == Some(event) {
+            self.deduplicated += 1;
+        }
+        self.last_ingest_event = Some(event);
+
         let id = self.pre.ingest_weighted(t, sql, count)?;
+        self.ingested_statements += 1;
+        self.ingested_arrivals += count;
         if self.clusterer.observe(id.0 as u64) {
             self.shift_triggers += 1;
             self.update_clusters(t);
         }
         Ok(id)
+    }
+
+    fn sql_fingerprint(sql: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sql.hash(&mut h);
+        h.finish()
+    }
+
+    /// The resilience-layer health report: ingest accounting plus the
+    /// Pre-Processor's quarantine view. Combine with
+    /// [`crate::manager::ForecastManager::health`] via
+    /// [`PipelineHealth::with_forecast`] for the full per-stage picture.
+    pub fn health(&self) -> PipelineHealth {
+        let q = self.pre.quarantine();
+        let mut last_errors = Vec::new();
+        if let Some(e) = q.last_error() {
+            last_errors.push(("pre-processor", e.to_string()));
+        }
+        PipelineHealth {
+            ingested_statements: self.ingested_statements,
+            ingested_arrivals: self.ingested_arrivals,
+            rejected_statements: q.rejected_statements(),
+            rejected_arrivals: q.rejected_arrivals(),
+            deduplicated: self.deduplicated,
+            reordered: self.reordered,
+            last_errors,
+        }
     }
 
     /// Rebuilds cluster assignments from the current arrival histories
@@ -414,5 +512,51 @@ mod tests {
     fn forecast_job_none_before_clustering() {
         let bot = QueryBot5000::new(Qb5000Config::default());
         assert!(bot.forecast_job(100, Interval::HOUR, 4, 1).is_none());
+    }
+
+    #[test]
+    fn health_accounts_for_every_ingest_call() {
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        let mut calls = 0u64;
+        for minute in 0..100 {
+            bot.ingest_weighted(minute, "SELECT a FROM t WHERE id = 1", 2).unwrap();
+            calls += 1;
+            if minute % 10 == 0 {
+                // Malformed statement: quarantined, not ingested.
+                assert!(bot.ingest_weighted(minute, "SELEC a FRM", 3).is_err());
+                calls += 1;
+            }
+        }
+        let h = bot.health();
+        assert_eq!(h.ingested_statements + h.rejected_statements, calls);
+        assert_eq!(h.ingested_statements, 100);
+        assert_eq!(h.rejected_statements, 10);
+        assert_eq!(h.ingested_arrivals, 200);
+        assert_eq!(h.rejected_arrivals, 30);
+        assert!(h.last_errors.iter().any(|(stage, _)| *stage == "pre-processor"));
+    }
+
+    #[test]
+    fn health_flags_duplicates_and_reordering() {
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        bot.ingest(5, "SELECT a FROM t WHERE id = 1").unwrap();
+        bot.ingest(5, "SELECT a FROM t WHERE id = 1").unwrap(); // duplicate
+        bot.ingest(3, "SELECT a FROM t WHERE id = 2").unwrap(); // backwards
+        bot.ingest(7, "SELECT a FROM t WHERE id = 3").unwrap();
+        let h = bot.health();
+        assert_eq!(h.deduplicated, 1);
+        assert_eq!(h.reordered, 1);
+        // Suspicious events are still ingested — the counters are
+        // observability, not a filter.
+        assert_eq!(h.ingested_statements, 4);
+    }
+
+    #[test]
+    fn healthy_pipeline_reports_no_errors() {
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        bot.ingest(0, "SELECT a FROM t WHERE id = 1").unwrap();
+        let h = bot.health();
+        assert!(h.last_errors.is_empty());
+        assert_eq!(h.rejected_statements, 0);
     }
 }

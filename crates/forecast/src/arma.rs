@@ -17,7 +17,7 @@
 
 use qb_linalg::{ridge_regression, Matrix};
 
-use crate::dataset::{validate_series, ForecastError, WindowSpec};
+use crate::dataset::{ensure_finite, validate_series, ForecastError, WindowSpec};
 use crate::Forecaster;
 
 /// ARMA(p, q) fitted independently per cluster.
@@ -119,6 +119,16 @@ impl Arma {
         let ma: Vec<f64> = (0..self.q).map(|k| w2[(self.p + k, 0)]).collect();
         let intercept = w2[(dim - 1, 0)];
         let tail_residuals = resid[n.saturating_sub(self.q.max(1))..].to_vec();
+        ensure_finite(
+            "ARMA",
+            "coefficients",
+            ar.iter()
+                .chain(&ma)
+                .chain(&long_ar_w)
+                .chain(&tail_residuals)
+                .copied()
+                .chain([intercept, long_ar_intercept]),
+        )?;
         Ok(ClusterFit { ar, ma, intercept, tail_residuals, long_ar_w, long_ar_intercept })
     }
 

@@ -34,6 +34,20 @@ pub enum ForecastError {
     MalformedSeries(String),
     /// The underlying linear solve failed.
     Numeric(String),
+    /// Training produced non-finite loss or weights (NaN/∞). The model
+    /// aborted mid-fit rather than serve poisoned predictions.
+    Diverged { model: &'static str, detail: String },
+}
+
+impl ForecastError {
+    /// Whether this failure is internal to the model (divergence, solver
+    /// breakdown) rather than a property of the data. Model failures are
+    /// what composite forecasters degrade across — a data error (shape,
+    /// length) would fail every member of the chain identically and must
+    /// reach the caller instead.
+    pub fn is_model_failure(&self) -> bool {
+        matches!(self, ForecastError::Diverged { .. } | ForecastError::Numeric(_))
+    }
 }
 
 impl std::fmt::Display for ForecastError {
@@ -44,11 +58,33 @@ impl std::fmt::Display for ForecastError {
             }
             ForecastError::MalformedSeries(m) => write!(f, "malformed series: {m}"),
             ForecastError::Numeric(m) => write!(f, "numeric failure: {m}"),
+            ForecastError::Diverged { model, detail } => {
+                write!(f, "{model} diverged during training: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for ForecastError {}
+
+/// Guard used by every `fit`: fails with [`ForecastError::Diverged`] when
+/// any value in `values` is non-finite. `what` names the tensor being
+/// checked ("weights", "validation loss", …) for the error message.
+pub fn ensure_finite(
+    model: &'static str,
+    what: &str,
+    values: impl IntoIterator<Item = f64>,
+) -> Result<(), ForecastError> {
+    for (i, v) in values.into_iter().enumerate() {
+        if !v.is_finite() {
+            return Err(ForecastError::Diverged {
+                model,
+                detail: format!("{what}[{i}] = {v}"),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Validates a cluster-major series and returns `(clusters, len)`.
 pub fn validate_series(series: &[Vec<f64>], spec: WindowSpec) -> Result<(usize, usize), ForecastError> {

@@ -3,16 +3,36 @@
 //! "We apply an ensemble method by equally averaging the prediction results
 //! of the LR and RNN models. We also tried averaging the models with
 //! weights derived from the training history, but that led to overfitting."
+//!
+//! Resilience: a member whose training *diverges* (non-finite loss or
+//! weights) is dropped rather than failing the fit — the surviving member
+//! serves alone, and if both members diverge a last-value [`Persistence`]
+//! fallback serves. Data errors (shape, length) still propagate: they would
+//! fail every link of the chain identically. [`Ensemble::degradation`]
+//! reports how far down the chain the fit landed.
 
 use crate::dataset::{ForecastError, WindowSpec};
+use crate::fallback::Persistence;
 use crate::lr::LinearRegression;
 use crate::rnn::{Rnn, RnnConfig};
-use crate::Forecaster;
+use crate::{DegradationLevel, Forecaster};
+
+/// Which members survived the last fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Both,
+    LrOnly,
+    RnnOnly,
+    LastValue,
+}
 
 /// LR + RNN averaged with equal weights.
 pub struct Ensemble {
     lr: LinearRegression,
     rnn: Rnn,
+    fallback: Persistence,
+    mode: Mode,
+    failures: Vec<(&'static str, ForecastError)>,
 }
 
 impl Default for Ensemble {
@@ -23,18 +43,38 @@ impl Default for Ensemble {
 
 impl Ensemble {
     pub fn new(rnn_cfg: RnnConfig) -> Self {
-        Self { lr: LinearRegression::default(), rnn: Rnn::new(rnn_cfg) }
+        Self::from_parts(LinearRegression::default(), Rnn::new(rnn_cfg))
     }
 
     /// Builds from already-configured members (lets the harness share
     /// settings across the standalone and ensemble evaluations).
     pub fn from_parts(lr: LinearRegression, rnn: Rnn) -> Self {
-        Self { lr, rnn }
+        Self {
+            lr,
+            rnn,
+            fallback: Persistence::new(),
+            mode: Mode::Both,
+            failures: Vec::new(),
+        }
     }
 
     /// Read access to the members, for the §7.3 per-model spike plots.
     pub fn members(&self) -> (&LinearRegression, &Rnn) {
         (&self.lr, &self.rnn)
+    }
+
+    /// How far down the fallback chain the last fit landed.
+    pub fn degradation(&self) -> DegradationLevel {
+        match self.mode {
+            Mode::Both => DegradationLevel::Full,
+            Mode::LrOnly | Mode::RnnOnly => DegradationLevel::Single,
+            Mode::LastValue => DegradationLevel::LastValue,
+        }
+    }
+
+    /// The member failures that caused degradation (empty when Full).
+    pub fn member_failures(&self) -> &[(&'static str, ForecastError)] {
+        &self.failures
     }
 }
 
@@ -44,15 +84,49 @@ impl Forecaster for Ensemble {
     }
 
     fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
-        self.lr.fit(series, spec)?;
-        self.rnn.fit(series, spec)?;
+        self.failures.clear();
+        self.mode = Mode::Both;
+        let lr_res = self.lr.fit(series, spec);
+        let rnn_res = self.rnn.fit(series, spec);
+        // Data errors fail the whole chain: no member could train either.
+        for res in [&lr_res, &rnn_res] {
+            if let Err(e) = res {
+                if !e.is_model_failure() {
+                    return Err(e.clone());
+                }
+            }
+        }
+        self.mode = match (lr_res, rnn_res) {
+            (Ok(()), Ok(())) => Mode::Both,
+            (Ok(()), Err(e)) => {
+                self.failures.push(("RNN", e));
+                Mode::LrOnly
+            }
+            (Err(e), Ok(())) => {
+                self.failures.push(("LR", e));
+                Mode::RnnOnly
+            }
+            (Err(lr_err), Err(rnn_err)) => {
+                self.failures.push(("LR", lr_err));
+                self.failures.push(("RNN", rnn_err));
+                self.fallback.fit(series, spec)?;
+                Mode::LastValue
+            }
+        };
         Ok(())
     }
 
     fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
-        let a = self.lr.predict(recent);
-        let b = self.rnn.predict(recent);
-        a.iter().zip(&b).map(|(x, y)| 0.5 * (x + y)).collect()
+        match self.mode {
+            Mode::Both => {
+                let a = self.lr.predict(recent);
+                let b = self.rnn.predict(recent);
+                a.iter().zip(&b).map(|(x, y)| 0.5 * (x + y)).collect()
+            }
+            Mode::LrOnly => self.lr.predict(recent),
+            Mode::RnnOnly => self.rnn.predict(recent),
+            Mode::LastValue => self.fallback.predict(recent),
+        }
     }
 }
 
@@ -102,5 +176,65 @@ mod tests {
     fn fit_error_propagates() {
         let mut e = Ensemble::new(quick_rnn());
         assert!(e.fit(&[vec![1.0; 3]], WindowSpec { window: 10, horizon: 1 }).is_err());
+    }
+
+    #[test]
+    fn rnn_divergence_degrades_to_single_member() {
+        // A NaN learning rate poisons the RNN's optimizer on the first Adam
+        // step; the closed-form LR member is untouched. The ensemble must
+        // drop the diverged member, not fail.
+        let cfg = RnnConfig { learning_rate: f64::NAN, epochs: 3, ..quick_rnn() };
+        let series = vec![vec![50.0; 120]];
+        let spec = WindowSpec { window: 8, horizon: 1 };
+        let mut e = Ensemble::new(cfg);
+        e.fit(&series, spec).unwrap();
+        assert_eq!(e.degradation(), DegradationLevel::Single);
+        let failures = e.member_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "RNN");
+        assert!(matches!(failures[0].1, ForecastError::Diverged { model: "RNN", .. }));
+        let pred = e.predict(&[vec![50.0; 8]]);
+        assert!(pred[0].is_finite());
+        assert!((pred[0] - 50.0).abs() < 15.0, "LR alone should serve: {}", pred[0]);
+    }
+
+    #[test]
+    fn infinite_series_degrades_to_last_value() {
+        // ∞ survives the log transform (ln(1+∞) = ∞), so both members see
+        // non-finite training data and diverge; persistence must serve.
+        let mut s = vec![30.0; 120];
+        s[60] = f64::INFINITY;
+        let spec = WindowSpec { window: 8, horizon: 1 };
+        let mut e = Ensemble::new(quick_rnn());
+        e.fit(&[s], spec).unwrap();
+        assert_eq!(e.degradation(), DegradationLevel::LastValue);
+        assert_eq!(e.member_failures().len(), 2);
+        let pred = e.predict(&[vec![25.0; 8]]);
+        assert_eq!(pred, vec![25.0], "last-value persistence serves");
+    }
+
+    #[test]
+    fn nan_series_never_panics_and_predicts_finite() {
+        // NaN rates are sanitized to 0 by the `max(0.0).ln_1p()` transform,
+        // so training sees zeros; whatever the chain lands on, the
+        // prediction must stay finite.
+        let mut s: Vec<f64> = (0..120).map(|t| 40.0 + (t % 6) as f64).collect();
+        for t in (0..120).step_by(7) {
+            s[t] = f64::NAN;
+        }
+        let spec = WindowSpec { window: 8, horizon: 1 };
+        let mut e = Ensemble::new(quick_rnn());
+        e.fit(&[s.clone()], spec).unwrap();
+        let pred = e.predict(&[s[112..120].to_vec()]);
+        assert!(pred[0].is_finite() && pred[0] >= 0.0, "{}", pred[0]);
+    }
+
+    #[test]
+    fn healthy_fit_reports_full() {
+        let series = vec![vec![10.0; 80]];
+        let mut e = Ensemble::new(quick_rnn());
+        e.fit(&series, WindowSpec { window: 6, horizon: 1 }).unwrap();
+        assert_eq!(e.degradation(), DegradationLevel::Full);
+        assert!(e.member_failures().is_empty());
     }
 }

@@ -1,0 +1,108 @@
+//! Last-value persistence — the terminal link of the degradation chain.
+//!
+//! When every learned model has diverged, the forecaster of last resort
+//! predicts that each cluster's arrival rate stays at its most recent
+//! *finite* observation. It cannot diverge, needs no training beyond shape
+//! validation, and keeps the §7.6 controller loop supplied with bounded,
+//! finite volume estimates until a retrain succeeds.
+
+use crate::dataset::{ForecastError, WindowSpec};
+use crate::Forecaster;
+
+/// Predicts the last finite observed value of each cluster.
+#[derive(Debug, Clone, Default)]
+pub struct Persistence {
+    clusters: usize,
+    /// Per-cluster carry-forward from training, used when the prediction
+    /// input itself contains no finite value.
+    last_seen: Vec<f64>,
+    fitted: bool,
+}
+
+impl Persistence {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Newest-last scan for the most recent finite, non-negative value.
+fn last_finite(s: &[f64]) -> Option<f64> {
+    s.iter().rev().find(|v| v.is_finite()).map(|v| v.max(0.0))
+}
+
+impl Forecaster for Persistence {
+    fn name(&self) -> &'static str {
+        "PERSISTENCE"
+    }
+
+    /// Deliberately more tolerant than `validate_series`: the chain's last
+    /// link must accept anything with at least one cluster so degradation
+    /// never dead-ends. Window/horizon geometry is irrelevant to a
+    /// carry-forward.
+    fn fit(&mut self, series: &[Vec<f64>], _spec: WindowSpec) -> Result<(), ForecastError> {
+        if series.is_empty() {
+            return Err(ForecastError::MalformedSeries("no cluster series".into()));
+        }
+        self.clusters = series.len();
+        self.last_seen = series.iter().map(|s| last_finite(s).unwrap_or(0.0)).collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+        assert!(self.fitted, "PERSISTENCE::predict before fit");
+        assert_eq!(
+            recent.len(),
+            self.clusters,
+            "PERSISTENCE::predict: cluster count changed"
+        );
+        recent
+            .iter()
+            .enumerate()
+            .map(|(c, s)| last_finite(s).unwrap_or(self.last_seen[c]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_last_value_forward() {
+        let mut p = Persistence::new();
+        p.fit(&[vec![1.0, 2.0, 7.0]], WindowSpec { window: 2, horizon: 1 }).unwrap();
+        assert_eq!(p.predict(&[vec![3.0, 9.0]]), vec![9.0]);
+    }
+
+    #[test]
+    fn skips_non_finite_tail() {
+        let mut p = Persistence::new();
+        p.fit(&[vec![5.0; 4]], WindowSpec { window: 2, horizon: 1 }).unwrap();
+        let pred = p.predict(&[vec![4.0, f64::NAN, f64::INFINITY]]);
+        assert_eq!(pred, vec![4.0]);
+    }
+
+    #[test]
+    fn all_nan_input_falls_back_to_training_tail() {
+        let mut p = Persistence::new();
+        p.fit(&[vec![2.0, 6.0]], WindowSpec { window: 1, horizon: 1 }).unwrap();
+        assert_eq!(p.predict(&[vec![f64::NAN, f64::NAN]]), vec![6.0]);
+    }
+
+    #[test]
+    fn never_negative_or_non_finite() {
+        let mut p = Persistence::new();
+        p.fit(&[vec![f64::NAN, -3.0]], WindowSpec { window: 1, horizon: 1 }).unwrap();
+        let pred = p.predict(&[vec![-8.0]]);
+        assert!(pred[0] >= 0.0 && pred[0].is_finite());
+    }
+
+    #[test]
+    fn tolerates_short_and_ragged_series() {
+        let mut p = Persistence::new();
+        // A real model would refuse this shape; the last link must not.
+        p.fit(&[vec![1.0], vec![]], WindowSpec { window: 24, horizon: 12 }).unwrap();
+        assert_eq!(p.predict(&[vec![3.0], vec![]]), vec![3.0, 0.0]);
+    }
+}

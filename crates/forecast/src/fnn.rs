@@ -9,7 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dataset::{encode_recent, sliding_windows, ForecastError, WindowSpec};
+use crate::dataset::{encode_recent, ensure_finite, sliding_windows, ForecastError, WindowSpec};
 use crate::nn::{Dense, Param};
 use crate::Forecaster;
 
@@ -170,6 +170,12 @@ impl Forecaster for Fnn {
                 out.adam_step(self.cfg.learning_rate, adam_t);
             }
             let v = val_loss(self);
+            if !v.is_finite() {
+                return Err(ForecastError::Diverged {
+                    model: "FNN",
+                    detail: format!("validation loss {v}"),
+                });
+            }
             if v + 1e-9 < best {
                 best = v;
                 best_weights = Some((
@@ -190,6 +196,11 @@ impl Forecaster for Fnn {
             self.l2 = Some(l2);
             self.out = Some(out);
         }
+        ensure_finite(
+            "FNN",
+            "output weights",
+            self.out.as_ref().expect("set above").w.value.as_slice().iter().copied(),
+        )?;
         Ok(())
     }
 

@@ -15,7 +15,7 @@ use crate::dataset::{ForecastError, WindowSpec};
 use crate::ensemble::Ensemble;
 use crate::kr::KernelRegression;
 use crate::rnn::RnnConfig;
-use crate::Forecaster;
+use crate::{DegradationLevel, Forecaster};
 
 /// HYBRID configuration.
 #[derive(Debug, Clone)]
@@ -37,11 +37,18 @@ impl Default for HybridConfig {
 }
 
 /// ENSEMBLE with KR spike correction.
+///
+/// Resilience: if the KR member fails to train it is dropped and the
+/// ensemble serves un-corrected (no spike override); the ensemble in turn
+/// degrades internally (LR-only, then last-value persistence) rather than
+/// failing. [`Hybrid::degradation`] reports the effective serving level.
 pub struct Hybrid {
     cfg: HybridConfig,
     ensemble: Ensemble,
     kr: KernelRegression,
+    /// `Some` only while the KR member is trained and serving.
     kr_spec: Option<WindowSpec>,
+    kr_failure: Option<ForecastError>,
     spec: Option<WindowSpec>,
     /// How often KR overrode the ensemble in the last prediction batch
     /// (observability for the γ sensitivity analysis).
@@ -62,6 +69,7 @@ impl Hybrid {
             ensemble,
             kr: KernelRegression::default(),
             kr_spec: None,
+            kr_failure: None,
             spec: None,
             last_overrides: std::cell::Cell::new(0),
         }
@@ -71,6 +79,28 @@ impl Hybrid {
     pub fn gamma(&self) -> f64 {
         self.cfg.gamma
     }
+
+    /// How far down the fallback chain the last fit landed.
+    pub fn degradation(&self) -> DegradationLevel {
+        let ens = self.ensemble.degradation();
+        if self.kr_spec.is_some() && ens == DegradationLevel::Full {
+            DegradationLevel::Full
+        } else {
+            // KR lost ⇒ at least Ensemble-level; a degraded ensemble
+            // dominates regardless of KR's state.
+            ens.max(DegradationLevel::Ensemble)
+        }
+    }
+
+    /// Member failures behind the current degradation level.
+    pub fn member_failures(&self) -> Vec<(&'static str, ForecastError)> {
+        let mut out: Vec<(&'static str, ForecastError)> =
+            self.ensemble.member_failures().to_vec();
+        if let Some(e) = &self.kr_failure {
+            out.push(("KR", e.clone()));
+        }
+        out
+    }
 }
 
 impl Forecaster for Hybrid {
@@ -79,18 +109,31 @@ impl Forecaster for Hybrid {
     }
 
     fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
+        self.kr_spec = None;
+        self.kr_failure = None;
+        self.spec = None;
         self.ensemble.fit(series, spec)?;
         let kr_window = self.cfg.kr_window.unwrap_or(spec.window);
         let kr_spec = WindowSpec { window: kr_window, horizon: spec.horizon };
-        self.kr.fit(series, kr_spec)?;
-        self.kr_spec = Some(kr_spec);
+        // The KR member degrades on *any* failure, including NotEnoughData:
+        // its window may be far longer than the ensemble's (three weeks in
+        // §6.2), and losing spike correction beats losing the forecast.
+        match self.kr.fit(series, kr_spec) {
+            Ok(()) => self.kr_spec = Some(kr_spec),
+            Err(e) => self.kr_failure = Some(e),
+        }
         self.spec = Some(spec);
         Ok(())
     }
 
     fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
-        let kr_spec = self.kr_spec.expect("HYBRID::predict before fit");
+        assert!(self.spec.is_some(), "HYBRID::predict before fit");
         let e = self.ensemble.predict(recent);
+        // No trained KR member: the ensemble answer stands alone.
+        let Some(kr_spec) = self.kr_spec else {
+            self.last_overrides.set(0);
+            return e;
+        };
         // If the caller provided too little history for the KR window, the
         // ensemble answer stands alone (KR needs its longer ramp context).
         if recent[0].len() < kr_spec.window {
@@ -196,6 +239,45 @@ mod tests {
         let pred = h.predict(&recent);
         assert_eq!(h.last_overrides.get(), 0);
         assert!((pred[0] - 200.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn kr_member_loss_degrades_to_ensemble_level() {
+        // KR's window exceeds the series: the member cannot train. HYBRID
+        // must drop it and serve the plain ensemble instead of failing.
+        let series = vec![vec![100.0; 150]];
+        let spec = WindowSpec { window: 8, horizon: 1 };
+        let cfg = HybridConfig { kr_window: Some(500), ..quick_cfg(1.5) };
+        let mut h = Hybrid::new(cfg);
+        h.fit(&series, spec).unwrap();
+        assert_eq!(h.degradation(), DegradationLevel::Ensemble);
+        assert!(h.member_failures().iter().any(|(m, _)| *m == "KR"));
+        let pred = h.predict(&[vec![100.0; 8]]);
+        assert!(pred[0].is_finite());
+        assert_eq!(h.last_overrides.get(), 0, "no KR, no overrides");
+    }
+
+    #[test]
+    fn full_chain_collapse_serves_last_value() {
+        // ∞ in the series diverges LR, RNN, and KR alike; the chain must
+        // bottom out at persistence and still answer.
+        let mut s = vec![40.0; 150];
+        s[75] = f64::INFINITY;
+        let spec = WindowSpec { window: 8, horizon: 1 };
+        let mut h = Hybrid::new(quick_cfg(1.5));
+        h.fit(&[s], spec).unwrap();
+        assert_eq!(h.degradation(), DegradationLevel::LastValue);
+        let pred = h.predict(&[vec![33.0; 8]]);
+        assert_eq!(pred, vec![33.0]);
+    }
+
+    #[test]
+    fn healthy_fit_is_full_level() {
+        let series = vec![vec![100.0; 150]];
+        let mut h = Hybrid::new(quick_cfg(1.5));
+        h.fit(&series, WindowSpec { window: 8, horizon: 1 }).unwrap();
+        assert_eq!(h.degradation(), DegradationLevel::Full);
+        assert!(h.member_failures().is_empty());
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub fn select_interval(
                 // Coarser than an hour: split the bucket evenly (§7.4:
                 // "dividing the interval that contains that hour into two").
                 let parts = k_us / 60;
-                xs.iter().flat_map(|&v| std::iter::repeat(v / parts as f64).take(parts)).collect()
+                xs.iter().flat_map(|&v| std::iter::repeat_n(v / parts as f64, parts)).collect()
             } else {
                 xs.chunks_exact(buckets_per_hour).map(|c| c.iter().sum()).collect()
             }

@@ -21,7 +21,7 @@
 
 use qb_linalg::Matrix;
 
-use crate::dataset::{encode_recent, sliding_windows, ForecastError, WindowSpec};
+use crate::dataset::{encode_recent, ensure_finite, sliding_windows, ForecastError, WindowSpec};
 use crate::Forecaster;
 
 /// Nadaraya–Watson kernel regression with an RBF kernel, truncated to the
@@ -81,6 +81,9 @@ impl Forecaster for KernelRegression {
 
     fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
         let (x, y) = sliding_windows(series, spec)?;
+        // KR "trains" by memorizing exemplars; a non-finite exemplar would
+        // poison every weighted average it participates in.
+        ensure_finite("KR", "exemplars", x.as_slice().iter().chain(y.as_slice()).copied())?;
         self.spec = Some(spec);
         self.clusters = series.len();
         self.x = Some(x);

@@ -30,6 +30,7 @@
 pub mod arma;
 pub mod dataset;
 pub mod ensemble;
+pub mod fallback;
 pub mod fnn;
 pub mod hybrid;
 pub mod interval;
@@ -43,8 +44,9 @@ pub mod rnn;
 pub mod weighted;
 
 pub use arma::Arma;
-pub use dataset::{sliding_windows, ForecastError, WindowSpec};
+pub use dataset::{ensure_finite, sliding_windows, ForecastError, WindowSpec};
 pub use ensemble::Ensemble;
+pub use fallback::Persistence;
 pub use fnn::Fnn;
 pub use hybrid::{Hybrid, HybridConfig};
 pub use interval::{select_interval, IntervalReport, IntervalSelection};
@@ -54,6 +56,33 @@ pub use properties::{model_properties, ModelProperties};
 pub use psrnn::Psrnn;
 pub use rnn::{Rnn, RnnConfig};
 pub use weighted::WeightedEnsemble;
+
+/// How far down the fallback chain HYBRID → ENSEMBLE → single model →
+/// last-value persistence a composite forecaster had to degrade after
+/// member training failures. Ordered: later variants are more degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// Every member trained; the composite serves as designed.
+    Full,
+    /// HYBRID lost its KR member: the ensemble serves without spike
+    /// correction.
+    Ensemble,
+    /// The ensemble lost a member: a single learned model serves.
+    Single,
+    /// Every learned model diverged: last-value persistence serves.
+    LastValue,
+}
+
+impl DegradationLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationLevel::Full => "full",
+            DegradationLevel::Ensemble => "ensemble",
+            DegradationLevel::Single => "single-model",
+            DegradationLevel::LastValue => "last-value",
+        }
+    }
+}
 
 /// A forecasting model jointly predicting all clusters at one horizon.
 ///

@@ -7,7 +7,7 @@
 
 use qb_linalg::{ridge_regression, Matrix};
 
-use crate::dataset::{encode_recent, sliding_windows, ForecastError, WindowSpec};
+use crate::dataset::{encode_recent, ensure_finite, sliding_windows, ForecastError, WindowSpec};
 use crate::Forecaster;
 
 /// Closed-form ridge auto-regression.
@@ -60,6 +60,7 @@ impl Forecaster for LinearRegression {
         let xb = with_bias(&x);
         let w = ridge_regression(&xb, &y, self.lambda)
             .map_err(|e| ForecastError::Numeric(e.to_string()))?;
+        ensure_finite("LR", "weights", w.as_slice().iter().copied())?;
         self.spec = Some(spec);
         self.clusters = series.len();
         self.weights = Some(w);

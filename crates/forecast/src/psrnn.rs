@@ -27,7 +27,7 @@ use qb_linalg::{ridge_regression, Matrix, Pca};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dataset::{validate_series, ForecastError, WindowSpec};
+use crate::dataset::{ensure_finite, validate_series, ForecastError, WindowSpec};
 use crate::nn::{Dense, Param};
 use crate::Forecaster;
 
@@ -297,7 +297,26 @@ impl Forecaster for Psrnn {
                 b.adam_step(self.cfg.learning_rate, adam_t);
                 h.adam_step(self.cfg.learning_rate, adam_t);
             }
+            // BPTT through the tanh recursion can still blow up on hostile
+            // inputs; catch it per epoch rather than after all refinement.
+            let h = self.head.as_ref().expect("set");
+            ensure_finite("PSRNN", "head weights", h.w.value.as_slice().iter().copied())?;
         }
+        let (a, b, h) = (
+            self.a.as_ref().expect("set"),
+            self.b_in.as_ref().expect("set"),
+            self.head.as_ref().expect("set"),
+        );
+        ensure_finite(
+            "PSRNN",
+            "weights",
+            a.w.value
+                .as_slice()
+                .iter()
+                .chain(b.w.value.as_slice())
+                .chain(h.w.value.as_slice())
+                .copied(),
+        )?;
         Ok(())
     }
 

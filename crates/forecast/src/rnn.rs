@@ -11,7 +11,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::dataset::{validate_series, ForecastError, WindowSpec};
+use crate::dataset::{ensure_finite, validate_series, ForecastError, WindowSpec};
 use crate::nn::{Dense, LstmLayer, Param};
 use crate::Forecaster;
 
@@ -275,6 +275,16 @@ impl Forecaster for Rnn {
             self.epochs_run = epoch + 1;
 
             let val = Self::sequence_loss(&net, val_x, val_y);
+            // Divergence guard: a non-finite validation loss means the
+            // weights have left the representable range (NaN inputs or an
+            // exploding update). Abort — continuing would let NaN weights
+            // be silently installed once patience runs out.
+            if !val.is_finite() {
+                return Err(ForecastError::Diverged {
+                    model: "RNN",
+                    detail: format!("validation loss {val} at epoch {}", epoch + 1),
+                });
+            }
             if val + 1e-9 < best_val {
                 best_val = val;
                 best_net = Some(Network {
@@ -292,7 +302,9 @@ impl Forecaster for Rnn {
             }
         }
 
-        self.net = Some(best_net.unwrap_or(net));
+        let net = best_net.unwrap_or(net);
+        ensure_finite("RNN", "head weights", net.head.w.value.as_slice().iter().copied())?;
+        self.net = Some(net);
         self.spec = Some(spec);
         self.clusters = clusters;
         Ok(())
@@ -382,6 +394,40 @@ mod tests {
     fn predict_before_fit_panics() {
         Rnn::default().predict(&[vec![1.0; 24]]);
     }
+
+    #[test]
+    fn infinite_input_aborts_with_diverged() {
+        // ∞ survives the ln(1+x) transform, so training loss goes
+        // non-finite; the guard must abort instead of installing garbage.
+        let mut s = vec![10.0; 100];
+        s[50] = f64::INFINITY;
+        let mut rnn = Rnn::new(RnnConfig { epochs: 5, ..quick_cfg() });
+        let err = rnn.fit(&[s], WindowSpec { window: 8, horizon: 1 }).unwrap_err();
+        assert!(matches!(err, ForecastError::Diverged { model: "RNN", .. }), "{err}");
+    }
+
+    #[test]
+    fn nan_input_never_panics() {
+        // NaN rates sanitize to 0 in the log transform; training must
+        // either succeed or abort cleanly — never panic or emit NaN.
+        let mut s: Vec<f64> = (0..100).map(|t| 20.0 + (t % 5) as f64).collect();
+        s[10] = f64::NAN;
+        s[55] = f64::NAN;
+        let mut rnn = Rnn::new(RnnConfig { epochs: 5, ..quick_cfg() });
+        if rnn.fit(&[s.clone()], WindowSpec { window: 8, horizon: 1 }).is_ok() {
+            let pred = rnn.predict(&[s[92..100].to_vec()]);
+            assert!(pred[0].is_finite() && pred[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_optimizer_aborts_with_diverged() {
+        let cfg = RnnConfig { learning_rate: f64::NAN, epochs: 3, ..quick_cfg() };
+        let mut rnn = Rnn::new(cfg);
+        let err =
+            rnn.fit(&[vec![10.0; 80]], WindowSpec { window: 8, horizon: 1 }).unwrap_err();
+        assert!(err.is_model_failure(), "{err}");
+    }
 }
 
 // --- serialization (Table 4's "serialized model object ... contains both
@@ -469,7 +515,6 @@ impl Rnn {
         load(&mut net.lstm2.b.value)?;
         load(&mut net.head.w.value)?;
         load(&mut net.head.b.value)?;
-        drop(load);
         r.expect_end()?;
         Ok(Self { cfg, net: Some(net), spec: Some(spec), clusters, epochs_run: 0 })
     }

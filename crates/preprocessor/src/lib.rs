@@ -21,7 +21,7 @@ pub mod logical;
 pub mod reservoir;
 pub mod template;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use qb_sqlparse::{parse_statement, Literal, ParseError, Statement};
 use qb_timeseries::{ArrivalHistory, CompactionPolicy, Interval, Minute};
@@ -79,6 +79,74 @@ impl From<ParseError> for PreProcessError {
     }
 }
 
+/// How many rejected statements the quarantine retains for inspection.
+pub const QUARANTINE_SAMPLE_CAPACITY: usize = 32;
+
+/// Longest SQL prefix (in characters) a quarantine sample stores. Bounds
+/// memory even when a fault hands us a megabyte of garbage.
+const QUARANTINE_SQL_PREFIX: usize = 200;
+
+/// One rejected statement retained for inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedStatement {
+    pub minute: Minute,
+    /// Bounded prefix of the offending SQL.
+    pub sql: String,
+    pub error: String,
+}
+
+/// Bounded record of statements the Pre-Processor refused.
+///
+/// QB5000 skips unparseable statements (§4); under fault injection that can
+/// be a meaningful fraction of the stream, so instead of losing them
+/// silently the Pre-Processor counts every rejection and keeps the most
+/// recent [`QUARANTINE_SAMPLE_CAPACITY`] offenders in a ring buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    rejected_statements: u64,
+    rejected_arrivals: u64,
+    samples: VecDeque<QuarantinedStatement>,
+    last_error: Option<String>,
+}
+
+impl Quarantine {
+    fn admit(&mut self, minute: Minute, sql: &str, count: u64, err: &PreProcessError) {
+        self.rejected_statements += 1;
+        self.rejected_arrivals += count;
+        let error = err.to_string();
+        if self.samples.len() == QUARANTINE_SAMPLE_CAPACITY {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(QuarantinedStatement {
+            minute,
+            sql: sql.chars().take(QUARANTINE_SQL_PREFIX).collect(),
+            error: error.clone(),
+        });
+        self.last_error = Some(error);
+    }
+
+    /// Rejected ingest calls (each may carry many arrivals).
+    pub fn rejected_statements(&self) -> u64 {
+        self.rejected_statements
+    }
+
+    /// Rejected arrivals (weighted by each call's `count`).
+    pub fn rejected_arrivals(&self) -> u64 {
+        self.rejected_arrivals
+    }
+
+    /// The retained samples, oldest first (at most
+    /// [`QUARANTINE_SAMPLE_CAPACITY`]).
+    pub fn samples(&self) -> impl Iterator<Item = &QuarantinedStatement> {
+        self.samples.iter()
+    }
+
+    /// The most recent rejection's error message.
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+}
+
 /// Aggregate counters for Table 1 / Table 2.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestStats {
@@ -131,6 +199,7 @@ pub struct PreProcessor {
     raw_cache_limit: usize,
     cache_hits: u64,
     next_seed: u64,
+    quarantine: Quarantine,
 }
 
 impl PreProcessor {
@@ -146,6 +215,7 @@ impl PreProcessor {
             raw_cache_limit: 65_536,
             cache_hits: 0,
             next_seed,
+            quarantine: Quarantine::default(),
         }
     }
 
@@ -170,13 +240,20 @@ impl PreProcessor {
             // still feed the parameter reservoir (a permanent bypass would
             // starve it of exactly the hottest queries).
             self.cache_hits = self.cache_hits.wrapping_add(1);
-            if self.cache_hits % 64 != 0 {
+            if !self.cache_hits.is_multiple_of(64) {
                 self.bump(id, t, count, None);
                 return Ok(id);
             }
         }
 
-        let stmt = parse_statement(sql)?;
+        let stmt = match parse_statement(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                let err = PreProcessError::Parse(e);
+                self.quarantine.admit(t, sql, count, &err);
+                return Err(err);
+            }
+        };
         let templatized = templatize(&stmt);
         let id = self.intern(&templatized);
         self.bump(id, t, count, Some(templatized.params));
@@ -271,6 +348,11 @@ impl PreProcessor {
     }
 
     /// Ingest counters.
+    /// The rejected-statement record.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
     pub fn stats(&self) -> IngestStats {
         self.stats
     }
@@ -356,6 +438,44 @@ mod tests {
         let mut p = pp();
         assert!(p.ingest(0, "CREATE TABLE nope (x int)").is_err());
         assert_eq!(p.stats().total_queries, 0);
+    }
+
+    #[test]
+    fn rejections_are_quarantined_with_samples() {
+        let mut p = pp();
+        assert!(p.ingest_weighted(7, "SELEC broken ((", 5).is_err());
+        assert!(p.ingest(9, "").is_err());
+        p.ingest(9, "SELECT x FROM t WHERE id = 1").unwrap();
+        let q = p.quarantine();
+        assert_eq!(q.rejected_statements(), 2);
+        assert_eq!(q.rejected_arrivals(), 6);
+        let samples: Vec<_> = q.samples().collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].minute, 7);
+        assert_eq!(samples[0].sql, "SELEC broken ((");
+        assert!(q.last_error().is_some());
+    }
+
+    #[test]
+    fn quarantine_ring_buffer_is_bounded() {
+        let mut p = pp();
+        for i in 0..(QUARANTINE_SAMPLE_CAPACITY as i64 + 10) {
+            let _ = p.ingest(i, &format!("NOT SQL {i}"));
+        }
+        let q = p.quarantine();
+        assert_eq!(q.rejected_statements(), QUARANTINE_SAMPLE_CAPACITY as u64 + 10);
+        assert_eq!(q.samples().count(), QUARANTINE_SAMPLE_CAPACITY);
+        // Oldest entries were evicted: the ring holds the newest ones.
+        assert_eq!(q.samples().next().unwrap().minute, 10);
+    }
+
+    #[test]
+    fn quarantine_bounds_sql_sample_length() {
+        let mut p = pp();
+        let huge = format!("GARBAGE {}", "x".repeat(10_000));
+        assert!(p.ingest(0, &huge).is_err());
+        let sample = p.quarantine().samples().next().unwrap();
+        assert!(sample.sql.chars().count() <= 200, "{}", sample.sql.len());
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! Property-based tests for templating and sampling.
+//! Property-based tests for templating, sampling, and ingest robustness.
 
 use proptest::prelude::*;
-use qb_preprocessor::{bind_params, semantic_fingerprint, templatize, Reservoir};
+use qb_preprocessor::{
+    bind_params, semantic_fingerprint, templatize, PreProcessor, PreProcessorConfig, Reservoir,
+};
 use qb_sqlparse::{format_statement, parse_statement};
 
 fn ident() -> impl Strategy<Value = String> {
@@ -100,6 +102,55 @@ proptest! {
         let fa = semantic_fingerprint(&templatize(&parse_statement(&a).expect("a")).template);
         let fb = semantic_fingerprint(&templatize(&parse_statement(&b).expect("b")).template);
         prop_assert_eq!(fa, fb);
+    }
+
+    /// Ingest never panics, whatever bytes arrive — malformed UTF-8 (via
+    /// lossy decoding), control characters, unbalanced quotes, binary
+    /// garbage. Rejections land in quarantine; the accounting identity
+    /// `accepted + rejected == offered` always holds.
+    #[test]
+    fn ingest_never_panics_on_arbitrary_bytes(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48),
+            1..12,
+        ),
+        t0 in -1_000_000_000_000i64..1_000_000_000_000,
+        step in -2_000i64..2_000,
+    ) {
+        let mut pre = PreProcessor::new(PreProcessorConfig::default());
+        let mut accepted = 0u64;
+        for (i, bytes) in chunks.iter().enumerate() {
+            let sql = String::from_utf8_lossy(bytes);
+            let t = t0 + step * i as i64;
+            if pre.ingest_weighted(t, &sql, 1 + i as u64 % 3).is_ok() {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(
+            accepted + pre.quarantine().rejected_statements(),
+            chunks.len() as u64,
+            "every offered statement is either accepted or quarantined"
+        );
+    }
+
+    /// Ingest tolerates arbitrary timestamps — negative, decreasing, or
+    /// jumping wildly — and still accounts for every arrival.
+    #[test]
+    fn ingest_tolerates_arbitrary_timestamps(
+        ts in proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 1..40),
+        weight in 1u64..5,
+    ) {
+        let mut pre = PreProcessor::new(PreProcessorConfig::default());
+        let mut id = None;
+        for &t in &ts {
+            id = Some(
+                pre.ingest_weighted(t, "SELECT a FROM t WHERE id = 1", weight)
+                    .expect("well-formed SQL always ingests"),
+            );
+        }
+        let entry = pre.template(id.expect("at least one ingest"));
+        prop_assert_eq!(entry.history.total(), ts.len() as u64 * weight);
+        prop_assert_eq!(entry.history.first_seen(), ts.iter().min().copied());
     }
 
     /// Reservoir: size is min(capacity, offered), and the sample is always

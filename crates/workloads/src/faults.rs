@@ -1,0 +1,389 @@
+//! Deterministic fault injection for workload streams.
+//!
+//! Production query traces are not clean: collectors truncate statements,
+//! buffers replay duplicates, clock skew reorders or back-dates arrivals,
+//! collection gaps drop whole minutes, and incidents spike arrival counts.
+//! [`FaultInjector`] wraps any [`QueryEvent`] iterator — every generator in
+//! this crate — and injects those corruptions at configurable rates from a
+//! seeded RNG, so a chaos run is exactly reproducible.
+//!
+//! The injector also keeps [`FaultStats`], the ground truth a resilience
+//! test needs to check accounting identities (e.g. everything emitted was
+//! either ingested or quarantined downstream).
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qb_timeseries::Minute;
+
+use crate::trace::QueryEvent;
+
+/// Per-event fault probabilities (each in `[0, 1]`), plus shape knobs.
+///
+/// All rates default to zero: a default plan is a passthrough.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed; the same plan over the same stream replays identically.
+    pub seed: u64,
+    /// Corrupt the SQL text (dropped characters, unbalanced quotes,
+    /// keyword damage) so it no longer parses.
+    pub malformed_sql: f64,
+    /// Truncate the SQL text at an arbitrary character boundary, as a
+    /// collector with a too-small capture buffer would.
+    pub truncated_sql: f64,
+    /// Re-emit the event a second time (replayed delivery).
+    pub duplicate: f64,
+    /// Hold the event back and deliver it after a few later events, so its
+    /// timestamp is out of order with respect to the stream position.
+    pub out_of_order: f64,
+    /// Rewrite the timestamp a random number of minutes into the past
+    /// (clock skew / backwards clock).
+    pub backdate: f64,
+    /// Probability that a given minute of the trace is dropped entirely
+    /// (collection gap); every event in that minute disappears.
+    pub dropped_minute: f64,
+    /// Multiply the arrival count by [`FaultPlan::spike_factor`].
+    pub arrival_spike: f64,
+    /// Count multiplier for spiked events.
+    pub spike_factor: u64,
+    /// Maximum minutes a backdated timestamp is moved into the past.
+    pub max_backdate: i64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            malformed_sql: 0.0,
+            truncated_sql: 0.0,
+            duplicate: 0.0,
+            out_of_order: 0.0,
+            backdate: 0.0,
+            dropped_minute: 0.0,
+            arrival_spike: 0.0,
+            spike_factor: 20,
+            max_backdate: 45,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A passthrough plan (all rates zero).
+    pub fn none(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// A plan with every fault class enabled, scaled by `intensity` — the
+    /// escalation knob chaos suites sweep. `intensity = 1.0` is the §7.6
+    /// chaos baseline: 5 % malformed SQL, 2 % duplicates, 1 % out-of-order.
+    pub fn with_intensity(seed: u64, intensity: f64) -> Self {
+        assert!(intensity >= 0.0, "intensity must be non-negative");
+        let p = |base: f64| (base * intensity).min(0.9);
+        Self {
+            seed,
+            malformed_sql: p(0.05),
+            truncated_sql: p(0.01),
+            duplicate: p(0.02),
+            out_of_order: p(0.01),
+            backdate: p(0.005),
+            dropped_minute: p(0.01),
+            arrival_spike: p(0.002),
+            ..Self::default()
+        }
+    }
+
+    /// Wraps a stream with this plan.
+    pub fn inject<I: Iterator<Item = QueryEvent>>(self, inner: I) -> FaultInjector<I> {
+        FaultInjector::new(inner, self)
+    }
+}
+
+/// Ground-truth corruption counters, filled as the stream is consumed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Events pulled from the wrapped generator.
+    pub events_in: u64,
+    /// Events emitted downstream (duplicates add, drops subtract).
+    pub events_out: u64,
+    /// Arrivals emitted downstream (sum of emitted `count`s).
+    pub arrivals_out: u64,
+    pub malformed: u64,
+    pub truncated: u64,
+    pub duplicated: u64,
+    pub reordered: u64,
+    pub backdated: u64,
+    /// Events swallowed by dropped minutes.
+    pub dropped_events: u64,
+    /// Distinct minutes dropped.
+    pub dropped_minutes: u64,
+    pub spiked: u64,
+}
+
+/// How many later events an out-of-order event is held behind.
+const REORDER_DELAY: u32 = 3;
+
+/// A fault-injecting adapter over any [`QueryEvent`] stream.
+pub struct FaultInjector<I: Iterator<Item = QueryEvent>> {
+    inner: I,
+    plan: FaultPlan,
+    rng: SmallRng,
+    /// Events ready to emit, in emission order.
+    ready: VecDeque<QueryEvent>,
+    /// Held-back (out-of-order) events awaiting release.
+    delayed: VecDeque<QueryEvent>,
+    /// Inner events consumed since the last delayed release.
+    since_release: u32,
+    /// Decision cache for the current minute's drop fault.
+    minute_state: Option<(Minute, bool)>,
+    stats: FaultStats,
+}
+
+impl<I: Iterator<Item = QueryEvent>> FaultInjector<I> {
+    pub fn new(inner: I, plan: FaultPlan) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed ^ 0xFA17);
+        Self {
+            inner,
+            plan,
+            rng,
+            ready: VecDeque::new(),
+            delayed: VecDeque::new(),
+            since_release: 0,
+            minute_state: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Corruption counters so far. Final only once the stream is drained.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Whether this minute falls into a collection gap (decision made once
+    /// per distinct minute, so a gap swallows the *whole* minute).
+    fn minute_dropped(&mut self, minute: Minute) -> bool {
+        match self.minute_state {
+            Some((m, dropped)) if m == minute => dropped,
+            _ => {
+                let dropped =
+                    self.plan.dropped_minute > 0.0 && self.rng.gen_bool(self.plan.dropped_minute);
+                if dropped {
+                    self.stats.dropped_minutes += 1;
+                }
+                self.minute_state = Some((minute, dropped));
+                dropped
+            }
+        }
+    }
+
+    /// Damages SQL so it no longer parses. Char-boundary safe.
+    fn corrupt_sql(&mut self, sql: &str) -> String {
+        let boundaries: Vec<usize> = sql.char_indices().map(|(i, _)| i).collect();
+        match self.rng.gen_range(0..4u32) {
+            // Chop mid-statement.
+            0 if boundaries.len() > 2 => {
+                let cut = boundaries[self.rng.gen_range(1..boundaries.len())];
+                sql[..cut].to_string()
+            }
+            // Unbalanced quote.
+            1 => format!("{sql} '"),
+            // Keyword damage: drop the first character of the statement.
+            2 => sql
+                .char_indices()
+                .nth(1)
+                .map(|(i, _)| sql[i..].to_string())
+                .unwrap_or_default(),
+            // Binary garbage prepended (a torn collector buffer).
+            _ => format!("\u{0}\u{1}\u{fffd}{sql}"),
+        }
+    }
+
+    fn truncate_sql(&mut self, sql: &str) -> String {
+        let boundaries: Vec<usize> = sql.char_indices().map(|(i, _)| i).collect();
+        if boundaries.len() < 2 {
+            return String::new();
+        }
+        let cut = boundaries[self.rng.gen_range(1..boundaries.len())];
+        sql[..cut].to_string()
+    }
+}
+
+impl<I: Iterator<Item = QueryEvent>> Iterator for FaultInjector<I> {
+    type Item = QueryEvent;
+
+    fn next(&mut self) -> Option<QueryEvent> {
+        loop {
+            if let Some(ev) = self.ready.pop_front() {
+                self.stats.events_out += 1;
+                self.stats.arrivals_out += ev.count;
+                return Some(ev);
+            }
+
+            let Some(mut ev) = self.inner.next() else {
+                // Source exhausted: flush any still-held reordered events.
+                if let Some(d) = self.delayed.pop_front() {
+                    self.ready.push_back(d);
+                    continue;
+                }
+                return None;
+            };
+            self.stats.events_in += 1;
+
+            if self.minute_dropped(ev.minute) {
+                self.stats.dropped_events += 1;
+                continue;
+            }
+
+            // Content faults (mutually exclusive so the counters partition
+            // the corrupted events).
+            if self.plan.malformed_sql > 0.0 && self.rng.gen_bool(self.plan.malformed_sql) {
+                ev.sql = self.corrupt_sql(&ev.sql);
+                self.stats.malformed += 1;
+            } else if self.plan.truncated_sql > 0.0 && self.rng.gen_bool(self.plan.truncated_sql)
+            {
+                ev.sql = self.truncate_sql(&ev.sql);
+                self.stats.truncated += 1;
+            }
+
+            if self.plan.arrival_spike > 0.0 && self.rng.gen_bool(self.plan.arrival_spike) {
+                ev.count = ev.count.saturating_mul(self.plan.spike_factor.max(1));
+                self.stats.spiked += 1;
+            }
+
+            if self.plan.backdate > 0.0 && self.rng.gen_bool(self.plan.backdate) {
+                ev.minute -= self.rng.gen_range(1..=self.plan.max_backdate.max(1));
+                self.stats.backdated += 1;
+            }
+
+            if self.plan.duplicate > 0.0 && self.rng.gen_bool(self.plan.duplicate) {
+                self.ready.push_back(ev.clone());
+                self.stats.duplicated += 1;
+            }
+
+            if self.plan.out_of_order > 0.0 && self.rng.gen_bool(self.plan.out_of_order) {
+                self.delayed.push_back(ev);
+                self.stats.reordered += 1;
+            } else {
+                self.ready.push_back(ev);
+            }
+
+            // Release a held event after enough of the stream has passed it.
+            self.since_release += 1;
+            if self.since_release >= REORDER_DELAY {
+                if let Some(d) = self.delayed.pop_front() {
+                    self.ready.push_back(d);
+                }
+                self.since_release = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+    use crate::Workload;
+
+    fn base_stream() -> impl Iterator<Item = QueryEvent> {
+        Workload::BusTracker.generator(TraceConfig {
+            start: 0,
+            days: 1,
+            scale: 0.02,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn zero_plan_is_passthrough() {
+        let clean: Vec<QueryEvent> = base_stream().collect();
+        let mut inj = FaultPlan::none(5).inject(base_stream());
+        let faulted: Vec<QueryEvent> = inj.by_ref().collect();
+        assert_eq!(clean, faulted);
+        let s = inj.stats();
+        assert_eq!(s.events_in, s.events_out);
+        assert_eq!(s.malformed + s.duplicated + s.reordered + s.dropped_events, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || -> Vec<QueryEvent> {
+            FaultPlan::with_intensity(42, 1.0).inject(base_stream()).collect()
+        };
+        assert_eq!(run(), run());
+        let other: Vec<QueryEvent> =
+            FaultPlan::with_intensity(43, 1.0).inject(base_stream()).collect();
+        assert_ne!(run(), other, "different seeds must corrupt differently");
+    }
+
+    #[test]
+    fn fault_rates_are_respected() {
+        let mut inj = FaultPlan::with_intensity(7, 1.0).inject(base_stream());
+        let n = inj.by_ref().count() as f64;
+        let s = inj.stats().clone();
+        assert!(n > 1_000.0, "need a substantial stream, got {n}");
+        let frac = s.malformed as f64 / s.events_in as f64;
+        assert!((0.03..0.07).contains(&frac), "malformed fraction {frac}");
+        let dup = s.duplicated as f64 / s.events_in as f64;
+        assert!((0.01..0.03).contains(&dup), "duplicate fraction {dup}");
+        assert!(s.reordered > 0 && s.dropped_events > 0 && s.backdated > 0);
+    }
+
+    #[test]
+    fn event_accounting_balances() {
+        let mut inj = FaultPlan::with_intensity(3, 2.0).inject(base_stream());
+        let emitted = inj.by_ref().count() as u64;
+        let s = inj.stats();
+        assert_eq!(emitted, s.events_out);
+        assert_eq!(s.events_out, s.events_in - s.dropped_events + s.duplicated);
+    }
+
+    #[test]
+    fn reordered_events_still_all_delivered_but_out_of_order() {
+        let plan = FaultPlan { out_of_order: 0.2, ..FaultPlan::none(9) };
+        let mut inj = plan.inject(base_stream());
+        let events: Vec<QueryEvent> = inj.by_ref().collect();
+        assert_eq!(inj.stats().events_out, inj.stats().events_in);
+        let inversions = events.windows(2).filter(|w| w[1].minute < w[0].minute).count();
+        assert!(inversions > 0, "stream should contain timestamp inversions");
+    }
+
+    #[test]
+    fn dropped_minutes_swallow_whole_minutes() {
+        let plan = FaultPlan { dropped_minute: 0.3, ..FaultPlan::none(13) };
+        let mut inj = plan.inject(base_stream());
+        let kept_minutes: std::collections::HashSet<i64> =
+            inj.by_ref().map(|e| e.minute).collect();
+        let s = inj.stats();
+        assert!(s.dropped_minutes > 0);
+        // A dropped minute must not appear downstream at all.
+        let all_minutes: std::collections::HashSet<i64> =
+            base_stream().map(|e| e.minute).collect();
+        let missing = all_minutes.difference(&kept_minutes).count() as u64;
+        assert_eq!(missing, s.dropped_minutes);
+    }
+
+    #[test]
+    fn corrupted_sql_is_valid_utf8_and_distinct() {
+        let plan = FaultPlan { malformed_sql: 1.0, ..FaultPlan::none(21) };
+        for (faulted, clean) in plan.inject(base_stream()).zip(base_stream()).take(500) {
+            assert_ne!(faulted.sql, clean.sql, "every statement must be damaged");
+            // String construction already guarantees UTF-8; the zip pairs
+            // line up because malformed_sql alone keeps order and count.
+            assert_eq!(faulted.minute, clean.minute);
+        }
+    }
+
+    #[test]
+    fn spikes_multiply_counts() {
+        let plan = FaultPlan {
+            arrival_spike: 1.0,
+            spike_factor: 10,
+            ..FaultPlan::none(17)
+        };
+        for (faulted, clean) in plan.inject(base_stream()).zip(base_stream()).take(200) {
+            assert_eq!(faulted.count, clean.count * 10);
+        }
+    }
+}

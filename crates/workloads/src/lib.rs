@@ -25,11 +25,13 @@
 
 pub mod admissions;
 pub mod bustracker;
+pub mod faults;
 pub mod mooc;
 pub mod noisy;
 pub mod pattern;
 pub mod trace;
 
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use pattern::{daily_cycle, deadline_growth, weekday_factor, RateFn};
 pub use trace::{poisson, QueryEvent, TemplateSpec, TraceConfig, TraceGenerator};
 

@@ -25,6 +25,7 @@ fn main() {
         report_window: 60,
         run_start: 21 * MINUTES_PER_DAY,
         seed: 0x1D7,
+        fault_plan: None,
     };
 
     let mut results = Vec::new();

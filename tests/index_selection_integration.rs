@@ -21,6 +21,7 @@ fn base(workload: Workload) -> ControllerConfig {
             _ => 14 * MINUTES_PER_DAY + 7 * 60,
         },
         seed: 0xE2E,
+        fault_plan: None,
     }
 }
 

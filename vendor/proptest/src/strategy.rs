@@ -1,0 +1,537 @@
+//! Value-generation strategies: the [`Strategy`] trait, primitive sources,
+//! and the combinators the workspace's property tests use.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type. Unlike real proptest there
+/// is no value tree and no shrinking: `generate` draws one value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Regenerates until `pred` holds (capped; `reason` is reported if the
+    /// cap is hit, mirroring real proptest's rejection bookkeeping).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Bounded recursive strategy: expands `recurse` over itself `depth`
+    /// times, choosing between the leaf and the recursive branch at each
+    /// level. `_desired_size`/`_expected_branch_size` are accepted for API
+    /// compatibility but unused (no size-driven growth control).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive values: {}", self.reason);
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among same-typed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof!: no alternatives");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        if rng.gen_range(0..4usize) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive sources: ranges, any::<T>(), and regex string literals.
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+/// Full-range generation for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite-heavy mix with occasional zero/negative extremes; arbitrary
+    /// bit patterns would mostly be uninteresting giant magnitudes.
+    fn arbitrary(rng: &mut SmallRng) -> f64 {
+        match rng.gen_range(0..8usize) {
+            0 => 0.0,
+            1 => -(rng.gen::<f64>() * 1e6),
+            _ => rng.gen::<f64>() * 1e6,
+        }
+    }
+}
+
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// Tuple strategies (2..=6 elements, matching workspace usage).
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategy.
+// ---------------------------------------------------------------------------
+
+/// One regex atom with its repetition bounds.
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+enum AtomKind {
+    /// Literal character.
+    Lit(char),
+    /// `.` — mostly printable ASCII, salted with newline/quote/unicode so
+    /// totality tests see genuinely hostile input.
+    Dot,
+    /// `[...]` — expanded list of candidate characters.
+    Class(Vec<char>),
+}
+
+fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars<'_>>, pat: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars.next().unwrap_or_else(|| panic!("unterminated [..] in regex `{pat}`"));
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                assert!(lo <= hi, "descending class range in regex `{pat}`");
+                out.extend(lo..=hi);
+            }
+            c => {
+                if let Some(p) = prev.take() {
+                    out.push(p);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    if let Some(p) = prev {
+        out.push(p);
+    }
+    assert!(!out.is_empty(), "empty character class in regex `{pat}`");
+    out
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let kind = match c {
+            '.' => AtomKind::Dot,
+            '[' => AtomKind::Class(parse_class(&mut chars, pat)),
+            '\\' => AtomKind::Lit(chars.next().unwrap_or('\\')),
+            c => AtomKind::Lit(c),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut digits = String::new();
+                let mut min = None;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            min = Some(digits.parse::<usize>().unwrap_or_else(|_| {
+                                panic!("bad quantifier in regex `{pat}`")
+                            }));
+                            digits.clear();
+                        }
+                        Some(d) => digits.push(d),
+                        None => panic!("unterminated quantifier in regex `{pat}`"),
+                    }
+                }
+                let last = digits
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier in regex `{pat}`"));
+                match min {
+                    Some(m) => (m, last),
+                    None => (last, last),
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+/// Characters `.` can produce beyond printable ASCII.
+const HOSTILE: &[char] =
+    &['\n', '\t', '\r', '\'', '"', '\\', '\0', 'é', 'λ', '中', '\u{7f}', '😀'];
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                match &atom.kind {
+                    AtomKind::Lit(c) => out.push(*c),
+                    AtomKind::Dot => {
+                        if rng.gen_range(0..10usize) == 0 {
+                            out.push(HOSTILE[rng.gen_range(0..HOSTILE.len())]);
+                        } else {
+                            out.push(char::from_u32(rng.gen_range(32..127u32)).expect("ascii"));
+                        }
+                    }
+                    AtomKind::Class(cs) => out.push(cs[rng.gen_range(0..cs.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn regex_identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().expect("head").is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn regex_dot_and_star() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,120}".generate(&mut r);
+            assert!(s.chars().count() <= 120);
+        }
+        for _ in 0..100 {
+            let s = "[a-c%_]*".generate(&mut r);
+            assert!(s.chars().all(|c| "abc%_".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let strat = (0i64..10, 10i64..20)
+            .prop_map(|(a, b)| a + b)
+            .prop_filter("positive", |v| *v >= 10);
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((10..30).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(0.0f64..1.0, 1..5).generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+        }
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            match crate::option::of(0i64..5).generate(&mut r) {
+                None => saw_none = true,
+                Some(x) => {
+                    assert!((0..5).contains(&x));
+                    saw_some = true;
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn union_covers_all_branches() {
+        let mut r = rng();
+        let strat = crate::prop_oneof![Just(1i64), Just(2i64), 10i64..20];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(strat.generate(&mut r).min(10));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&10));
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        let mut r = rng();
+        let leaf = crate::prop_oneof![Just("x".to_string()), Just("y".to_string())];
+        let strat = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+        });
+        for _ in 0..100 {
+            let s = strat.generate(&mut r);
+            assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in 0i64..100, b in 0i64..100) {
+            prop_assume!(a != b);
+            prop_assert!(a + b >= a.min(b));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+    }
+}

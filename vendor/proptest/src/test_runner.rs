@@ -1,0 +1,49 @@
+//! Runner configuration and per-case error plumbing.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Subset of real proptest's config: only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed; the case is discarded.
+    Reject(&'static str),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructor matching real proptest's `TestCaseError::fail(reason)`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Deterministic per-test RNG: seed derived from the test name (FNV-1a).
+pub fn rng_for(test_name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
