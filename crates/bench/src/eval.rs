@@ -93,10 +93,18 @@ pub fn evaluate_all_models(
 ) -> EvalOutput {
     let actual = aligned_actuals(series, spec, test_start);
 
-    let mut predictions: BTreeMap<&'static str, Vec<Vec<f64>>> = BTreeMap::new();
-    for name in STANDALONE {
+    // Each standalone model trains and rolls independently: fan the six
+    // fits across the worker pool. Results come back in the fixed
+    // STANDALONE order, so the map contents (and any panic) are identical
+    // to a sequential run.
+    let rolled = qb_parallel::ThreadPool::default().map(STANDALONE.to_vec(), |_, name| {
         let mut model = make_model(name, effort);
-        match fit_and_roll(model.as_mut(), series, spec, test_start) {
+        let res = fit_and_roll(model.as_mut(), series, spec, test_start);
+        (name, res)
+    });
+    let mut predictions: BTreeMap<&'static str, Vec<Vec<f64>>> = BTreeMap::new();
+    for (name, res) in rolled {
+        match res {
             Ok(p) => {
                 predictions.insert(name, p);
             }

@@ -30,6 +30,7 @@ fn config(workload: Workload, strategy: Strategy, effort: Effort) -> ControllerC
         },
         seed: 0x1D7,
         fault_plan: None,
+        threads: qb_parallel::configured_threads(),
     }
 }
 
@@ -44,9 +45,13 @@ fn run_figure(figure: &str, workload: Workload, effort: Effort) -> String {
     let mut header = String::from("minute");
     let mut final_lines = Vec::new();
 
-    let mut all = Vec::new();
-    for strategy in [Strategy::Static, Strategy::Auto, Strategy::AutoLogical] {
-        let result = IndexSelectionExperiment::new(config(workload, strategy, effort)).run();
+    // The three strategies are independent end-to-end runs: fan them out
+    // across the worker pool and collect in the fixed strategy order.
+    let strategies = [Strategy::Static, Strategy::Auto, Strategy::AutoLogical];
+    let all = qb_parallel::ThreadPool::default().map(strategies.to_vec(), |_, strategy| {
+        IndexSelectionExperiment::new(config(workload, strategy, effort)).run()
+    });
+    for (strategy, result) in strategies.iter().zip(&all) {
         header.push_str(&format!(
             ",{}_qps,{}_p99ms",
             strategy.name().to_lowercase().replace('-', "_"),
@@ -60,7 +65,6 @@ fn run_figure(figure: &str, workload: Workload, effort: Effort) -> String {
             result.indexes.len(),
             result.total_queries,
         ));
-        all.push(result);
     }
     // Align samples by index (same bucketing across runs).
     let n = all.iter().map(|r| r.samples.len()).min().unwrap_or(0);

@@ -16,7 +16,7 @@
 //! monitored; exceeding a threshold triggers the three steps early —
 //! that is how the framework adapts to workload shifts (Appendix D).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::feature::TemplateFeature;
 use crate::kdtree::KdTree;
@@ -148,12 +148,31 @@ pub struct OnlineClusterer {
     templates: BTreeMap<TemplateKey, TemplateState>,
     clusters: BTreeMap<ClusterId, Cluster>,
     next_cluster: u64,
-    /// Templates seen since the last update that were previously unknown.
+    /// Distinct template keys observed since the last update. A hot
+    /// template observed a thousand times counts once, so it cannot
+    /// dilute the unseen ratio and mask a workload shift.
+    seen_since_update: BTreeSet<TemplateKey>,
+    /// Distinct previously-unknown templates among [`Self::seen_since_update`].
     unseen_since_update: usize,
-    /// Total distinct templates observed since the last update.
-    observed_since_update: usize,
     /// EWMA of the per-period unseen ratio (the adaptive-trigger baseline).
     baseline_unseen_ratio: f64,
+}
+
+/// Step-1 lookup context: the kd-tree over the cycle's frozen centers plus
+/// the clusters born during the step.
+///
+/// The tree is built **once per update cycle** (it used to be rebuilt on
+/// every single lookup, which made it slower than the linear scan it
+/// replaces). It stays valid for the whole step because member additions
+/// no longer move centers mid-step — centers are frozen at the start of
+/// step 1 (the paper's non-recursive update) and recomputed once at the
+/// end of the cycle. Only cluster *creation* adds a center, and those land
+/// in `fresh`, scanned linearly on each lookup (few per cycle).
+struct AssignCtx {
+    /// kd-tree over unit-normalized pre-step centers (cosine metric only).
+    tree: Option<KdTree<ClusterId>>,
+    /// Clusters created during this step, not present in the tree.
+    fresh: Vec<ClusterId>,
 }
 
 impl OnlineClusterer {
@@ -164,8 +183,8 @@ impl OnlineClusterer {
             templates: BTreeMap::new(),
             clusters: BTreeMap::new(),
             next_cluster: 0,
+            seen_since_update: BTreeSet::new(),
             unseen_since_update: 0,
-            observed_since_update: 0,
             baseline_unseen_ratio: 0.0,
         }
     }
@@ -185,13 +204,17 @@ impl OnlineClusterer {
 
     /// Records that a template was observed between updates; returns `true`
     /// when the unseen-template ratio crossed the early-update trigger.
+    ///
+    /// The ratio is over **distinct** templates: re-observing the same key
+    /// does not grow the denominator, so one hot template repeated
+    /// thousands of times cannot drown out a batch of genuinely new ones.
     pub fn observe(&mut self, key: TemplateKey) -> bool {
-        self.observed_since_update += 1;
-        if !self.templates.contains_key(&key) {
+        if self.seen_since_update.insert(key) && !self.templates.contains_key(&key) {
             self.unseen_since_update += 1;
         }
-        let ratio = self.unseen_since_update as f64 / self.observed_since_update as f64;
-        self.observed_since_update >= 10 && ratio > self.effective_trigger()
+        let observed = self.seen_since_update.len();
+        let ratio = self.unseen_since_update as f64 / observed as f64;
+        observed >= 10 && ratio > self.effective_trigger()
     }
 
     /// Runs the three-step incremental update over fresh feature snapshots.
@@ -202,12 +225,12 @@ impl OnlineClusterer {
     pub fn update(&mut self, snapshots: Vec<TemplateSnapshot>, now: i64) -> UpdateReport {
         let mut report = UpdateReport::default();
         // Fold the closing period's churn into the adaptive baseline.
-        if self.observed_since_update >= 10 {
-            let ratio = self.unseen_since_update as f64 / self.observed_since_update as f64;
+        if self.seen_since_update.len() >= 10 {
+            let ratio = self.unseen_since_update as f64 / self.seen_since_update.len() as f64;
             self.baseline_unseen_ratio = 0.7 * self.baseline_unseen_ratio + 0.3 * ratio;
         }
         self.unseen_since_update = 0;
-        self.observed_since_update = 0;
+        self.seen_since_update.clear();
 
         // Refresh features of known templates.
         let mut new_snaps = Vec::new();
@@ -269,16 +292,22 @@ impl OnlineClusterer {
         report.reassigned = to_reassign.len();
 
         // Step 1: assign new templates and re-assign the step-2 removals.
+        // All lookups in this step run against the centers as they stand
+        // right now (the paper applies center moves non-recursively), which
+        // lets one kd-tree serve the whole step.
+        let mut ctx = self.assign_ctx();
         report.new_templates = new_snaps.len();
         for snap in new_snaps {
-            let created = self.assign(snap.key, snap.feature, snap.volume, snap.last_seen);
+            let created = self.assign(snap.key, snap.feature, snap.volume, snap.last_seen, &mut ctx);
             report.clusters_created += usize::from(created);
         }
         for key in to_reassign {
             let state = self.templates.remove(&key).expect("still tracked");
-            let created = self.assign(key, state.feature, state.volume, state.last_seen);
+            let created = self.assign(key, state.feature, state.volume, state.last_seen, &mut ctx);
             report.clusters_created += usize::from(created);
         }
+        // Fold the step's additions into the centers before merging.
+        self.recompute_centers();
 
         // Step 3: merge clusters whose centers are closer than ρ.
         report.merges = self.merge_step();
@@ -286,17 +315,51 @@ impl OnlineClusterer {
         report
     }
 
+    /// Builds the step-1 lookup context from the current centers. Cosine
+    /// lookups get a kd-tree over the unit-normalized centers; inverse-L2
+    /// (and masked-feature) lookups fall back to scans, so no tree is built.
+    fn assign_ctx(&self) -> AssignCtx {
+        let tree = match self.config.metric {
+            SimilarityMetric::Cosine => {
+                let items: Vec<(Vec<f64>, ClusterId)> = self
+                    .clusters
+                    .values()
+                    .filter_map(|c| {
+                        let n = qb_linalg::norm(&c.center);
+                        (n > 0.0)
+                            .then(|| (c.center.iter().map(|x| x / n).collect::<Vec<_>>(), c.id))
+                    })
+                    .collect();
+                (!items.is_empty()).then(|| KdTree::build(items))
+            }
+            SimilarityMetric::InverseL2 => None,
+        };
+        AssignCtx { tree, fresh: Vec::new() }
+    }
+
     /// Assigns one template to its best cluster (creating one if needed).
     /// Returns `true` when a new cluster was created.
-    fn assign(&mut self, key: TemplateKey, feature: TemplateFeature, volume: f64, last_seen: i64) -> bool {
-        let best = self.nearest_center(&feature);
+    ///
+    /// A joining member does **not** move the cluster center here — step-1
+    /// lookups run against the centers frozen at the start of the step (the
+    /// paper's non-recursive update), and `update` recomputes every center
+    /// once the step completes. That freeze is what keeps `ctx.tree` valid
+    /// across the whole step.
+    fn assign(
+        &mut self,
+        key: TemplateKey,
+        feature: TemplateFeature,
+        volume: f64,
+        last_seen: i64,
+        ctx: &mut AssignCtx,
+    ) -> bool {
+        let best = self.nearest_center(&feature, ctx);
         match best {
             Some((cid, sim)) if sim > self.config.rho => {
-                let cluster = self.clusters.get_mut(&cid).expect("kd-tree payload is live");
+                let cluster = self.clusters.get_mut(&cid).expect("lookup hit a live cluster");
                 cluster.members.push(key);
                 self.templates
                     .insert(key, TemplateState { feature, volume, last_seen, cluster: cid });
-                self.update_center(cid);
                 false
             }
             _ => {
@@ -313,54 +376,48 @@ impl OnlineClusterer {
                 );
                 self.templates
                     .insert(key, TemplateState { feature, volume, last_seen, cluster: cid });
+                ctx.fresh.push(cid);
                 true
             }
         }
     }
 
-    /// Finds the most similar cluster center via the kd-tree (cosine) or a
-    /// scan (inverse-L2, for which normalization does not apply).
-    fn nearest_center(&self, feature: &TemplateFeature) -> Option<(ClusterId, f64)> {
+    /// Finds the most similar cluster center via the cycle's kd-tree
+    /// (cosine) or a scan (inverse-L2, for which normalization does not
+    /// apply). Clusters founded during the current step are not in the
+    /// tree; they are scanned linearly from `ctx.fresh`.
+    fn nearest_center(&self, feature: &TemplateFeature, ctx: &AssignCtx) -> Option<(ClusterId, f64)> {
         if self.clusters.is_empty() {
             return None;
         }
         match self.config.metric {
-            SimilarityMetric::Cosine => {
-                // Masked features compare on a suffix; the kd-tree indexes
-                // full vectors, so it only answers exactly for unmasked
-                // features. Masked (new-template) lookups fall back to a
-                // scan — they are rare relative to steady-state lookups.
-                if feature.valid_from == 0 {
-                    let items: Vec<(Vec<f64>, ClusterId)> = self
-                        .clusters
-                        .values()
-                        .filter_map(|c| {
-                            let n = qb_linalg::norm(&c.center);
-                            (n > 0.0).then(|| {
-                                (c.center.iter().map(|x| x / n).collect::<Vec<_>>(), c.id)
-                            })
-                        })
-                        .collect();
-                    if items.is_empty() {
-                        return None;
-                    }
-                    let tree = KdTree::build(items);
-                    let qn = qb_linalg::norm(&feature.values);
-                    if qn == 0.0 {
-                        return None;
-                    }
-                    let q: Vec<f64> = feature.values.iter().map(|x| x / qn).collect();
-                    let (&cid, _) = tree.nearest(&q)?;
-                    let sim = self
-                        .config
-                        .metric
-                        .similarity(feature, &self.clusters[&cid].center);
-                    Some((cid, sim))
-                } else {
-                    self.scan_nearest(feature)
+            // Masked features compare on a suffix; the kd-tree indexes
+            // full vectors, so it only answers exactly for unmasked
+            // features. Masked (new-template) lookups fall back to a
+            // scan — they are rare relative to steady-state lookups.
+            SimilarityMetric::Cosine if feature.valid_from == 0 => {
+                let qn = qb_linalg::norm(&feature.values);
+                if qn == 0.0 {
+                    return None;
                 }
+                let mut best: Option<(ClusterId, f64)> = None;
+                if let Some(tree) = &ctx.tree {
+                    let q: Vec<f64> = feature.values.iter().map(|x| x / qn).collect();
+                    if let Some((&cid, _)) = tree.nearest(&q) {
+                        let sim =
+                            self.config.metric.similarity(feature, &self.clusters[&cid].center);
+                        best = Some((cid, sim));
+                    }
+                }
+                for &cid in &ctx.fresh {
+                    let sim = self.config.metric.similarity(feature, &self.clusters[&cid].center);
+                    if best.is_none_or(|(_, b)| sim > b) {
+                        best = Some((cid, sim));
+                    }
+                }
+                best
             }
-            SimilarityMetric::InverseL2 => self.scan_nearest(feature),
+            _ => self.scan_nearest(feature),
         }
     }
 
@@ -405,26 +462,37 @@ impl OnlineClusterer {
     }
 
     /// Merges cluster pairs whose centers exceed ρ similarity. Greedy,
-    /// one pass, largest clusters absorb smaller ones.
+    /// most-similar pair first, largest clusters absorb smaller ones.
+    ///
+    /// The pairwise similarity table is computed once up front; after each
+    /// merge only the rows touching the removed source and the moved
+    /// destination center are refreshed. Between merges no other center
+    /// moves, so the table always matches what a full rescan would produce
+    /// — m merges over k clusters cost O((k² + m·k)·d) center comparisons
+    /// instead of the old O(m·k²·d).
     fn merge_step(&mut self) -> usize {
+        let ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
+        let mut sims: BTreeMap<(ClusterId, ClusterId), f64> = BTreeMap::new();
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                let sim = self.config.metric.center_similarity(
+                    &self.clusters[&ids[i]].center,
+                    &self.clusters[&ids[j]].center,
+                );
+                sims.insert((ids[i], ids[j]), sim);
+            }
+        }
         let mut merges = 0;
         loop {
-            let ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
-            let mut best: Option<(ClusterId, ClusterId, f64)> = None;
-            for i in 0..ids.len() {
-                for j in i + 1..ids.len() {
-                    let sim = self.config.metric.center_similarity(
-                        &self.clusters[&ids[i]].center,
-                        &self.clusters[&ids[j]].center,
-                    );
-                    if sim > self.config.rho
-                        && best.is_none_or(|(_, _, b)| sim > b)
-                    {
-                        best = Some((ids[i], ids[j], sim));
-                    }
+            // Ascending key order with strictly-greater replacement picks
+            // the same pair as the old full scan, ties included.
+            let mut best: Option<((ClusterId, ClusterId), f64)> = None;
+            for (&pair, &sim) in &sims {
+                if sim > self.config.rho && best.is_none_or(|(_, b)| sim > b) {
+                    best = Some((pair, sim));
                 }
             }
-            let Some((a, b, _)) = best else { break };
+            let Some(((a, b), _)) = best else { break };
             // Absorb the smaller into the larger.
             let (dst, src) = if self.clusters[&a].members.len() >= self.clusters[&b].members.len()
             {
@@ -438,6 +506,20 @@ impl OnlineClusterer {
             }
             self.clusters.get_mut(&dst).expect("listed").members.extend(moved);
             self.update_center(dst);
+            // Only `dst`'s center changed and `src` is gone: drop both
+            // clusters' rows, then re-derive `dst`'s row from the moved
+            // center.
+            sims.retain(|&(x, y), _| x != src && y != src && x != dst && y != dst);
+            let others: Vec<ClusterId> =
+                self.clusters.keys().copied().filter(|&c| c != dst).collect();
+            for other in others {
+                let sim = self.config.metric.center_similarity(
+                    &self.clusters[&dst].center,
+                    &self.clusters[&other].center,
+                );
+                let key = if other < dst { (other, dst) } else { (dst, other) };
+                sims.insert(key, sim);
+            }
             merges += 1;
         }
         merges
@@ -684,6 +766,78 @@ mod tests {
     #[should_panic(expected = "rho must be in [0, 1]")]
     fn invalid_rho_panics() {
         OnlineClusterer::new(ClustererConfig { rho: 1.5, ..ClustererConfig::default() });
+    }
+
+    /// Regression: the unseen ratio is over *distinct* templates. A hot
+    /// template observed hundreds of times used to inflate the denominator
+    /// and mask a burst of genuinely new templates.
+    #[test]
+    fn hot_template_cannot_mask_unseen_burst() {
+        let mut c = clusterer();
+        c.update(vec![snap(1, &[1.0, 1.0], 1.0)], 0);
+        for _ in 0..500 {
+            assert!(!c.observe(1), "a known hot template alone must not fire");
+        }
+        // Nine genuinely new templates arrive: 9 of 10 distinct keys are
+        // unseen, far above the 0.2 trigger. The 500 repeats must not
+        // drown them out.
+        let mut fired = false;
+        for k in 100..109 {
+            fired |= c.observe(k);
+        }
+        assert!(fired, "unseen burst was masked by repeat observations");
+    }
+
+    /// Regression: clusters founded *during* a step must be visible to
+    /// later lookups in the same step even though they are not in the
+    /// cycle's kd-tree (the fresh-cluster scan).
+    #[test]
+    fn template_joins_cluster_founded_same_step() {
+        let mut c = clusterer();
+        // a ⊥ b; c is parallel to b. All arrive in one update, so b's
+        // cluster exists only in `ctx.fresh` when c is assigned.
+        let r = c.update(
+            vec![
+                snap(1, &[1.0, 0.0, 0.0], 1.0),
+                snap(2, &[0.0, 1.0, 0.0], 1.0),
+                snap(3, &[0.0, 2.0, 0.0], 1.0),
+            ],
+            0,
+        );
+        assert_eq!(r.clusters_created, 2, "{r:?}");
+        assert_eq!(c.cluster_of(2), c.cluster_of(3));
+        assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    /// Regression for the incremental merge table: after a merge, rows
+    /// involving the merged pair must be refreshed from the *moved*
+    /// destination center. A stale (b, c) entry here would chain a second
+    /// merge that a full rescan would not perform.
+    #[test]
+    fn merge_table_refreshes_moved_center() {
+        let mut c = clusterer();
+        // Three singleton clusters created in separate updates (mutually
+        // orthogonal at creation, so no step-1 co-assignment).
+        c.update(vec![snap(1, &[1.0, 0.0, 0.0, 0.0], 1.0)], 0);
+        c.update(vec![snap(2, &[0.0, 1.0, 0.0, 0.0], 1.0)], 0);
+        c.update(vec![snap(3, &[0.0, 0.0, 1.0, 0.0], 1.0)], 0);
+        assert_eq!(c.num_clusters(), 3);
+        // Drift to unit vectors at 0°, 35° and 70°: cos 35° ≈ 0.8192
+        // exceeds ρ for (a, b) and (b, c), but once a and b merge, the
+        // combined center sits at 17.5° — cos 52.5° ≈ 0.61 from c, so the
+        // old (b, c) similarity must NOT trigger a second merge.
+        let r = c.update(
+            vec![
+                snap(1, &[1.0, 0.0, 0.0, 0.0], 1.0),
+                snap(2, &[0.8192, 0.5736, 0.0, 0.0], 1.0),
+                snap(3, &[0.3420, 0.9397, 0.0, 0.0], 1.0),
+            ],
+            0,
+        );
+        assert_eq!(r.merges, 1, "{r:?}");
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(1), c.cluster_of(2));
+        assert_ne!(c.cluster_of(1), c.cluster_of(3));
     }
 }
 

@@ -102,6 +102,65 @@ proptest! {
         prop_assert_eq!(cl.num_clusters(), 1);
     }
 
+    /// Once updates settle, every member of a multi-member cluster is
+    /// within ρ of its cluster's *final* center (the §5.2 guarantee), and
+    /// replaying the same stream on a fresh clusterer reproduces the same
+    /// partition. Guards the frozen-center kd-tree reuse and the
+    /// incremental merge table: a stale or un-recomputed center would
+    /// break one of the two.
+    #[test]
+    fn rho_invariant_and_determinism_at_fixpoint(
+        features in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 6), 2..40),
+        rho in 0.5f64..0.95,
+    ) {
+        let make = || -> Vec<TemplateSnapshot> {
+            features
+                .iter()
+                .enumerate()
+                .map(|(i, f)| TemplateSnapshot {
+                    key: i as u64,
+                    feature: TemplateFeature::full(f.clone()),
+                    volume: 1.0,
+                    last_seen: 0,
+                })
+                .collect()
+        };
+        let run = || {
+            let mut cl = OnlineClusterer::new(ClustererConfig {
+                rho,
+                metric: SimilarityMetric::Cosine,
+                ..ClustererConfig::default()
+            });
+            cl.update(make(), 0);
+            let mut settled = false;
+            for _ in 0..40 {
+                if !cl.update(make(), 0).assignments_changed() {
+                    settled = true;
+                    break;
+                }
+            }
+            (cl, settled)
+        };
+        let (cl, settled) = run();
+        prop_assert!(settled, "clusterer failed to settle within 40 rounds");
+        for c in cl.clusters() {
+            if c.members.len() < 2 {
+                continue;
+            }
+            for &m in &c.members {
+                let sim = qb_linalg::cosine_similarity(&features[m as usize], &c.center);
+                prop_assert!(sim > rho, "member {} sim {} <= rho {}", m, sim, rho);
+            }
+        }
+        // Same stream, fresh clusterer: identical partition.
+        let (cl2, _) = run();
+        prop_assert_eq!(cl.num_clusters(), cl2.num_clusters());
+        for i in 0..features.len() as u64 {
+            prop_assert_eq!(cl.cluster_of(i), cl2.cluster_of(i));
+        }
+    }
+
     /// Updates are idempotent: re-submitting identical snapshots changes
     /// nothing.
     #[test]

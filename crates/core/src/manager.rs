@@ -20,6 +20,7 @@
 
 use qb_clusterer::ClusterId;
 use qb_forecast::{ForecastError, Forecaster};
+use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, Minute};
 
 use crate::pipeline::{ClusterInfo, QueryBot5000};
@@ -116,6 +117,8 @@ pub struct ForecastManager {
     backoff_remaining: u64,
     rollbacks: u64,
     last_error: Option<String>,
+    /// Worker threads for the per-horizon fit fan-out (1 = sequential).
+    threads: usize,
 }
 
 impl ForecastManager {
@@ -138,12 +141,24 @@ impl ForecastManager {
             backoff_remaining: 0,
             rollbacks: 0,
             last_error: None,
+            threads: qb_parallel::configured_threads(),
         }
     }
 
     /// The configured horizons.
     pub fn specs(&self) -> &[HorizonSpec] {
         &self.specs
+    }
+
+    /// Overrides the environment-derived worker count for per-horizon
+    /// training (1 = strictly sequential).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker threads the next retrain round will use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// True when every horizon has a live model for the current clusters
@@ -210,9 +225,9 @@ impl ForecastManager {
             self.backoff_remaining -= 1;
             return Ok(RetrainOutcome::BackedOff { rounds_remaining: self.backoff_remaining });
         }
-        // Train a complete replacement set before touching the live models,
-        // so a mid-round failure can't leave horizons half-updated.
-        let mut fresh: Vec<Box<dyn Forecaster>> = Vec::with_capacity(self.specs.len());
+        // Gather every horizon's training job up front (cheap series
+        // extraction), so the fit fan-out below owns all its inputs.
+        let mut jobs = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
             let Some(job) = bot.forecast_job_spanning(
                 now,
@@ -224,22 +239,38 @@ impl ForecastManager {
                 // Not enough recorded history for this horizon yet.
                 return Ok(RetrainOutcome::NoClusters);
             };
-            let mut model = (self.make_model)();
-            if let Err(e) = model.fit(&job.series, job.spec) {
-                self.consecutive_failures += 1;
-                let shift = (self.consecutive_failures - 1).min(63);
-                self.backoff_remaining = (1u64 << shift).min(MAX_BACKOFF_ROUNDS);
-                self.last_error = Some(e.to_string());
-                if self.has_snapshot() {
-                    self.rollbacks += 1;
-                    return Ok(RetrainOutcome::RolledBack {
-                        error: e,
-                        retry_after_rounds: self.backoff_remaining,
-                    });
+            jobs.push(job);
+        }
+        // Train a complete replacement set before touching the live models,
+        // so a mid-round failure can't leave horizons half-updated. Each
+        // horizon fits on its own worker; results join in horizon order,
+        // so the first error reported (and the failure accounting) is
+        // bit-identical to a sequential run.
+        let make_model = &self.make_model;
+        let fitted: Vec<Result<Box<dyn Forecaster>, ForecastError>> =
+            ThreadPool::new(self.threads).map(jobs, |_, job| {
+                let mut model = make_model();
+                model.fit(&job.series, job.spec).map(|()| model)
+            });
+        let mut fresh: Vec<Box<dyn Forecaster>> = Vec::with_capacity(fitted.len());
+        for res in fitted {
+            match res {
+                Ok(model) => fresh.push(model),
+                Err(e) => {
+                    self.consecutive_failures += 1;
+                    let shift = (self.consecutive_failures - 1).min(63);
+                    self.backoff_remaining = (1u64 << shift).min(MAX_BACKOFF_ROUNDS);
+                    self.last_error = Some(e.to_string());
+                    if self.has_snapshot() {
+                        self.rollbacks += 1;
+                        return Ok(RetrainOutcome::RolledBack {
+                            error: e,
+                            retry_after_rounds: self.backoff_remaining,
+                        });
+                    }
+                    return Err(e);
                 }
-                return Err(e);
             }
-            fresh.push(model);
         }
         let trained = fresh.len();
         self.models = fresh.into_iter().map(Some).collect();

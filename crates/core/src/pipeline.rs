@@ -94,6 +94,9 @@ pub struct PipelineHealth {
     pub reordered: u64,
     /// Per-stage last error as `(stage, message)`, most recent per stage.
     pub last_errors: Vec<(&'static str, String)>,
+    /// Worker threads the training/scoring engine runs with (from
+    /// `QB_THREADS` / `ControllerConfig::threads`; 1 = sequential).
+    pub threads_used: usize,
 }
 
 /// The assembled framework.
@@ -206,6 +209,7 @@ impl QueryBot5000 {
             deduplicated: self.deduplicated,
             reordered: self.reordered,
             last_errors,
+            threads_used: qb_parallel::configured_threads(),
         }
     }
 

@@ -11,6 +11,8 @@
 //! fail every link of the chain identically. [`Ensemble::degradation`]
 //! reports how far down the chain the fit landed.
 
+use qb_parallel::Parallelism;
+
 use crate::dataset::{ForecastError, WindowSpec};
 use crate::fallback::Persistence;
 use crate::lr::LinearRegression;
@@ -27,12 +29,19 @@ enum Mode {
 }
 
 /// LR + RNN averaged with equal weights.
+///
+/// Members fit (and predict) concurrently when [`Parallelism`] allows:
+/// each member is self-contained and seeded independently, and their
+/// `Result`s are joined in fixed member order (LR, then RNN), so the
+/// degradation chain — and every output bit — is identical to a
+/// sequential run.
 pub struct Ensemble {
     lr: LinearRegression,
     rnn: Rnn,
     fallback: Persistence,
     mode: Mode,
     failures: Vec<(&'static str, ForecastError)>,
+    par: Parallelism,
 }
 
 impl Default for Ensemble {
@@ -55,7 +64,14 @@ impl Ensemble {
             fallback: Persistence::new(),
             mode: Mode::Both,
             failures: Vec::new(),
+            par: Parallelism::from_env(),
         }
+    }
+
+    /// Overrides the environment-derived member parallelism (the
+    /// determinism suite pins both a sequential and a 4-thread instance).
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Read access to the members, for the §7.3 per-model spike plots.
@@ -86,8 +102,11 @@ impl Forecaster for Ensemble {
     fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
         self.failures.clear();
         self.mode = Mode::Both;
-        let lr_res = self.lr.fit(series, spec);
-        let rnn_res = self.rnn.fit(series, spec);
+        // Disjoint member borrows fit concurrently; the join returns
+        // results in member order regardless of completion order.
+        let (lr, rnn, par) = (&mut self.lr, &mut self.rnn, self.par);
+        let (lr_res, rnn_res) =
+            par.join(move || lr.fit(series, spec), move || rnn.fit(series, spec));
         // Data errors fail the whole chain: no member could train either.
         for res in [&lr_res, &rnn_res] {
             if let Err(e) = res {
@@ -119,8 +138,9 @@ impl Forecaster for Ensemble {
     fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
         match self.mode {
             Mode::Both => {
-                let a = self.lr.predict(recent);
-                let b = self.rnn.predict(recent);
+                let (a, b) = self
+                    .par
+                    .join(|| self.lr.predict(recent), || self.rnn.predict(recent));
                 a.iter().zip(&b).map(|(x, y)| 0.5 * (x + y)).collect()
             }
             Mode::LrOnly => self.lr.predict(recent),

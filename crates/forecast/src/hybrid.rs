@@ -11,6 +11,8 @@
 //! pre-spike ramp of a past year lands near this year's in input space
 //! (Appendix B).
 
+use qb_parallel::Parallelism;
+
 use crate::dataset::{ForecastError, WindowSpec};
 use crate::ensemble::Ensemble;
 use crate::kr::KernelRegression;
@@ -46,6 +48,10 @@ pub struct Hybrid {
     cfg: HybridConfig,
     ensemble: Ensemble,
     kr: KernelRegression,
+    /// Member-level parallelism: the ensemble and the KR corrector fit
+    /// (and predict) concurrently; results join in fixed member order so
+    /// the PR-1 degradation chain is evaluated exactly as sequentially.
+    par: Parallelism,
     /// `Some` only while the KR member is trained and serving.
     kr_spec: Option<WindowSpec>,
     kr_failure: Option<ForecastError>,
@@ -68,11 +74,19 @@ impl Hybrid {
             cfg,
             ensemble,
             kr: KernelRegression::default(),
+            par: Parallelism::from_env(),
             kr_spec: None,
             kr_failure: None,
             spec: None,
             last_overrides: std::cell::Cell::new(0),
         }
+    }
+
+    /// Overrides the environment-derived parallelism for this model and
+    /// its ensemble member.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+        self.ensemble.set_parallelism(par);
     }
 
     /// The configured γ.
@@ -112,13 +126,19 @@ impl Forecaster for Hybrid {
         self.kr_spec = None;
         self.kr_failure = None;
         self.spec = None;
-        self.ensemble.fit(series, spec)?;
         let kr_window = self.cfg.kr_window.unwrap_or(spec.window);
         let kr_spec = WindowSpec { window: kr_window, horizon: spec.horizon };
+        // Both members fit concurrently; results join in member order
+        // (ensemble first), so the failure handling below sees exactly
+        // what a sequential run would.
+        let (ensemble, kr, par) = (&mut self.ensemble, &mut self.kr, self.par);
+        let (ens_res, kr_res) =
+            par.join(move || ensemble.fit(series, spec), move || kr.fit(series, kr_spec));
+        ens_res?;
         // The KR member degrades on *any* failure, including NotEnoughData:
         // its window may be far longer than the ensemble's (three weeks in
         // §6.2), and losing spike correction beats losing the forecast.
-        match self.kr.fit(series, kr_spec) {
+        match kr_res {
             Ok(()) => self.kr_spec = Some(kr_spec),
             Err(e) => self.kr_failure = Some(e),
         }
@@ -128,19 +148,17 @@ impl Forecaster for Hybrid {
 
     fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
         assert!(self.spec.is_some(), "HYBRID::predict before fit");
-        let e = self.ensemble.predict(recent);
-        // No trained KR member: the ensemble answer stands alone.
-        let Some(kr_spec) = self.kr_spec else {
+        // KR only scores with a trained member AND enough history for its
+        // (typically longer) window; otherwise the ensemble stands alone.
+        let kr_active = self.kr_spec.is_some_and(|ks| recent[0].len() >= ks.window);
+        if !kr_active {
             self.last_overrides.set(0);
-            return e;
-        };
-        // If the caller provided too little history for the KR window, the
-        // ensemble answer stands alone (KR needs its longer ramp context).
-        if recent[0].len() < kr_spec.window {
-            self.last_overrides.set(0);
-            return e;
+            return self.ensemble.predict(recent);
         }
-        let k = self.kr.predict(recent);
+        // Borrow the members individually: the surrounding `Hybrid` holds
+        // a (non-Sync) override counter the closures must not capture.
+        let (ensemble, kr) = (&self.ensemble, &self.kr);
+        let (e, k) = self.par.join(|| ensemble.predict(recent), || kr.predict(recent));
         let mut overrides = 0;
         let out = e
             .iter()

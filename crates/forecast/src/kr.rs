@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn interpolates_smooth_function() {
         let series: Vec<f64> =
-            (0..300).map(|t| 100.0 + 50.0 * ((t % 20) as f64 / 20.0 * 6.28).sin()).collect();
+            (0..300).map(|t| 100.0 + 50.0 * ((t % 20) as f64 / 20.0 * std::f64::consts::TAU).sin()).collect();
         let spec = WindowSpec { window: 20, horizon: 1 };
         let mut kr = KernelRegression::default();
         kr.fit(&[series.clone()], spec).unwrap();

@@ -88,7 +88,11 @@ impl DegradationLevel {
 ///
 /// `series` is cluster-major: `series[c][t]` is cluster `c`'s arrival rate
 /// in time-step `t` (linear space; models transform internally).
-pub trait Forecaster {
+///
+/// `Send` is a supertrait so trained models can be fitted on worker
+/// threads and handed back to the caller (the `qb-parallel` engine fits
+/// one model per horizon concurrently).
+pub trait Forecaster: Send {
     /// Short display name (matches the paper's legends).
     fn name(&self) -> &'static str;
 

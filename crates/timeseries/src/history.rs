@@ -90,15 +90,23 @@ impl ArrivalHistory {
 
     /// Rolls raw records older than the policy's retention window into
     /// compacted buckets. Idempotent; call periodically.
+    ///
+    /// If the policy's interval differs from the width used by earlier
+    /// compactions, existing buckets are re-bucketed into the new width
+    /// first. Widening is exact (counts move to the enclosing coarser
+    /// bucket); narrowing keeps each count at its bucket-start minute,
+    /// since sub-bucket resolution was already discarded.
     pub fn compact(&mut self, policy: &CompactionPolicy) {
+        if self.compacted_width.is_some_and(|w| w != policy.compacted_interval) {
+            let old = std::mem::take(&mut self.compacted);
+            for (t, c) in old {
+                let bucket = policy.compacted_interval.bucket_start(t);
+                *self.compacted.entry(bucket).or_insert(0) += c;
+            }
+            self.compacted_width = Some(policy.compacted_interval);
+        }
         let Some(newest) = self.raw.keys().next_back().copied() else { return };
         let cutoff = newest - policy.raw_retention;
-        if let Some(width) = self.compacted_width {
-            assert_eq!(
-                width, policy.compacted_interval,
-                "compaction interval changed mid-stream"
-            );
-        }
         self.compacted_width = Some(policy.compacted_interval);
         // Split off everything strictly older than the cutoff.
         let keep = self.raw.split_off(&cutoff);
@@ -238,6 +246,48 @@ mod tests {
         h.compact(&policy);
         assert_eq!(h.stored_entries(), entries);
         assert_eq!(h.dense_series(0, 3000, Interval::HOUR), series);
+    }
+
+    /// Regression: changing the compaction interval mid-stream used to
+    /// panic. Widening must re-bucket existing compacted entries exactly.
+    #[test]
+    fn interval_change_rebuckets_instead_of_panicking() {
+        let mut h = ArrivalHistory::new();
+        for t in 0..3 * crate::MINUTES_PER_DAY {
+            h.record(t, 1);
+        }
+        let daily_before = h.dense_series(0, 3 * crate::MINUTES_PER_DAY, Interval::DAY);
+        let hourly = CompactionPolicy {
+            raw_retention: crate::MINUTES_PER_DAY,
+            compacted_interval: Interval::HOUR,
+        };
+        h.compact(&hourly);
+        // Operator retunes the policy to daily buckets: re-compact instead
+        // of panicking. Hour starts land exactly on enclosing day buckets,
+        // so daily reads are unchanged.
+        let daily = CompactionPolicy {
+            raw_retention: crate::MINUTES_PER_DAY,
+            compacted_interval: Interval::DAY,
+        };
+        h.compact(&daily);
+        assert_eq!(h.total(), 3 * crate::MINUTES_PER_DAY as u64);
+        assert_eq!(h.dense_series(0, 3 * crate::MINUTES_PER_DAY, Interval::DAY), daily_before);
+        // The old hourly buckets collapsed into at most one entry per day.
+        assert!(h.stored_entries() <= crate::MINUTES_PER_DAY as usize + 3);
+    }
+
+    /// Narrowing the interval keeps counts at their (coarse) bucket starts
+    /// — no panic, totals preserved.
+    #[test]
+    fn interval_narrowing_preserves_totals() {
+        let mut h = ArrivalHistory::new();
+        for t in 0..3000 {
+            h.record(t, 2);
+        }
+        h.compact(&CompactionPolicy { raw_retention: 100, compacted_interval: Interval::DAY });
+        h.compact(&CompactionPolicy { raw_retention: 100, compacted_interval: Interval::HOUR });
+        assert_eq!(h.total(), 6000);
+        assert_eq!(h.count_range(0, 3000), 6000);
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn main() {
         run_start: 21 * MINUTES_PER_DAY,
         seed: 0x1D7,
         fault_plan: None,
+        threads: qb_parallel::configured_threads(),
     };
 
     let mut results = Vec::new();

@@ -139,6 +139,7 @@ fn chaos_controller_cfg(index_budget: usize) -> ControllerConfig {
         run_start: 14 * MINUTES_PER_DAY + 7 * 60,
         seed: 0xE2E,
         fault_plan: Some(FaultPlan::with_intensity(5, 1.0)),
+        threads: qb_parallel::configured_threads(),
     }
 }
 

@@ -1,0 +1,131 @@
+//! End-to-end determinism of the parallel train/score engine.
+//!
+//! The hard requirement of the worker-pool work: forecasts computed on a
+//! multi-threaded pool must be **bit-identical** to the sequential path.
+//! Each fit is self-contained (models seed their own RNGs from config),
+//! results join in fixed task order, and no reduction depends on
+//! completion order — so thread count must be unobservable in the output.
+//!
+//! The `#[ignore]`d companion measures the retrain-all-horizons speedup on
+//! 4 workers (run with `cargo test --release -- --ignored speedup`).
+
+use qb5000::{ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, RetrainOutcome};
+use qb_forecast::{Hybrid, HybridConfig, RnnConfig};
+use qb_parallel::Parallelism;
+use qb_timeseries::{Interval, MINUTES_PER_DAY};
+use qb_workloads::{TraceConfig, Workload};
+
+/// Feeds a one-week Admissions trace slice and clusters it.
+fn admissions_bot() -> QueryBot5000 {
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    let cfg = TraceConfig { start: 0, days: 7, scale: 0.02, seed: 0xD2 };
+    for ev in Workload::Admissions.generator(cfg) {
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("valid SQL");
+    }
+    bot.update_clusters(7 * MINUTES_PER_DAY);
+    bot
+}
+
+fn quick_specs() -> Vec<HorizonSpec> {
+    // Four horizons so the fan-out actually spans the 4-worker pool.
+    [1usize, 6, 12, 24]
+        .into_iter()
+        .map(|h| HorizonSpec {
+            interval: Interval::HOUR,
+            window: 24,
+            horizon: h,
+            train_steps: 5 * 24,
+        })
+        .collect()
+}
+
+/// A HYBRID factory pinned to `par` for its internal member-level joins.
+fn hybrid_manager(par: Parallelism) -> ForecastManager {
+    let cfg = HybridConfig {
+        rnn: RnnConfig {
+            epochs: 8,
+            hidden: 8,
+            embedding: 6,
+            ..RnnConfig::default()
+        },
+        ..HybridConfig::default()
+    };
+    ForecastManager::new(quick_specs(), move || {
+        let mut model = Hybrid::new(cfg.clone());
+        model.set_parallelism(par);
+        Box::new(model)
+    })
+}
+
+/// Trains on the bot with the given pool width and returns every horizon's
+/// prediction as raw bits.
+fn forecast_bits(bot: &QueryBot5000, threads: usize) -> Vec<Vec<u64>> {
+    let par = if threads == 1 { Parallelism::sequential() } else { Parallelism::new(threads) };
+    let mut mgr = hybrid_manager(par);
+    mgr.set_threads(threads);
+    let now = 7 * MINUTES_PER_DAY;
+    let outcome = mgr.ensure_trained(bot, now).expect("training succeeds");
+    assert!(
+        matches!(outcome, RetrainOutcome::Retrained { horizons: 4 }),
+        "expected a full retrain, got {outcome:?}"
+    );
+    (0..4)
+        .map(|h| mgr.predict(bot, now, h).iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn forecasts_bit_identical_across_thread_counts() {
+    let bot = admissions_bot();
+    let seq = forecast_bits(&bot, 1);
+    let par = forecast_bits(&bot, 4);
+    assert!(
+        seq.iter().all(|p| !p.is_empty()),
+        "sequential run produced empty predictions"
+    );
+    assert_eq!(seq, par, "4-worker forecasts diverged from the sequential path");
+}
+
+#[test]
+fn repeated_parallel_runs_are_self_consistent() {
+    // Thread scheduling noise across runs of the *same* width must not
+    // leak into the output either.
+    let bot = admissions_bot();
+    let a = forecast_bits(&bot, 4);
+    let b = forecast_bits(&bot, 4);
+    assert_eq!(a, b, "two 4-worker runs disagreed");
+}
+
+/// Acceptance measurement: retraining all horizons on 4 workers should be
+/// at least ~2x faster than sequential. Timing-sensitive, so not part of
+/// the default suite; run explicitly with `--ignored` on a quiet machine.
+#[test]
+#[ignore = "wall-clock measurement; run explicitly"]
+fn retrain_speedup_on_four_workers() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        println!("skipping speedup measurement: only {cores} core(s) available");
+        return;
+    }
+    let bot = admissions_bot();
+    let now = 7 * MINUTES_PER_DAY;
+    let time = |threads: usize| {
+        let par =
+            if threads == 1 { Parallelism::sequential() } else { Parallelism::new(threads) };
+        let mut mgr = hybrid_manager(par);
+        mgr.set_threads(threads);
+        let start = std::time::Instant::now();
+        mgr.ensure_trained(&bot, now).expect("training succeeds");
+        start.elapsed()
+    };
+    // Warm-up evens out allocator/page-cache effects.
+    let _ = time(1);
+    let seq = time(1);
+    let par = time(4);
+    let speedup = seq.as_secs_f64() / par.as_secs_f64().max(1e-9);
+    println!("sequential {seq:?}  4-workers {par:?}  speedup {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "expected >=2x retrain speedup on 4 workers, measured {speedup:.2}x ({seq:?} vs {par:?})"
+    );
+}

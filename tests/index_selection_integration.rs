@@ -22,6 +22,7 @@ fn base(workload: Workload) -> ControllerConfig {
         },
         seed: 0xE2E,
         fault_plan: None,
+        threads: qb_parallel::configured_threads(),
     }
 }
 
