@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qb_clusterer::{
     ClustererConfig, KdTree, OnlineClusterer, TemplateFeature, TemplateSnapshot,
 };
+use qb_obs::Recorder;
 
 /// Synthetic feature vectors: `n` templates spread over `patterns` distinct
 /// arrival shapes with small per-template perturbations.
@@ -37,6 +38,17 @@ fn bench_online_update(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("templates", n), &snaps, |b, snaps| {
             b.iter(|| {
                 let mut cl = OnlineClusterer::new(ClustererConfig::default());
+                cl.update(snaps.clone(), 0);
+                cl.num_clusters()
+            })
+        });
+        // Same update with metric recording on: compare against the row
+        // above — the observability layer's budget is < 5% overhead.
+        let recorder = Recorder::new();
+        group.bench_with_input(BenchmarkId::new("templates_recorded", n), &snaps, |b, snaps| {
+            b.iter(|| {
+                let mut cl = OnlineClusterer::new(ClustererConfig::default());
+                cl.set_recorder(&recorder);
                 cl.update(snaps.clone(), 0);
                 cl.num_clusters()
             })

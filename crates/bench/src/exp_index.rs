@@ -1,7 +1,7 @@
 //! Figures 11 & 12 — the automatic index-selection experiment (§7.6) and
 //! the AUTO-LOGICAL ablation (§7.7).
 
-use qb5000::{ControllerConfig, IndexSelectionExperiment, Strategy};
+use qb5000::{ControllerConfig, IndexSelectionExperiment, Recorder, Strategy};
 use qb_timeseries::MINUTES_PER_DAY;
 use qb_workloads::Workload;
 
@@ -9,29 +9,32 @@ use crate::{write_csv, Effort};
 
 fn config(workload: Workload, strategy: Strategy, effort: Effort) -> ControllerConfig {
     let quick = effort.is_quick();
-    ControllerConfig {
-        workload,
-        strategy,
-        db_scale: if quick { 0.08 } else { 0.5 },
-        history_days: if quick { 3 } else { 14 },
+    ControllerConfig::builder()
+        .workload(workload)
+        .strategy(strategy)
+        .db_scale(if quick { 0.08 } else { 0.5 })
+        .history_days(if quick { 3 } else { 14 })
         // The Admissions run must reach the next morning's review-season
         // traffic for the workload shift to land inside the window.
-        run_hours: if quick && workload != Workload::Admissions { 8 } else { 16 },
-        trace_scale: if quick { 0.03 } else { 0.08 },
-        index_budget: if quick { 5 } else { 20 },
-        build_period: 60,
-        report_window: 30,
-        run_start: match workload {
+        .run_hours(if quick && workload != Workload::Admissions { 8 } else { 16 })
+        .trace_scale(if quick { 0.03 } else { 0.08 })
+        .index_budget(if quick { 5 } else { 20 })
+        .build_period(60)
+        .report_window(30)
+        .run_start(match workload {
             // Admissions: start hours before the Dec 15 deadline so the
             // measured run crosses into review season — the workload shift
             // STATIC's history-built indexes cannot anticipate (§7.6).
             Workload::Admissions => 348 * MINUTES_PER_DAY + 18 * 60,
             _ => 21 * MINUTES_PER_DAY + 7 * 60,
-        },
-        seed: 0x1D7,
-        fault_plan: None,
-        threads: qb_parallel::configured_threads(),
-    }
+        })
+        .seed(0x1D7)
+        .threads(qb_parallel::configured_threads())
+        // Each strategy run gets its own recorder so the three parallel
+        // experiments don't interleave their stage metrics.
+        .recorder(Recorder::new())
+        .build()
+        .expect("bench controller config is valid by construction")
 }
 
 /// Runs one workload under all three strategies and renders the figure.
@@ -98,6 +101,18 @@ fn run_figure(figure: &str, workload: Workload, effort: Effort) -> String {
         "  AUTO improvement over its own start: {:.1}x throughput\n",
         auto.final_throughput() / first_auto.max(1e-9)
     ));
+    // Observability: AUTO's stage timings/counters and the rolling
+    // forecast-accuracy rows (Figure 7 style, log-space MSE).
+    out.push_str("  AUTO pipeline metrics:\n");
+    out.push_str(&auto.metrics.render_table());
+    for acc in &auto.health.forecast_accuracy {
+        out.push_str(&format!(
+            "  forecast accuracy h{}: rolling MSE {} over {} settled predictions\n",
+            acc.horizon_idx,
+            acc.rolling_mse.map_or_else(|| "n/a".to_string(), |m| format!("{m:.4}")),
+            acc.samples,
+        ));
+    }
     out
 }
 

@@ -52,6 +52,13 @@ impl RunOptions {
         self.start = start;
         self
     }
+
+    /// Attaches a metrics recorder to the pipeline: every stage reports
+    /// counters and stage timings into it while the trace replays.
+    pub fn recorded(mut self, recorder: &qb5000::Recorder) -> Self {
+        self.qb.recorder = recorder.clone();
+        self
+    }
 }
 
 /// Feeds `days` of the workload through QB5000 with daily clustering and
@@ -125,6 +132,12 @@ impl PipelineRun {
             .collect()
     }
 
+    /// Snapshot of every metric the run's recorder collected (empty when
+    /// [`RunOptions::recorded`] was never called).
+    pub fn metrics(&self) -> qb5000::MetricsSnapshot {
+        self.bot.recorder().snapshot()
+    }
+
     /// The workload's total per-interval series (all templates).
     pub fn total_series(&self, start: Minute, end: Minute, interval: Interval) -> Vec<f64> {
         let n = interval.buckets_between(start, end);
@@ -154,6 +167,20 @@ mod tests {
         for w in last.coverage.windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
         }
+    }
+
+    #[test]
+    fn recorded_run_collects_stage_metrics() {
+        let recorder = qb5000::Recorder::new();
+        let run = run_pipeline(
+            RunOptions::new(Workload::BusTracker, 2, 0.05).recorded(&recorder),
+        );
+        let m = run.metrics();
+        assert!(m.counters.get("preprocessor.ingested_statements").copied().unwrap_or(0) > 0);
+        assert!(m.histograms.get("clusterer.update").is_some_and(|h| h.count >= 2));
+        // An unrecorded run stays empty.
+        let clean = run_pipeline(RunOptions::new(Workload::BusTracker, 2, 0.05));
+        assert_eq!(clean.metrics(), qb5000::MetricsSnapshot::default());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use qb_obs::Recorder;
+
 use crate::feature::TemplateFeature;
 use crate::kdtree::KdTree;
 
@@ -142,9 +144,52 @@ pub struct TemplateSnapshot {
     pub last_seen: i64,
 }
 
+/// Cached metric handles; all no-ops until
+/// [`OnlineClusterer::set_recorder`] installs an enabled recorder.
+#[derive(Debug, Default)]
+struct ClusterMetrics {
+    /// Wall time per three-step update cycle.
+    update_time: qb_obs::Histogram,
+    /// Wall time per kd-tree construction (once per cycle).
+    kdtree_build_time: qb_obs::Histogram,
+    /// Wall time per step-1 assignment phase (kd queries + fresh scans).
+    assign_time: qb_obs::Histogram,
+    /// Wall time per step-3 merge phase.
+    merge_time: qb_obs::Histogram,
+    new_templates: qb_obs::Counter,
+    reassigned: qb_obs::Counter,
+    evicted: qb_obs::Counter,
+    merges: qb_obs::Counter,
+    clusters_created: qb_obs::Counter,
+    num_clusters: qb_obs::Gauge,
+    num_templates: qb_obs::Gauge,
+    /// Unseen-template ratio of the period each update cycle closed.
+    unseen_ratio: qb_obs::Gauge,
+}
+
+impl ClusterMetrics {
+    fn resolve(recorder: &Recorder) -> Self {
+        Self {
+            update_time: recorder.histogram("clusterer.update"),
+            kdtree_build_time: recorder.histogram("clusterer.kdtree_build"),
+            assign_time: recorder.histogram("clusterer.assign"),
+            merge_time: recorder.histogram("clusterer.merge"),
+            new_templates: recorder.counter("clusterer.new_templates"),
+            reassigned: recorder.counter("clusterer.reassigned"),
+            evicted: recorder.counter("clusterer.evicted"),
+            merges: recorder.counter("clusterer.merges"),
+            clusters_created: recorder.counter("clusterer.clusters_created"),
+            num_clusters: recorder.gauge("clusterer.num_clusters"),
+            num_templates: recorder.gauge("clusterer.num_templates"),
+            unseen_ratio: recorder.gauge("clusterer.unseen_ratio"),
+        }
+    }
+}
+
 /// The online clusterer.
 pub struct OnlineClusterer {
     config: ClustererConfig,
+    metrics: ClusterMetrics,
     templates: BTreeMap<TemplateKey, TemplateState>,
     clusters: BTreeMap<ClusterId, Cluster>,
     next_cluster: u64,
@@ -180,6 +225,7 @@ impl OnlineClusterer {
         assert!((0.0..=1.0).contains(&config.rho), "rho must be in [0, 1]");
         Self {
             config,
+            metrics: ClusterMetrics::default(),
             templates: BTreeMap::new(),
             clusters: BTreeMap::new(),
             next_cluster: 0,
@@ -187,6 +233,14 @@ impl OnlineClusterer {
             unseen_since_update: 0,
             baseline_unseen_ratio: 0.0,
         }
+    }
+
+    /// Installs a [`Recorder`]: update cycles then record `clusterer.*`
+    /// phase timings (cycle, kd-tree build, assignment, merge), membership
+    /// churn counters, and population gauges. Metric names resolve once,
+    /// here; lookups inside the cycle only touch cached handles.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.metrics = ClusterMetrics::resolve(recorder);
     }
 
     /// The trigger threshold currently in force: the configured constant,
@@ -223,8 +277,14 @@ impl OnlineClusterer {
     /// `snapshots`; templates absent from `snapshots` keep their previous
     /// feature (but still age toward eviction).
     pub fn update(&mut self, snapshots: Vec<TemplateSnapshot>, now: i64) -> UpdateReport {
+        let _cycle = self.metrics.update_time.start();
         let mut report = UpdateReport::default();
         // Fold the closing period's churn into the adaptive baseline.
+        if !self.seen_since_update.is_empty() {
+            self.metrics.unseen_ratio.set(
+                self.unseen_since_update as f64 / self.seen_since_update.len() as f64,
+            );
+        }
         if self.seen_since_update.len() >= 10 {
             let ratio = self.unseen_since_update as f64 / self.seen_since_update.len() as f64;
             self.baseline_unseen_ratio = 0.7 * self.baseline_unseen_ratio + 0.3 * ratio;
@@ -295,6 +355,7 @@ impl OnlineClusterer {
         // All lookups in this step run against the centers as they stand
         // right now (the paper applies center moves non-recursively), which
         // lets one kd-tree serve the whole step.
+        let assign_span = self.metrics.assign_time.start();
         let mut ctx = self.assign_ctx();
         report.new_templates = new_snaps.len();
         for snap in new_snaps {
@@ -306,12 +367,23 @@ impl OnlineClusterer {
             let created = self.assign(key, state.feature, state.volume, state.last_seen, &mut ctx);
             report.clusters_created += usize::from(created);
         }
+        assign_span.finish();
         // Fold the step's additions into the centers before merging.
         self.recompute_centers();
 
         // Step 3: merge clusters whose centers are closer than ρ.
+        let merge_span = self.metrics.merge_time.start();
         report.merges = self.merge_step();
+        merge_span.finish();
         self.recompute_centers();
+
+        self.metrics.new_templates.add(report.new_templates as u64);
+        self.metrics.reassigned.add(report.reassigned as u64);
+        self.metrics.evicted.add(report.evicted as u64);
+        self.metrics.merges.add(report.merges as u64);
+        self.metrics.clusters_created.add(report.clusters_created as u64);
+        self.metrics.num_clusters.set(self.clusters.len() as f64);
+        self.metrics.num_templates.set(self.templates.len() as f64);
         report
     }
 
@@ -321,6 +393,7 @@ impl OnlineClusterer {
     fn assign_ctx(&self) -> AssignCtx {
         let tree = match self.config.metric {
             SimilarityMetric::Cosine => {
+                let _build = self.metrics.kdtree_build_time.start();
                 let items: Vec<(Vec<f64>, ClusterId)> = self
                     .clusters
                     .values()
@@ -807,6 +880,24 @@ mod tests {
         assert_eq!(r.clusters_created, 2, "{r:?}");
         assert_eq!(c.cluster_of(2), c.cluster_of(3));
         assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    #[test]
+    fn recorder_captures_cycle_metrics() {
+        let rec = Recorder::new();
+        let mut c = clusterer();
+        c.set_recorder(&rec);
+        c.update(vec![snap(1, &[1.0, 0.0], 1.0), snap(2, &[0.0, 1.0], 1.0)], 0);
+        let s = rec.snapshot();
+        assert_eq!(s.counters["clusterer.new_templates"], 2);
+        assert_eq!(s.counters["clusterer.clusters_created"], 2);
+        assert_eq!(s.counters["clusterer.merges"], 0);
+        assert_eq!(s.gauges["clusterer.num_clusters"], 2.0);
+        assert_eq!(s.gauges["clusterer.num_templates"], 2.0);
+        assert_eq!(s.histograms["clusterer.update"].count, 1);
+        assert_eq!(s.histograms["clusterer.kdtree_build"].count, 1);
+        assert_eq!(s.histograms["clusterer.assign"].count, 1);
+        assert_eq!(s.histograms["clusterer.merge"].count, 1);
     }
 
     /// Regression for the incremental merge table: after a merge, rows

@@ -1,0 +1,437 @@
+//! Validating builders for the two public configuration structs.
+//!
+//! The structs themselves ([`Qb5000Config`], [`ControllerConfig`]) keep
+//! public fields and a `Default` impl for struct-update syntax, but a
+//! nonsense value (ρ outside `(0, 1]`, a zero interval, an empty horizon
+//! list) only surfaces deep inside the pipeline — as a wrong clustering, a
+//! panic, or a silent no-op. The builders reject those values at
+//! construction time with a [`ConfigError`] naming the offending field.
+//!
+//! ```
+//! use qb5000::{ConfigError, Qb5000Config};
+//!
+//! let cfg = Qb5000Config::builder().max_clusters(3).rho(0.8).build().unwrap();
+//! assert_eq!(cfg.max_clusters, 3);
+//! let err = Qb5000Config::builder().rho(0.0).build().unwrap_err();
+//! assert!(matches!(err, ConfigError::RhoOutOfRange { .. }));
+//! ```
+
+use qb_clusterer::ClustererConfig;
+use qb_obs::Recorder;
+use qb_preprocessor::PreProcessorConfig;
+use qb_timeseries::{Interval, Minute};
+use qb_workloads::{FaultPlan, Workload};
+
+use crate::controller::{ControllerConfig, Strategy};
+use crate::error::ConfigError;
+use crate::pipeline::{FeatureMode, Qb5000Config};
+
+/// Shared ratio check: finite and in `(0, 1]`.
+fn check_ratio(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 && value <= 1.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::RatioOutOfRange { field, value })
+    }
+}
+
+/// Shared scale check: finite and strictly positive.
+fn check_scale(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::BadScale { field, value })
+    }
+}
+
+impl Qb5000Config {
+    /// A validating builder starting from [`Qb5000Config::default`].
+    pub fn builder() -> Qb5000ConfigBuilder {
+        Qb5000ConfigBuilder { cfg: Qb5000Config::default() }
+    }
+
+    /// Checks the invariants the pipeline assumes. [`Qb5000ConfigBuilder::build`]
+    /// calls this; it is public so hand-assembled configs (struct-update
+    /// syntax on `Default`) can be checked too.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let rho = self.clusterer.rho;
+        if !(rho.is_finite() && rho > 0.0 && rho <= 1.0) {
+            return Err(ConfigError::RhoOutOfRange { value: rho });
+        }
+        check_ratio("clusterer.new_template_trigger", self.clusterer.new_template_trigger)?;
+        if self.feature_points == 0 {
+            return Err(ConfigError::ZeroCount { field: "feature_points" });
+        }
+        if self.feature_window <= 0 {
+            return Err(ConfigError::ZeroInterval { field: "feature_window" });
+        }
+        if self.feature_interval.as_minutes() <= 0 {
+            return Err(ConfigError::ZeroInterval { field: "feature_interval" });
+        }
+        if self.max_clusters == 0 {
+            return Err(ConfigError::ZeroCount { field: "max_clusters" });
+        }
+        check_ratio("coverage_target", self.coverage_target)?;
+        Ok(())
+    }
+}
+
+/// Builder for [`Qb5000Config`]; see the [module docs](self) for the
+/// validation rules.
+#[derive(Debug, Clone)]
+pub struct Qb5000ConfigBuilder {
+    cfg: Qb5000Config,
+}
+
+impl Qb5000ConfigBuilder {
+    /// Pre-Processor settings (template folding, quarantine).
+    pub fn preprocessor(mut self, pre: PreProcessorConfig) -> Self {
+        self.cfg.preprocessor = pre;
+        self
+    }
+
+    /// Clusterer settings (ρ, metric, eviction, shift trigger).
+    pub fn clusterer(mut self, clusterer: ClustererConfig) -> Self {
+        self.cfg.clusterer = clusterer;
+        self
+    }
+
+    /// Shortcut for the similarity threshold ρ (must end up in `(0, 1]`).
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.cfg.clusterer.rho = rho;
+        self
+    }
+
+    /// Clustering feature (arrival-rate vs. the §7.7 logical ablation).
+    pub fn feature_mode(mut self, mode: FeatureMode) -> Self {
+        self.cfg.feature_mode = mode;
+        self
+    }
+
+    /// Sampled timestamps per clustering feature vector (must be ≥ 1).
+    pub fn feature_points(mut self, points: usize) -> Self {
+        self.cfg.feature_points = points;
+        self
+    }
+
+    /// Feature window length in minutes (must be positive).
+    pub fn feature_window(mut self, minutes: Minute) -> Self {
+        self.cfg.feature_window = minutes;
+        self
+    }
+
+    /// Aggregation interval around each sampled timestamp.
+    pub fn feature_interval(mut self, interval: Interval) -> Self {
+        self.cfg.feature_interval = interval;
+        self
+    }
+
+    /// Maximum clusters the Forecaster models (must be ≥ 1).
+    pub fn max_clusters(mut self, n: usize) -> Self {
+        self.cfg.max_clusters = n;
+        self
+    }
+
+    /// Volume-coverage stop target in `(0, 1]`.
+    pub fn coverage_target(mut self, target: f64) -> Self {
+        self.cfg.coverage_target = target;
+        self
+    }
+
+    /// Seed for feature-timestamp sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Observability recorder handed to every pipeline stage. Defaults to
+    /// [`Recorder::disabled`] (metrics cost nothing).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.cfg.recorder = recorder;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<Qb5000Config, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+impl ControllerConfig {
+    /// A validating builder starting from [`ControllerConfig::default`].
+    pub fn builder() -> ControllerConfigBuilder {
+        ControllerConfigBuilder { cfg: ControllerConfig::default() }
+    }
+
+    /// Checks the invariants the experiment driver assumes;
+    /// [`ControllerConfigBuilder::build`] calls this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_scale("db_scale", self.db_scale)?;
+        check_scale("trace_scale", self.trace_scale)?;
+        if self.history_days == 0 {
+            return Err(ConfigError::ZeroCount { field: "history_days" });
+        }
+        if self.run_hours == 0 {
+            return Err(ConfigError::ZeroCount { field: "run_hours" });
+        }
+        if self.build_period <= 0 {
+            return Err(ConfigError::ZeroInterval { field: "build_period" });
+        }
+        if self.report_window <= 0 {
+            return Err(ConfigError::ZeroInterval { field: "report_window" });
+        }
+        if self.forecast_horizons.is_empty() {
+            return Err(ConfigError::EmptyHorizons);
+        }
+        for &(hours, weight) in &self.forecast_horizons {
+            if hours == 0 {
+                return Err(ConfigError::ZeroInterval { field: "forecast_horizons" });
+            }
+            if !(weight.is_finite() && weight > 0.0) {
+                return Err(ConfigError::BadHorizonWeight { horizon_hours: hours, weight });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ControllerConfig`]; see the [module docs](self) for the
+/// validation rules.
+#[derive(Debug, Clone)]
+pub struct ControllerConfigBuilder {
+    cfg: ControllerConfig,
+}
+
+impl ControllerConfigBuilder {
+    /// Which trace generator to replay.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.cfg.workload = workload;
+        self
+    }
+
+    /// Index-selection strategy (AUTO / STATIC / AUTO-LOGICAL).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Row-count scale for the simulated database (finite, > 0).
+    pub fn db_scale(mut self, scale: f64) -> Self {
+        self.cfg.db_scale = scale;
+        self
+    }
+
+    /// Warm-up history fed to QB5000 before the measured run (≥ 1 day).
+    pub fn history_days(mut self, days: u32) -> Self {
+        self.cfg.history_days = days;
+        self
+    }
+
+    /// Measured run length in simulated hours (≥ 1).
+    pub fn run_hours(mut self, hours: u32) -> Self {
+        self.cfg.run_hours = hours;
+        self
+    }
+
+    /// Trace volume scale (finite, > 0).
+    pub fn trace_scale(mut self, scale: f64) -> Self {
+        self.cfg.trace_scale = scale;
+        self
+    }
+
+    /// Total indexes the strategy may build.
+    pub fn index_budget(mut self, budget: usize) -> Self {
+        self.cfg.index_budget = budget;
+        self
+    }
+
+    /// How often AUTO builds an index, in simulated minutes (> 0).
+    pub fn build_period(mut self, minutes: Minute) -> Self {
+        self.cfg.build_period = minutes;
+        self
+    }
+
+    /// Perf-sample bucket width in simulated minutes (> 0).
+    pub fn report_window(mut self, minutes: Minute) -> Self {
+        self.cfg.report_window = minutes;
+        self
+    }
+
+    /// Start of the measured run, minutes since the trace epoch.
+    pub fn run_start(mut self, minute: Minute) -> Self {
+        self.cfg.run_start = minute;
+        self
+    }
+
+    /// Experiment seed (trace generation, database population).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Deterministic fault injection for chaos runs (the default is a
+    /// clean, fault-free run).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
+    /// Worker threads for the train/score engine (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Hourly prediction horizons the controller blends, as
+    /// `(hours, weight)` pairs — the paper uses 1 h and 12 h with the
+    /// 1-hour horizon weighted higher. Must be non-empty with finite
+    /// positive weights and non-zero horizons.
+    pub fn forecast_horizons(mut self, horizons: Vec<(usize, f64)>) -> Self {
+        self.cfg.forecast_horizons = horizons;
+        self
+    }
+
+    /// Observability recorder shared by the controller loop and the
+    /// pipeline it drives. Defaults to [`Recorder::disabled`].
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.cfg.recorder = recorder;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<ControllerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_pass_validation() {
+        Qb5000Config::builder().build().unwrap();
+        ControllerConfig::builder().build().unwrap();
+        Qb5000Config::default().validate().unwrap();
+        ControllerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_sets_every_pipeline_field() {
+        let rec = Recorder::new();
+        let cfg = Qb5000Config::builder()
+            .feature_mode(FeatureMode::Logical)
+            .feature_points(100)
+            .feature_window(7 * qb_timeseries::MINUTES_PER_DAY)
+            .feature_interval(Interval::MINUTE)
+            .max_clusters(4)
+            .coverage_target(0.9)
+            .seed(42)
+            .rho(0.5)
+            .recorder(rec.clone())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.feature_mode, FeatureMode::Logical);
+        assert_eq!(cfg.feature_points, 100);
+        assert_eq!(cfg.max_clusters, 4);
+        assert_eq!(cfg.coverage_target, 0.9);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.clusterer.rho, 0.5);
+        assert!(cfg.recorder.is_enabled());
+    }
+
+    #[test]
+    fn rho_out_of_range_rejected() {
+        for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = Qb5000Config::builder().rho(bad).build().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::RhoOutOfRange { .. }),
+                "rho {bad}: {err}"
+            );
+        }
+        // Boundary: exactly 1.0 is legal (identical features only).
+        Qb5000Config::builder().rho(1.0).build().unwrap();
+    }
+
+    #[test]
+    fn zero_counts_and_intervals_rejected() {
+        assert_eq!(
+            Qb5000Config::builder().feature_points(0).build().unwrap_err(),
+            ConfigError::ZeroCount { field: "feature_points" }
+        );
+        assert_eq!(
+            Qb5000Config::builder().feature_window(0).build().unwrap_err(),
+            ConfigError::ZeroInterval { field: "feature_window" }
+        );
+        assert_eq!(
+            Qb5000Config::builder().max_clusters(0).build().unwrap_err(),
+            ConfigError::ZeroCount { field: "max_clusters" }
+        );
+    }
+
+    #[test]
+    fn coverage_target_must_be_a_ratio() {
+        for bad in [0.0, -0.5, 1.01, f64::NAN] {
+            let err = Qb5000Config::builder().coverage_target(bad).build().unwrap_err();
+            assert!(matches!(err, ConfigError::RatioOutOfRange { field: "coverage_target", .. }));
+        }
+    }
+
+    #[test]
+    fn controller_rejects_degenerate_runs() {
+        assert_eq!(
+            ControllerConfig::builder().run_hours(0).build().unwrap_err(),
+            ConfigError::ZeroCount { field: "run_hours" }
+        );
+        assert_eq!(
+            ControllerConfig::builder().history_days(0).build().unwrap_err(),
+            ConfigError::ZeroCount { field: "history_days" }
+        );
+        assert_eq!(
+            ControllerConfig::builder().build_period(0).build().unwrap_err(),
+            ConfigError::ZeroInterval { field: "build_period" }
+        );
+        assert_eq!(
+            ControllerConfig::builder().report_window(-5).build().unwrap_err(),
+            ConfigError::ZeroInterval { field: "report_window" }
+        );
+        for bad in [0.0, f64::NAN, -1.0] {
+            assert!(matches!(
+                ControllerConfig::builder().db_scale(bad).build().unwrap_err(),
+                ConfigError::BadScale { field: "db_scale", .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn controller_rejects_bad_horizons() {
+        assert_eq!(
+            ControllerConfig::builder().forecast_horizons(vec![]).build().unwrap_err(),
+            ConfigError::EmptyHorizons
+        );
+        assert_eq!(
+            ControllerConfig::builder()
+                .forecast_horizons(vec![(0, 1.0)])
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroInterval { field: "forecast_horizons" }
+        );
+        for bad in [0.0, -0.7, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ControllerConfig::builder()
+                    .forecast_horizons(vec![(1, 0.7), (12, bad)])
+                    .build()
+                    .unwrap_err(),
+                ConfigError::BadHorizonWeight { horizon_hours: 12, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn threads_clamp_to_one() {
+        let cfg = ControllerConfig::builder().threads(0).build().unwrap();
+        assert_eq!(cfg.threads, 1);
+    }
+}

@@ -19,13 +19,21 @@
 //!    arrival-rate predictions; the deployed model is HYBRID =
 //!    avg(LR, LSTM) corrected by kernel regression for recurring spikes.
 //!
-//! [`QueryBot5000`] wires the three together behind a small API:
+//! [`QueryBot5000`] wires the three together behind a small API.
+//! Configuration goes through a validating builder, and an optional
+//! [`Recorder`] gives every stage zero-dependency metrics:
 //!
 //! ```
-//! use qb5000::{QueryBot5000, Qb5000Config};
+//! use qb5000::{JobSpan, Qb5000Config, QueryBot5000, Recorder};
 //! use qb_timeseries::Interval;
 //!
-//! let mut bot = QueryBot5000::new(Qb5000Config::default());
+//! let recorder = Recorder::new();
+//! let config = Qb5000Config::builder()
+//!     .rho(0.8) // cosine-similarity threshold from the paper
+//!     .recorder(recorder.clone())
+//!     .build()
+//!     .expect("rho is in (0, 1]");
+//! let mut bot = QueryBot5000::new(config);
 //! // Feed the framework queries as the DBMS executes them...
 //! for minute in 0..600 {
 //!     let volume = if (minute / 60) % 12 < 6 { 40 } else { 4 };
@@ -35,30 +43,52 @@
 //! bot.update_clusters(600);
 //! // ...and train a forecaster over the tracked clusters.
 //! let job = bot
-//!     .forecast_job(600, Interval::HOUR, /*window:*/ 4, /*horizon:*/ 1)
+//!     .forecast_job_with(600, Interval::HOUR, /*window:*/ 4, /*horizon:*/ 1, JobSpan::Auto)
 //!     .expect("one cluster is tracked");
 //! let mut model = qb_forecast::LinearRegression::default();
 //! let prediction = job.fit_predict(&mut model).unwrap();
 //! assert_eq!(prediction.len(), 1); // one tracked cluster
+//! // Every stage reported into the shared recorder.
+//! let snapshot = recorder.snapshot();
+//! assert!(snapshot.counters["preprocessor.ingested_statements"] >= 600);
 //! ```
 //!
 //! The [`controller`] module implements the paper's §7.6 closed loop: the
 //! forecasts drive an AutoAdmin-style index advisor against the `qb-dbsim`
 //! engine, reproducing the AUTO / STATIC / AUTO-LOGICAL comparison of
 //! Figures 11–12.
+//!
+//! Fallible operations across the crate return the unified [`Error`] type;
+//! per-stage errors ([`PreProcessError`], [`ForecastError`], and
+//! [`ConfigError`]) convert into it with `?`.
 
+pub mod accuracy;
+pub mod config;
 pub mod controller;
+pub mod error;
 pub mod manager;
 pub mod pipeline;
 pub mod schemas;
 
+pub use accuracy::{AccuracyTracker, HorizonAccuracy, DEFAULT_ACCURACY_WINDOW};
+pub use config::{ControllerConfigBuilder, Qb5000ConfigBuilder};
 pub use controller::{
     ControllerConfig, ExperimentResult, IndexSelectionExperiment, PerfSample, Strategy,
 };
+pub use error::{ConfigError, Error};
 pub use manager::{ForecastHealth, ForecastManager, HorizonSpec, RetrainOutcome};
 pub use pipeline::{
-    ClusterInfo, FeatureMode, ForecastJob, PipelineHealth, Qb5000Config, QueryBot5000,
+    ClusterInfo, FeatureMode, ForecastJob, JobSpan, PipelineHealth, Qb5000Config, QueryBot5000,
 };
+
+// The observability handles are part of the public configuration surface
+// (`Qb5000Config::recorder`), so re-export them for downstream callers.
+pub use qb_obs::{MetricsSnapshot, Recorder};
+
+// Stage error types, re-exported so `qb5000::Error` matching doesn't force
+// a dependency on the stage crates.
+pub use qb_forecast::ForecastError;
+pub use qb_preprocessor::PreProcessError;
 
 #[cfg(test)]
 mod tests {
@@ -67,15 +97,22 @@ mod tests {
 
     #[test]
     fn doc_example_compiles_and_runs() {
-        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        let recorder = Recorder::new();
+        let config = Qb5000Config::builder()
+            .rho(0.8)
+            .recorder(recorder.clone())
+            .build()
+            .expect("rho is in (0, 1]");
+        let mut bot = QueryBot5000::new(config);
         for minute in 0..600 {
             let volume = if (minute / 60) % 12 < 6 { 40 } else { 4 };
             bot.ingest_weighted(minute, "SELECT x FROM t WHERE id = 7", volume).unwrap();
         }
         bot.update_clusters(600);
-        let job = bot.forecast_job(600, Interval::HOUR, 4, 1).unwrap();
+        let job = bot.forecast_job_with(600, Interval::HOUR, 4, 1, JobSpan::Auto).unwrap();
         let mut model = qb_forecast::LinearRegression::default();
         let prediction = job.fit_predict(&mut model).unwrap();
         assert_eq!(prediction.len(), 1);
+        assert!(recorder.snapshot().counters["preprocessor.ingested_statements"] >= 600);
     }
 }

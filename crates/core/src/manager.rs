@@ -19,11 +19,14 @@
 //! replayed traces behave deterministically.
 
 use qb_clusterer::ClusterId;
-use qb_forecast::{ForecastError, Forecaster};
+use qb_forecast::{DegradationLevel, ForecastError, Forecaster};
+use qb_obs::Recorder;
 use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, Minute};
 
-use crate::pipeline::{ClusterInfo, QueryBot5000};
+use crate::accuracy::{AccuracyTracker, DEFAULT_ACCURACY_WINDOW};
+use crate::error::Error;
+use crate::pipeline::{ClusterInfo, JobSpan, QueryBot5000};
 
 /// One prediction horizon the planning module requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +122,35 @@ pub struct ForecastManager {
     last_error: Option<String>,
     /// Worker threads for the per-horizon fit fan-out (1 = sequential).
     threads: usize,
+    /// Recorder handed to every freshly built model (composites count
+    /// divergences through it); disabled until
+    /// [`ForecastManager::set_recorder`].
+    recorder: Recorder,
+    /// `forecast.fit.h<i>` fit-time histograms, aligned with `specs`.
+    fit_times: Vec<qb_obs::Histogram>,
+    predict_time: qb_obs::Histogram,
+    retrains_metric: qb_obs::Counter,
+    rollbacks_metric: qb_obs::Counter,
+    backoffs_metric: qb_obs::Counter,
+    degradation_transitions: qb_obs::Counter,
+    /// `forecast.degradation.h<i>` gauges (0 = full … 3 = last-value).
+    degradation_gauges: Vec<qb_obs::Gauge>,
+    /// Last observed degradation level per horizon (transition detector;
+    /// survives across retrain rounds even though models are rebuilt).
+    last_degradation: Vec<Option<DegradationLevel>>,
+    /// Rolling prediction-accuracy scorer fed by
+    /// [`ForecastManager::predict_tracked`].
+    accuracy: AccuracyTracker,
+}
+
+/// Gauge encoding of a [`DegradationLevel`] (ordered, 0 = healthy).
+fn degradation_index(level: DegradationLevel) -> f64 {
+    match level {
+        DegradationLevel::Full => 0.0,
+        DegradationLevel::Ensemble => 1.0,
+        DegradationLevel::Single => 2.0,
+        DegradationLevel::LastValue => 3.0,
+    }
 }
 
 impl ForecastManager {
@@ -130,6 +162,7 @@ impl ForecastManager {
     ) -> Self {
         assert!(!specs.is_empty(), "ForecastManager: need at least one horizon");
         let models = specs.iter().map(|_| None).collect();
+        let horizons = specs.len();
         Self {
             specs,
             make_model: Box::new(make_model),
@@ -142,7 +175,39 @@ impl ForecastManager {
             rollbacks: 0,
             last_error: None,
             threads: qb_parallel::configured_threads(),
+            recorder: Recorder::disabled(),
+            fit_times: vec![qb_obs::Histogram::default(); horizons],
+            predict_time: qb_obs::Histogram::default(),
+            retrains_metric: qb_obs::Counter::default(),
+            rollbacks_metric: qb_obs::Counter::default(),
+            backoffs_metric: qb_obs::Counter::default(),
+            degradation_transitions: qb_obs::Counter::default(),
+            degradation_gauges: vec![qb_obs::Gauge::default(); horizons],
+            last_degradation: vec![None; horizons],
+            accuracy: AccuracyTracker::new(horizons, DEFAULT_ACCURACY_WINDOW),
         }
+    }
+
+    /// Installs a [`Recorder`]: retrain rounds then record per-horizon fit
+    /// times (`forecast.fit.h<i>`), prediction latency, retrain/rollback/
+    /// backoff counters, degradation gauges and transitions, and — via the
+    /// embedded [`AccuracyTracker`] — rolling MSE gauges. Freshly built
+    /// models are instrumented with the same recorder, so composite-member
+    /// divergences (`forecast.divergences`) land in the same registry.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
+        self.fit_times = (0..self.specs.len())
+            .map(|i| recorder.histogram(&format!("forecast.fit.h{i}")))
+            .collect();
+        self.predict_time = recorder.histogram("forecast.predict");
+        self.retrains_metric = recorder.counter("forecast.retrains");
+        self.rollbacks_metric = recorder.counter("forecast.rollbacks");
+        self.backoffs_metric = recorder.counter("forecast.backoffs");
+        self.degradation_transitions = recorder.counter("forecast.degradation_transitions");
+        self.degradation_gauges = (0..self.specs.len())
+            .map(|i| recorder.gauge(&format!("forecast.degradation.h{i}")))
+            .collect();
+        self.accuracy.set_recorder(recorder);
     }
 
     /// The configured horizons.
@@ -208,13 +273,14 @@ impl ForecastManager {
     /// stay installed as the last-known-good snapshot (predictions keep
     /// flowing from them), the failure is recorded, and subsequent rounds
     /// back off exponentially (1, 2, 4, … skipped rounds, capped at
-    /// [`MAX_BACKOFF_ROUNDS`]) before retrying. `Err` is only returned
-    /// when training fails with *no* snapshot to fall back on.
+    /// 32) before retrying. `Err` (an
+    /// [`Error::Forecast`]) is only returned when training fails with *no*
+    /// snapshot to fall back on.
     pub fn ensure_trained(
         &mut self,
         bot: &QueryBot5000,
         now: Minute,
-    ) -> Result<RetrainOutcome, ForecastError> {
+    ) -> Result<RetrainOutcome, Error> {
         if bot.tracked_clusters().is_empty() {
             return Ok(RetrainOutcome::NoClusters);
         }
@@ -223,18 +289,19 @@ impl ForecastManager {
         }
         if self.backoff_remaining > 0 {
             self.backoff_remaining -= 1;
+            self.backoffs_metric.inc();
             return Ok(RetrainOutcome::BackedOff { rounds_remaining: self.backoff_remaining });
         }
         // Gather every horizon's training job up front (cheap series
         // extraction), so the fit fan-out below owns all its inputs.
         let mut jobs = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
-            let Some(job) = bot.forecast_job_spanning(
+            let Some(job) = bot.forecast_job_with(
                 now,
                 spec.interval,
                 spec.window,
                 spec.horizon,
-                spec.train_steps,
+                JobSpan::Steps(spec.train_steps),
             ) else {
                 // Not enough recorded history for this horizon yet.
                 return Ok(RetrainOutcome::NoClusters);
@@ -245,11 +312,16 @@ impl ForecastManager {
         // so a mid-round failure can't leave horizons half-updated. Each
         // horizon fits on its own worker; results join in horizon order,
         // so the first error reported (and the failure accounting) is
-        // bit-identical to a sequential run.
+        // bit-identical to a sequential run. Timings and divergence counts
+        // land on thread-safe recorder handles.
         let make_model = &self.make_model;
+        let recorder = &self.recorder;
+        let fit_times = &self.fit_times;
         let fitted: Vec<Result<Box<dyn Forecaster>, ForecastError>> =
-            ThreadPool::new(self.threads).map(jobs, |_, job| {
+            ThreadPool::new(self.threads).map(jobs, |i, job| {
+                let _fit_span = fit_times[i].start();
                 let mut model = make_model();
+                model.instrument(recorder);
                 model.fit(&job.series, job.spec).map(|()| model)
             });
         let mut fresh: Vec<Box<dyn Forecaster>> = Vec::with_capacity(fitted.len());
@@ -263,12 +335,13 @@ impl ForecastManager {
                     self.last_error = Some(e.to_string());
                     if self.has_snapshot() {
                         self.rollbacks += 1;
+                        self.rollbacks_metric.inc();
                         return Ok(RetrainOutcome::RolledBack {
                             error: e,
                             retry_after_rounds: self.backoff_remaining,
                         });
                     }
-                    return Err(e);
+                    return Err(e.into());
                 }
             }
         }
@@ -277,10 +350,38 @@ impl ForecastManager {
         self.trained_clusters = Some(Self::cluster_state(bot));
         self.trained_on = Some(bot.tracked_clusters().to_vec());
         self.retrain_count += 1;
+        self.retrains_metric.inc();
+        self.observe_degradation();
         self.consecutive_failures = 0;
         self.backoff_remaining = 0;
         self.last_error = None;
         Ok(RetrainOutcome::Retrained { horizons: trained })
+    }
+
+    /// Updates the per-horizon degradation gauges after a retrain and
+    /// counts level *transitions*. Models are rebuilt every round, so the
+    /// previous level lives here, not in the (discarded) model.
+    fn observe_degradation(&mut self) {
+        for (i, model) in self.models.iter().enumerate() {
+            let Some(model) = model.as_deref() else { continue };
+            let level = model.degradation();
+            self.degradation_gauges[i].set(degradation_index(level));
+            let changed = match self.last_degradation[i] {
+                Some(prev) => prev != level,
+                // First observation only counts when it starts degraded.
+                None => level != DegradationLevel::Full,
+            };
+            if changed {
+                self.degradation_transitions.inc();
+            }
+            self.last_degradation[i] = Some(level);
+        }
+    }
+
+    /// Current degradation level of the serving model at one horizon
+    /// (`None` before the first successful retrain).
+    pub fn degradation(&self, horizon_idx: usize) -> Option<DegradationLevel> {
+        self.models[horizon_idx].as_deref().map(Forecaster::degradation)
     }
 
     /// The cluster set predictions are currently produced for — the one the
@@ -303,6 +404,7 @@ impl ForecastManager {
     /// Panics if `horizon_idx` is out of range or the manager has never
     /// been trained (call [`ForecastManager::ensure_trained`] first).
     pub fn predict(&self, bot: &QueryBot5000, now: Minute, horizon_idx: usize) -> Vec<f64> {
+        let _span = self.predict_time.start();
         let spec = self.specs[horizon_idx];
         let model = self.models[horizon_idx]
             .as_deref()
@@ -318,6 +420,45 @@ impl ForecastManager {
             .map(|c| bot.cluster_series(c, start, end, spec.interval))
             .collect();
         model.predict(&recent)
+    }
+
+    /// [`ForecastManager::predict`] plus accuracy bookkeeping: settles
+    /// previously recorded claims that have matured by `now`, then records
+    /// this round's predictions with the embedded [`AccuracyTracker`] so a
+    /// later call can score them. The rolling MSE appears in
+    /// [`ForecastManager::accuracy`] and — with a recorder installed — in
+    /// the `forecast.mse.h<i>` gauges.
+    ///
+    /// # Panics
+    /// Same contract as [`ForecastManager::predict`].
+    pub fn predict_tracked(
+        &mut self,
+        bot: &QueryBot5000,
+        now: Minute,
+        horizon_idx: usize,
+    ) -> Vec<f64> {
+        self.accuracy.settle(bot, now);
+        let predictions = self.predict(bot, now, horizon_idx);
+        let spec = self.specs[horizon_idx];
+        let clusters = self
+            .trained_on
+            .as_deref()
+            .expect("ForecastManager::predict_tracked before ensure_trained");
+        self.accuracy.record(
+            horizon_idx,
+            now,
+            spec.interval,
+            spec.horizon,
+            clusters,
+            &predictions,
+        );
+        predictions
+    }
+
+    /// The rolling prediction-accuracy scorer fed by
+    /// [`ForecastManager::predict_tracked`].
+    pub fn accuracy(&self) -> &AccuracyTracker {
+        &self.accuracy
     }
 }
 
@@ -578,5 +719,62 @@ mod tests {
             }
         }
         assert_eq!(last_window, MAX_BACKOFF_ROUNDS, "window saturates at the cap");
+    }
+
+    #[test]
+    fn recorder_tracks_retrains_fit_times_and_degradation() {
+        let bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let rec = qb_obs::Recorder::new();
+        let mut mgr = manager();
+        mgr.set_recorder(&rec);
+        mgr.ensure_trained(&bot, now).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["forecast.retrains"], 1);
+        assert_eq!(snap.histograms["forecast.fit.h0"].count, 1);
+        assert_eq!(snap.histograms["forecast.fit.h1"].count, 1);
+        // LR has no fallback chain: both horizons serve at full health and
+        // no transition fires.
+        assert_eq!(snap.gauges["forecast.degradation.h0"], 0.0);
+        assert_eq!(snap.counters["forecast.degradation_transitions"], 0);
+        assert_eq!(mgr.degradation(0), Some(qb_forecast::DegradationLevel::Full));
+        // A prediction records its latency.
+        mgr.predict(&bot, now, 0);
+        assert_eq!(rec.snapshot().histograms["forecast.predict"].count, 1);
+    }
+
+    #[test]
+    fn rollback_and_backoff_rounds_hit_their_counters() {
+        let mut bot = fed_bot(6);
+        let now = 6 * MINUTES_PER_DAY;
+        let fail = Arc::new(AtomicBool::new(false));
+        let rec = qb_obs::Recorder::new();
+        let mut mgr = flaky_manager(Arc::clone(&fail));
+        mgr.set_recorder(&rec);
+        mgr.ensure_trained(&bot, now).unwrap();
+        grow_second_cluster(&mut bot, 6);
+        fail.store(true, Ordering::SeqCst);
+        mgr.ensure_trained(&bot, now).unwrap(); // rolled back
+        mgr.ensure_trained(&bot, now).unwrap(); // backed off
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["forecast.retrains"], 1);
+        assert_eq!(snap.counters["forecast.rollbacks"], 1);
+        assert_eq!(snap.counters["forecast.backoffs"], 1);
+    }
+
+    #[test]
+    fn predict_tracked_settles_matured_claims() {
+        let bot = fed_bot(8);
+        let now = 8 * MINUTES_PER_DAY;
+        let mut mgr = manager();
+        mgr.ensure_trained(&bot, now).unwrap();
+        let p = mgr.predict_tracked(&bot, now, 0);
+        assert_eq!(mgr.accuracy().pending_len(), p.len());
+        assert_eq!(mgr.accuracy().settled_total(), 0);
+        // Two hours later the 1 h claim has matured; the next call settles
+        // it before recording fresh ones.
+        mgr.predict_tracked(&bot, now + 121, 0);
+        assert_eq!(mgr.accuracy().settled_total(), p.len() as u64);
+        assert!(mgr.accuracy().rolling_mse(0).is_some());
     }
 }

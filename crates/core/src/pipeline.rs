@@ -3,9 +3,13 @@
 use qb_clusterer::{
     ClustererConfig, FeatureSampler, OnlineClusterer, TemplateSnapshot, UpdateReport,
 };
-use qb_forecast::{ForecastError, Forecaster, WindowSpec};
-use qb_preprocessor::{PreProcessError, PreProcessor, PreProcessorConfig, TemplateId};
+use qb_forecast::{Forecaster, WindowSpec};
+use qb_obs::Recorder;
+use qb_preprocessor::{PreProcessor, PreProcessorConfig, TemplateId};
 use qb_timeseries::{Interval, Minute, MINUTES_PER_DAY};
+
+use crate::accuracy::HorizonAccuracy;
+use crate::error::Error;
 
 /// Which feature the Clusterer groups templates by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +21,10 @@ pub enum FeatureMode {
 }
 
 /// Framework configuration.
+///
+/// Construct via the validating [`Qb5000Config::builder`] (rejects ρ
+/// outside `(0, 1]`, zero intervals/counts, non-ratio coverage targets) or
+/// struct-update syntax on [`Qb5000Config::default`] for trusted values.
 #[derive(Debug, Clone)]
 pub struct Qb5000Config {
     pub preprocessor: PreProcessorConfig,
@@ -39,6 +47,10 @@ pub struct Qb5000Config {
     pub coverage_target: f64,
     /// Seed for feature-timestamp sampling.
     pub seed: u64,
+    /// Observability recorder handed to every stage at construction.
+    /// Defaults to [`Recorder::disabled`], which makes every metric
+    /// operation a no-op.
+    pub recorder: Recorder,
 }
 
 impl Default for Qb5000Config {
@@ -53,6 +65,29 @@ impl Default for Qb5000Config {
             max_clusters: 5,
             coverage_target: 0.95,
             seed: 0x5000,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// Training-span policy for [`QueryBot5000::forecast_job_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSpan {
+    /// `window + 4·horizon + 8` steps — enough history for several windows
+    /// past the horizon, without assuming weeks of recorded data.
+    Auto,
+    /// An explicit training span in steps of the job's interval (the paper
+    /// trains on up to three weeks). Clamped to the recorded history, so an
+    /// over-long span never fabricates a zero-traffic prefix.
+    Steps(usize),
+}
+
+impl JobSpan {
+    /// The concrete step count for a given window/horizon.
+    fn steps(self, window: usize, horizon: usize) -> usize {
+        match self {
+            JobSpan::Auto => window + 4 * horizon + 8,
+            JobSpan::Steps(n) => n,
         }
     }
 }
@@ -97,6 +132,10 @@ pub struct PipelineHealth {
     /// Worker threads the training/scoring engine runs with (from
     /// `QB_THREADS` / `ControllerConfig::threads`; 1 = sequential).
     pub threads_used: usize,
+    /// Rolling forecast-accuracy rows, one per tracked horizon. Empty
+    /// unless an [`crate::AccuracyTracker`] scores this pipeline's
+    /// predictions (attach via [`PipelineHealth::with_accuracy`]).
+    pub forecast_accuracy: Vec<HorizonAccuracy>,
 }
 
 /// The assembled framework.
@@ -120,12 +159,24 @@ pub struct QueryBot5000 {
     /// (minute, SQL fingerprint) of the previous ingest call (duplicate
     /// detector; a fingerprint avoids retaining every SQL string).
     last_ingest_event: Option<(Minute, u64)>,
+    /// Wall time per cluster rebuild (`pipeline.update_clusters`).
+    update_time: qb_obs::Histogram,
+    /// Early re-clusterings (`pipeline.shift_triggers`), mirroring
+    /// [`QueryBot5000::shift_triggers`] onto the recorder.
+    shift_trigger_metric: qb_obs::Counter,
 }
 
 impl QueryBot5000 {
+    /// Assembles the pipeline. The configured [`Recorder`] is installed
+    /// into every stage here, so per-stage metrics (`preprocessor.*`,
+    /// `clusterer.*`, `pipeline.*`) flow into one registry.
     pub fn new(config: Qb5000Config) -> Self {
-        let pre = PreProcessor::new(config.preprocessor.clone());
-        let clusterer = OnlineClusterer::new(config.clusterer.clone());
+        let mut pre = PreProcessor::new(config.preprocessor.clone());
+        pre.set_recorder(&config.recorder);
+        let mut clusterer = OnlineClusterer::new(config.clusterer.clone());
+        clusterer.set_recorder(&config.recorder);
+        let update_time = config.recorder.histogram("pipeline.update_clusters");
+        let shift_trigger_metric = config.recorder.counter("pipeline.shift_triggers");
         Self {
             config,
             pre,
@@ -139,7 +190,16 @@ impl QueryBot5000 {
             reordered: 0,
             last_ingest_minute: None,
             last_ingest_event: None,
+            update_time,
+            shift_trigger_metric,
         }
+    }
+
+    /// The recorder the pipeline was assembled with (disabled unless the
+    /// config installed one). Clone it to attach more components — e.g.
+    /// [`crate::ForecastManager::set_recorder`] — to the same registry.
+    pub fn recorder(&self) -> &Recorder {
+        &self.config.recorder
     }
 
     /// Forwards one query to the framework (the DBMS-side hook).
@@ -147,7 +207,7 @@ impl QueryBot5000 {
     /// Returns the template id the query mapped to. If the burst of
     /// previously-unseen templates crosses the configured threshold, the
     /// clusters are rebuilt immediately (§5.2's workload-shift trigger).
-    pub fn ingest(&mut self, t: Minute, sql: &str) -> Result<TemplateId, PreProcessError> {
+    pub fn ingest(&mut self, t: Minute, sql: &str) -> Result<TemplateId, Error> {
         self.ingest_weighted(t, sql, 1)
     }
 
@@ -155,13 +215,14 @@ impl QueryBot5000 {
     ///
     /// Rejected statements are quarantined inside the Pre-Processor (see
     /// [`PreProcessor::quarantine`]) and counted in [`QueryBot5000::health`];
-    /// the `Err` reports the rejection but the pipeline stays healthy.
+    /// the `Err` (an [`Error::PreProcess`]) reports the rejection but the
+    /// pipeline stays healthy.
     pub fn ingest_weighted(
         &mut self,
         t: Minute,
         sql: &str,
         count: u64,
-    ) -> Result<TemplateId, PreProcessError> {
+    ) -> Result<TemplateId, Error> {
         // Delivery-order accounting (observability only — histories are
         // time-keyed and absorb duplicates and reordering either way).
         if self.last_ingest_minute.is_some_and(|prev| t < prev) {
@@ -179,6 +240,7 @@ impl QueryBot5000 {
         self.ingested_arrivals += count;
         if self.clusterer.observe(id.0 as u64) {
             self.shift_triggers += 1;
+            self.shift_trigger_metric.inc();
             self.update_clusters(t);
         }
         Ok(id)
@@ -210,12 +272,14 @@ impl QueryBot5000 {
             reordered: self.reordered,
             last_errors,
             threads_used: qb_parallel::configured_threads(),
+            forecast_accuracy: Vec::new(),
         }
     }
 
     /// Rebuilds cluster assignments from the current arrival histories
     /// (the periodic Clusterer invocation — the paper runs it daily).
     pub fn update_clusters(&mut self, now: Minute) -> UpdateReport {
+        let _span = self.update_time.start();
         let sampler = FeatureSampler::random(
             now,
             self.config.feature_window,
@@ -273,13 +337,18 @@ impl QueryBot5000 {
         self.tracked = tracked;
     }
 
-    /// The clusters currently selected for modeling, largest first.
+    /// The clusters currently selected for modeling, largest first —
+    /// refreshed by each [`QueryBot5000::update_clusters`] call under the
+    /// configured `max_clusters` / `coverage_target` policy (§5.3).
+    /// Aggregate one entry's arrivals with
+    /// [`QueryBot5000::cluster_series`].
     pub fn tracked_clusters(&self) -> &[ClusterInfo] {
         &self.tracked
     }
 
-    /// Fraction of total workload volume covered by the `k` largest
-    /// clusters (Figure 5).
+    /// Fraction of total workload volume the `k` largest clusters cover
+    /// (Figure 5) — the quantity `coverage_target` thresholds when
+    /// [`QueryBot5000::tracked_clusters`] is selected.
     pub fn coverage_ratio(&self, k: usize) -> f64 {
         self.clusterer.coverage_ratio(k)
     }
@@ -308,7 +377,9 @@ impl QueryBot5000 {
     }
 
     /// Aggregated arrival series (sum over member templates) for one
-    /// tracked cluster over `[start, end)` at `interval`.
+    /// tracked cluster over `[start, end)` at `interval` — the series the
+    /// Forecaster trains and scores on. Pair with
+    /// [`QueryBot5000::tracked_clusters`] for the cluster list.
     pub fn cluster_series(
         &self,
         cluster: &ClusterInfo,
@@ -328,41 +399,29 @@ impl QueryBot5000 {
     }
 
     /// Builds a forecast job over the tracked clusters: training series
-    /// ending at `now`, spanning `train_window` steps of `interval`, for a
-    /// model predicting `horizon` steps ahead.
+    /// ending at `now`, for a model with a `window`-step input predicting
+    /// `horizon` steps of `interval` ahead. `span` chooses the training
+    /// span ([`JobSpan::Auto`] for a derived default, [`JobSpan::Steps`]
+    /// for an explicit count); the lookback is clamped to the earliest
+    /// data actually ingested, so an over-long span never fabricates a
+    /// zero-traffic prefix.
     ///
-    /// Returns `None` when no clusters are tracked yet.
-    pub fn forecast_job(
+    /// Returns `None` when no clusters are tracked yet
+    /// ([`QueryBot5000::update_clusters`] has not run) or the recorded
+    /// history is shorter than `window + horizon + 1` steps.
+    pub fn forecast_job_with(
         &self,
         now: Minute,
         interval: Interval,
         window: usize,
         horizon: usize,
-    ) -> Option<ForecastJob> {
-        // Default training span: enough history for several windows past
-        // the horizon. Use `forecast_job_spanning` for an explicit span
-        // (e.g. the paper's three weeks).
-        let span = window + 4 * horizon + 8;
-        self.forecast_job_spanning(now, interval, window, horizon, span)
-    }
-
-    /// Like [`QueryBot5000::forecast_job`] but with an explicit training
-    /// span (`train_steps` steps of `interval`). The lookback is clamped to
-    /// the earliest data actually ingested, so a span longer than the
-    /// recorded history never fabricates a zero-traffic prefix.
-    pub fn forecast_job_spanning(
-        &self,
-        now: Minute,
-        interval: Interval,
-        window: usize,
-        horizon: usize,
-        train_steps: usize,
+        span: JobSpan,
     ) -> Option<ForecastJob> {
         if self.tracked.is_empty() {
             return None;
         }
         let end = interval.bucket_start(now);
-        let span = train_steps.max(window + horizon + 1) as i64;
+        let span = span.steps(window, horizon).max(window + horizon + 1) as i64;
         let mut start = end - span * interval.as_minutes();
         // Clamp to recorded history: training on zero-filled pre-ingest
         // buckets systematically biases the models low.
@@ -392,6 +451,36 @@ impl QueryBot5000 {
             clusters: self.tracked.clone(),
         })
     }
+
+    /// Source-compatibility alias for [`QueryBot5000::forecast_job_with`]
+    /// with [`JobSpan::Auto`].
+    #[deprecated(since = "0.2.0", note = "use `forecast_job_with` with `JobSpan::Auto`")]
+    pub fn forecast_job(
+        &self,
+        now: Minute,
+        interval: Interval,
+        window: usize,
+        horizon: usize,
+    ) -> Option<ForecastJob> {
+        self.forecast_job_with(now, interval, window, horizon, JobSpan::Auto)
+    }
+
+    /// Source-compatibility alias for [`QueryBot5000::forecast_job_with`]
+    /// with [`JobSpan::Steps`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `forecast_job_with` with `JobSpan::Steps(train_steps)`"
+    )]
+    pub fn forecast_job_spanning(
+        &self,
+        now: Minute,
+        interval: Interval,
+        window: usize,
+        horizon: usize,
+        train_steps: usize,
+    ) -> Option<ForecastJob> {
+        self.forecast_job_with(now, interval, window, horizon, JobSpan::Steps(train_steps))
+    }
 }
 
 /// A ready-to-train forecasting task over the tracked clusters.
@@ -406,8 +495,8 @@ pub struct ForecastJob {
 impl ForecastJob {
     /// Fits the model on the job's series and predicts each tracked
     /// cluster's arrival rate `spec.horizon` intervals past the end of the
-    /// training data.
-    pub fn fit_predict(&self, model: &mut dyn Forecaster) -> Result<Vec<f64>, ForecastError> {
+    /// training data. Training failures surface as [`Error::Forecast`].
+    pub fn fit_predict(&self, model: &mut dyn Forecaster) -> Result<Vec<f64>, Error> {
         model.fit(&self.series, self.spec)?;
         let recent: Vec<Vec<f64>> = self
             .series
@@ -481,7 +570,9 @@ mod tests {
         let mut bot = QueryBot5000::new(Qb5000Config::default());
         feed_cyclic(&mut bot, 6);
         bot.update_clusters(6 * MINUTES_PER_DAY);
-        let job = bot.forecast_job(6 * MINUTES_PER_DAY, Interval::HOUR, 24, 1).unwrap();
+        let job = bot
+            .forecast_job_with(6 * MINUTES_PER_DAY, Interval::HOUR, 24, 1, JobSpan::Auto)
+            .unwrap();
         assert_eq!(job.series.len(), bot.tracked_clusters().len());
         let mut lr = qb_forecast::LinearRegression::default();
         let pred = job.fit_predict(&mut lr).unwrap();
@@ -515,7 +606,40 @@ mod tests {
     #[test]
     fn forecast_job_none_before_clustering() {
         let bot = QueryBot5000::new(Qb5000Config::default());
-        assert!(bot.forecast_job(100, Interval::HOUR, 4, 1).is_none());
+        assert!(bot.forecast_job_with(100, Interval::HOUR, 4, 1, JobSpan::Auto).is_none());
+    }
+
+    /// The deprecated aliases must keep producing the canonical method's
+    /// results (source compatibility for pre-0.2 callers).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_job_aliases_match_canonical() {
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        feed_cyclic(&mut bot, 6);
+        bot.update_clusters(6 * MINUTES_PER_DAY);
+        let now = 6 * MINUTES_PER_DAY;
+        let auto = bot.forecast_job_with(now, Interval::HOUR, 24, 1, JobSpan::Auto).unwrap();
+        let alias = bot.forecast_job(now, Interval::HOUR, 24, 1).unwrap();
+        assert_eq!(alias.series, auto.series);
+        let steps = bot
+            .forecast_job_with(now, Interval::HOUR, 24, 1, JobSpan::Steps(100))
+            .unwrap();
+        let alias = bot.forecast_job_spanning(now, Interval::HOUR, 24, 1, 100).unwrap();
+        assert_eq!(alias.series, steps.series);
+    }
+
+    #[test]
+    fn pipeline_recorder_reaches_every_stage() {
+        let rec = qb_obs::Recorder::new();
+        let cfg = Qb5000Config::builder().recorder(rec.clone()).build().unwrap();
+        let mut bot = QueryBot5000::new(cfg);
+        feed_cyclic(&mut bot, 2);
+        bot.update_clusters(2 * MINUTES_PER_DAY);
+        let snap = rec.snapshot();
+        assert!(snap.counters["preprocessor.ingested_statements"] > 0);
+        assert!(snap.histograms["clusterer.update"].count > 0);
+        assert!(snap.histograms["pipeline.update_clusters"].count >= 1);
+        assert!(bot.recorder().is_enabled());
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct Ensemble {
     mode: Mode,
     failures: Vec<(&'static str, ForecastError)>,
     par: Parallelism,
+    /// Counts member divergences across fits; no-op until
+    /// [`Forecaster::instrument`] installs a recorder.
+    divergences: qb_obs::Counter,
+    member_failures_metric: qb_obs::Counter,
 }
 
 impl Default for Ensemble {
@@ -65,6 +69,8 @@ impl Ensemble {
             mode: Mode::Both,
             failures: Vec::new(),
             par: Parallelism::from_env(),
+            divergences: qb_obs::Counter::default(),
+            member_failures_metric: qb_obs::Counter::default(),
         }
     }
 
@@ -97,6 +103,15 @@ impl Ensemble {
 impl Forecaster for Ensemble {
     fn name(&self) -> &'static str {
         "ENSEMBLE"
+    }
+
+    fn instrument(&mut self, recorder: &qb_obs::Recorder) {
+        self.divergences = recorder.counter("forecast.divergences");
+        self.member_failures_metric = recorder.counter("forecast.member_failures");
+    }
+
+    fn degradation(&self) -> DegradationLevel {
+        Ensemble::degradation(self)
     }
 
     fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
@@ -132,6 +147,10 @@ impl Forecaster for Ensemble {
                 Mode::LastValue
             }
         };
+        self.member_failures_metric.add(self.failures.len() as u64);
+        self.divergences.add(
+            self.failures.iter().filter(|(_, e)| e.is_model_failure()).count() as u64,
+        );
         Ok(())
     }
 
@@ -247,6 +266,20 @@ mod tests {
         e.fit(&[s.clone()], spec).unwrap();
         let pred = e.predict(&[s[112..120].to_vec()]);
         assert!(pred[0].is_finite() && pred[0] >= 0.0, "{}", pred[0]);
+    }
+
+    #[test]
+    fn recorder_counts_member_divergences() {
+        let rec = qb_obs::Recorder::new();
+        let cfg = RnnConfig { learning_rate: f64::NAN, epochs: 3, ..quick_rnn() };
+        let mut e = Ensemble::new(cfg);
+        e.instrument(&rec);
+        e.fit(&[vec![50.0; 120]], WindowSpec { window: 8, horizon: 1 }).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["forecast.member_failures"], 1);
+        assert_eq!(snap.counters["forecast.divergences"], 1);
+        assert_eq!(e.degradation(), DegradationLevel::Single);
+        assert_eq!(Forecaster::degradation(&e), DegradationLevel::Single);
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct Hybrid {
     /// `Some` only while the KR member is trained and serving.
     kr_spec: Option<WindowSpec>,
     kr_failure: Option<ForecastError>,
+    /// Counts KR-member failures/divergences; no-ops until
+    /// [`Forecaster::instrument`] installs a recorder.
+    divergences: qb_obs::Counter,
+    member_failures_metric: qb_obs::Counter,
     spec: Option<WindowSpec>,
     /// How often KR overrode the ensemble in the last prediction batch
     /// (observability for the γ sensitivity analysis).
@@ -77,6 +81,8 @@ impl Hybrid {
             par: Parallelism::from_env(),
             kr_spec: None,
             kr_failure: None,
+            divergences: qb_obs::Counter::default(),
+            member_failures_metric: qb_obs::Counter::default(),
             spec: None,
             last_overrides: std::cell::Cell::new(0),
         }
@@ -122,6 +128,16 @@ impl Forecaster for Hybrid {
         "HYBRID"
     }
 
+    fn instrument(&mut self, recorder: &qb_obs::Recorder) {
+        self.ensemble.instrument(recorder);
+        self.divergences = recorder.counter("forecast.divergences");
+        self.member_failures_metric = recorder.counter("forecast.member_failures");
+    }
+
+    fn degradation(&self) -> DegradationLevel {
+        Hybrid::degradation(self)
+    }
+
     fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
         self.kr_spec = None;
         self.kr_failure = None;
@@ -140,7 +156,13 @@ impl Forecaster for Hybrid {
         // §6.2), and losing spike correction beats losing the forecast.
         match kr_res {
             Ok(()) => self.kr_spec = Some(kr_spec),
-            Err(e) => self.kr_failure = Some(e),
+            Err(e) => {
+                self.member_failures_metric.inc();
+                if e.is_model_failure() {
+                    self.divergences.inc();
+                }
+                self.kr_failure = Some(e);
+            }
         }
         self.spec = Some(spec);
         Ok(())
@@ -296,6 +318,21 @@ mod tests {
         h.fit(&series, WindowSpec { window: 8, horizon: 1 }).unwrap();
         assert_eq!(h.degradation(), DegradationLevel::Full);
         assert!(h.member_failures().is_empty());
+    }
+
+    #[test]
+    fn recorder_counts_kr_loss_as_failure_not_divergence() {
+        let rec = qb_obs::Recorder::new();
+        let cfg = HybridConfig { kr_window: Some(500), ..quick_cfg(1.5) };
+        let mut h = Hybrid::new(cfg);
+        h.instrument(&rec);
+        h.fit(&[vec![100.0; 150]], WindowSpec { window: 8, horizon: 1 }).unwrap();
+        let snap = rec.snapshot();
+        // KR could not train (NotEnoughData): a member failure, but not a
+        // numerical divergence.
+        assert_eq!(snap.counters["forecast.member_failures"], 1);
+        assert_eq!(snap.counters["forecast.divergences"], 0);
+        assert_eq!(Forecaster::degradation(&h), DegradationLevel::Ensemble);
     }
 
     #[test]

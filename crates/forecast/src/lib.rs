@@ -96,6 +96,19 @@ pub trait Forecaster: Send {
     /// Short display name (matches the paper's legends).
     fn name(&self) -> &'static str;
 
+    /// Installs an observability recorder. The default is a no-op: simple
+    /// models have no composite structure to report. ENSEMBLE and HYBRID
+    /// override it to count member divergences and failures
+    /// (`forecast.divergences`, `forecast.member_failures`).
+    fn instrument(&mut self, _recorder: &qb_obs::Recorder) {}
+
+    /// How far down the fallback chain the last fit landed.
+    /// [`DegradationLevel::Full`] for models without a fallback chain
+    /// (the default); ENSEMBLE and HYBRID report their serving level.
+    fn degradation(&self) -> DegradationLevel {
+        DegradationLevel::Full
+    }
+
     /// Trains on the given aligned history.
     ///
     /// Implementations may return [`ForecastError::NotEnoughData`] when the

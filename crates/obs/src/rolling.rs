@@ -1,0 +1,103 @@
+//! Rolling windows for forecast-accuracy tracking.
+//!
+//! The paper evaluates prediction quality as log-space MSE per cluster and
+//! horizon (Figure 7). In a continuously running pipeline the equivalent
+//! is a *rolling* mean over the last `N` settled squared errors, so the
+//! health report reflects recent accuracy rather than an all-time average
+//! that a months-old regime change would dominate.
+
+use std::collections::VecDeque;
+
+/// A bounded rolling mean: push values, read the mean of the most recent
+/// `capacity` of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingMean {
+    capacity: usize,
+    buf: VecDeque<f64>,
+    /// Running sum of `buf` (recomputed on eviction to bound float drift).
+    sum: f64,
+}
+
+impl RollingMean {
+    /// A window over the most recent `capacity` observations (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, buf: VecDeque::with_capacity(capacity), sum: 0.0 }
+    }
+
+    /// Pushes one observation, evicting the oldest beyond capacity.
+    pub fn push(&mut self, v: f64) {
+        self.buf.push_back(v);
+        if self.buf.len() > self.capacity {
+            self.buf.pop_front();
+            // Re-sum instead of subtracting: repeated subtraction of
+            // floats drifts; the window is small so this stays cheap.
+            self.sum = self.buf.iter().sum();
+        } else {
+            self.sum += v;
+        }
+    }
+
+    /// Mean of the windowed observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.buf.len() as f64)
+        }
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no observation has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_has_no_mean() {
+        assert_eq!(RollingMean::new(4).mean(), None);
+    }
+
+    #[test]
+    fn mean_over_partial_window() {
+        let mut w = RollingMean::new(4);
+        w.push(1.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), Some(2.0));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut w = RollingMean::new(3);
+        for v in [10.0, 1.0, 2.0, 3.0] {
+            w.push(v);
+        }
+        // 10.0 evicted; mean of [1,2,3].
+        assert_eq!(w.mean(), Some(2.0));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut w = RollingMean::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(5.0);
+        w.push(7.0);
+        assert_eq!(w.mean(), Some(7.0));
+    }
+}

@@ -1,0 +1,302 @@
+//! Deterministic metric snapshots with JSON and Prometheus-text
+//! exposition.
+//!
+//! A [`MetricsSnapshot`] is an owned, sorted copy of the registry: safe to
+//! ship across threads, diff between runs, or serialize. The pipeline's
+//! determinism contract says counter values, gauge values, and histogram
+//! event counts are bit-identical across worker-pool widths;
+//! [`MetricsSnapshot::deterministic_view`] renders exactly that subset so
+//! tests can assert equality without tripping over wall-clock durations.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One histogram's state: fixed bucket bounds (nanoseconds, ascending,
+/// with an implicit +∞ bucket at the end), per-bucket counts, total
+/// duration, and event count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub bounds_nanos: Vec<u64>,
+    /// `bounds_nanos.len() + 1` entries; the last is the overflow bucket.
+    pub buckets: Vec<u64>,
+    pub sum_nanos: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in milliseconds (0.0 when empty).
+    pub fn mean_millis(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64 / 1e6
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The deterministic subset as a stable, line-oriented text: counters,
+    /// gauges (as exact bit patterns), and histogram event counts — but no
+    /// durations or bucket distributions, which legitimately vary run to
+    /// run. Two pipeline runs that differ only in thread count must
+    /// produce identical views.
+    pub fn deterministic_view(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {k} bits={:#018x}", v.to_bits());
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "events {k} {}", h.count);
+        }
+        out
+    }
+
+    /// Serializes the full snapshot as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    ///
+    /// Hand-rolled (the workspace is dependency-free); metric names pass
+    /// through a minimal string escape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter(), |out, v| {
+            let _ = write!(out, "{}", json_f64(**v));
+        });
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            let _ = write!(
+                out,
+                "{{\"bounds_nanos\":{:?},\"buckets\":{:?},\"sum_nanos\":{},\"count\":{}}}",
+                h.bounds_nanos, h.buckets, h.sum_nanos, h.count
+            );
+        });
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (metric names sanitized to `[a-zA-Z0-9_]`, histogram buckets
+    /// cumulative with `le` labels in seconds).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", json_f64(*v));
+        }
+        for (k, h) in &self.histograms {
+            let name = format!("{}_seconds", prom_name(k));
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, count) in h.buckets.iter().enumerate() {
+                cum += count;
+                match h.bounds_nanos.get(i) {
+                    Some(b) => {
+                        let _ =
+                            writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", *b as f64 / 1e9);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum_nanos as f64 / 1e9);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// A compact human-readable stage breakdown: every histogram as
+    /// `name: count × mean`, every counter and gauge on its own line.
+    /// This is what `qb-bench` prints after an experiment run.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "  stage timings:");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "    {k:<40} {:>8} calls  {:>10.3} ms mean  {:>10.1} ms total",
+                    h.count,
+                    h.mean_millis(),
+                    h.sum_nanos as f64 / 1e6
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "    {k:<40} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "    {k:<40} {v:>12.6}");
+            }
+        }
+        out
+    }
+}
+
+/// Writes `"key":value` entries joined by commas, using `f` to render the
+/// value.
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, V)>,
+    f: impl Fn(&mut String, &V),
+) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        json_escape_into(out, k);
+        out.push_str("\":");
+        f(out, &v);
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON has no NaN/∞ literals; map them to null so the output stays
+/// parseable even if a gauge goes non-finite.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::time::Duration;
+
+    fn sample() -> MetricsSnapshot {
+        let rec = Recorder::new();
+        rec.counter("a.count").add(3);
+        rec.gauge("b.ratio").set(0.5);
+        let h = rec.histogram_with_bounds("c.time", &[1_000, 1_000_000]);
+        h.record(Duration::from_nanos(500));
+        h.record(Duration::from_micros(500));
+        h.record(Duration::from_millis(5));
+        rec.snapshot()
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.count\":3},\"gauges\":{\"b.ratio\":0.5},\
+             \"histograms\":{\"c.time\":{\"bounds_nanos\":[1000, 1000000],\
+             \"buckets\":[1, 1, 1],\"sum_nanos\":5500500,\"count\":3}}}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_nonfinite() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("we\"ird\\name".into(), 1);
+        snap.gauges.insert("g".into(), f64::NAN);
+        let json = snap.to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+        assert!(json.contains("\"g\":null"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# TYPE a_count counter"));
+        assert!(prom.contains("a_count 3"));
+        assert!(prom.contains("# TYPE b_ratio gauge"));
+        assert!(prom.contains("c_time_seconds_bucket{le=\"0.000001\"} 1"));
+        assert!(prom.contains("c_time_seconds_bucket{le=\"0.001\"} 2"));
+        assert!(prom.contains("c_time_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("c_time_seconds_count 3"));
+    }
+
+    #[test]
+    fn deterministic_view_excludes_durations() {
+        let a = sample();
+        let mut b = a.clone();
+        // Perturb only timing data: the view must not change.
+        if let Some(h) = b.histograms.get_mut("c.time") {
+            h.sum_nanos += 12345;
+            h.buckets = vec![0, 2, 1];
+        }
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+        // But a count change must show.
+        if let Some(h) = b.histograms.get_mut("c.time") {
+            h.count += 1;
+        }
+        assert_ne!(a.deterministic_view(), b.deterministic_view());
+    }
+
+    #[test]
+    fn render_table_mentions_every_metric() {
+        let table = sample().render_table();
+        assert!(table.contains("a.count"));
+        assert!(table.contains("b.ratio"));
+        assert!(table.contains("c.time"));
+    }
+
+    #[test]
+    fn mean_millis() {
+        let h = HistogramSnapshot {
+            bounds_nanos: vec![],
+            buckets: vec![2],
+            sum_nanos: 4_000_000,
+            count: 2,
+        };
+        assert_eq!(h.mean_millis(), 2.0);
+        assert_eq!(HistogramSnapshot::default().mean_millis(), 0.0);
+    }
+}

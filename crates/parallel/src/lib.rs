@@ -137,20 +137,34 @@ impl Default for Parallelism {
 /// The pool owns no threads between calls: each [`ThreadPool::map`] spawns
 /// scoped workers, drains a shared index counter, and joins them before
 /// returning — so closures may freely borrow from the caller's stack.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThreadPool {
     par: Parallelism,
+    /// Cached metric handles; no-ops until [`ThreadPool::instrumented`].
+    map_time: qb_obs::Histogram,
+    tasks: qb_obs::Counter,
 }
 
 impl ThreadPool {
     /// A pool of `threads` workers (1 = sequential).
     pub fn new(threads: usize) -> Self {
-        Self { par: Parallelism::new(threads) }
+        Self::with(Parallelism::new(threads))
     }
 
     /// A pool sized by [`Parallelism`].
     pub fn with(par: Parallelism) -> Self {
-        Self { par }
+        Self { par, map_time: qb_obs::Histogram::default(), tasks: qb_obs::Counter::default() }
+    }
+
+    /// Returns this pool with observability enabled: every [`ThreadPool::map`]
+    /// records its wall time into `parallel.map` and adds its task count to
+    /// `parallel.tasks`. Task counts are independent of the worker count, so
+    /// they stay inside the determinism contract.
+    #[must_use]
+    pub fn instrumented(mut self, recorder: &qb_obs::Recorder) -> Self {
+        self.map_time = recorder.histogram("parallel.map");
+        self.tasks = recorder.counter("parallel.tasks");
+        self
     }
 
     /// The worker count.
@@ -176,6 +190,8 @@ impl ThreadPool {
         F: Fn(usize, T) -> R + Sync,
     {
         let n = items.len();
+        let _span = self.map_time.start();
+        self.tasks.add(n as u64);
         if !self.par.is_parallel() || n <= 1 {
             return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
@@ -316,6 +332,19 @@ mod tests {
         // Adjacent indices should differ in many bits, not just the low ones.
         let x = derive_seed(7, 100) ^ derive_seed(7, 101);
         assert!(x.count_ones() > 16, "weak avalanche: {x:b}");
+    }
+
+    #[test]
+    fn instrumented_pool_counts_tasks_identically_across_widths() {
+        for threads in [1, 4] {
+            let rec = qb_obs::Recorder::new();
+            let pool = ThreadPool::new(threads).instrumented(&rec);
+            pool.map((0..10usize).collect(), |_, x| x);
+            pool.map((0..5usize).collect(), |_, x| x);
+            let snap = rec.snapshot();
+            assert_eq!(snap.counters["parallel.tasks"], 15, "threads={threads}");
+            assert_eq!(snap.histograms["parallel.map"].count, 2, "threads={threads}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod template;
 
 use std::collections::{HashMap, VecDeque};
 
+use qb_obs::Recorder;
 use qb_sqlparse::{parse_statement, Literal, ParseError, Statement};
 use qb_timeseries::{ArrivalHistory, CompactionPolicy, Interval, Minute};
 
@@ -183,9 +184,38 @@ impl Default for PreProcessorConfig {
     }
 }
 
+/// Cached metric handles; all no-ops until [`PreProcessor::set_recorder`]
+/// installs an enabled recorder.
+#[derive(Debug, Default)]
+struct PreMetrics {
+    /// Wall time per `ingest*` call (includes cache hits).
+    ingest_time: qb_obs::Histogram,
+    ingested_statements: qb_obs::Counter,
+    ingested_arrivals: qb_obs::Counter,
+    quarantined_statements: qb_obs::Counter,
+    quarantined_arrivals: qb_obs::Counter,
+    cache_hits: qb_obs::Counter,
+    templates: qb_obs::Gauge,
+}
+
+impl PreMetrics {
+    fn resolve(recorder: &Recorder) -> Self {
+        Self {
+            ingest_time: recorder.histogram("preprocessor.ingest"),
+            ingested_statements: recorder.counter("preprocessor.ingested_statements"),
+            ingested_arrivals: recorder.counter("preprocessor.ingested_arrivals"),
+            quarantined_statements: recorder.counter("preprocessor.quarantined_statements"),
+            quarantined_arrivals: recorder.counter("preprocessor.quarantined_arrivals"),
+            cache_hits: recorder.counter("preprocessor.cache_hits"),
+            templates: recorder.gauge("preprocessor.templates"),
+        }
+    }
+}
+
 /// The Pre-Processor: maps raw SQL to templates and records arrival rates.
 pub struct PreProcessor {
     config: PreProcessorConfig,
+    metrics: PreMetrics,
     /// Semantic fingerprint → template id (the §4 equivalence folding).
     by_fingerprint: HashMap<Fingerprint, TemplateId>,
     /// Distinct canonical template texts seen (pre-folding), for Table 2.
@@ -207,6 +237,7 @@ impl PreProcessor {
         let next_seed = config.seed;
         Self {
             config,
+            metrics: PreMetrics::default(),
             by_fingerprint: HashMap::new(),
             distinct_texts: HashMap::new(),
             entries: Vec::new(),
@@ -217,6 +248,14 @@ impl PreProcessor {
             next_seed,
             quarantine: Quarantine::default(),
         }
+    }
+
+    /// Installs a [`Recorder`]: subsequent ingest calls record
+    /// `preprocessor.*` counters, the template-count gauge, and per-call
+    /// ingest latency. Metric names resolve once, here; the hot path only
+    /// touches cached handles.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.metrics = PreMetrics::resolve(recorder);
     }
 
     /// Ingests one query arriving at minute `t`.
@@ -235,12 +274,16 @@ impl PreProcessor {
         sql: &str,
         count: u64,
     ) -> Result<TemplateId, PreProcessError> {
+        let _span = self.metrics.ingest_time.start();
         if let Some(&id) = self.raw_cache.get(sql) {
             // Re-parse one in 64 cache hits so repeated identical strings
             // still feed the parameter reservoir (a permanent bypass would
             // starve it of exactly the hottest queries).
             self.cache_hits = self.cache_hits.wrapping_add(1);
             if !self.cache_hits.is_multiple_of(64) {
+                self.metrics.cache_hits.inc();
+                self.metrics.ingested_statements.inc();
+                self.metrics.ingested_arrivals.add(count);
                 self.bump(id, t, count, None);
                 return Ok(id);
             }
@@ -251,12 +294,16 @@ impl PreProcessor {
             Err(e) => {
                 let err = PreProcessError::Parse(e);
                 self.quarantine.admit(t, sql, count, &err);
+                self.metrics.quarantined_statements.inc();
+                self.metrics.quarantined_arrivals.add(count);
                 return Err(err);
             }
         };
         let templatized = templatize(&stmt);
         let id = self.intern(&templatized);
         self.bump(id, t, count, Some(templatized.params));
+        self.metrics.ingested_statements.inc();
+        self.metrics.ingested_arrivals.add(count);
 
         if self.raw_cache.len() < self.raw_cache_limit {
             self.raw_cache.insert(sql.to_string(), id);
@@ -267,9 +314,12 @@ impl PreProcessor {
     /// Ingests an already-parsed statement (used by dbsim replay, which
     /// parses once and executes many times).
     pub fn ingest_statement(&mut self, t: Minute, stmt: &Statement, count: u64) -> TemplateId {
+        let _span = self.metrics.ingest_time.start();
         let templatized = templatize(stmt);
         let id = self.intern(&templatized);
         self.bump(id, t, count, Some(templatized.params));
+        self.metrics.ingested_statements.inc();
+        self.metrics.ingested_arrivals.add(count);
         id
     }
 
@@ -300,6 +350,7 @@ impl PreProcessor {
         });
         self.by_fingerprint.insert(fp, id);
         self.distinct_texts.insert(tq.text.clone(), id);
+        self.metrics.templates.set(self.entries.len() as f64);
         id
     }
 
@@ -494,6 +545,24 @@ mod tests {
         let b = p.ingest(5, "SELECT x FROM t WHERE id = 7").unwrap();
         assert_eq!(a, b);
         assert_eq!(p.template(a).history.total(), 2);
+    }
+
+    #[test]
+    fn recorder_counts_ingest_and_quarantine() {
+        let rec = Recorder::new();
+        let mut p = pp();
+        p.set_recorder(&rec);
+        p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap(); // raw-cache hit
+        let _ = p.ingest_weighted(1, "BROKEN ((", 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["preprocessor.ingested_statements"], 2);
+        assert_eq!(snap.counters["preprocessor.ingested_arrivals"], 2);
+        assert_eq!(snap.counters["preprocessor.quarantined_statements"], 1);
+        assert_eq!(snap.counters["preprocessor.quarantined_arrivals"], 3);
+        assert_eq!(snap.counters["preprocessor.cache_hits"], 1);
+        assert_eq!(snap.gauges["preprocessor.templates"], 1.0);
+        assert_eq!(snap.histograms["preprocessor.ingest"].count, 3);
     }
 
     #[test]

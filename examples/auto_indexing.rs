@@ -13,21 +13,21 @@ use qb_timeseries::MINUTES_PER_DAY;
 use qb_workloads::Workload;
 
 fn main() {
-    let base = ControllerConfig {
-        workload: Workload::BusTracker,
-        strategy: Strategy::Auto,
-        db_scale: 0.15,
-        history_days: 4,
-        run_hours: 10,
-        trace_scale: 0.04,
-        index_budget: 10,
-        build_period: 60,
-        report_window: 60,
-        run_start: 21 * MINUTES_PER_DAY,
-        seed: 0x1D7,
-        fault_plan: None,
-        threads: qb_parallel::configured_threads(),
-    };
+    let base = ControllerConfig::builder()
+        .workload(Workload::BusTracker)
+        .strategy(Strategy::Auto)
+        .db_scale(0.15)
+        .history_days(4)
+        .run_hours(10)
+        .trace_scale(0.04)
+        .index_budget(10)
+        .build_period(60)
+        .report_window(60)
+        .run_start(21 * MINUTES_PER_DAY)
+        .seed(0x1D7)
+        .threads(qb_parallel::configured_threads())
+        .build()
+        .expect("example config is valid");
 
     let mut results = Vec::new();
     for strategy in [Strategy::Static, Strategy::Auto, Strategy::AutoLogical] {

@@ -4,12 +4,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use qb5000::{Qb5000Config, QueryBot5000};
+use qb5000::{JobSpan, Qb5000Config, QueryBot5000, Recorder};
 use qb_forecast::{Forecaster, LinearRegression};
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
 
 fn main() {
-    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    // A shared recorder makes every pipeline stage report counters and
+    // stage timings; leave it out (the default) for zero overhead.
+    let recorder = Recorder::new();
+    let config = Qb5000Config::builder()
+        .recorder(recorder.clone())
+        .build()
+        .expect("default tuning is valid");
+    let mut bot = QueryBot5000::new(config);
 
     // Simulate six days of an application with a strong day/night cycle:
     // a dashboard query that is hot during business hours and a batch
@@ -52,7 +59,7 @@ fn main() {
 
     // Train a one-hour-ahead model over the tracked clusters and predict.
     let job = bot
-        .forecast_job(now, Interval::HOUR, /*window=1 day*/ 24, /*horizon*/ 1)
+        .forecast_job_with(now, Interval::HOUR, /*window=1 day*/ 24, /*horizon*/ 1, JobSpan::Auto)
         .expect("clusters are tracked after update_clusters");
     let mut model = LinearRegression::default();
     let prediction = job.fit_predict(&mut model).expect("enough history");
@@ -67,5 +74,8 @@ fn main() {
             pred
         );
     }
+    println!("\nPipeline metrics collected along the way:");
+    print!("{}", recorder.snapshot().render_table());
+
     println!("\nA self-driving DBMS would now prepare for the predicted load (see the auto_indexing example).");
 }

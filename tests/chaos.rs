@@ -11,8 +11,8 @@
 //! out-of-order — `FaultPlan::with_intensity(seed, 1.0)`).
 
 use qb5000::{
-    ControllerConfig, ForecastManager, HorizonSpec, IndexSelectionExperiment, Qb5000Config,
-    QueryBot5000, Strategy,
+    ControllerConfig, ForecastManager, HorizonSpec, IndexSelectionExperiment, JobSpan,
+    Qb5000Config, QueryBot5000, Strategy,
 };
 use qb_forecast::{DegradationLevel, Ensemble, RnnConfig};
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
@@ -106,7 +106,8 @@ fn poisoned_model_degrades_instead_of_panicking() {
     let (mut bot, _, _) = faulted_bot(FaultPlan::with_intensity(13, 1.0), 3);
     let now = 3 * MINUTES_PER_DAY;
     bot.update_clusters(now);
-    let job = bot.forecast_job(now, Interval::HOUR, 24, 1).expect("clusters tracked");
+    let job =
+        bot.forecast_job_with(now, Interval::HOUR, 24, 1, JobSpan::Auto).expect("clusters tracked");
 
     let mut model = Ensemble::new(RnnConfig {
         embedding: 6,
@@ -126,21 +127,22 @@ fn poisoned_model_degrades_instead_of_panicking() {
 }
 
 fn chaos_controller_cfg(index_budget: usize) -> ControllerConfig {
-    ControllerConfig {
-        workload: Workload::BusTracker,
-        strategy: Strategy::Auto,
-        db_scale: 0.06,
-        history_days: 3,
-        run_hours: 6,
-        trace_scale: 0.08,
-        index_budget,
-        build_period: 60,
-        report_window: 60,
-        run_start: 14 * MINUTES_PER_DAY + 7 * 60,
-        seed: 0xE2E,
-        fault_plan: Some(FaultPlan::with_intensity(5, 1.0)),
-        threads: qb_parallel::configured_threads(),
-    }
+    ControllerConfig::builder()
+        .workload(Workload::BusTracker)
+        .strategy(Strategy::Auto)
+        .db_scale(0.06)
+        .history_days(3)
+        .run_hours(6)
+        .trace_scale(0.08)
+        .index_budget(index_budget)
+        .build_period(60)
+        .report_window(60)
+        .run_start(14 * MINUTES_PER_DAY + 7 * 60)
+        .seed(0xE2E)
+        .fault_plan(FaultPlan::with_intensity(5, 1.0))
+        .threads(qb_parallel::configured_threads())
+        .build()
+        .expect("chaos config is valid")
 }
 
 #[test]

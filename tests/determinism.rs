@@ -9,7 +9,7 @@
 //! The `#[ignore]`d companion measures the retrain-all-horizons speedup on
 //! 4 workers (run with `cargo test --release -- --ignored speedup`).
 
-use qb5000::{ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, RetrainOutcome};
+use qb5000::{ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, Recorder, RetrainOutcome};
 use qb_forecast::{Hybrid, HybridConfig, RnnConfig};
 use qb_parallel::Parallelism;
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
@@ -84,6 +84,48 @@ fn forecasts_bit_identical_across_thread_counts() {
         "sequential run produced empty predictions"
     );
     assert_eq!(seq, par, "4-worker forecasts diverged from the sequential path");
+}
+
+/// Runs ingest → cluster → train → predict with metrics on and returns the
+/// deterministic subset of the collected metrics.
+fn metrics_view(threads: usize) -> String {
+    let recorder = Recorder::new();
+    let config = Qb5000Config::builder()
+        .recorder(recorder.clone())
+        .build()
+        .expect("default tuning is valid");
+    let mut bot = QueryBot5000::new(config);
+    let cfg = TraceConfig { start: 0, days: 7, scale: 0.02, seed: 0xD2 };
+    for ev in Workload::Admissions.generator(cfg) {
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("valid SQL");
+    }
+    bot.update_clusters(7 * MINUTES_PER_DAY);
+
+    let par = if threads == 1 { Parallelism::sequential() } else { Parallelism::new(threads) };
+    let mut mgr = hybrid_manager(par);
+    mgr.set_threads(threads);
+    mgr.set_recorder(&recorder);
+    let now = 7 * MINUTES_PER_DAY;
+    mgr.ensure_trained(&bot, now).expect("training succeeds");
+    for h in 0..4 {
+        let _ = mgr.predict_tracked(&bot, now, h);
+    }
+    recorder.snapshot().deterministic_view()
+}
+
+/// The observability layer inherits the determinism contract: counters,
+/// gauge bits, and histogram event counts must not see the pool width.
+/// (Durations legitimately vary and are excluded from the view.)
+#[test]
+fn metric_snapshots_bit_identical_across_thread_counts() {
+    let seq = metrics_view(1);
+    let par = metrics_view(4);
+    assert!(
+        seq.contains("counter preprocessor.ingested_statements"),
+        "recorder saw the pipeline:\n{seq}"
+    );
+    assert!(seq.contains("events forecast.fit.h0"), "recorder saw the fits:\n{seq}");
+    assert_eq!(seq, par, "4-worker metrics diverged from the sequential path");
 }
 
 #[test]

@@ -5,25 +5,25 @@ use qb_timeseries::MINUTES_PER_DAY;
 use qb_workloads::Workload;
 
 fn base(workload: Workload) -> ControllerConfig {
-    ControllerConfig {
-        workload,
-        strategy: Strategy::Auto,
-        db_scale: 0.06,
-        history_days: 2,
-        run_hours: 6,
-        trace_scale: 0.08,
-        index_budget: 6,
-        build_period: 60,
-        report_window: 60,
+    ControllerConfig::builder()
+        .workload(workload)
+        .strategy(Strategy::Auto)
+        .db_scale(0.06)
+        .history_days(2)
+        .run_hours(6)
+        .trace_scale(0.08)
+        .index_budget(6)
+        .build_period(60)
+        .report_window(60)
         // Start mid-morning so the 6-hour run covers the daytime load.
-        run_start: match workload {
+        .run_start(match workload {
             Workload::Admissions => 325 * MINUTES_PER_DAY + 7 * 60,
             _ => 14 * MINUTES_PER_DAY + 7 * 60,
-        },
-        seed: 0xE2E,
-        fault_plan: None,
-        threads: qb_parallel::configured_threads(),
-    }
+        })
+        .seed(0xE2E)
+        .threads(qb_parallel::configured_threads())
+        .build()
+        .expect("integration config is valid")
 }
 
 #[test]
