@@ -94,9 +94,16 @@ impl<T> KdTree<T> {
     /// Returns the payload and squared Euclidean distance of the nearest
     /// point to `query`, or `None` for an empty tree.
     ///
+    /// Equidistant points tie-break on the smallest payload, so the answer
+    /// is independent of tree layout (and therefore of insertion order) —
+    /// a linear scan with the same rule is an exact oracle for this method.
+    ///
     /// # Panics
     /// Panics if `query` has the wrong dimension.
-    pub fn nearest(&self, query: &[f64]) -> Option<(&T, f64)> {
+    pub fn nearest(&self, query: &[f64]) -> Option<(&T, f64)>
+    where
+        T: Ord,
+    {
         let root = self.root?;
         assert_eq!(query.len(), self.dim, "KdTree::nearest: dimension mismatch");
         let mut best: Option<(usize, f64)> = None;
@@ -104,10 +111,20 @@ impl<T> KdTree<T> {
         best.map(|(idx, d)| (&self.nodes[idx].payload, d))
     }
 
-    fn nearest_rec(&self, node_idx: usize, query: &[f64], best: &mut Option<(usize, f64)>) {
+    fn nearest_rec(&self, node_idx: usize, query: &[f64], best: &mut Option<(usize, f64)>)
+    where
+        T: Ord,
+    {
         let node = &self.nodes[node_idx];
         let d = qb_linalg::sq_l2_distance(&node.point, query);
-        if best.is_none() || d < best.expect("checked").1 {
+        let improves = match *best {
+            None => true,
+            // Strictly closer, or exactly as close with a smaller payload.
+            // Tie-breaking by traversal order instead made the winner
+            // depend on where the duplicate landed in the tree.
+            Some((bi, bd)) => d < bd || (d == bd && node.payload < self.nodes[bi].payload),
+        };
+        if improves {
             *best = Some((node_idx, d));
         }
         let delta = query[node.axis] - node.point[node.axis];
@@ -116,10 +133,11 @@ impl<T> KdTree<T> {
         if let Some(n) = near {
             self.nearest_rec(n, query, best);
         }
-        // Only descend the far side if the splitting plane is closer than
-        // the current best.
+        // Descend the far side if the splitting plane is no farther than
+        // the current best; `<=` (not `<`) so an equidistant point across
+        // the plane still gets a chance to win its payload tie-break.
         if let Some(f) = far {
-            if delta * delta < best.expect("set above").1 {
+            if delta * delta <= best.expect("set above").1 {
                 self.nearest_rec(f, query, best);
             }
         }
@@ -182,12 +200,30 @@ mod tests {
         }
     }
 
+    /// Regression: equidistant points must tie-break on the smallest
+    /// payload regardless of tree layout. Before the fix the winner was
+    /// whichever duplicate the traversal reached first.
     #[test]
-    fn duplicate_points_allowed() {
-        let t = KdTree::build(vec![(vec![1.0], 1), (vec![1.0], 2), (vec![2.0], 3)]);
+    fn duplicate_points_tie_break_on_payload() {
+        let t = KdTree::build(vec![(vec![1.0], 2), (vec![1.0], 1), (vec![2.0], 3)]);
         let (p, d) = t.nearest(&[1.0]).unwrap();
-        assert!(*p == 1 || *p == 2);
+        assert_eq!(*p, 1);
         assert_eq!(d, 0.0);
+        // Same duplicates in the opposite insertion order: same winner.
+        let t = KdTree::build(vec![(vec![1.0], 1), (vec![1.0], 2), (vec![2.0], 3)]);
+        assert_eq!(*t.nearest(&[1.0]).unwrap().0, 1);
+    }
+
+    /// An equidistant point on the far side of a splitting plane still wins
+    /// its payload tie-break (the pruning test must use `<=`, not `<`).
+    #[test]
+    fn tie_across_splitting_plane_is_found() {
+        // Query 1.0 sits exactly between 0.0 and 2.0; the smaller payload
+        // lives across the plane from wherever the search descends first.
+        for pts in [vec![(vec![0.0], 1), (vec![2.0], 0)], vec![(vec![0.0], 0), (vec![2.0], 1)]] {
+            let t = KdTree::build(pts);
+            assert_eq!(*t.nearest(&[1.0]).unwrap().0, 0);
+        }
     }
 
     #[test]

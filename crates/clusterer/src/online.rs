@@ -495,10 +495,19 @@ impl OnlineClusterer {
     }
 
     fn scan_nearest(&self, feature: &TemplateFeature) -> Option<(ClusterId, f64)> {
-        self.clusters
-            .values()
-            .map(|c| (c.id, self.config.metric.similarity(feature, &c.center)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+        // First-max: on similarity ties the lowest cluster id wins
+        // (`clusters` iterates ids ascending). `Iterator::max_by` keeps the
+        // *last* maximum, which made this path resolve ties to the highest
+        // id while the kd-tree path kept its first candidate — the
+        // divergence the testkit reference clusterer flagged.
+        let mut best: Option<(ClusterId, f64)> = None;
+        for c in self.clusters.values() {
+            let sim = self.config.metric.similarity(feature, &c.center);
+            if best.is_none_or(|(_, b)| sim > b) {
+                best = Some((c.id, sim));
+            }
+        }
+        best
     }
 
     /// Recomputes a single cluster's center and volume.
@@ -880,6 +889,35 @@ mod tests {
         assert_eq!(r.clusters_created, 2, "{r:?}");
         assert_eq!(c.cluster_of(2), c.cluster_of(3));
         assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    /// Regression: `scan_nearest` must resolve similarity ties to the
+    /// lowest cluster id, matching the kd-tree path. `Iterator::max_by`
+    /// keeps the *last* maximum, so a template equidistant from two
+    /// centers used to join the higher-id cluster.
+    #[test]
+    fn scan_nearest_tie_breaks_to_lowest_id() {
+        let cfg = ClustererConfig {
+            metric: SimilarityMetric::InverseL2,
+            rho: 0.4, // 1/(1+d) > 0.4 ⇔ d < 1.5
+            ..ClustererConfig::default()
+        };
+        let mut c = OnlineClusterer::new(cfg);
+        // Two singleton clusters 2.0 apart (sim 1/3: no merge).
+        c.update(vec![snap(1, &[0.0, 0.0], 1.0)], 0);
+        c.update(vec![snap(2, &[2.0, 0.0], 1.0)], 0);
+        assert_eq!(c.num_clusters(), 2);
+        // A template exactly midway is within ρ of both centers (sim 0.5
+        // each): the tie must go to the older (lower-id) cluster.
+        c.update(
+            vec![
+                snap(1, &[0.0, 0.0], 1.0),
+                snap(2, &[2.0, 0.0], 1.0),
+                snap(3, &[1.0, 0.0], 1.0),
+            ],
+            0,
+        );
+        assert_eq!(c.cluster_of(3), c.cluster_of(1), "tie must favor the lowest cluster id");
     }
 
     #[test]

@@ -795,10 +795,18 @@ pub fn estimate(
     let hypo_on_table = hypothetical.iter().filter(|h| h.table == *table_name).count();
     let total_indexes = t.indexes().len() + hypo_on_table;
     let mut c = if let Some(sarg) = indexed_sarg {
-        // Estimate matched rows from a sample.
+        // Estimate matched rows from a sample, then cost BOTH access paths
+        // and keep the cheaper, as a System-R planner would. Charging the
+        // index unconditionally would let an unselective index *raise* the
+        // estimate (many heap fetches at random_page_cost can exceed a
+        // short sequential scan), breaking the monotonicity the advisor's
+        // greedy selection depends on: a usable index never hurts a read.
         let selectivity = estimate_selectivity(t, sarg)?;
         let matched = (rows as f64 * selectivity).ceil() as usize;
-        let mut c = model.index_scan(rows, matched);
+        let index_path = model.index_scan(rows, matched);
+        let seq_path = model.seq_scan(t.pages(), rows);
+        let mut c =
+            if index_path.total() <= seq_path.total() { index_path } else { seq_path };
         if matches!(stmt, Statement::Update(_) | Statement::Delete(_)) {
             c.add(model.index_maintenance(total_indexes, matched));
         }

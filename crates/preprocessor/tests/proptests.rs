@@ -70,6 +70,24 @@ proptest! {
         );
     }
 
+    /// Templatizing a template is a fixed point: running the already
+    /// constant-free statement through `templatize` again changes nothing —
+    /// not the canonical text, not the template AST, and (degenerately) it
+    /// extracts zero parameters. Generated over the Table 1 query-type mix
+    /// (SELECT/INSERT/UPDATE/DELETE with integer, decimal, and string
+    /// constants).
+    #[test]
+    fn templatizing_a_template_is_a_fixed_point(sql in stmt()) {
+        let t1 = templatize(&parse_statement(&sql).expect("generated SQL parses"));
+        let t2 = templatize(&t1.template);
+        prop_assert!(t2.params.is_empty(), "second pass extracted params from {}", t1.text);
+        prop_assert_eq!(&t2.template, &t1.template, "template AST drifted for `{}`", sql);
+        prop_assert_eq!(&t2.text, &t1.text, "template text drifted for `{}`", sql);
+        // And the fixed point survives a parse round trip of the text.
+        let reparsed = templatize(&parse_statement(&t1.text).expect("template text parses"));
+        prop_assert_eq!(&reparsed.text, &t1.text);
+    }
+
     /// The same statement with different constants yields the same
     /// template and fingerprint.
     #[test]

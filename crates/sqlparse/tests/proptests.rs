@@ -138,6 +138,33 @@ proptest! {
         prop_assert_eq!(&a, &c);
     }
 
+    /// Full lex → parse → format round trip: the canonical text's *token
+    /// stream* is a fixed point. Stronger than string equality alone — it
+    /// pins down that canonicalization is decided at the token level
+    /// (keyword casing, literal spelling, operator splitting), so a
+    /// formatter change that happens to produce equal strings through
+    /// different tokenization cannot sneak past.
+    #[test]
+    fn lex_parse_format_roundtrip_is_stable(sql in dml_stmt()) {
+        let canonical = format_statement(
+            &parse_statement(&sql).unwrap_or_else(|e| panic!("must parse: `{sql}`: {e}")),
+        );
+        let kinds = |s: &str| -> Vec<qb_sqlparse::TokenKind> {
+            qb_sqlparse::Lexer::new(s)
+                .tokenize()
+                .unwrap_or_else(|e| panic!("canonical text must lex: `{s}`: {e}"))
+                .into_iter()
+                .map(|t| t.kind)
+                .collect()
+        };
+        let first = kinds(&canonical);
+        let again = format_statement(
+            &parse_statement(&canonical)
+                .unwrap_or_else(|e| panic!("canonical text must re-parse: `{canonical}`: {e}")),
+        );
+        prop_assert_eq!(first, kinds(&again), "token stream drifted for `{}`", sql);
+    }
+
     /// The lexer never panics on arbitrary bytes-as-strings.
     #[test]
     fn lexer_total_on_arbitrary_input(s in ".{0,120}") {

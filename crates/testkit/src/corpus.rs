@@ -1,0 +1,167 @@
+//! Seeded SQL corpus generator for the templatizer oracles.
+//!
+//! Generates a stream of parseable DML statements covering the Table 1
+//! query-type mix (the paper's traces are SELECT-heavy with a long tail of
+//! INSERT/UPDATE/DELETE): roughly 60 % SELECT, 20 % INSERT, 12 % UPDATE,
+//! 8 % DELETE. Small table/column pools make template collisions common,
+//! so the corpus exercises both directions of the equality-class
+//! comparison: statements that must share a template (same shape,
+//! different constants) and statements that must not (different shape).
+//!
+//! Plain seeded `SmallRng` rather than proptest strategies, so the same
+//! corpus is reproducible from a single printed seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const TABLES: &[&str] = &["orders", "users", "events"];
+const COLUMNS: &[&str] = &["id", "qty", "price", "label"];
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta"];
+
+/// Generates `n` statements from `seed`.
+pub fn generate(seed: u64, n: usize) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| statement(&mut rng)).collect()
+}
+
+fn statement(rng: &mut SmallRng) -> String {
+    match rng.gen_range(0..100u32) {
+        0..=59 => select(rng),
+        60..=79 => insert(rng),
+        80..=91 => update(rng),
+        _ => delete(rng),
+    }
+}
+
+fn table(rng: &mut SmallRng) -> &'static str {
+    TABLES[rng.gen_range(0..TABLES.len())]
+}
+
+fn column(rng: &mut SmallRng) -> &'static str {
+    COLUMNS[rng.gen_range(0..COLUMNS.len())]
+}
+
+fn int(rng: &mut SmallRng) -> u32 {
+    rng.gen_range(0..10_000u32)
+}
+
+fn word(rng: &mut SmallRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+fn comparison(rng: &mut SmallRng) -> String {
+    let c = column(rng);
+    match rng.gen_range(0..6u32) {
+        0 => format!("{c} = {}", int(rng)),
+        1 => format!("{c} > {}", int(rng)),
+        2 => format!("{c} BETWEEN {} AND {}", int(rng), int(rng)),
+        3 => {
+            let k = rng.gen_range(1..5usize);
+            let items: Vec<String> = (0..k).map(|_| int(rng).to_string()).collect();
+            format!("{c} IN ({})", items.join(", "))
+        }
+        4 => format!("{c} LIKE '{}%'", word(rng)),
+        _ => format!("{c} = '{}'", word(rng)),
+    }
+}
+
+fn predicate(rng: &mut SmallRng) -> String {
+    let first = comparison(rng);
+    if rng.gen_range(0..3u32) == 0 {
+        let second = comparison(rng);
+        let op = if rng.gen_range(0..2u32) == 0 { "AND" } else { "OR" };
+        format!("{first} {op} {second}")
+    } else {
+        first
+    }
+}
+
+fn select(rng: &mut SmallRng) -> String {
+    let ncols = rng.gen_range(1..3usize);
+    let cols: Vec<&str> = (0..ncols).map(|_| column(rng)).collect();
+    let mut s = format!("SELECT {} FROM {}", cols.join(", "), table(rng));
+    if rng.gen_range(0..4u32) > 0 {
+        s.push_str(&format!(" WHERE {}", predicate(rng)));
+    }
+    if rng.gen_range(0..4u32) == 0 {
+        let dir = if rng.gen_range(0..2u32) == 0 { "ASC" } else { "DESC" };
+        s.push_str(&format!(" ORDER BY {} {dir}", column(rng)));
+    }
+    if rng.gen_range(0..4u32) == 0 {
+        // A small fixed menu: LIMIT constants are template identity, so
+        // unbounded values would make every limited query its own class.
+        let k = [10u32, 50, 100][rng.gen_range(0..3usize)];
+        s.push_str(&format!(" LIMIT {k}"));
+    }
+    s
+}
+
+fn insert(rng: &mut SmallRng) -> String {
+    let t = table(rng);
+    let ncols = rng.gen_range(1..4usize);
+    // Distinct columns, in pool order, so arity defines the template.
+    let mut cols: Vec<&str> = COLUMNS.to_vec();
+    while cols.len() > ncols {
+        let drop = rng.gen_range(0..cols.len());
+        cols.remove(drop);
+    }
+    let rows = rng.gen_range(1..4usize);
+    let mut row_texts = Vec::new();
+    for _ in 0..rows {
+        let vals: Vec<String> = cols
+            .iter()
+            .map(|_| {
+                if rng.gen_range(0..2u32) == 0 {
+                    int(rng).to_string()
+                } else {
+                    format!("'{}'", word(rng))
+                }
+            })
+            .collect();
+        row_texts.push(format!("({})", vals.join(", ")));
+    }
+    format!("INSERT INTO {t} ({}) VALUES {}", cols.join(", "), row_texts.join(", "))
+}
+
+fn update(rng: &mut SmallRng) -> String {
+    let t = table(rng);
+    let mut s = format!("UPDATE {t} SET {} = {}", column(rng), int(rng));
+    if rng.gen_range(0..2u32) == 0 {
+        s.push_str(&format!(", {} = '{}'", column(rng), word(rng)));
+    }
+    format!("{s} WHERE {}", predicate(rng))
+}
+
+fn delete(rng: &mut SmallRng) -> String {
+    format!("DELETE FROM {} WHERE {}", table(rng), predicate(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(7, 50), generate(7, 50));
+        assert_ne!(generate(7, 50), generate(8, 50));
+    }
+
+    #[test]
+    fn every_statement_parses() {
+        for sql in generate(42, 300) {
+            qb_sqlparse::parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("corpus SQL must parse: `{sql}`: {e}"));
+        }
+    }
+
+    #[test]
+    fn covers_all_four_statement_kinds() {
+        let corpus = generate(1, 400);
+        for kind in ["SELECT", "INSERT", "UPDATE", "DELETE"] {
+            assert!(
+                corpus.iter().any(|s| s.starts_with(kind)),
+                "corpus missing {kind} statements"
+            );
+        }
+    }
+}

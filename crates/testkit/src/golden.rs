@@ -1,0 +1,170 @@
+//! Golden-trace fixtures.
+//!
+//! [`capture`] runs one mini workload trace through the full pipeline and
+//! renders a deterministic JSON summary: template counts, cluster
+//! membership, and per-horizon log-space MSE of an LR forecaster. The
+//! summary is diffed **byte-for-byte** against a checked-in fixture under
+//! `crates/testkit/fixtures/`, in the same style as `tests/public-api.txt`:
+//!
+//! ```text
+//! QB_BLESS_GOLDEN=1 cargo test -p qb-testkit --test golden_traces
+//! ```
+//!
+//! regenerates every fixture. Everything feeding the summary is seeded
+//! (trace generator, feature sampler, LR solve), so a byte diff means real
+//! behavior drift — a changed template count, a different cluster
+//! assignment, or a numerically different forecast — surfacing explicitly
+//! in review instead of sneaking in with an implementation diff. Floats
+//! are rendered with Rust's shortest round-trip `{:?}` formatting, so the
+//! encoding is bit-faithful.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use qb5000::{Qb5000Config, QueryBot5000};
+use qb_forecast::{Forecaster, LinearRegression, WindowSpec};
+use qb_timeseries::{Interval, MINUTES_PER_DAY};
+use qb_workloads::{TraceConfig, Workload};
+
+/// One golden-trace scenario.
+#[derive(Debug, Clone)]
+pub struct GoldenCase {
+    /// Fixture file stem (`fixtures/<name>.json`).
+    pub name: &'static str,
+    pub workload: Workload,
+    pub days: u32,
+    pub scale: f64,
+    pub seed: u64,
+    /// Horizons (hours) whose rolling log-MSE goes into the summary.
+    pub horizons: &'static [usize],
+}
+
+/// The checked-in scenarios. Three days of each workload at small scale —
+/// big enough to produce several clusters, small enough to run in the
+/// default suite.
+pub const CASES: &[GoldenCase] = &[
+    GoldenCase {
+        name: "admissions_3d",
+        workload: Workload::Admissions,
+        days: 3,
+        scale: 0.02,
+        seed: 0xAD01,
+        horizons: &[1, 6],
+    },
+    GoldenCase {
+        name: "bustracker_3d",
+        workload: Workload::BusTracker,
+        days: 3,
+        scale: 0.02,
+        seed: 0xB501,
+        horizons: &[1, 6],
+    },
+    GoldenCase {
+        name: "mooc_3d",
+        workload: Workload::Mooc,
+        days: 3,
+        scale: 0.02,
+        seed: 0x300C,
+        horizons: &[1, 6],
+    },
+];
+
+/// Runs the case and renders its JSON summary.
+pub fn capture(case: &GoldenCase) -> String {
+    let trace =
+        TraceConfig { start: 0, days: case.days, scale: case.scale, seed: case.seed };
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    for ev in case.workload.generator(trace) {
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("golden traces are clean");
+    }
+    let now = case.days as i64 * MINUTES_PER_DAY;
+    bot.update_clusters(now);
+
+    let pre = bot.preprocessor();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", case.workload.name());
+    let _ = writeln!(out, "  \"days\": {},", case.days);
+    let _ = writeln!(out, "  \"seed\": {},", case.seed);
+    let _ = writeln!(out, "  \"num_templates\": {},", pre.num_templates());
+    let _ = writeln!(out, "  \"num_distinct_texts\": {},", pre.num_distinct_texts());
+
+    // Tracked clusters: id, member count, volume — and the full template
+    // membership (template ids are assigned in ingest order, so they are
+    // stable for a seeded trace).
+    let tracked = bot.tracked_clusters();
+    let _ = writeln!(out, "  \"num_tracked_clusters\": {},", tracked.len());
+    out.push_str("  \"clusters\": [\n");
+    for (i, info) in tracked.iter().enumerate() {
+        let mut members: Vec<u32> = info.members.iter().map(|m| m.0).collect();
+        members.sort_unstable();
+        let members: Vec<String> = members.iter().map(u32::to_string).collect();
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"volume\": {:?}, \"members\": [{}]}}",
+            info.id.0,
+            info.volume,
+            members.join(", ")
+        );
+        out.push_str(if i + 1 < tracked.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Per-horizon rolling log-space MSE of a fresh LR fit (Figure 7's
+    // metric) over the tracked clusters' hourly series.
+    let series: Vec<Vec<f64>> =
+        tracked.iter().map(|c| bot.cluster_series(c, 0, now, Interval::HOUR)).collect();
+    let steps = series.first().map_or(0, Vec::len);
+    let test_start = steps - steps / 4;
+    out.push_str("  \"log_mse\": {\n");
+    for (i, &h) in case.horizons.iter().enumerate() {
+        let spec = WindowSpec { window: 24, horizon: h };
+        let mut lr = LinearRegression::default();
+        lr.fit(&series, spec).expect("golden series are long enough");
+        let mse = qb_forecast::evaluate_mse_log(&lr, &series, spec, test_start);
+        let _ = write!(out, "    \"h{h}\": {mse:?}");
+        out.push_str(if i + 1 < case.horizons.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(format!("{name}.json"))
+}
+
+/// Diffs `current` against the checked-in fixture, or rewrites the fixture
+/// when `QB_BLESS_GOLDEN` is set.
+///
+/// # Panics
+/// Panics with a line-level diff when the fixture does not match.
+pub fn check_or_bless(name: &str, current: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("QB_BLESS_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("fixtures dir")).expect("mkdir fixtures");
+        fs::write(&path, current).expect("write golden fixture");
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\nbless with: QB_BLESS_GOLDEN=1 \
+             cargo test -p qb-testkit --test golden_traces",
+            path.display()
+        )
+    });
+    if golden == current {
+        return;
+    }
+    let mut msg = format!("golden trace `{name}` changed:\n");
+    for (i, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
+        if g != c {
+            let _ = writeln!(msg, "  line {}:\n    - {g}\n    + {c}", i + 1);
+        }
+    }
+    let (gl, cl) = (golden.lines().count(), current.lines().count());
+    if gl != cl {
+        let _ = writeln!(msg, "  line count changed: {gl} -> {cl}");
+    }
+    msg.push_str("if intentional: QB_BLESS_GOLDEN=1 cargo test -p qb-testkit --test golden_traces\n");
+    panic!("{msg}");
+}

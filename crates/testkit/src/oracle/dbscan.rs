@@ -1,0 +1,109 @@
+//! Batch DBSCAN oracle (§5.2's starting point).
+//!
+//! QB5000's online clusterer approximates DBSCAN with `minPts = 1` over
+//! the similarity graph: a point is density-reachable from another when
+//! their similarity exceeds ρ, and with `minPts = 1` every point is a core
+//! point, so clusters are exactly the connected components of the
+//! ρ-similarity graph. This module computes those components directly —
+//! O(n²) pairwise similarities plus a union-find — over the *full* feature
+//! vectors of the entire history.
+//!
+//! Agreement contract (documented tolerances):
+//!
+//! * On **well-separated** workloads (within-pattern similarity above ρ,
+//!   cross-pattern similarity below ρ, both with margin), the online
+//!   clusterer converges to the same partition — the differential test
+//!   asserts exact equality.
+//! * On arbitrary inputs the online variant is a genuine approximation:
+//!   it compares templates to cluster *centers* rather than to every
+//!   member, so a similarity chain that batch DBSCAN follows transitively
+//!   can be split online (and center drift can merge what DBSCAN keeps
+//!   apart). There the test asserts [`pairwise_agreement`] ≥ 0.8 — the
+//!   Rand-index floor observed with margin on seeded random corpora.
+
+/// Connected components of the ρ-similarity graph under cosine similarity.
+///
+/// Returns one label per input; labels are the smallest input index in the
+/// component, so they are canonical for direct comparison.
+pub fn batch_dbscan(features: &[Vec<f64>], rho: f64) -> Vec<usize> {
+    let n = features.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if super::cosine(&features[i], &features[j]) > rho {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    // Smaller root wins so labels stay canonical.
+                    let (lo, hi) = if ri < rj { (ri, rj) } else { (rj, ri) };
+                    parent[hi] = lo;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| find(&mut parent, i)).collect()
+}
+
+/// Rand index between two labelings of the same items: the fraction of
+/// item *pairs* on which the labelings agree (both together or both
+/// apart). 1.0 means identical partitions.
+pub fn pairwise_agreement(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pairwise_agreement: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthogonal_points_stay_apart() {
+        let labels = batch_dbscan(&[vec![1.0, 0.0], vec![0.0, 1.0]], 0.8);
+        assert_eq!(labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn scaled_copies_cluster_together() {
+        let labels = batch_dbscan(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![5.0, 0.1]], 0.8);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn transitive_chain_is_one_component() {
+        // a ~ b and b ~ c but a !~ c: DBSCAN (minPts = 1) still joins all
+        // three — the defining difference from center-based assignment.
+        let a = vec![1.0, 0.0];
+        let b = vec![1.0, 1.0];
+        let c = vec![0.0, 1.0];
+        let labels = batch_dbscan(&[a.clone(), b.clone(), c.clone()], 0.6);
+        assert!(super::super::cosine(&a, &c) < 0.6);
+        assert_eq!(labels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rand_index_bounds() {
+        assert_eq!(pairwise_agreement(&[0, 0, 1], &[5, 5, 9]), 1.0);
+        assert_eq!(pairwise_agreement(&[0, 0], &[0, 1]), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Normal-equations linear-regression oracle (§6.1).
+//!
+//! `qb_forecast::LinearRegression` solves the ridge-regularized normal
+//! equations with a Cholesky factorization (LU fallback) over matrices
+//! built by `sliding_windows`. This oracle re-derives everything from the
+//! paper's description with no shared code: it builds its own log-space
+//! design matrix from the raw series and solves `(XᵀX + λI) w = Xᵀy` by
+//! dense Gauss–Jordan elimination with partial pivoting.
+//!
+//! Agreement contract: both sides compute the same closed-form solution,
+//! but through different factorizations, so weights and predictions agree
+//! only up to round-off. The differential test uses
+//! `|a − b| ≤ ε · (1 + |a|)` with ε = 1e-6 — orders of magnitude above
+//! observed round-off for the well-conditioned ridge systems (λ > 0 keeps
+//! the Gram matrix SPD) yet far below any real regression defect.
+
+/// Naive ridge regression: one jointly-trained multi-output linear map,
+/// matching `LinearRegression`'s geometry (window·clusters + bias inputs,
+/// one output per cluster, log1p space).
+pub struct NormalEquationsLr {
+    pub lambda: f64,
+    window: usize,
+    horizon: usize,
+    clusters: usize,
+    /// `(window·clusters + 1) × clusters`, last row = bias.
+    weights: Vec<Vec<f64>>,
+}
+
+impl NormalEquationsLr {
+    pub fn new(lambda: f64) -> Self {
+        Self { lambda, window: 0, horizon: 0, clusters: 0, weights: Vec::new() }
+    }
+
+    /// Fits on cluster-major series. Returns `Err` for inputs the
+    /// optimized model would also reject (too short, ragged).
+    pub fn fit(&mut self, series: &[Vec<f64>], window: usize, horizon: usize) -> Result<(), String> {
+        if series.is_empty() {
+            return Err("no cluster series".into());
+        }
+        let len = series[0].len();
+        if series.iter().any(|s| s.len() != len) {
+            return Err("ragged series".into());
+        }
+        if len < window + horizon {
+            return Err(format!("need {} steps, got {len}", window + horizon));
+        }
+        let clusters = series.len();
+        let n = len - window - horizon + 1;
+        let d = window * clusters + 1; // + bias
+        // Design matrix rows: [ln1p(s_c[i..i+window]) for every c] ++ [1].
+        let mut x = vec![vec![0.0; d]; n];
+        let mut y = vec![vec![0.0; clusters]; n];
+        for i in 0..n {
+            for (c, s) in series.iter().enumerate() {
+                for w in 0..window {
+                    x[i][c * window + w] = s[i + w].max(0.0).ln_1p();
+                }
+                y[i][c] = s[i + window + horizon - 1].max(0.0).ln_1p();
+            }
+            x[i][d - 1] = 1.0;
+        }
+        // Gram = XᵀX + λI, rhs = XᵀY.
+        let mut gram = vec![vec![0.0; d]; d];
+        let mut rhs = vec![vec![0.0; clusters]; d];
+        for row in 0..n {
+            for a in 0..d {
+                for b in 0..d {
+                    gram[a][b] += x[row][a] * x[row][b];
+                }
+                for t in 0..clusters {
+                    rhs[a][t] += x[row][a] * y[row][t];
+                }
+            }
+        }
+        for (i, row) in gram.iter_mut().enumerate() {
+            row[i] += self.lambda;
+        }
+        // Gauss–Jordan with partial pivoting on the augmented system.
+        for col in 0..d {
+            let pivot_row = (col..d)
+                .max_by(|&a, &b| gram[a][col].abs().total_cmp(&gram[b][col].abs()))
+                .expect("non-empty range");
+            if gram[pivot_row][col].abs() == 0.0 {
+                return Err(format!("singular system at column {col}"));
+            }
+            gram.swap(col, pivot_row);
+            rhs.swap(col, pivot_row);
+            let pivot = gram[col][col];
+            for j in 0..d {
+                gram[col][j] /= pivot;
+            }
+            for t in 0..clusters {
+                rhs[col][t] /= pivot;
+            }
+            for r in 0..d {
+                if r == col {
+                    continue;
+                }
+                let factor = gram[r][col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    gram[r][j] -= factor * gram[col][j];
+                }
+                for t in 0..clusters {
+                    rhs[r][t] -= factor * rhs[col][t];
+                }
+            }
+        }
+        self.window = window;
+        self.horizon = horizon;
+        self.clusters = clusters;
+        self.weights = rhs;
+        Ok(())
+    }
+
+    /// Predicts from the last `window` steps of each cluster, mirroring
+    /// `LinearRegression::predict`'s decode: `expm1(max(·, 0))` clamp.
+    ///
+    /// # Panics
+    /// Panics if called before [`NormalEquationsLr::fit`].
+    pub fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "NormalEquationsLr::predict before fit");
+        assert_eq!(recent.len(), self.clusters, "cluster count changed");
+        let d = self.window * self.clusters + 1;
+        let mut x = vec![0.0; d];
+        for (c, s) in recent.iter().enumerate() {
+            assert!(s.len() >= self.window, "cluster {c} shorter than window");
+            let tail = &s[s.len() - self.window..];
+            for (w, &v) in tail.iter().enumerate() {
+                x[c * self.window + w] = v.max(0.0).ln_1p();
+            }
+        }
+        x[d - 1] = 1.0;
+        (0..self.clusters)
+            .map(|t| {
+                let yhat: f64 = x.iter().zip(&self.weights).map(|(&xi, row)| xi * row[t]).sum();
+                yhat.exp_m1().max(0.0)
+            })
+            .collect()
+    }
+
+    /// The solved weight matrix, row-major `(window·clusters + 1) × clusters`.
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_map_in_log_space() {
+        // y[t] = s[t] (horizon 1, identity on the last window slot) is
+        // representable exactly; the fit should drive training error ~0.
+        let series: Vec<f64> = (0..100).map(|t| (t % 7) as f64 + 1.0).collect();
+        let mut lr = NormalEquationsLr::new(1e-9);
+        lr.fit(&[series.clone()], 7, 1).unwrap();
+        let pred = lr.predict(&[series[..50].to_vec()]);
+        let expected = series[50 - 1 + 1]; // period-7 repeats
+        assert!((pred[0] - expected).abs() < 1e-3, "{} vs {expected}", pred[0]);
+    }
+
+    #[test]
+    fn rejects_short_series() {
+        let mut lr = NormalEquationsLr::new(1e-3);
+        assert!(lr.fit(&[vec![1.0; 3]], 4, 1).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Straight-line re-templatizer oracle (§4's constant stripping).
+//!
+//! The production templatizer lexes, parses, walks the AST, and formats
+//! canonically. This oracle never builds a tree: one left-to-right pass
+//! over the raw SQL text replaces literals with `?`, uppercases words,
+//! collapses whitespace, and normalizes placeholder lists — nothing more.
+//!
+//! Agreement contract: over the generated corpus (the Table 1
+//! SELECT/INSERT/UPDATE/DELETE mix, integer and string literals, no
+//! comments or quoted identifiers), two statements receive the same naive
+//! template **iff** the AST templatizer gives them the same template text.
+//! The differential test compares the induced partitions, not the template
+//! strings themselves — the two sides canonicalize differently, but they
+//! must agree on *which statements share a template*.
+//!
+//! Mirrored normalizations (both sides must treat these alike):
+//! * an IN list of constants collapses to a single placeholder;
+//! * a batched INSERT collapses to a one-row template (per-column arity
+//!   kept);
+//! * `LIMIT` / `OFFSET` constants are preserved verbatim (they change the
+//!   planner's view of the query and stay part of the template identity).
+
+/// Computes the naive template of one SQL statement.
+pub fn naive_template(sql: &str) -> String {
+    let chars: Vec<char> = sql.chars().collect();
+    let n = chars.len();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            // String literal ('' escapes a quote) → placeholder.
+            i += 1;
+            while i < n {
+                if chars[i] == '\'' {
+                    if i + 1 < n && chars[i + 1] == '\'' {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            tokens.push("?".into());
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            // LIMIT/OFFSET constants are part of the template identity.
+            let keep = matches!(
+                tokens.last().map(String::as_str),
+                Some("LIMIT") | Some("OFFSET")
+            );
+            if keep {
+                tokens.push(chars[start..i].iter().collect());
+            } else {
+                tokens.push("?".into());
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            tokens.push(word.to_ascii_uppercase());
+        } else {
+            // Multi-char comparison operators count as one token.
+            let two: String = chars[i..n.min(i + 2)].iter().collect();
+            if matches!(two.as_str(), "<=" | ">=" | "<>" | "!=") {
+                tokens.push(two);
+                i += 2;
+            } else {
+                tokens.push(c.to_string());
+                i += 1;
+            }
+        }
+    }
+    let tokens = collapse_placeholder_lists(tokens);
+    let tokens = collapse_repeated_rows(tokens);
+    tokens.join(" ")
+}
+
+/// `( ? , ? , ? )` → `( ? )`: mirrors the AST templatizer's IN-list
+/// collapse. Lists mixing placeholders with anything else are untouched.
+fn collapse_placeholder_lists(tokens: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i] == "(" {
+            // Find the matching close paren of a flat run.
+            let mut j = i + 1;
+            let mut only_placeholders = true;
+            let mut saw_placeholder = false;
+            while j < tokens.len() && tokens[j] != "(" && tokens[j] != ")" {
+                match tokens[j].as_str() {
+                    "?" => saw_placeholder = true,
+                    "," => {}
+                    _ => only_placeholders = false,
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j] == ")" && only_placeholders && saw_placeholder {
+                out.push("(".into());
+                out.push("?".into());
+                out.push(")".into());
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// `( ? ) , ( ? ) , ( ? )` → `( ? )`: mirrors the one-row collapse of
+/// batched INSERTs (runs only after placeholder lists are collapsed, so a
+/// row's arity has already folded into `( ? )`).
+fn collapse_repeated_rows(tokens: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        out.push(tokens[i].clone());
+        if i + 2 < tokens.len() && tokens[i] == "(" && tokens[i + 1] == "?" && tokens[i + 2] == ")"
+        {
+            out.push(tokens[i + 1].clone());
+            out.push(tokens[i + 2].clone());
+            i += 3;
+            // Swallow any further `, ( ? )` repetitions.
+            while i + 3 < tokens.len()
+                && tokens[i] == ","
+                && tokens[i + 1] == "("
+                && tokens[i + 2] == "?"
+                && tokens[i + 3] == ")"
+            {
+                i += 4;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_constants() {
+        assert_eq!(
+            naive_template("SELECT a FROM t WHERE id = 42 AND name = 'bob'"),
+            "SELECT A FROM T WHERE ID = ? AND NAME = ?"
+        );
+    }
+
+    #[test]
+    fn in_list_collapses() {
+        let a = naive_template("SELECT a FROM t WHERE id IN (1, 2)");
+        let b = naive_template("SELECT a FROM t WHERE id IN (1, 2, 3, 4)");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_insert_collapses_to_one_row() {
+        let a = naive_template("INSERT INTO t (a, b) VALUES (1, 'x')");
+        let b = naive_template("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y'), (3, 'z')");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn limit_is_preserved() {
+        let a = naive_template("SELECT a FROM t WHERE id = 1 LIMIT 10");
+        let b = naive_template("SELECT a FROM t WHERE id = 1 LIMIT 20");
+        assert_ne!(a, b);
+        assert!(a.contains("LIMIT 10"), "{a}");
+    }
+
+    #[test]
+    fn whitespace_and_case_normalize() {
+        let a = naive_template("select  a from t\twhere id = 7");
+        let b = naive_template("SELECT a FROM t WHERE id = 9");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quoted_digits_are_not_numbers() {
+        let a = naive_template("SELECT a FROM t WHERE name = '123'");
+        assert_eq!(a, "SELECT A FROM T WHERE NAME = ?");
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic end-to-end simulation runner.
+//!
+//! One [`SimCase`] fully determines a pipeline run: workload generator,
+//! fault intensity, trace seed, and length. [`run_case`] replays the case
+//! through generator → fault injector → pre-processor → clusterer →
+//! forecaster at every requested thread-pool width and checks the
+//! resilience layer's end-to-end invariants:
+//!
+//! 1. **Accounting identity** — every delivered event is either ingested
+//!    or quarantined (`ingested + rejected == events_out`).
+//! 2. **Quarantine bound** — the pipeline never rejects more statements
+//!    than the fault plan corrupted
+//!    ([`FaultStats::max_possible_rejections`]); with no faults, nothing
+//!    is rejected.
+//! 3. **No NaN leaves a model** — every forecast at every horizon is
+//!    finite and non-negative.
+//! 4. **Degradation chain** — each model's reported level is on the
+//!    documented `Full → Ensemble → Single → LastValue` chain, and a
+//!    fault-free LR run stays at `Full`.
+//! 5. **Thread-width determinism** — forecasts are bit-identical across
+//!    all requested pool widths.
+//!
+//! On violation the harness returns a [`SimFailure`] whose `Display`
+//! includes [`repro_command`] — a copy-pasteable `cargo test` invocation
+//! that replays exactly this case via the `single_seed_repro` test.
+
+use qb5000::{ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, RetrainOutcome};
+use qb_forecast::{DegradationLevel, LinearRegression};
+use qb_timeseries::{Interval, MINUTES_PER_DAY};
+use qb_workloads::{FaultPlan, FaultStats, TraceConfig, Workload};
+
+/// One fully-seeded simulation case.
+#[derive(Debug, Clone)]
+pub struct SimCase {
+    pub workload: Workload,
+    /// `FaultPlan::with_intensity` knob; 0.0 runs a clean passthrough.
+    pub fault_intensity: f64,
+    /// Seeds the trace generator *and* the fault plan.
+    pub seed: u64,
+    pub days: u32,
+    pub scale: f64,
+}
+
+impl SimCase {
+    pub fn new(workload: Workload, fault_intensity: f64, seed: u64) -> Self {
+        Self { workload, fault_intensity, seed, days: 3, scale: 0.02 }
+    }
+}
+
+/// What a successful case run produced (for golden-style inspection).
+#[derive(Debug)]
+pub struct SimOutcome {
+    pub stats: FaultStats,
+    pub num_templates: usize,
+    pub num_clusters: usize,
+    /// Per-horizon forecasts from the first thread width.
+    pub forecasts: Vec<Vec<f64>>,
+}
+
+/// An invariant violation, carrying the repro command.
+#[derive(Debug)]
+pub struct SimFailure {
+    pub case: SimCase,
+    pub invariant: String,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "simulation invariant violated: {}", self.invariant)?;
+        writeln!(f, "  case: {:?}", self.case)?;
+        write!(f, "  reproduce with:\n    {}", repro_command(&self.case))
+    }
+}
+
+/// The copy-pasteable single-case repro line printed on failure.
+pub fn repro_command(case: &SimCase) -> String {
+    format!(
+        "QB_SIM_SEED={:#x} QB_SIM_WORKLOAD={} QB_SIM_INTENSITY={} QB_SIM_DAYS={} \
+         cargo test -p qb-testkit --test simtest single_seed_repro -- --nocapture",
+        case.seed,
+        case.workload.name(),
+        case.fault_intensity,
+        case.days,
+    )
+}
+
+/// Parses `QB_SIM_*` environment overrides onto a default case — the
+/// receiving end of [`repro_command`].
+pub fn case_from_env() -> SimCase {
+    let mut case = SimCase::new(Workload::Admissions, 1.0, 0x5EED);
+    if let Ok(s) = std::env::var("QB_SIM_SEED") {
+        // `_` separators are accepted so seeds can be pasted from source.
+        let s: String = s.trim().chars().filter(|&c| c != '_').collect();
+        case.seed = s
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).expect("hex QB_SIM_SEED"))
+            .unwrap_or_else(|| s.parse().expect("numeric QB_SIM_SEED"));
+    }
+    if let Ok(w) = std::env::var("QB_SIM_WORKLOAD") {
+        case.workload = match w.to_ascii_lowercase().as_str() {
+            "admissions" => Workload::Admissions,
+            "bustracker" => Workload::BusTracker,
+            "mooc" => Workload::Mooc,
+            other => panic!("unknown QB_SIM_WORKLOAD {other:?}"),
+        };
+    }
+    if let Ok(i) = std::env::var("QB_SIM_INTENSITY") {
+        case.fault_intensity = i.parse().expect("numeric QB_SIM_INTENSITY");
+    }
+    if let Ok(d) = std::env::var("QB_SIM_DAYS") {
+        case.days = d.parse().expect("numeric QB_SIM_DAYS");
+    }
+    case
+}
+
+fn fail(case: &SimCase, invariant: String) -> SimFailure {
+    SimFailure { case: case.clone(), invariant }
+}
+
+/// Replays one case at every thread width and checks invariants 1–5.
+///
+/// `horizons` are forecast offsets in hours (hourly interval, 24-step
+/// window); `widths` are the thread-pool sizes to sweep — forecasts must
+/// be bit-identical across all of them.
+pub fn run_case(
+    case: &SimCase,
+    horizons: &[usize],
+    widths: &[usize],
+) -> Result<SimOutcome, SimFailure> {
+    assert!(!horizons.is_empty() && !widths.is_empty(), "empty sweep");
+    let trace = TraceConfig { start: 0, days: case.days, scale: case.scale, seed: case.seed };
+    let plan = if case.fault_intensity == 0.0 {
+        FaultPlan::none(case.seed)
+    } else {
+        FaultPlan::with_intensity(case.seed, case.fault_intensity)
+    };
+    let mut events = plan.inject(case.workload.generator(trace));
+    let mut bot = QueryBot5000::new(Qb5000Config::default());
+    let mut delivered = 0u64;
+    for ev in events.by_ref() {
+        delivered += 1;
+        let _ = bot.ingest_weighted(ev.minute, &ev.sql, ev.count);
+    }
+    let stats = events.stats().clone();
+    let health = bot.health();
+
+    // Invariant 1: exact accounting.
+    if stats.events_out != delivered
+        || health.ingested_statements + health.rejected_statements != delivered
+    {
+        return Err(fail(
+            case,
+            format!(
+                "accounting identity broken: delivered {delivered}, injector says {}, \
+                 ingested {} + rejected {}",
+                stats.events_out, health.ingested_statements, health.rejected_statements
+            ),
+        ));
+    }
+    // Invariant 2: quarantine bounded by what the plan corrupted.
+    if health.rejected_statements > stats.max_possible_rejections() {
+        return Err(fail(
+            case,
+            format!(
+                "quarantine dropped more than the fault plan injected: rejected {} > \
+                 malformed {} + truncated {} + duplicated {}",
+                health.rejected_statements, stats.malformed, stats.truncated, stats.duplicated
+            ),
+        ));
+    }
+
+    let now = case.days as i64 * MINUTES_PER_DAY;
+    bot.update_clusters(now);
+    if bot.tracked_clusters().is_empty() {
+        return Err(fail(case, "no clusters tracked after a full trace".into()));
+    }
+
+    let specs: Vec<HorizonSpec> = horizons
+        .iter()
+        .map(|&h| HorizonSpec {
+            interval: Interval::HOUR,
+            window: 24,
+            horizon: h,
+            train_steps: (case.days as usize - 1) * 24,
+        })
+        .collect();
+
+    let mut per_width: Vec<Vec<Vec<u64>>> = Vec::new();
+    let mut first_forecasts: Vec<Vec<f64>> = Vec::new();
+    for &w in widths {
+        let mut mgr =
+            ForecastManager::new(specs.clone(), || Box::new(LinearRegression::default()));
+        mgr.set_threads(w);
+        let outcome = mgr
+            .ensure_trained(&bot, now)
+            .map_err(|e| fail(case, format!("training failed at width {w}: {e}")))?;
+        if !matches!(outcome, RetrainOutcome::Retrained { .. }) {
+            return Err(fail(case, format!("expected a retrain at width {w}, got {outcome:?}")));
+        }
+        let mut bits = Vec::new();
+        for (h, _) in horizons.iter().enumerate() {
+            let pred = mgr.predict(&bot, now, h);
+            // Invariant 3: no NaN leaves a model.
+            if pred.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err(fail(
+                    case,
+                    format!("non-finite or negative forecast at width {w}, horizon {h}: {pred:?}"),
+                ));
+            }
+            // Invariant 4: the degradation level is on the documented
+            // chain, and a plain LR model never degrades.
+            match mgr.degradation(h) {
+                Some(
+                    DegradationLevel::Full
+                    | DegradationLevel::Ensemble
+                    | DegradationLevel::Single
+                    | DegradationLevel::LastValue,
+                ) => {}
+                None => return Err(fail(case, format!("horizon {h} lost its model"))),
+            }
+            if mgr.degradation(h) != Some(DegradationLevel::Full) {
+                return Err(fail(
+                    case,
+                    format!("LR degraded at width {w}, horizon {h}: {:?}", mgr.degradation(h)),
+                ));
+            }
+            if w == widths[0] {
+                first_forecasts.push(pred.clone());
+            }
+            bits.push(pred.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
+        }
+        per_width.push(bits);
+    }
+    // Invariant 5: bit-identical forecasts across widths.
+    for (i, bits) in per_width.iter().enumerate().skip(1) {
+        if bits != &per_width[0] {
+            return Err(fail(
+                case,
+                format!("forecasts diverged between widths {} and {}", widths[0], widths[i]),
+            ));
+        }
+    }
+
+    Ok(SimOutcome {
+        stats,
+        num_templates: bot.preprocessor().num_templates(),
+        num_clusters: bot.tracked_clusters().len(),
+        forecasts: first_forecasts,
+    })
+}

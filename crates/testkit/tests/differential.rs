@@ -1,0 +1,344 @@
+//! Differential tests: optimized implementations vs. naive oracles.
+//!
+//! Each test feeds identical inputs to the production path and to an
+//! independently derived reference from `qb_testkit::oracle`, then checks
+//! agreement at the contract each pair documents:
+//!
+//! * online clusterer vs. [`ReferenceClusterer`] — **exact** (the update
+//!   rule is deterministic; seeds are printed on failure);
+//! * online clusterer vs. batch DBSCAN — exact on well-separated data,
+//!   Rand index ≥ 0.8 on arbitrary data (online assignment is an
+//!   approximation of the batch fixpoint);
+//! * `LinearRegression` vs. [`NormalEquationsLr`] — same closed form via
+//!   different factorizations, `|a − b| ≤ 1e-6 · (1 + |a|)`;
+//! * AST templatizer vs. [`naive_template`] — identical induced
+//!   partitions over the seeded corpus (template *strings* differ).
+
+use std::collections::BTreeMap;
+
+use qb_clusterer::{
+    ClustererConfig, OnlineClusterer, SimilarityMetric, TemplateFeature, TemplateSnapshot,
+};
+use qb_forecast::{Forecaster, LinearRegression, WindowSpec};
+use qb_testkit::corpus;
+use qb_testkit::oracle::{
+    batch_dbscan, naive_template, online_partition, pairwise_agreement, NormalEquationsLr,
+    ReferenceClusterer,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// --- clusterer vs. reference ---
+
+const DIM: usize = 8;
+
+/// Draws one arrival-rate-like feature: a scaled copy of one of a few
+/// prototype patterns plus noise, so clusters, reassignments, and merges
+/// all actually happen.
+fn random_feature(rng: &mut SmallRng) -> Vec<f64> {
+    const PROTOTYPES: [[f64; DIM]; 4] = [
+        [1.0, 2.0, 4.0, 8.0, 8.0, 4.0, 2.0, 1.0],
+        [9.0, 1.0, 9.0, 1.0, 9.0, 1.0, 9.0, 1.0],
+        [1.0, 1.0, 1.0, 1.0, 6.0, 6.0, 6.0, 6.0],
+        [5.0, 5.0, 0.0, 0.0, 0.0, 0.0, 5.0, 5.0],
+    ];
+    let proto = PROTOTYPES[rng.gen_range(0..PROTOTYPES.len())];
+    let scale = 0.5 + 5.0 * rng.gen_range(0.0..1.0f64);
+    proto
+        .iter()
+        .map(|v| (v * scale + rng.gen_range(0.0..1.5f64)).max(0.0))
+        .collect()
+}
+
+/// One round of snapshots: refreshed features for live keys, a few new
+/// keys (sometimes masked), occasionally an old `last_seen` to trigger
+/// eviction later.
+fn random_round(
+    rng: &mut SmallRng,
+    next_key: &mut u64,
+    live: &mut Vec<u64>,
+    now: i64,
+) -> Vec<TemplateSnapshot> {
+    let mut snaps = Vec::new();
+    for &key in live.iter() {
+        // Most templates keep arriving; ~1 in 6 goes quiet (stale
+        // last_seen => eventual eviction).
+        let last_seen = if rng.gen_range(0..6u32) == 0 { now - 10_000 } else { now - 1 };
+        snaps.push(TemplateSnapshot {
+            key,
+            feature: TemplateFeature::full(random_feature(rng)),
+            volume: rng.gen_range(1.0..100.0f64),
+            last_seen,
+        });
+    }
+    for _ in 0..rng.gen_range(2..6usize) {
+        let key = *next_key;
+        *next_key += 1;
+        live.push(key);
+        let mut feature = TemplateFeature::full(random_feature(rng));
+        // A third of new templates are young: mask their older coordinates
+        // (the §5.1 "available timestamps" rule).
+        if rng.gen_range(0..3u32) == 0 {
+            feature.valid_from = rng.gen_range(1..DIM / 2);
+        }
+        snaps.push(TemplateSnapshot { key, feature, volume: rng.gen_range(1.0..100.0f64), last_seen: now - 1 });
+    }
+    snaps
+}
+
+fn assert_matches_reference(metric: SimilarityMetric, seed: u64) {
+    let config = ClustererConfig {
+        rho: 0.8,
+        metric,
+        eviction_idle: 5_000,
+        ..ClustererConfig::default()
+    };
+    let mut online = OnlineClusterer::new(config.clone());
+    let mut reference = ReferenceClusterer::new(config.rho, metric, config.eviction_idle);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_key = 0u64;
+    let mut live: Vec<u64> = Vec::new();
+    for round in 0..8 {
+        let now = (round + 1) * 2_000;
+        let snaps = random_round(&mut rng, &mut next_key, &mut live, now);
+
+        let online_report = online.update(snaps.clone(), now);
+        let ref_report = reference.update(snaps, now);
+        assert_eq!(
+            online_report, ref_report,
+            "update reports diverged (seed {seed:#x}, round {round}, metric {metric:?})"
+        );
+
+        let expected = reference.partition();
+        let got = online_partition(&online, expected.keys().copied());
+        assert_eq!(
+            got, expected,
+            "partitions diverged (seed {seed:#x}, round {round}, metric {metric:?})"
+        );
+
+        // Centers are arithmetic means over the same members in the same
+        // order on both sides — they must agree bit for bit.
+        assert_eq!(online.num_clusters(), reference.num_clusters());
+        for cluster in online.clusters() {
+            let rc = &reference.clusters()[&cluster.id.0];
+            assert_eq!(
+                cluster.center, rc.center,
+                "center {:?} diverged (seed {seed:#x}, round {round}, metric {metric:?})",
+                cluster.id
+            );
+        }
+
+        live.retain(|k| expected.contains_key(k));
+    }
+}
+
+#[test]
+fn clusterer_matches_reference_cosine() {
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003, 0x5EED_0004, 0x5EED_0005] {
+        assert_matches_reference(SimilarityMetric::Cosine, seed);
+    }
+}
+
+#[test]
+fn clusterer_matches_reference_inverse_l2() {
+    for seed in [0xB0B_0001u64, 0xB0B_0002, 0xB0B_0003] {
+        assert_matches_reference(SimilarityMetric::InverseL2, seed);
+    }
+}
+
+#[test]
+fn clusterer_matches_reference_on_exact_ties() {
+    // Random corpora never hit exact similarity ties, so build one by
+    // hand: two clusters founded from *bit-identical* features in separate
+    // rounds (so they never merge-by-id order accident), then a template
+    // equidistant from both. Both sides must resolve the tie to the lowest
+    // cluster id; `Iterator::max_by`-style last-max scans fail here.
+    // Geometry (all coordinates exactly representable): founders at 0 and
+    // 1 have similarity 1/(1+1) = 0.5 < ρ, so they stay separate; the tie
+    // template at 0.5 sees 1/1.5 ≈ 0.667 > ρ to *both*; after it joins
+    // cluster 0, the moved center (0.25) is 0.75 from the other founder —
+    // 1/1.75 ≈ 0.571 < ρ, so no merge hides the decision.
+    let config = ClustererConfig {
+        rho: 0.6,
+        metric: SimilarityMetric::InverseL2,
+        eviction_idle: 1_000_000,
+        ..ClustererConfig::default()
+    };
+    let mut online = OnlineClusterer::new(config.clone());
+    let mut reference = ReferenceClusterer::new(config.rho, config.metric, config.eviction_idle);
+
+    let snap = |key: u64, values: Vec<f64>| TemplateSnapshot {
+        key,
+        feature: TemplateFeature::full(values),
+        volume: 1.0,
+        last_seen: 0,
+    };
+    let r1 = vec![snap(0, vec![0.0, 0.0]), snap(1, vec![1.0, 0.0])];
+    // Round 2: the tie — equidistant from both (bit-identical similarity).
+    let r2 = vec![snap(0, vec![0.0, 0.0]), snap(1, vec![1.0, 0.0]), snap(2, vec![0.5, 0.0])];
+    for (round, snaps) in [r1, r2].into_iter().enumerate() {
+        let a = online.update(snaps.clone(), round as i64);
+        let b = reference.update(snaps, round as i64);
+        assert_eq!(a, b, "reports diverged in tie round {round}");
+    }
+    let expected = reference.partition();
+    let got = online_partition(&online, expected.keys().copied());
+    assert_eq!(got, expected, "tie resolved differently from the reference");
+    // And the reference itself must put the tied template in cluster 0.
+    assert_eq!(expected[&2], 0, "oracle must break ties to the lowest id");
+}
+
+// --- clusterer vs. batch DBSCAN ---
+
+#[test]
+fn online_equals_batch_dbscan_on_well_separated_patterns() {
+    // Scaled copies of orthogonal-ish prototypes: every pairwise
+    // similarity is far from ρ on both sides of the threshold, so the
+    // online greedy order cannot matter and the partitions must be equal.
+    let mut rng = SmallRng::seed_from_u64(0xD85C);
+    let prototypes: [[f64; 6]; 3] = [
+        [1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0, 0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+    ];
+    let features: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            let scale = 1.0 + rng.gen_range(0.0..9.0f64);
+            prototypes[i % 3].iter().map(|v| v * scale).collect()
+        })
+        .collect();
+
+    let batch = batch_dbscan(&features, 0.8);
+
+    let mut online = OnlineClusterer::new(ClustererConfig::default());
+    let snaps: Vec<TemplateSnapshot> = features
+        .iter()
+        .enumerate()
+        .map(|(i, f)| TemplateSnapshot {
+            key: i as u64,
+            feature: TemplateFeature::full(f.clone()),
+            volume: 1.0,
+            last_seen: 0,
+        })
+        .collect();
+    online.update(snaps, 0);
+    let online_labels: Vec<usize> = (0..features.len())
+        .map(|i| online.cluster_of(i as u64).expect("assigned").0 as usize)
+        .collect();
+
+    let agreement = pairwise_agreement(&batch, &online_labels);
+    assert_eq!(agreement, 1.0, "well-separated data must partition identically");
+    assert_eq!(online.num_clusters(), 3);
+}
+
+#[test]
+fn online_within_rand_tolerance_of_batch_dbscan_on_mixed_data() {
+    // Arbitrary data, including pairs near the ρ boundary: the online
+    // single-pass assignment may split what batch DBSCAN chains together
+    // (batch connectivity is transitive, online assignment is not).
+    // Documented tolerance: Rand index ≥ 0.8.
+    for seed in [1u64, 2, 3] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let features: Vec<Vec<f64>> =
+            (0..80).map(|_| (0..DIM).map(|_| rng.gen_range(0.0..10.0f64)).collect()).collect();
+        let batch = batch_dbscan(&features, 0.8);
+
+        let mut online = OnlineClusterer::new(ClustererConfig::default());
+        let snaps: Vec<TemplateSnapshot> = features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| TemplateSnapshot {
+                key: i as u64,
+                feature: TemplateFeature::full(f.clone()),
+                volume: 1.0,
+                last_seen: 0,
+            })
+            .collect();
+        online.update(snaps, 0);
+        let online_labels: Vec<usize> = (0..features.len())
+            .map(|i| online.cluster_of(i as u64).expect("assigned").0 as usize)
+            .collect();
+
+        let agreement = pairwise_agreement(&batch, &online_labels);
+        assert!(
+            agreement >= 0.8,
+            "Rand index {agreement} below documented 0.8 floor (seed {seed:#x})"
+        );
+    }
+}
+
+// --- LR vs. normal equations ---
+
+#[test]
+fn lr_matches_normal_equations_oracle() {
+    for seed in [0x11u64, 0x22, 0x33] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Three clusters of periodic-plus-noise rates, 200 steps.
+        let series: Vec<Vec<f64>> = (0..3)
+            .map(|c| {
+                (0..200)
+                    .map(|t| {
+                        let phase = (t % (12 + c)) as f64 / (12 + c) as f64;
+                        40.0 + 30.0 * (phase * std::f64::consts::TAU).sin().abs()
+                            + rng.gen_range(0.0..5.0f64)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for (window, horizon) in [(12usize, 1usize), (24, 6)] {
+            let spec = WindowSpec { window, horizon };
+            let mut lr = LinearRegression::default();
+            lr.fit(&series, spec).expect("fit");
+            let mut oracle = NormalEquationsLr::new(lr.lambda);
+            oracle.fit(&series, window, horizon).expect("oracle fit");
+
+            // Compare predictions from several distinct recent windows.
+            for start in [100usize, 140, 176] {
+                let recent: Vec<Vec<f64>> =
+                    series.iter().map(|s| s[start..start + window].to_vec()).collect();
+                let a = lr.predict(&recent);
+                let b = oracle.predict(&recent);
+                for (c, (&x, &y)) in a.iter().zip(&b).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-6 * (1.0 + x.abs()),
+                        "LR diverged from normal equations (seed {seed:#x}, \
+                         window {window}, horizon {horizon}, cluster {c}): {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// --- templatizer vs. naive re-templatizer ---
+
+#[test]
+fn templatizer_partition_matches_naive_oracle() {
+    for seed in [0xA5u64, 0xA6, 0xA7] {
+        let corpus = corpus::generate(seed, 400);
+
+        // Group statement indices by each side's template key.
+        let mut by_ast: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_naive: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, sql) in corpus.iter().enumerate() {
+            let stmt = qb_sqlparse::parse_statement(sql)
+                .unwrap_or_else(|e| panic!("corpus must parse: `{sql}`: {e}"));
+            let ast_key = qb_preprocessor::templatize(&stmt).text;
+            by_ast.entry(ast_key).or_default().push(i);
+            by_naive.entry(naive_template(sql)).or_default().push(i);
+        }
+
+        // The partitions must be identical: same groups of statement
+        // indices, regardless of what each side calls the template.
+        let mut ast_groups: Vec<Vec<usize>> = by_ast.into_values().collect();
+        let mut naive_groups: Vec<Vec<usize>> = by_naive.into_values().collect();
+        ast_groups.sort();
+        naive_groups.sort();
+        assert_eq!(
+            ast_groups, naive_groups,
+            "templatizer partitions diverged on corpus seed {seed:#x}"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Golden-trace regression suite.
+//!
+//! Each case in `qb_testkit::golden::CASES` replays a seeded mini trace
+//! through the full pipeline and diffs the JSON summary (template counts,
+//! cluster membership, per-horizon log-space MSE) byte-for-byte against
+//! `crates/testkit/fixtures/<name>.json`. Regenerate after an intentional
+//! behavior change with:
+//!
+//! ```text
+//! QB_BLESS_GOLDEN=1 cargo test -p qb-testkit --test golden_traces
+//! ```
+
+use qb_testkit::golden::{capture, check_or_bless, CASES};
+
+#[test]
+fn golden_traces_match_fixtures() {
+    for case in CASES {
+        check_or_bless(case.name, &capture(case));
+    }
+}
+
+/// Blessing must be reproducible: capturing the same case twice yields
+/// byte-identical JSON (guards against hidden nondeterminism sneaking into
+/// the pipeline or the summary renderer).
+#[test]
+fn capture_is_deterministic() {
+    for case in CASES {
+        assert_eq!(capture(case), capture(case), "capture of {} not reproducible", case.name);
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic end-to-end simulation matrix.
+//!
+//! Sweeps (workload × fault intensity × seed) through the full generator →
+//! fault injector → pre-processor → clusterer → forecaster pipeline at
+//! thread widths {1, 4} and horizons {1, 6}, checking the five invariants
+//! documented on `qb_testkit::sim` (accounting identity, quarantine bound,
+//! finite forecasts, degradation chain, thread-width bit-identity).
+//!
+//! On failure the panic message contains a copy-pasteable one-case repro:
+//!
+//! ```text
+//! QB_SIM_SEED=0x... QB_SIM_WORKLOAD=... QB_SIM_INTENSITY=... QB_SIM_DAYS=3 \
+//!   cargo test -p qb-testkit --test simtest single_seed_repro -- --nocapture
+//! ```
+
+use qb_testkit::sim::{case_from_env, run_case, SimCase};
+use qb_workloads::Workload;
+
+const HORIZONS: &[usize] = &[1, 6];
+const WIDTHS: &[usize] = &[1, 4];
+
+/// The checked-in seed list (also the CI matrix). Two seeds per cell keeps
+/// the full sweep under a minute; new seeds can be appended freely — any
+/// failure prints its own repro line.
+const SEEDS: &[u64] = &[0x5EED_CAFE, 0x0DDB_A11];
+
+#[test]
+fn simulation_matrix() {
+    let workloads = [Workload::Admissions, Workload::BusTracker, Workload::Mooc];
+    let mut ran = 0;
+    for &workload in &workloads {
+        for intensity in [0.0, 1.0] {
+            for &seed in SEEDS {
+                let case = SimCase::new(workload, intensity, seed);
+                match run_case(&case, HORIZONS, WIDTHS) {
+                    Ok(outcome) => {
+                        assert!(outcome.num_clusters > 0);
+                        ran += 1;
+                    }
+                    Err(failure) => panic!("{failure}"),
+                }
+            }
+        }
+    }
+    assert_eq!(ran, workloads.len() * 2 * SEEDS.len());
+}
+
+/// Replays exactly one case from `QB_SIM_*` environment overrides — the
+/// target of the repro command printed by a `simulation_matrix` failure.
+/// With no overrides it runs one default faulted case, so it also serves
+/// as a smoke test.
+#[test]
+fn single_seed_repro() {
+    let case = case_from_env();
+    match run_case(&case, HORIZONS, WIDTHS) {
+        Ok(outcome) => {
+            println!(
+                "case {case:?}: {} templates, {} clusters, faults {:?}",
+                outcome.num_templates, outcome.num_clusters, outcome.stats
+            );
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}

@@ -307,4 +307,78 @@ mod tests {
         let h = ArrivalHistory::new();
         assert_eq!(h.dense_series(0, 120, Interval::HOUR), vec![0.0, 0.0]);
     }
+
+    /// Round-trip through every hourly-or-coarser read path: a compacted
+    /// history must answer `count_range`, `dense_series`, and `sample_at`
+    /// (the Clusterer's feature reads) exactly as the uncompacted one did.
+    #[test]
+    fn compaction_roundtrips_all_read_paths() {
+        // Deterministic pseudo-random arrivals: bursty, with gaps.
+        let mut h = ArrivalHistory::new();
+        let mut x: u64 = 0x9E37_79B9;
+        let span = 2 * crate::MINUTES_PER_DAY;
+        for t in 0..span {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x % 5 == 0 {
+                h.record(t, x % 7 + 1);
+            }
+        }
+        let uncompacted = h.clone();
+        h.compact(&CompactionPolicy {
+            raw_retention: crate::MINUTES_PER_DAY / 2,
+            compacted_interval: Interval::HOUR,
+        });
+
+        assert_eq!(h.total(), uncompacted.total());
+        // A compacted first arrival is attributed to its bucket start, so
+        // `first_seen` is preserved at bucket granularity only.
+        assert_eq!(
+            h.first_seen().map(|t| Interval::HOUR.bucket_start(t)),
+            uncompacted.first_seen().map(|t| Interval::HOUR.bucket_start(t))
+        );
+        // Hour-aligned range counts are exact (sub-bucket resolution is
+        // only lost *within* a compacted bucket).
+        for start_h in (0..span).step_by(60 * 7) {
+            let start = Interval::HOUR.bucket_start(start_h);
+            assert_eq!(
+                h.count_range(start, span),
+                uncompacted.count_range(start, span),
+                "count_range from {start}"
+            );
+        }
+        assert_eq!(
+            h.dense_series(0, span, Interval::HOUR),
+            uncompacted.dense_series(0, span, Interval::HOUR)
+        );
+        assert_eq!(
+            h.dense_series(0, span, Interval::DAY),
+            uncompacted.dense_series(0, span, Interval::DAY)
+        );
+        let sample_points: Vec<Minute> = (0..span).step_by(97).collect();
+        assert_eq!(
+            h.sample_at(&sample_points, Interval::HOUR),
+            uncompacted.sample_at(&sample_points, Interval::HOUR)
+        );
+    }
+
+    /// A second compaction with an *older* newest-record does not resurrect
+    /// or double-count anything (records keep arriving between compactions).
+    #[test]
+    fn compaction_roundtrip_with_interleaved_records() {
+        let mut h = ArrivalHistory::new();
+        for t in 0..2000 {
+            h.record(t, 1);
+        }
+        let policy = CompactionPolicy { raw_retention: 500, compacted_interval: Interval::HOUR };
+        h.compact(&policy);
+        for t in 2000..4000 {
+            h.record(t, 1);
+        }
+        h.compact(&policy);
+        assert_eq!(h.total(), 4000);
+        assert_eq!(h.count_range(0, 4000), 4000);
+        let hourly = h.dense_series(0, 4020, Interval::HOUR);
+        assert_eq!(hourly.iter().sum::<f64>(), 4000.0);
+        assert!(hourly.iter().all(|&v| v <= 60.0), "no bucket can exceed one arrival/minute");
+    }
 }

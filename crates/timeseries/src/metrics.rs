@@ -95,4 +95,30 @@ mod tests {
     fn mse_empty_panics() {
         mse(&[], &[]);
     }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn mse_log_space_empty_panics() {
+        mse_log_space(&[], &[]);
+    }
+
+    #[test]
+    fn single_point_mse() {
+        // One observation: MSE is just the squared error of that point.
+        assert_eq!(mse(&[3.0], &[5.0]), 4.0);
+        let expected = (4.0f64.ln_1p() - 2.0f64.ln_1p()).powi(2);
+        assert!((mse_log_space(&[4.0], &[2.0]) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_rate_series_is_finite() {
+        // An all-zero actual series (a cluster that went quiet) must score
+        // finitely — this is why the transform is ln(1+x), not ln(x).
+        let zeros = vec![0.0; 24];
+        assert_eq!(mse_log_space(&zeros, &zeros), 0.0);
+        let m = mse_log_space(&zeros, &[1.0; 24].to_vec());
+        assert!(m.is_finite() && m > 0.0);
+        // And a model predicting zero against real traffic is also finite.
+        assert!(mse_log_space(&[100.0; 24], &zeros).is_finite());
+    }
 }

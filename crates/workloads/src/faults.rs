@@ -121,6 +121,19 @@ pub struct FaultStats {
     pub spiked: u64,
 }
 
+impl FaultStats {
+    /// Upper bound on statements the pipeline may legitimately reject
+    /// (quarantine) from this stream. Only corrupted SQL can fail to
+    /// parse — `malformed` and `truncated` events — and each duplication
+    /// re-emits at most one copy of an already-corrupted event, so:
+    /// `rejected ≤ malformed + truncated + duplicated`. The simulation
+    /// harness asserts this bound ("quarantine never drops more than the
+    /// fault plan injected").
+    pub fn max_possible_rejections(&self) -> u64 {
+        self.malformed + self.truncated + self.duplicated
+    }
+}
+
 /// How many later events an out-of-order event is held behind.
 const REORDER_DELAY: u32 = 3;
 
