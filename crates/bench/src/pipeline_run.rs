@@ -59,6 +59,13 @@ impl RunOptions {
         self.qb.recorder = recorder.clone();
         self
     }
+
+    /// Attaches a [`qb5000::Tracer`]: every stage records lineage events
+    /// into its flight recorder while the trace replays.
+    pub fn traced(mut self, tracer: &qb5000::Tracer) -> Self {
+        self.qb.tracer = tracer.clone();
+        self
+    }
 }
 
 /// Feeds `days` of the workload through QB5000 with daily clustering and

@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use qb_obs::Recorder;
+use qb_trace::{EventDraft, EventKind, Scope, Tracer};
 
 use crate::feature::TemplateFeature;
 use crate::kdtree::KdTree;
@@ -201,6 +202,7 @@ pub struct OnlineClusterer {
     unseen_since_update: usize,
     /// EWMA of the per-period unseen ratio (the adaptive-trigger baseline).
     baseline_unseen_ratio: f64,
+    tracer: Tracer,
 }
 
 /// Step-1 lookup context: the kd-tree over the cycle's frozen centers plus
@@ -232,6 +234,7 @@ impl OnlineClusterer {
             seen_since_update: BTreeSet::new(),
             unseen_since_update: 0,
             baseline_unseen_ratio: 0.0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -241,6 +244,15 @@ impl OnlineClusterer {
     /// here; lookups inside the cycle only touch cached handles.
     pub fn set_recorder(&mut self, recorder: &Recorder) {
         self.metrics = ClusterMetrics::resolve(recorder);
+    }
+
+    /// Installs a [`Tracer`]: update cycles then emit the cluster-churn
+    /// lineage — `ClusterCreated` / `ClusterAssigned` (linked back to the
+    /// member's `TemplateCreated` anchor), `ClusterMerged`,
+    /// `ClusterEvicted`, and a closing `ClustersUpdated` anchored under
+    /// [`Scope::ClusterState`] for the Forecaster to link model fits to.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The trigger threshold currently in force: the configured constant,
@@ -278,6 +290,7 @@ impl OnlineClusterer {
     /// feature (but still age toward eviction).
     pub fn update(&mut self, snapshots: Vec<TemplateSnapshot>, now: i64) -> UpdateReport {
         let _cycle = self.metrics.update_time.start();
+        let _stage = self.tracer.stage("clusterer.update");
         let mut report = UpdateReport::default();
         // Fold the closing period's churn into the adaptive baseline.
         if !self.seen_since_update.is_empty() {
@@ -322,6 +335,15 @@ impl OnlineClusterer {
                 }
             }
             report.evicted += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.record(
+                    EventDraft::new(EventKind::ClusterEvicted)
+                        .parent_opt(self.tracer.anchor(Scope::Template, k))
+                        .uint("template", k)
+                        .uint("cluster", state.cluster.0)
+                        .int("last_seen", state.last_seen),
+                );
+            }
         }
         self.recompute_centers();
 
@@ -359,13 +381,18 @@ impl OnlineClusterer {
         let mut ctx = self.assign_ctx();
         report.new_templates = new_snaps.len();
         for snap in new_snaps {
-            let created = self.assign(snap.key, snap.feature, snap.volume, snap.last_seen, &mut ctx);
+            let key = snap.key;
+            let (cid, created) =
+                self.assign(snap.key, snap.feature, snap.volume, snap.last_seen, &mut ctx);
             report.clusters_created += usize::from(created);
+            self.trace_assign(key, cid, created, false);
         }
         for key in to_reassign {
             let state = self.templates.remove(&key).expect("still tracked");
-            let created = self.assign(key, state.feature, state.volume, state.last_seen, &mut ctx);
+            let (cid, created) =
+                self.assign(key, state.feature, state.volume, state.last_seen, &mut ctx);
             report.clusters_created += usize::from(created);
+            self.trace_assign(key, cid, created, true);
         }
         assign_span.finish();
         // Fold the step's additions into the centers before merging.
@@ -373,9 +400,41 @@ impl OnlineClusterer {
 
         // Step 3: merge clusters whose centers are closer than ρ.
         let merge_span = self.metrics.merge_time.start();
-        report.merges = self.merge_step();
+        let merges = self.merge_step();
+        report.merges = merges.len();
         merge_span.finish();
         self.recompute_centers();
+        if self.tracer.is_enabled() {
+            for (dst, src, moved) in merges {
+                let merged = self.tracer.record(
+                    EventDraft::new(EventKind::ClusterMerged)
+                        .parent_opt(self.tracer.anchor(Scope::Cluster, dst.0))
+                        .reference_opt(self.tracer.anchor(Scope::Cluster, src.0))
+                        .uint("into", dst.0)
+                        .uint("from", src.0)
+                        .uint("moved_members", moved as u64),
+                );
+                if let Some(merged) = merged {
+                    // Both ids now resolve to the merge event, so later
+                    // links see the combined cluster's history.
+                    self.tracer.set_anchor(Scope::Cluster, dst.0, merged);
+                    self.tracer.set_anchor(Scope::Cluster, src.0, merged);
+                }
+            }
+            let updated = self.tracer.record(
+                EventDraft::new(EventKind::ClustersUpdated)
+                    .int("now", now)
+                    .uint("new_templates", report.new_templates as u64)
+                    .uint("reassigned", report.reassigned as u64)
+                    .uint("evicted", report.evicted as u64)
+                    .uint("merges", report.merges as u64)
+                    .uint("clusters", self.clusters.len() as u64)
+                    .uint("templates", self.templates.len() as u64),
+            );
+            if let Some(updated) = updated {
+                self.tracer.set_anchor(Scope::ClusterState, 0, updated);
+            }
+        }
 
         self.metrics.new_templates.add(report.new_templates as u64);
         self.metrics.reassigned.add(report.reassigned as u64);
@@ -411,7 +470,7 @@ impl OnlineClusterer {
     }
 
     /// Assigns one template to its best cluster (creating one if needed).
-    /// Returns `true` when a new cluster was created.
+    /// Returns the chosen cluster and whether it was newly created.
     ///
     /// A joining member does **not** move the cluster center here — step-1
     /// lookups run against the centers frozen at the start of the step (the
@@ -425,7 +484,7 @@ impl OnlineClusterer {
         volume: f64,
         last_seen: i64,
         ctx: &mut AssignCtx,
-    ) -> bool {
+    ) -> (ClusterId, bool) {
         let best = self.nearest_center(&feature, ctx);
         match best {
             Some((cid, sim)) if sim > self.config.rho => {
@@ -433,7 +492,7 @@ impl OnlineClusterer {
                 cluster.members.push(key);
                 self.templates
                     .insert(key, TemplateState { feature, volume, last_seen, cluster: cid });
-                false
+                (cid, false)
             }
             _ => {
                 let cid = ClusterId(self.next_cluster);
@@ -450,8 +509,38 @@ impl OnlineClusterer {
                 self.templates
                     .insert(key, TemplateState { feature, volume, last_seen, cluster: cid });
                 ctx.fresh.push(cid);
-                true
+                (cid, true)
             }
+        }
+    }
+
+    /// Emits the lineage event for one step-1 assignment, linking the
+    /// member's template anchor to the cluster it landed in.
+    fn trace_assign(&self, key: TemplateKey, cid: ClusterId, created: bool, reassigned: bool) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let template_anchor = self.tracer.anchor(Scope::Template, key);
+        if created {
+            let ev = self.tracer.record(
+                EventDraft::new(EventKind::ClusterCreated)
+                    .parent_opt(template_anchor)
+                    .uint("cluster", cid.0)
+                    .uint("template", key)
+                    .flag("reassigned", reassigned),
+            );
+            if let Some(ev) = ev {
+                self.tracer.set_anchor(Scope::Cluster, cid.0, ev);
+            }
+        } else {
+            self.tracer.record(
+                EventDraft::new(EventKind::ClusterAssigned)
+                    .parent_opt(template_anchor)
+                    .reference_opt(self.tracer.anchor(Scope::Cluster, cid.0))
+                    .uint("cluster", cid.0)
+                    .uint("template", key)
+                    .flag("reassigned", reassigned),
+            );
         }
     }
 
@@ -552,7 +641,9 @@ impl OnlineClusterer {
     /// moves, so the table always matches what a full rescan would produce
     /// — m merges over k clusters cost O((k² + m·k)·d) center comparisons
     /// instead of the old O(m·k²·d).
-    fn merge_step(&mut self) -> usize {
+    ///
+    /// Returns `(dst, src, moved_members)` per merge, in merge order.
+    fn merge_step(&mut self) -> Vec<(ClusterId, ClusterId, usize)> {
         let ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
         let mut sims: BTreeMap<(ClusterId, ClusterId), f64> = BTreeMap::new();
         for i in 0..ids.len() {
@@ -564,7 +655,7 @@ impl OnlineClusterer {
                 sims.insert((ids[i], ids[j]), sim);
             }
         }
-        let mut merges = 0;
+        let mut merges = Vec::new();
         loop {
             // Ascending key order with strictly-greater replacement picks
             // the same pair as the old full scan, ties included.
@@ -586,6 +677,7 @@ impl OnlineClusterer {
             for m in &moved {
                 self.templates.get_mut(m).expect("member tracked").cluster = dst;
             }
+            merges.push((dst, src, moved.len()));
             self.clusters.get_mut(&dst).expect("listed").members.extend(moved);
             self.update_center(dst);
             // Only `dst`'s center changed and `src` is gone: drop both
@@ -602,7 +694,6 @@ impl OnlineClusterer {
                 let key = if other < dst { (other, dst) } else { (dst, other) };
                 sims.insert(key, sim);
             }
-            merges += 1;
         }
         merges
     }
@@ -936,6 +1027,60 @@ mod tests {
         assert_eq!(s.histograms["clusterer.kdtree_build"].count, 1);
         assert_eq!(s.histograms["clusterer.assign"].count, 1);
         assert_eq!(s.histograms["clusterer.merge"].count, 1);
+    }
+
+    #[test]
+    fn tracer_captures_cluster_churn_lineage() {
+        let tracer = Tracer::enabled();
+        let mut c = clusterer();
+        c.set_tracer(&tracer);
+        // Two orthogonal singletons, then one joins an existing cluster.
+        c.update(vec![snap(1, &[1.0, 0.0, 0.0], 1.0), snap(2, &[0.0, 1.0, 0.0], 1.0)], 0);
+        c.update(
+            vec![
+                snap(1, &[1.0, 0.0, 0.0], 1.0),
+                snap(2, &[0.0, 1.0, 0.0], 1.0),
+                snap(3, &[2.0, 0.0, 0.0], 1.0),
+            ],
+            0,
+        );
+        let view = tracer.view();
+        assert_eq!(view.of_kind(EventKind::ClusterCreated).count(), 2);
+        assert_eq!(view.of_kind(EventKind::ClusterAssigned).count(), 1);
+        assert_eq!(view.of_kind(EventKind::ClustersUpdated).count(), 2);
+        assert_eq!(view.of_kind(EventKind::StageSpan).count(), 2);
+        // The assignment links back to the founding cluster event.
+        let assigned = view.latest(EventKind::ClusterAssigned).unwrap();
+        let founding = tracer.anchor(Scope::Cluster, 0).unwrap();
+        assert!(assigned.refs.contains(&founding));
+        assert!(tracer.anchor(Scope::ClusterState, 0).is_some());
+    }
+
+    #[test]
+    fn tracer_captures_merges_and_evictions() {
+        let tracer = Tracer::enabled();
+        let cfg = ClustererConfig { eviction_idle: 100, ..ClustererConfig::default() };
+        let mut c = OnlineClusterer::new(cfg);
+        c.set_tracer(&tracer);
+        c.update(vec![snap(1, &[1.0, 0.0, 0.0, 0.1], 1.0)], 0);
+        c.update(vec![snap(2, &[0.0, 0.0, 1.0, 0.1], 1.0)], 0);
+        // Drift to one pattern: the clusters merge.
+        c.update(
+            vec![
+                TemplateSnapshot { key: 1, feature: feat(&[1.0, 1.0, 1.0, 1.0]), volume: 1.0, last_seen: 0 },
+                TemplateSnapshot { key: 2, feature: feat(&[2.0, 2.0, 2.0, 2.0]), volume: 1.0, last_seen: 0 },
+            ],
+            0,
+        );
+        // Then both go idle long enough to evict.
+        c.update(vec![], 1_000);
+        let view = tracer.view();
+        assert_eq!(view.of_kind(EventKind::ClusterMerged).count(), 1);
+        assert_eq!(view.of_kind(EventKind::ClusterEvicted).count(), 2);
+        let merged = view.latest(EventKind::ClusterMerged).unwrap().id;
+        // Both merged ids now anchor to the merge event.
+        assert_eq!(tracer.anchor(Scope::Cluster, 0), Some(merged));
+        assert_eq!(tracer.anchor(Scope::Cluster, 1), Some(merged));
     }
 
     /// Regression for the incremental merge table: after a merge, rows

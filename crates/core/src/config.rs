@@ -20,6 +20,7 @@ use qb_clusterer::ClustererConfig;
 use qb_obs::Recorder;
 use qb_preprocessor::PreProcessorConfig;
 use qb_timeseries::{Interval, Minute};
+use qb_trace::Tracer;
 use qb_workloads::{FaultPlan, Workload};
 
 use crate::controller::{ControllerConfig, Strategy};
@@ -148,6 +149,14 @@ impl Qb5000ConfigBuilder {
     /// [`Recorder::disabled`] (metrics cost nothing).
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.cfg.recorder = recorder;
+        self
+    }
+
+    /// Structured tracer (decision lineage + flight recorder) handed to
+    /// every pipeline stage. Defaults to [`Tracer::disabled`] (tracing
+    /// costs nothing).
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.cfg.tracer = tracer;
         self
     }
 
@@ -299,6 +308,14 @@ impl ControllerConfigBuilder {
         self
     }
 
+    /// Structured tracer shared by the controller loop and the pipeline
+    /// it drives, capturing the forecast → index-build decision lineage.
+    /// Defaults to [`Tracer::disabled`].
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.cfg.tracer = tracer;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<ControllerConfig, ConfigError> {
         self.cfg.validate()?;
@@ -331,6 +348,7 @@ mod tests {
             .seed(42)
             .rho(0.5)
             .recorder(rec.clone())
+            .trace(Tracer::enabled())
             .build()
             .unwrap();
         assert_eq!(cfg.feature_mode, FeatureMode::Logical);
@@ -340,6 +358,7 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.clusterer.rho, 0.5);
         assert!(cfg.recorder.is_enabled());
+        assert!(cfg.tracer.is_enabled());
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub use pipeline::{
 // (`Qb5000Config::recorder`), so re-export them for downstream callers.
 pub use qb_obs::{MetricsSnapshot, Recorder};
 
+// Likewise the tracing handles (`Qb5000Config::tracer`,
+// `PipelineHealth::trace_dumps`) and the query/export types needed to
+// consume a captured trace.
+pub use qb_trace::{
+    parse_json, Event, EventId, EventKind, Json, Scope, TraceDump, TraceSettings, TraceView,
+    Tracer, Value,
+};
+
 // Stage error types, re-exported so `qb5000::Error` matching doesn't force
 // a dependency on the stage crates.
 pub use qb_forecast::ForecastError;

@@ -23,6 +23,7 @@ use qb_forecast::{DegradationLevel, ForecastError, Forecaster};
 use qb_obs::Recorder;
 use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, Minute};
+use qb_trace::{EventDraft, EventKind, LaneBuffer, Scope, Tracer};
 
 use crate::accuracy::{AccuracyTracker, DEFAULT_ACCURACY_WINDOW};
 use crate::error::Error;
@@ -141,6 +142,19 @@ pub struct ForecastManager {
     /// Rolling prediction-accuracy scorer fed by
     /// [`ForecastManager::predict_tracked`].
     accuracy: AccuracyTracker,
+    /// Decision-lineage tracer; disabled until
+    /// [`ForecastManager::set_tracer`].
+    tracer: Tracer,
+}
+
+/// Deterministic name of a [`DegradationLevel`] for trace payloads.
+fn degradation_name(level: DegradationLevel) -> &'static str {
+    match level {
+        DegradationLevel::Full => "full",
+        DegradationLevel::Ensemble => "ensemble",
+        DegradationLevel::Single => "single",
+        DegradationLevel::LastValue => "last_value",
+    }
 }
 
 /// Gauge encoding of a [`DegradationLevel`] (ordered, 0 = healthy).
@@ -185,7 +199,19 @@ impl ForecastManager {
             degradation_gauges: vec![qb_obs::Gauge::default(); horizons],
             last_degradation: vec![None; horizons],
             accuracy: AccuracyTracker::new(horizons, DEFAULT_ACCURACY_WINDOW),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the pipeline's [`Tracer`] so retrain rounds leave a
+    /// decision lineage: per-horizon `ModelFit`/`ModelFitFailed` events
+    /// parented on the clusterer state they trained against, divergence
+    /// guards and rollbacks chained off the failing fit, and degradation
+    /// transitions off the serving model. Divergence and degradation
+    /// downgrades also snapshot an automatic flight-recorder dump.
+    /// Usually called with [`crate::QueryBot5000::tracer`].
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Installs a [`Recorder`]: retrain rounds then record per-horizon fit
@@ -290,6 +316,13 @@ impl ForecastManager {
         if self.backoff_remaining > 0 {
             self.backoff_remaining -= 1;
             self.backoffs_metric.inc();
+            if self.tracer.is_enabled() {
+                self.tracer.record(
+                    EventDraft::new(EventKind::RetrainBackedOff)
+                        .parent_opt(self.tracer.anchor(Scope::ClusterState, 0))
+                        .uint("rounds_remaining", self.backoff_remaining),
+                );
+            }
             return Ok(RetrainOutcome::BackedOff { rounds_remaining: self.backoff_remaining });
         }
         // Gather every horizon's training job up front (cheap series
@@ -314,18 +347,55 @@ impl ForecastManager {
         // so the first error reported (and the failure accounting) is
         // bit-identical to a sequential run. Timings and divergence counts
         // land on thread-safe recorder handles.
+        let _train_stage = self.tracer.stage("forecast.train");
         let make_model = &self.make_model;
         let recorder = &self.recorder;
         let fit_times = &self.fit_times;
-        let fitted: Vec<Result<Box<dyn Forecaster>, ForecastError>> =
+        let specs = &self.specs;
+        let tracer_on = self.tracer.is_enabled();
+        let cluster_anchor = self.tracer.anchor(Scope::ClusterState, 0);
+        let fitted: Vec<(Result<Box<dyn Forecaster>, ForecastError>, LaneBuffer)> =
             ThreadPool::new(self.threads).map(jobs, |i, job| {
+                // Workers buffer their trace events in a per-horizon lane;
+                // the control thread merges lanes in input order below, so
+                // the event stream is identical at any thread count.
+                let mut lane = LaneBuffer::new(1 + i as u32);
                 let _fit_span = fit_times[i].start();
                 let mut model = make_model();
                 model.instrument(recorder);
-                model.fit(&job.series, job.spec).map(|()| model)
+                let res = model.fit(&job.series, job.spec).map(|()| model);
+                if tracer_on {
+                    let spec = specs[i];
+                    match &res {
+                        Ok(m) => {
+                            lane.push(
+                                EventDraft::new(EventKind::ModelFit)
+                                    .parent_opt(cluster_anchor)
+                                    .uint("horizon_idx", i as u64)
+                                    .uint("horizon_steps", spec.horizon as u64)
+                                    .uint("window", spec.window as u64)
+                                    .uint("clusters", job.series.len() as u64)
+                                    .text("model", m.name()),
+                            );
+                        }
+                        Err(e) => {
+                            let msg: String = e.to_string().chars().take(120).collect();
+                            lane.push(
+                                EventDraft::new(EventKind::ModelFitFailed)
+                                    .parent_opt(cluster_anchor)
+                                    .uint("horizon_idx", i as u64)
+                                    .text("error", &msg),
+                            );
+                        }
+                    }
+                }
+                (res, lane)
             });
-        let mut fresh: Vec<Box<dyn Forecaster>> = Vec::with_capacity(fitted.len());
-        for res in fitted {
+        let (results, lanes): (Vec<_>, Vec<_>) = fitted.into_iter().unzip();
+        let fit_ids = self.tracer.merge_lanes(lanes);
+        let lane_event = |i: usize| fit_ids.get(i).and_then(|ids| ids.first()).copied();
+        let mut fresh: Vec<Box<dyn Forecaster>> = Vec::with_capacity(results.len());
+        for (i, res) in results.into_iter().enumerate() {
             match res {
                 Ok(model) => fresh.push(model),
                 Err(e) => {
@@ -333,9 +403,25 @@ impl ForecastManager {
                     let shift = (self.consecutive_failures - 1).min(63);
                     self.backoff_remaining = (1u64 << shift).min(MAX_BACKOFF_ROUNDS);
                     self.last_error = Some(e.to_string());
+                    if tracer_on && matches!(e, ForecastError::Diverged { .. }) {
+                        let guard = self.tracer.record(
+                            EventDraft::new(EventKind::DivergenceGuard)
+                                .parent_opt(lane_event(i))
+                                .uint("horizon_idx", i as u64)
+                                .uint("consecutive_failures", self.consecutive_failures as u64),
+                        );
+                        self.tracer.trigger_dump("diverged", guard);
+                    }
                     if self.has_snapshot() {
                         self.rollbacks += 1;
                         self.rollbacks_metric.inc();
+                        if tracer_on {
+                            self.tracer.record(
+                                EventDraft::new(EventKind::RetrainRolledBack)
+                                    .parent_opt(lane_event(i))
+                                    .uint("retry_after_rounds", self.backoff_remaining),
+                            );
+                        }
                         return Ok(RetrainOutcome::RolledBack {
                             error: e,
                             retry_after_rounds: self.backoff_remaining,
@@ -351,6 +437,13 @@ impl ForecastManager {
         self.trained_on = Some(bot.tracked_clusters().to_vec());
         self.retrain_count += 1;
         self.retrains_metric.inc();
+        // Anchor each horizon to its freshly serving fit before the
+        // degradation pass, so transitions chain off the new model.
+        for i in 0..self.specs.len() {
+            if let Some(fit) = lane_event(i) {
+                self.tracer.set_anchor(Scope::Horizon, i as u64, fit);
+            }
+        }
         self.observe_degradation();
         self.consecutive_failures = 0;
         self.backoff_remaining = 0;
@@ -366,13 +459,30 @@ impl ForecastManager {
             let Some(model) = model.as_deref() else { continue };
             let level = model.degradation();
             self.degradation_gauges[i].set(degradation_index(level));
-            let changed = match self.last_degradation[i] {
+            let prev = self.last_degradation[i];
+            let changed = match prev {
                 Some(prev) => prev != level,
                 // First observation only counts when it starts degraded.
                 None => level != DegradationLevel::Full,
             };
             if changed {
                 self.degradation_transitions.inc();
+                if self.tracer.is_enabled() {
+                    let ev = self.tracer.record(
+                        EventDraft::new(EventKind::DegradationTransition)
+                            .parent_opt(self.tracer.anchor(Scope::Horizon, i as u64))
+                            .uint("horizon_idx", i as u64)
+                            .text("from", prev.map_or("none", degradation_name))
+                            .text("to", degradation_name(level)),
+                    );
+                    // Downgrades snapshot a flight-recorder dump; upgrades
+                    // (recovery) are traced but don't warrant one.
+                    let downgraded = prev
+                        .is_none_or(|p| degradation_index(p) < degradation_index(level));
+                    if downgraded {
+                        self.tracer.trigger_dump("degraded", ev);
+                    }
+                }
             }
             self.last_degradation[i] = Some(level);
         }
@@ -760,6 +870,147 @@ mod tests {
         assert_eq!(snap.counters["forecast.retrains"], 1);
         assert_eq!(snap.counters["forecast.rollbacks"], 1);
         assert_eq!(snap.counters["forecast.backoffs"], 1);
+    }
+
+    use qb_trace::{EventKind, Tracer};
+
+    fn traced_fed_bot(days: i64, tracer: &Tracer) -> QueryBot5000 {
+        let cfg = Qb5000Config::builder().trace(tracer.clone()).build().unwrap();
+        let mut bot = QueryBot5000::new(cfg);
+        for minute in 0..days * MINUTES_PER_DAY {
+            let hour = (minute / 60) % 24;
+            let v = if (8..20).contains(&hour) { 30 } else { 3 };
+            bot.ingest_weighted(minute, "SELECT a FROM t WHERE id = 1", v).unwrap();
+        }
+        bot.update_clusters(days * MINUTES_PER_DAY);
+        bot
+    }
+
+    #[test]
+    fn tracer_chains_model_fits_to_cluster_state() {
+        let tracer = Tracer::enabled();
+        let bot = traced_fed_bot(6, &tracer);
+        let now = 6 * MINUTES_PER_DAY;
+        let mut mgr = manager();
+        mgr.set_tracer(bot.tracer());
+        mgr.ensure_trained(&bot, now).unwrap();
+        let view = tracer.view();
+        assert_eq!(view.of_kind(EventKind::ModelFit).count(), 2, "one fit per horizon");
+        let fit = view.latest(EventKind::ModelFit).unwrap();
+        let lineage = view.explain(fit.id);
+        assert!(lineage.contains("ClustersUpdated"), "fit chains to cluster state:\n{lineage}");
+        // Both horizons anchored for later stages to link against.
+        assert!(tracer.anchor(qb_trace::Scope::Horizon, 0).is_some());
+        assert!(tracer.anchor(qb_trace::Scope::Horizon, 1).is_some());
+    }
+
+    #[test]
+    fn divergence_trips_guard_rollback_and_dump() {
+        let tracer = Tracer::enabled();
+        let mut bot = traced_fed_bot(6, &tracer);
+        let now = 6 * MINUTES_PER_DAY;
+        let fail = Arc::new(AtomicBool::new(false));
+        let mut mgr = flaky_manager(Arc::clone(&fail));
+        mgr.set_tracer(bot.tracer());
+        mgr.ensure_trained(&bot, now).unwrap();
+        grow_second_cluster(&mut bot, 6);
+        fail.store(true, Ordering::SeqCst);
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(matches!(r, RetrainOutcome::RolledBack { .. }));
+        let view = tracer.view();
+        let guard = view.latest(EventKind::DivergenceGuard).expect("guard event");
+        let lineage = view.explain(guard.id);
+        assert!(lineage.contains("ModelFitFailed"), "{lineage}");
+        assert!(lineage.contains("ClustersUpdated"), "{lineage}");
+        assert!(view.latest(EventKind::RetrainRolledBack).is_some());
+        // The automatic dump reaches both the tracer and the pipeline's
+        // health report.
+        assert!(tracer.dumps().iter().any(|d| d.reason == "diverged"));
+        assert!(bot.health().trace_dumps.iter().any(|d| d.reason == "diverged"));
+        // The subsequent backoff round is traced too.
+        mgr.ensure_trained(&bot, now).unwrap();
+        assert!(tracer.view().latest(EventKind::RetrainBackedOff).is_some());
+    }
+
+    use std::sync::atomic::AtomicUsize;
+
+    /// Trains as LR but reports whatever degradation level the shared cell
+    /// dictates — simulates a composite model falling down its chain.
+    struct DegradedModel {
+        inner: qb_forecast::LinearRegression,
+        level: Arc<AtomicUsize>,
+    }
+
+    impl Forecaster for DegradedModel {
+        fn name(&self) -> &'static str {
+            "DEGRADE"
+        }
+        fn degradation(&self) -> DegradationLevel {
+            match self.level.load(Ordering::SeqCst) {
+                0 => DegradationLevel::Full,
+                1 => DegradationLevel::Ensemble,
+                2 => DegradationLevel::Single,
+                _ => DegradationLevel::LastValue,
+            }
+        }
+        fn fit(
+            &mut self,
+            series: &[Vec<f64>],
+            spec: qb_forecast::WindowSpec,
+        ) -> Result<(), ForecastError> {
+            self.inner.fit(series, spec)
+        }
+        fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+            self.inner.predict(recent)
+        }
+    }
+
+    #[test]
+    fn degradation_downgrade_emits_transition_and_dump() {
+        let tracer = Tracer::enabled();
+        let mut bot = traced_fed_bot(6, &tracer);
+        let now = 6 * MINUTES_PER_DAY;
+        let level = Arc::new(AtomicUsize::new(0));
+        let factory_level = Arc::clone(&level);
+        let mut mgr = ForecastManager::new(vec![HorizonSpec::hourly(1)], move || {
+            Box::new(DegradedModel {
+                inner: qb_forecast::LinearRegression::default(),
+                level: Arc::clone(&factory_level),
+            })
+        });
+        mgr.set_tracer(bot.tracer());
+        mgr.ensure_trained(&bot, now).unwrap();
+        assert!(tracer.view().latest(EventKind::DegradationTransition).is_none());
+        // The cluster change forces a retrain; the fresh model now serves
+        // two levels down the chain.
+        grow_second_cluster(&mut bot, 6);
+        level.store(2, Ordering::SeqCst);
+        mgr.ensure_trained(&bot, now).unwrap();
+        let view = tracer.view();
+        let t = view.latest(EventKind::DegradationTransition).expect("transition event");
+        assert!(
+            t.render().contains("from=\"full\" to=\"single\""),
+            "unexpected transition: {}",
+            t.render()
+        );
+        let lineage = view.explain(t.id);
+        assert!(lineage.contains("ModelFit"), "{lineage}");
+        assert!(tracer.dumps().iter().any(|d| d.reason == "degraded"));
+        // Recovery is traced but doesn't dump again. A third arrival
+        // pattern changes the assignments so the round really retrains.
+        for minute in 0..6 * MINUTES_PER_DAY {
+            let hour = (minute / 60) % 24;
+            let v = if (12..18).contains(&hour) { 50 } else { 2 };
+            bot.ingest_weighted(minute, "SELECT c FROM w WHERE id = 3", v).unwrap();
+        }
+        bot.update_clusters(now);
+        level.store(0, Ordering::SeqCst);
+        let r = mgr.ensure_trained(&bot, now).unwrap();
+        assert!(matches!(r, RetrainOutcome::Retrained { .. }), "{r:?}");
+        let view = tracer.view();
+        let back = view.latest(EventKind::DegradationTransition).unwrap();
+        assert!(back.render().contains("to=\"full\""));
+        assert_eq!(tracer.dumps().iter().filter(|d| d.reason == "degraded").count(), 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use qb_forecast::{Forecaster, WindowSpec};
 use qb_obs::Recorder;
 use qb_preprocessor::{PreProcessor, PreProcessorConfig, TemplateId};
 use qb_timeseries::{Interval, Minute, MINUTES_PER_DAY};
+use qb_trace::{TraceDump, Tracer};
 
 use crate::accuracy::HorizonAccuracy;
 use crate::error::Error;
@@ -51,6 +52,10 @@ pub struct Qb5000Config {
     /// Defaults to [`Recorder::disabled`], which makes every metric
     /// operation a no-op.
     pub recorder: Recorder,
+    /// Structured tracer (decision lineage + flight recorder) handed to
+    /// every stage at construction. Defaults to [`Tracer::disabled`],
+    /// which makes every trace operation a no-op.
+    pub tracer: Tracer,
 }
 
 impl Default for Qb5000Config {
@@ -66,6 +71,7 @@ impl Default for Qb5000Config {
             coverage_target: 0.95,
             seed: 0x5000,
             recorder: Recorder::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -136,6 +142,10 @@ pub struct PipelineHealth {
     /// unless an [`crate::AccuracyTracker`] scores this pipeline's
     /// predictions (attach via [`PipelineHealth::with_accuracy`]).
     pub forecast_accuracy: Vec<HorizonAccuracy>,
+    /// Flight-recorder dumps captured so far (divergence, degradation,
+    /// quarantine spikes, manual triggers) — oldest first. Empty unless
+    /// the pipeline was assembled with an enabled [`Tracer`].
+    pub trace_dumps: Vec<TraceDump>,
 }
 
 /// The assembled framework.
@@ -173,8 +183,11 @@ impl QueryBot5000 {
     pub fn new(config: Qb5000Config) -> Self {
         let mut pre = PreProcessor::new(config.preprocessor.clone());
         pre.set_recorder(&config.recorder);
+        pre.set_tracer(&config.tracer);
         let mut clusterer = OnlineClusterer::new(config.clusterer.clone());
         clusterer.set_recorder(&config.recorder);
+        clusterer.set_tracer(&config.tracer);
+        config.tracer.bind_recorder(&config.recorder);
         let update_time = config.recorder.histogram("pipeline.update_clusters");
         let shift_trigger_metric = config.recorder.counter("pipeline.shift_triggers");
         Self {
@@ -200,6 +213,14 @@ impl QueryBot5000 {
     /// [`crate::ForecastManager::set_recorder`] — to the same registry.
     pub fn recorder(&self) -> &Recorder {
         &self.config.recorder
+    }
+
+    /// The tracer the pipeline was assembled with (disabled unless the
+    /// config installed one). Clone it to attach more components — e.g.
+    /// [`crate::ForecastManager::set_tracer`] — to the same flight
+    /// recorder, or query it ([`Tracer::view`]) for lineage and export.
+    pub fn tracer(&self) -> &Tracer {
+        &self.config.tracer
     }
 
     /// Forwards one query to the framework (the DBMS-side hook).
@@ -273,6 +294,7 @@ impl QueryBot5000 {
             last_errors,
             threads_used: qb_parallel::configured_threads(),
             forecast_accuracy: Vec::new(),
+            trace_dumps: self.config.tracer.dumps(),
         }
     }
 
@@ -280,6 +302,10 @@ impl QueryBot5000 {
     /// (the periodic Clusterer invocation — the paper runs it daily).
     pub fn update_clusters(&mut self, now: Minute) -> UpdateReport {
         let _span = self.update_time.start();
+        // Each cluster refresh advances the trace's logical clock: event
+        // ordering below is round-relative, never wall-clock.
+        self.config.tracer.begin_round(now);
+        let _stage = self.config.tracer.stage("pipeline.update_clusters");
         let sampler = FeatureSampler::random(
             now,
             self.config.feature_window,
@@ -640,6 +666,36 @@ mod tests {
         assert!(snap.histograms["clusterer.update"].count > 0);
         assert!(snap.histograms["pipeline.update_clusters"].count >= 1);
         assert!(bot.recorder().is_enabled());
+    }
+
+    #[test]
+    fn tracer_reaches_every_stage_and_dumps_surface_in_health() {
+        use qb_trace::{EventKind, TraceSettings, Tracer};
+        let tracer = Tracer::new(TraceSettings {
+            // A tiny spike threshold so hostile input trips the recorder.
+            quarantine_spike: 3,
+            ..TraceSettings::default()
+        });
+        let cfg = Qb5000Config::builder().trace(tracer.clone()).build().unwrap();
+        let mut bot = QueryBot5000::new(cfg);
+        feed_cyclic(&mut bot, 2);
+        bot.update_clusters(2 * MINUTES_PER_DAY);
+        let view = bot.tracer().view();
+        assert!(view.latest(EventKind::RoundStarted).is_some());
+        assert!(view.latest(EventKind::TemplateCreated).is_some());
+        assert!(view.latest(EventKind::ClustersUpdated).is_some());
+        // The template lineage is explorable from the cluster decision.
+        let created = view.latest(EventKind::TemplateCreated).unwrap();
+        assert!(view.explain(created.id).contains("QuerySeen"));
+        // A burst of malformed statements crosses the spike threshold and
+        // the automatic dump lands in the health report.
+        for k in 0..4 {
+            let _ = bot.ingest_weighted(2 * MINUTES_PER_DAY + k, "SELEC nope", 1);
+        }
+        let h = bot.health();
+        assert_eq!(h.trace_dumps.len(), 1);
+        assert_eq!(h.trace_dumps[0].reason, "quarantine_spike");
+        assert!(h.trace_dumps[0].lineage.contains("QuarantineSpike"));
     }
 
     #[test]

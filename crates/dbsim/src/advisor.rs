@@ -115,6 +115,18 @@ impl IndexAdvisor {
         db: &Database,
         workload: &[(Statement, f64)],
     ) -> Vec<IndexCandidate> {
+        self.select_with_gains(db, workload).into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// [`IndexAdvisor::select`], returning alongside each chosen index the
+    /// total weighted cost reduction measured at the greedy step that
+    /// picked it — the evidence behind the decision (trace lineage,
+    /// reporting). Gains are non-increasing down the list.
+    pub fn select_with_gains(
+        &self,
+        db: &Database,
+        workload: &[(Statement, f64)],
+    ) -> Vec<(IndexCandidate, f64)> {
         // Phase 1: candidate set = best index per query.
         let mut candidate_set: Vec<IndexCandidate> = Vec::new();
         for (stmt, _) in workload {
@@ -128,6 +140,7 @@ impl IndexAdvisor {
         // Phase 2: greedy selection. At each step pick the candidate whose
         // addition reduces total weighted workload cost the most.
         let mut chosen: Vec<IndexCandidate> = Vec::new();
+        let mut gains: Vec<f64> = Vec::new();
         let mut current_costs: BTreeMap<usize, f64> = workload
             .iter()
             .enumerate()
@@ -152,11 +165,12 @@ impl IndexAdvisor {
                     best = Some((ci, gain, new_costs));
                 }
             }
-            let Some((ci, _, new_costs)) = best else { break };
+            let Some((ci, gain, new_costs)) = best else { break };
             chosen.push(candidate_set.remove(ci));
+            gains.push(gain);
             current_costs = new_costs;
         }
-        chosen
+        chosen.into_iter().zip(gains).collect()
     }
 }
 
@@ -304,6 +318,25 @@ mod tests {
         };
         assert_eq!(run(1000.0, 1.0), "t(a)");
         assert_eq!(run(1.0, 1000.0), "t(b)");
+    }
+
+    #[test]
+    fn gains_are_positive_and_non_increasing() {
+        let db = setup();
+        let advisor = IndexAdvisor::new(3);
+        let workload = vec![
+            (stmt("SELECT b FROM t WHERE a = 10"), 50.0),
+            (stmt("SELECT a FROM t WHERE b = 3"), 1.0),
+        ];
+        let with_gains = advisor.select_with_gains(&db, &workload);
+        assert!(!with_gains.is_empty());
+        assert!(with_gains.iter().all(|(_, g)| *g > 0.0));
+        for w in with_gains.windows(2) {
+            assert!(w[0].1 >= w[1].1, "greedy gains must not increase: {with_gains:?}");
+        }
+        // The plain selection is exactly the gains list minus the gains.
+        let plain = advisor.select(&db, &workload);
+        assert_eq!(plain, with_gains.into_iter().map(|(c, _)| c).collect::<Vec<_>>());
     }
 
     #[test]

@@ -118,6 +118,14 @@ impl Recorder {
         }
     }
 
+    /// Resolves a counter carrying Prometheus-style labels. The labels
+    /// become part of the registration key (see [`labeled_name`]), so each
+    /// distinct label set is its own series and the text exposition emits
+    /// one `# TYPE` line per family.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&labeled_name(name, labels))
+    }
+
     /// Resolves (registering on first use) a last-value-wins gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
         Gauge {
@@ -131,6 +139,12 @@ impl Recorder {
                 )
             }),
         }
+    }
+
+    /// Labeled variant of [`Recorder::gauge`]; see
+    /// [`Recorder::counter_labeled`] for the key scheme.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&labeled_name(name, labels))
     }
 
     /// Resolves (registering on first use) a fixed-bucket duration
@@ -178,6 +192,32 @@ impl Recorder {
         }
         snap
     }
+}
+
+/// Builds the registration key for a labeled metric:
+/// `name{k="v",...}`, with label *values* escaped per the Prometheus text
+/// exposition format (backslash, double-quote, newline). Escaping happens
+/// here — at registration — so hostile text (raw SQL fragments, template
+/// bodies) can never corrupt the exposition output, and every exporter
+/// sees an already-well-formed label block.
+pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&snapshot::escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 /// A monotonically increasing counter handle.
@@ -395,6 +435,27 @@ mod tests {
             }
         });
         assert_eq!(rec.snapshot().counters["parallel.events"], 4000);
+    }
+
+    #[test]
+    fn labeled_metrics_are_distinct_series() {
+        let rec = Recorder::new();
+        rec.counter_labeled("dumps", &[("reason", "diverged")]).inc();
+        rec.counter_labeled("dumps", &[("reason", "degraded")]).add(2);
+        rec.gauge_labeled("depth", &[("lane", "0")]).set(4.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["dumps{reason=\"diverged\"}"], 1);
+        assert_eq!(snap.counters["dumps{reason=\"degraded\"}"], 2);
+        assert_eq!(snap.gauges["depth{lane=\"0\"}"], 4.0);
+    }
+
+    #[test]
+    fn labeled_name_escapes_values() {
+        assert_eq!(labeled_name("m", &[]), "m");
+        assert_eq!(
+            labeled_name("m", &[("sql", "SELECT \"a\\b\"\nFROM t")]),
+            "m{sql=\"SELECT \\\"a\\\\b\\\"\\nFROM t\"}"
+        );
     }
 
     #[test]

@@ -91,36 +91,59 @@ impl MetricsSnapshot {
     /// Renders the snapshot in the Prometheus text exposition format
     /// (metric names sanitized to `[a-zA-Z0-9_]`, histogram buckets
     /// cumulative with `le` labels in seconds).
+    ///
+    /// Registry keys of the form `name{k="v",...}` — as produced by
+    /// [`crate::labeled_name`], which escapes backslash, double-quote,
+    /// and newline in label values per the exposition format — are split
+    /// into a sanitized family name plus the pre-escaped label block, so
+    /// hostile label text (quotes, backslashes, newlines from raw SQL)
+    /// cannot break the line-oriented format. Series of one family are
+    /// grouped under a single `# TYPE` line regardless of key sort order.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        for (k, v) in &self.counters {
-            let name = prom_name(k);
+        for (name, series) in group_families(&self.counters) {
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+            for (labels, v) in series {
+                let _ = writeln!(out, "{name}{labels} {v}");
+            }
         }
-        for (k, v) in &self.gauges {
-            let name = prom_name(k);
+        for (name, series) in group_families(&self.gauges) {
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", json_f64(*v));
+            for (labels, v) in series {
+                let _ = writeln!(out, "{name}{labels} {}", json_f64(*v));
+            }
         }
-        for (k, h) in &self.histograms {
-            let name = format!("{}_seconds", prom_name(k));
+        for (name, series) in group_families(&self.histograms) {
+            let name = format!("{name}_seconds");
             let _ = writeln!(out, "# TYPE {name} histogram");
-            let mut cum = 0u64;
-            for (i, count) in h.buckets.iter().enumerate() {
-                cum += count;
-                match h.bounds_nanos.get(i) {
-                    Some(b) => {
-                        let _ =
-                            writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", *b as f64 / 1e9);
+            for (labels, h) in series {
+                // `le` joins any labels the series already carries.
+                let le = |bound: &str| {
+                    if labels.is_empty() {
+                        format!("{{le=\"{bound}\"}}")
+                    } else {
+                        format!("{},le=\"{bound}\"}}", &labels[..labels.len() - 1])
                     }
-                    None => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                };
+                let mut cum = 0u64;
+                for (i, count) in h.buckets.iter().enumerate() {
+                    cum += count;
+                    match h.bounds_nanos.get(i) {
+                        Some(b) => {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                le(&format!("{}", *b as f64 / 1e9))
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(out, "{name}_bucket{} {cum}", le("+Inf"));
+                        }
                     }
                 }
+                let _ = writeln!(out, "{name}_sum{labels} {}", h.sum_nanos as f64 / 1e9);
+                let _ = writeln!(out, "{name}_count{labels} {}", h.count);
             }
-            let _ = writeln!(out, "{name}_sum {}", h.sum_nanos as f64 / 1e9);
-            let _ = writeln!(out, "{name}_count {}", h.count);
         }
         out
     }
@@ -201,6 +224,45 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Escapes a label *value* per the Prometheus text exposition format:
+/// backslash → `\\`, double-quote → `\"`, newline → `\n`. Everything else
+/// passes through untouched.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a registry key into `(sanitized family name, label block)`; the
+/// label block (braces included) is empty for unlabeled metrics. Only the
+/// family-name half passes through [`prom_name`] — the label block was
+/// escaped at registration and must not be re-mangled.
+fn split_labeled_key(key: &str) -> (String, String) {
+    match key.split_once('{') {
+        Some((base, rest)) => (prom_name(base), format!("{{{rest}")),
+        None => (prom_name(key), String::new()),
+    }
+}
+
+/// Groups registry entries by sanitized family name so each family emits
+/// exactly one `# TYPE` line, even when an unrelated key sorts between two
+/// of its labeled series (`"a_z"` orders between `"a"` and `"a{…"`).
+fn group_families<V>(entries: &BTreeMap<String, V>) -> BTreeMap<String, Vec<(String, &V)>> {
+    let mut families: BTreeMap<String, Vec<(String, &V)>> = BTreeMap::new();
+    for (k, v) in entries {
+        let (name, labels) = split_labeled_key(k);
+        families.entry(name).or_default().push((labels, v));
+    }
+    families
+}
+
 /// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
 fn prom_name(name: &str) -> String {
     let mut out: String = name
@@ -261,6 +323,62 @@ mod tests {
         assert!(prom.contains("c_time_seconds_bucket{le=\"0.001\"} 2"));
         assert!(prom.contains("c_time_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(prom.contains("c_time_seconds_count 3"));
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let rec = Recorder::new();
+        // Hostile template text: embedded quotes, a backslash escape, and
+        // a newline — any of which would corrupt the line-oriented format
+        // if emitted raw.
+        let sql = "SELECT \"name\\id\" FROM t\nWHERE x = 'a\"b'";
+        rec.counter_labeled("quarantine.rejected", &[("template", sql)]).add(7);
+        let prom = rec.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE quarantine_rejected counter"));
+        let series = prom
+            .lines()
+            .find(|l| l.starts_with("quarantine_rejected{"))
+            .expect("labeled series emitted");
+        assert_eq!(
+            series,
+            "quarantine_rejected{template=\"SELECT \\\"name\\\\id\\\" FROM t\\nWHERE \
+             x = 'a\\\"b'\"} 7"
+        );
+        // The hostile value stays on one physical line.
+        assert!(!series.contains('\n'));
+    }
+
+    #[test]
+    fn prometheus_groups_labeled_families_under_one_type_line() {
+        let rec = Recorder::new();
+        rec.counter_labeled("dumps", &[("reason", "diverged")]).inc();
+        rec.counter_labeled("dumps", &[("reason", "degraded")]).add(2);
+        // Sorts between "dumps" and "dumps{" — must not split the family.
+        rec.counter("dumps_total").add(3);
+        let prom = rec.snapshot().to_prometheus();
+        assert_eq!(prom.matches("# TYPE dumps counter").count(), 1);
+        assert!(prom.contains("dumps{reason=\"degraded\"} 2"));
+        assert!(prom.contains("dumps{reason=\"diverged\"} 1"));
+        assert!(prom.contains("# TYPE dumps_total counter"));
+    }
+
+    #[test]
+    fn prometheus_labeled_histogram_merges_le_label() {
+        let rec = Recorder::new();
+        let key = crate::labeled_name("fit", &[("horizon", "1h")]);
+        let h = rec.histogram_with_bounds(&key, &[1_000]);
+        h.record(Duration::from_nanos(10));
+        let prom = rec.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE fit_seconds histogram"));
+        assert!(prom.contains("fit_seconds_bucket{horizon=\"1h\",le=\"0.000001\"} 1"));
+        assert!(prom.contains("fit_seconds_bucket{horizon=\"1h\",le=\"+Inf\"} 1"));
+        assert!(prom.contains("fit_seconds_count{horizon=\"1h\"} 1"));
+    }
+
+    #[test]
+    fn escape_label_value_round_trips_plain_text() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::collections::{HashMap, VecDeque};
 
 use qb_obs::Recorder;
 use qb_sqlparse::{parse_statement, Literal, ParseError, Statement};
+use qb_trace::{EventDraft, EventKind, Scope, Tracer};
 use qb_timeseries::{ArrivalHistory, CompactionPolicy, Interval, Minute};
 
 pub use fingerprint::{semantic_fingerprint, Fingerprint};
@@ -230,6 +231,7 @@ pub struct PreProcessor {
     cache_hits: u64,
     next_seed: u64,
     quarantine: Quarantine,
+    tracer: Tracer,
 }
 
 impl PreProcessor {
@@ -247,6 +249,7 @@ impl PreProcessor {
             cache_hits: 0,
             next_seed,
             quarantine: Quarantine::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -256,6 +259,15 @@ impl PreProcessor {
     /// touches cached handles.
     pub fn set_recorder(&mut self, recorder: &Recorder) {
         self.metrics = PreMetrics::resolve(recorder);
+    }
+
+    /// Installs a [`Tracer`]: first sightings of a template emit
+    /// `QuerySeen → TemplateCreated` (anchored under [`Scope::Template`]
+    /// so downstream stages can link to them) and every quarantined
+    /// statement emits `QueryQuarantined`. Cache hits and repeat arrivals
+    /// emit nothing, keeping the hot path event-free.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Ingests one query arriving at minute `t`.
@@ -296,11 +308,24 @@ impl PreProcessor {
                 self.quarantine.admit(t, sql, count, &err);
                 self.metrics.quarantined_statements.inc();
                 self.metrics.quarantined_arrivals.add(count);
+                if self.tracer.is_enabled() {
+                    let msg: String = err.to_string().chars().take(120).collect();
+                    self.tracer.record(
+                        EventDraft::new(EventKind::QueryQuarantined)
+                            .int("minute", t)
+                            .uint("count", count)
+                            .text("error", &msg),
+                    );
+                }
                 return Err(err);
             }
         };
         let templatized = templatize(&stmt);
+        let before = self.entries.len();
         let id = self.intern(&templatized);
+        if self.entries.len() > before {
+            self.trace_new_template(t, id);
+        }
         self.bump(id, t, count, Some(templatized.params));
         self.metrics.ingested_statements.inc();
         self.metrics.ingested_arrivals.add(count);
@@ -316,7 +341,11 @@ impl PreProcessor {
     pub fn ingest_statement(&mut self, t: Minute, stmt: &Statement, count: u64) -> TemplateId {
         let _span = self.metrics.ingest_time.start();
         let templatized = templatize(stmt);
+        let before = self.entries.len();
         let id = self.intern(&templatized);
+        if self.entries.len() > before {
+            self.trace_new_template(t, id);
+        }
         self.bump(id, t, count, Some(templatized.params));
         self.metrics.ingested_statements.inc();
         self.metrics.ingested_arrivals.add(count);
@@ -352,6 +381,29 @@ impl PreProcessor {
         self.distinct_texts.insert(tq.text.clone(), id);
         self.metrics.templates.set(self.entries.len() as f64);
         id
+    }
+
+    /// Emits the `QuerySeen → TemplateCreated` pair for a just-interned
+    /// template and anchors the creation event under its id.
+    fn trace_new_template(&self, t: Minute, id: TemplateId) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let entry = &self.entries[id.0 as usize];
+        let text: String = entry.text.chars().take(80).collect();
+        let seen = self.tracer.record(
+            EventDraft::new(EventKind::QuerySeen).int("minute", t).uint("len", entry.text.len() as u64),
+        );
+        let created = self.tracer.record(
+            EventDraft::new(EventKind::TemplateCreated)
+                .parent_opt(seen)
+                .uint("template", id.0 as u64)
+                .text("kind", entry.kind)
+                .text("text", &text),
+        );
+        if let Some(created) = created {
+            self.tracer.set_anchor(Scope::Template, id.0 as u64, created);
+        }
     }
 
     fn bump(&mut self, id: TemplateId, t: Minute, count: u64, params: Option<Vec<Literal>>) {
@@ -563,6 +615,24 @@ mod tests {
         assert_eq!(snap.counters["preprocessor.cache_hits"], 1);
         assert_eq!(snap.gauges["preprocessor.templates"], 1.0);
         assert_eq!(snap.histograms["preprocessor.ingest"].count, 3);
+    }
+
+    #[test]
+    fn tracer_emits_template_lineage_and_quarantine() {
+        let tracer = Tracer::enabled();
+        let mut p = pp();
+        p.set_tracer(&tracer);
+        let id = p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        p.ingest(1, "SELECT x FROM t WHERE id = 2").unwrap(); // repeat: silent
+        let _ = p.ingest(2, "BROKEN ((");
+        let view = tracer.view();
+        assert_eq!(view.of_kind(EventKind::QuerySeen).count(), 1);
+        assert_eq!(view.of_kind(EventKind::TemplateCreated).count(), 1);
+        assert_eq!(view.of_kind(EventKind::QueryQuarantined).count(), 1);
+        let anchor = tracer.anchor(Scope::Template, id.0 as u64).expect("template anchored");
+        let explain = view.explain(anchor);
+        assert!(explain.contains("TemplateCreated"), "{explain}");
+        assert!(explain.contains("QuerySeen"), "{explain}");
     }
 
     #[test]

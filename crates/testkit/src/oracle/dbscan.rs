@@ -28,7 +28,7 @@
 pub fn batch_dbscan(features: &[Vec<f64>], rho: f64) -> Vec<usize> {
     let n = features.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];

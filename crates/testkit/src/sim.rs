@@ -19,13 +19,19 @@
 //!    fault-free LR run stays at `Full`.
 //! 5. **Thread-width determinism** — forecasts are bit-identical across
 //!    all requested pool widths.
+//! 6. **Trace determinism** ([`run_traced`]) — with an enabled tracer,
+//!    the deterministic event stream, decision lineage, and flight
+//!    recorder dumps are byte-identical across all requested widths.
 //!
 //! On violation the harness returns a [`SimFailure`] whose `Display`
 //! includes [`repro_command`] — a copy-pasteable `cargo test` invocation
 //! that replays exactly this case via the `single_seed_repro` test.
 
-use qb5000::{ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, RetrainOutcome};
-use qb_forecast::{DegradationLevel, LinearRegression};
+use qb5000::{
+    EventKind, ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, RetrainOutcome,
+    TraceDump, TraceView, Tracer,
+};
+use qb_forecast::{DegradationLevel, Forecaster, LinearRegression};
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
 use qb_workloads::{FaultPlan, FaultStats, TraceConfig, Workload};
 
@@ -247,4 +253,118 @@ pub fn run_case(
         num_clusters: bot.tracked_clusters().len(),
         forecasts: first_forecasts,
     })
+}
+
+/// Everything one traced replay retained, for lineage inspection.
+#[derive(Debug)]
+pub struct TracedOutcome {
+    /// Thread-pool width this replay ran at.
+    pub width: usize,
+    /// Snapshot of the flight recorder after training.
+    pub view: TraceView,
+    /// [`TraceView::deterministic_stream`] — no wall-clock timestamps.
+    pub stream: String,
+    /// `explain()` of the latest per-horizon model fit.
+    pub fit_lineage: String,
+    /// Flight-recorder dumps captured during the replay.
+    pub dumps: Vec<TraceDump>,
+}
+
+/// Invariant 6 — trace determinism. Replays `case` once per width with a
+/// **fresh** pipeline and an enabled [`Tracer`] (unlike [`run_case`],
+/// which shares one bot, tracing must re-ingest per width so the whole
+/// event stream is comparable), then checks that the deterministic stream,
+/// the model-fit lineage, and the dump log are byte-identical across
+/// widths. Returns one [`TracedOutcome`] per width, in `widths` order.
+pub fn run_traced(
+    case: &SimCase,
+    horizons: &[usize],
+    widths: &[usize],
+    make_model: impl Fn() -> Box<dyn Forecaster> + Send + Sync + Clone + 'static,
+) -> Result<Vec<TracedOutcome>, SimFailure> {
+    assert!(!horizons.is_empty() && !widths.is_empty(), "empty sweep");
+    let specs: Vec<HorizonSpec> = horizons
+        .iter()
+        .map(|&h| HorizonSpec {
+            interval: Interval::HOUR,
+            window: 24,
+            horizon: h,
+            train_steps: (case.days as usize - 1) * 24,
+        })
+        .collect();
+
+    let mut outcomes: Vec<TracedOutcome> = Vec::new();
+    for &w in widths {
+        let tracer = Tracer::enabled();
+        let config = Qb5000Config::builder()
+            .trace(tracer.clone())
+            .build()
+            .expect("default traced config is valid");
+        let mut bot = QueryBot5000::new(config);
+        let trace = TraceConfig { start: 0, days: case.days, scale: case.scale, seed: case.seed };
+        let plan = if case.fault_intensity == 0.0 {
+            FaultPlan::none(case.seed)
+        } else {
+            FaultPlan::with_intensity(case.seed, case.fault_intensity)
+        };
+        for ev in plan.inject(case.workload.generator(trace)) {
+            let _ = bot.ingest_weighted(ev.minute, &ev.sql, ev.count);
+        }
+        let now = case.days as i64 * MINUTES_PER_DAY;
+        bot.update_clusters(now);
+        if bot.tracked_clusters().is_empty() {
+            return Err(fail(case, "no clusters tracked after a full trace".into()));
+        }
+        let mut mgr = ForecastManager::new(specs.clone(), make_model.clone());
+        mgr.set_threads(w);
+        mgr.set_tracer(bot.tracer());
+        mgr.ensure_trained(&bot, now)
+            .map_err(|e| fail(case, format!("training failed at width {w}: {e}")))?;
+        let view = tracer.view();
+        let fit = view
+            .latest(EventKind::ModelFit)
+            .ok_or_else(|| fail(case, format!("no ModelFit event traced at width {w}")))?;
+        let fit_lineage = view.explain(fit.id);
+        outcomes.push(TracedOutcome {
+            width: w,
+            stream: view.deterministic_stream(),
+            fit_lineage,
+            dumps: tracer.dumps(),
+            view,
+        });
+    }
+
+    // Invariant 6: the whole retained trace is byte-identical per width.
+    let first = &outcomes[0];
+    for other in outcomes.iter().skip(1) {
+        if other.stream != first.stream {
+            return Err(fail(
+                case,
+                format!("trace stream diverged between widths {} and {}", first.width, other.width),
+            ));
+        }
+        if other.fit_lineage != first.fit_lineage {
+            return Err(fail(
+                case,
+                format!(
+                    "model-fit lineage diverged between widths {} and {}",
+                    first.width, other.width
+                ),
+            ));
+        }
+        let render = |dumps: &[TraceDump]| {
+            dumps
+                .iter()
+                .map(|d| format!("{} @r{}\n{}\n{}", d.reason, d.round, d.lineage, d.recent))
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        };
+        if render(&other.dumps) != render(&first.dumps) {
+            return Err(fail(
+                case,
+                format!("dump log diverged between widths {} and {}", first.width, other.width),
+            ));
+        }
+    }
+    Ok(outcomes)
 }

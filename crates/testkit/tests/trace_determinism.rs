@@ -1,0 +1,159 @@
+//! Trace determinism (sim invariant 6) and the issue's acceptance
+//! criteria: for seeded runs, `explain()` on an index-build decision and
+//! on a degradation transition returns a complete causal chain that is
+//! bit-identical across thread-pool widths 1 and 4, and the Chrome trace
+//! export is valid JSON with at least one complete span per stage.
+
+use qb5000::{ControllerConfig, EventKind, IndexSelectionExperiment, Strategy, Tracer};
+use qb_forecast::{DegradationLevel, ForecastError, Forecaster, LinearRegression, WindowSpec};
+use qb_testkit::sim::{run_traced, SimCase};
+use qb_timeseries::MINUTES_PER_DAY;
+use qb_workloads::Workload;
+
+fn lr() -> Box<dyn Forecaster> {
+    Box::new(LinearRegression::default())
+}
+
+/// Sim stream + fit lineage + dumps are byte-identical at widths 1 and 4,
+/// on both a clean and a heavily-faulted case.
+#[test]
+fn traced_stream_bit_identical_across_widths() {
+    for intensity in [0.0, 1.0] {
+        let case = SimCase::new(Workload::Admissions, intensity, 0x5EED_CAFE);
+        let outcomes = run_traced(&case, &[1, 12], &[1, 4], lr).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(outcomes.len(), 2);
+        let first = &outcomes[0];
+        assert!(first.stream.contains("ModelFit"), "no fit in stream:\n{}", first.stream);
+        assert!(
+            first.fit_lineage.contains("ClustersUpdated"),
+            "fit lineage misses the cluster snapshot:\n{}",
+            first.fit_lineage
+        );
+    }
+}
+
+/// Same seed, same case, two independent replays: `explain()` and the
+/// deterministic stream are byte-stable across runs.
+#[test]
+fn explain_is_byte_stable_across_runs_with_same_seed() {
+    let case = SimCase::new(Workload::Mooc, 0.5, 0xB5EED);
+    let a = run_traced(&case, &[1], &[2], lr).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_traced(&case, &[1], &[2], lr).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a[0].stream, b[0].stream, "stream not byte-stable across runs");
+    assert_eq!(a[0].fit_lineage, b[0].fit_lineage, "explain() not byte-stable across runs");
+}
+
+/// A model that fits fine but reports the degradation level a shared
+/// switch dictates — deterministically trips a downgrade transition.
+struct ReportsSingle(LinearRegression);
+
+impl Forecaster for ReportsSingle {
+    fn name(&self) -> &'static str {
+        "SINGLE"
+    }
+    fn degradation(&self) -> DegradationLevel {
+        DegradationLevel::Single
+    }
+    fn fit(&mut self, series: &[Vec<f64>], spec: WindowSpec) -> Result<(), ForecastError> {
+        self.0.fit(series, spec)
+    }
+    fn predict(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+        self.0.predict(recent)
+    }
+}
+
+/// A degradation transition's lineage is complete and bit-identical
+/// across widths, and the downgrade snapshots a "degraded" dump.
+#[test]
+fn degradation_lineage_bit_identical_across_widths() {
+    let case = SimCase::new(Workload::BusTracker, 0.0, 0xD00DAD);
+    let outcomes = run_traced(&case, &[1], &[1, 4], || {
+        Box::new(ReportsSingle(LinearRegression::default())) as Box<dyn Forecaster>
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+
+    let mut lineages = Vec::new();
+    for out in &outcomes {
+        let transition = out
+            .view
+            .latest(EventKind::DegradationTransition)
+            .unwrap_or_else(|| panic!("no transition at width {}:\n{}", out.width, out.stream));
+        let lineage = out.view.explain(transition.id);
+        for needed in ["DegradationTransition", "ModelFit", "ClustersUpdated"] {
+            assert!(lineage.contains(needed), "{needed} missing from lineage:\n{lineage}");
+        }
+        assert!(
+            out.dumps.iter().any(|d| d.reason == "degraded"),
+            "downgrade did not snapshot a dump at width {}",
+            out.width
+        );
+        lineages.push(lineage);
+    }
+    assert_eq!(lineages[0], lineages[1], "degradation lineage diverged across widths");
+}
+
+fn experiment_config(threads: usize, tracer: Tracer) -> ControllerConfig {
+    ControllerConfig::builder()
+        .workload(Workload::BusTracker)
+        .strategy(Strategy::Auto)
+        .db_scale(0.05)
+        .history_days(2)
+        .run_hours(4)
+        .trace_scale(0.02)
+        .index_budget(4)
+        .build_period(60)
+        .report_window(60)
+        .run_start(7 * MINUTES_PER_DAY)
+        .seed(9)
+        .threads(threads)
+        .trace(tracer)
+        .build()
+        .expect("experiment config is valid")
+}
+
+/// Acceptance: `explain()` on an index-build decision reconstructs the
+/// full chain (blend → per-horizon forecasts → fits → cluster state) and
+/// the whole retained trace is bit-identical at threads 1 vs 4; the
+/// Chrome export is valid JSON with complete spans for every stage.
+#[test]
+fn index_build_lineage_bit_identical_across_widths() {
+    let mut per_width = Vec::new();
+    for threads in [1usize, 4] {
+        let tracer = Tracer::enabled();
+        let result = IndexSelectionExperiment::new(experiment_config(threads, tracer.clone())).run();
+        assert!(!result.indexes.is_empty(), "AUTO built no indexes at threads {threads}");
+        let view = tracer.view();
+        let built = view.latest(EventKind::IndexBuilt).expect("an IndexBuilt event was traced");
+        per_width.push((threads, view.deterministic_stream(), view.explain(built.id), view));
+    }
+    let (_, stream_1, lineage_1, view) = &per_width[0];
+    let (_, stream_4, lineage_4, _) = &per_width[1];
+    assert_eq!(stream_1, stream_4, "event stream diverged across thread widths");
+    assert_eq!(lineage_1, lineage_4, "index-build lineage diverged across thread widths");
+    for needed in ["IndexBuilt", "ForecastBlended", "ForecastIssued", "ModelFit", "ClustersUpdated"]
+    {
+        assert!(lineage_1.contains(needed), "{needed} missing:\n{lineage_1}");
+    }
+
+    // Acceptance: the Chrome export is valid JSON with at least one
+    // complete ("X") span per pipeline stage.
+    let chrome = view.to_chrome_json();
+    let parsed = qb5000::parse_json(&chrome).expect("chrome export parses as JSON");
+    let spans = parsed.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    assert!(!spans.is_empty(), "chrome export is empty");
+    for stage in [
+        "controller.round",
+        "advisor.select",
+        "pipeline.update_clusters",
+        "clusterer.update",
+        "forecast.blend",
+    ] {
+        assert!(
+            spans.iter().any(|s| {
+                s.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    && s.get("name").and_then(|n| n.as_str()) == Some(stage)
+            }),
+            "no complete span for stage {stage}"
+        );
+    }
+}

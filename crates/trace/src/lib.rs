@@ -1,0 +1,878 @@
+//! # qb-trace
+//!
+//! Deterministic structured tracing, decision lineage, and a bounded
+//! flight recorder for the QB5000 pipeline (std only, zero deps beyond
+//! `qb-obs`).
+//!
+//! ## Design
+//!
+//! * **Deterministic logical clock.** Every [`Event`] carries a global id
+//!   plus a `(round, seq)` logical timestamp. Rounds advance at cluster
+//!   refresh boundaries ([`Tracer::begin_round`]); `seq` counts emissions
+//!   within a round. No wall time participates in ids, ordering, or the
+//!   deterministic stream — [`TraceView::deterministic_stream`] and
+//!   [`TraceView::explain`] are bit-identical across thread-pool widths.
+//!   Wall timestamps *are* captured alongside (when enabled) but feed only
+//!   the Chrome trace-event export.
+//! * **Decision lineage.** Events link to their causes via `parent` and
+//!   `refs` ids, and pipeline stages publish [`Scope`] anchors (template
+//!   id → its `TemplateCreated` event, …) so later stages can link to
+//!   causes they never saw directly. [`TraceView::explain`] walks the
+//!   links and reconstructs the full "why" path for any decision.
+//! * **Bounded memory.** Events live in a fixed-capacity ring. Eviction is
+//!   counted (surfaced as the `trace.ring_evictions` gauge once a
+//!   [`Recorder`] is bound) and lineage survives it: whenever an event is
+//!   linked as a parent/ref or anchored, the linked event is *pinned* into
+//!   a bounded side map at link time, so `explain` never dangles.
+//! * **Deterministic parallelism.** Worker closures emit into per-task
+//!   [`LaneBuffer`]s; [`Tracer::merge_lanes`] assigns ids in input-lane
+//!   order after the join, mirroring `qb-parallel`'s ordering guarantee.
+//! * **Flight-recorder dumps.** [`Tracer::trigger_dump`] (called by the
+//!   pipeline on forecast divergence, degradation downgrades, and —
+//!   internally — quarantine spikes) snapshots the last N events plus the
+//!   lineage slice of the triggering decision into a [`TraceDump`].
+//!
+//! ```
+//! use qb_trace::{EventDraft, EventKind, Tracer};
+//!
+//! let tracer = Tracer::enabled();
+//! tracer.begin_round(0);
+//! let seen = tracer.record(EventDraft::new(EventKind::QuerySeen).uint("len", 25)).unwrap();
+//! let tpl = tracer
+//!     .record(EventDraft::new(EventKind::TemplateCreated).parent(seen).uint("template", 0))
+//!     .unwrap();
+//! let view = tracer.view();
+//! assert!(view.explain(tpl).contains("QuerySeen"));
+//! ```
+
+pub mod chrome;
+pub mod view;
+
+pub use chrome::{parse_json, to_chrome_json, Json};
+pub use view::TraceView;
+
+use qb_obs::{Gauge, Recorder};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Typed event kinds — the trace taxonomy. One variant per consequential
+/// pipeline transition; see DESIGN.md for the emitting site of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A logical round (cluster refresh cycle) began.
+    RoundStarted,
+    /// First sighting of a query shape (emitted once per new template).
+    QuerySeen,
+    /// A new template was interned.
+    TemplateCreated,
+    /// A statement failed templatization and was quarantined.
+    QueryQuarantined,
+    /// Quarantine admissions crossed the per-round spike threshold.
+    QuarantineSpike,
+    /// The clusterer minted a new cluster.
+    ClusterCreated,
+    /// A template moved onto an existing cluster.
+    ClusterAssigned,
+    /// Two clusters merged.
+    ClusterMerged,
+    /// A template was evicted from cluster tracking.
+    ClusterEvicted,
+    /// One full clusterer update cycle finished.
+    ClustersUpdated,
+    /// A per-horizon model finished fitting.
+    ModelFit,
+    /// A per-horizon model fit failed.
+    ModelFitFailed,
+    /// The divergence guard tripped on a fitted model.
+    DivergenceGuard,
+    /// A model's degradation level changed.
+    DegradationTransition,
+    /// A retrain was rolled back to the previous model set.
+    RetrainRolledBack,
+    /// The retrain backoff gate deferred a retrain.
+    RetrainBackedOff,
+    /// A per-horizon forecast was issued.
+    ForecastIssued,
+    /// Multi-horizon forecasts were blended into a workload prediction.
+    ForecastBlended,
+    /// The advisor built an index.
+    IndexBuilt,
+    /// A wall-timed pipeline stage span (Chrome export only).
+    StageSpan,
+}
+
+/// Anchor namespaces: `(Scope, key)` names the latest defining event for
+/// an entity, letting stages link to causes they never observed directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Key = template id; anchors its `TemplateCreated` event.
+    Template,
+    /// Key = cluster id; anchors its `ClusterCreated` event.
+    Cluster,
+    /// Key = horizon index; anchors the latest `ModelFit` for it.
+    Horizon,
+    /// Key = 0; anchors the latest `ClustersUpdated` event.
+    ClusterState,
+}
+
+/// Identifier of one recorded event; globally monotonic within a tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A typed payload value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Uint(u64),
+    Float(f64),
+    Text(String),
+    Flag(bool),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Uint(v) => write!(f, "{v}"),
+            // `{}` on f64 is shortest-round-trip, so bit-identical floats
+            // render byte-identically — safe for the deterministic stream.
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v:?}"),
+            Value::Flag(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Wall-clock span (µs since the tracer's epoch). Deliberately excluded
+/// from the deterministic stream and `explain`; consumed only by the
+/// Chrome exporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallSpan {
+    pub start_micros: u64,
+    pub dur_micros: u64,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub id: EventId,
+    /// Logical clock: cluster-refresh round …
+    pub round: u64,
+    /// … and emission sequence within the round.
+    pub seq: u64,
+    /// Thread-lane the event was emitted from (0 for the control thread;
+    /// 1 + input index for fan-out lanes). Deterministic by construction.
+    pub lane: u32,
+    pub kind: EventKind,
+    pub parent: Option<EventId>,
+    /// Additional causal links beyond the primary parent.
+    pub refs: Vec<EventId>,
+    pub payload: Vec<(&'static str, Value)>,
+    pub wall: Option<WallSpan>,
+}
+
+impl Event {
+    /// The deterministic single-line rendering used by streams, dumps and
+    /// `explain` — everything except wall time.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{} r{}.{} lane{} {:?}", self.id, self.round, self.seq, self.lane, self.kind);
+        if let Some(p) = self.parent {
+            let _ = write!(out, " <-{p}");
+        }
+        for r in &self.refs {
+            let _ = write!(out, " ~{r}");
+        }
+        for (k, v) in &self.payload {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+}
+
+/// A causal link that may point at an already-assigned event or at an
+/// earlier entry of the same [`LaneBuffer`] (resolved at merge time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParentRef {
+    None,
+    Event(EventId),
+    /// Index into the same lane's pending list.
+    Local(usize),
+}
+
+/// An event under construction: kind, causal links, payload. Cheap to
+/// build; callers should still gate draft construction behind
+/// [`Tracer::is_enabled`] on hot paths.
+#[derive(Debug, Clone)]
+pub struct EventDraft {
+    kind: EventKind,
+    parent: ParentRef,
+    refs: Vec<ParentRef>,
+    payload: Vec<(&'static str, Value)>,
+}
+
+impl EventDraft {
+    pub fn new(kind: EventKind) -> Self {
+        Self { kind, parent: ParentRef::None, refs: Vec::new(), payload: Vec::new() }
+    }
+
+    /// Sets the primary causal parent.
+    pub fn parent(mut self, id: EventId) -> Self {
+        self.parent = ParentRef::Event(id);
+        self
+    }
+
+    /// Parent, if known.
+    pub fn parent_opt(self, id: Option<EventId>) -> Self {
+        match id {
+            Some(id) => self.parent(id),
+            None => self,
+        }
+    }
+
+    /// Parent = an earlier entry (by push index) of the same lane buffer.
+    pub fn parent_local(mut self, idx: usize) -> Self {
+        self.parent = ParentRef::Local(idx);
+        self
+    }
+
+    /// Adds a secondary causal link.
+    pub fn reference(mut self, id: EventId) -> Self {
+        self.refs.push(ParentRef::Event(id));
+        self
+    }
+
+    /// Secondary link, if known.
+    pub fn reference_opt(self, id: Option<EventId>) -> Self {
+        match id {
+            Some(id) => self.reference(id),
+            None => self,
+        }
+    }
+
+    pub fn int(mut self, key: &'static str, v: i64) -> Self {
+        self.payload.push((key, Value::Int(v)));
+        self
+    }
+
+    pub fn uint(mut self, key: &'static str, v: u64) -> Self {
+        self.payload.push((key, Value::Uint(v)));
+        self
+    }
+
+    pub fn float(mut self, key: &'static str, v: f64) -> Self {
+        self.payload.push((key, Value::Float(v)));
+        self
+    }
+
+    pub fn text(mut self, key: &'static str, v: &str) -> Self {
+        self.payload.push((key, Value::Text(v.to_string())));
+        self
+    }
+
+    pub fn flag(mut self, key: &'static str, v: bool) -> Self {
+        self.payload.push((key, Value::Flag(v)));
+        self
+    }
+}
+
+/// Flight-recorder configuration (see `Qb5000Config::builder().trace(…)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSettings {
+    /// Ring-buffer capacity in events.
+    pub capacity: usize,
+    /// Bound on the pinned-lineage side map.
+    pub pin_capacity: usize,
+    /// How many trailing events a dump snapshots.
+    pub dump_events: usize,
+    /// Quarantine admissions within one round that trigger an automatic
+    /// `QuarantineSpike` dump (0 disables the trigger).
+    pub quarantine_spike: u64,
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        Self { capacity: 4096, pin_capacity: 4096, dump_events: 48, quarantine_spike: 64 }
+    }
+}
+
+/// One flight-recorder dump: the trailing event window plus the lineage
+/// slice of the decision that triggered it, both in the deterministic
+/// rendering.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceDump {
+    /// What fired the dump, e.g. `"diverged"`, `"degraded"`,
+    /// `"quarantine_spike"`.
+    pub reason: String,
+    /// Logical round at dump time.
+    pub round: u64,
+    /// Last N events, one [`Event::render`] line each.
+    pub recent: String,
+    /// `explain()` of the triggering event (empty if none was given).
+    pub lineage: String,
+}
+
+#[derive(Debug, Default)]
+struct RecState {
+    next_id: u64,
+    round: u64,
+    seq: u64,
+    /// Id of `ring[0]`; ids are consecutive, so lookup is O(1).
+    front_id: u64,
+    ring: VecDeque<Event>,
+    /// Events evicted from the ring but pinned because lineage links or
+    /// anchors point at them.
+    pinned: BTreeMap<u64, Event>,
+    pin_order: VecDeque<u64>,
+    anchors: BTreeMap<(Scope, u64), EventId>,
+    dumps: Vec<TraceDump>,
+    evictions: u64,
+    /// Quarantine admissions since the round began (spike detection).
+    round_rejects: u64,
+    /// Observability hooks, installed by [`Tracer::bind_recorder`].
+    recorder: Recorder,
+    eviction_gauge: Gauge,
+}
+
+impl RecState {
+    fn get(&self, id: EventId) -> Option<&Event> {
+        if id.0 >= self.front_id {
+            self.ring.get((id.0 - self.front_id) as usize)
+        } else {
+            self.pinned.get(&id.0)
+        }
+    }
+
+    /// Copies a live event into the pinned map so ring eviction cannot
+    /// orphan a lineage link. FIFO-bounded by `pin_capacity`.
+    fn pin(&mut self, id: EventId, pin_capacity: usize) {
+        if self.pinned.contains_key(&id.0) {
+            return;
+        }
+        let Some(ev) = self.get(id).cloned() else { return };
+        self.pinned.insert(id.0, ev);
+        self.pin_order.push_back(id.0);
+        while self.pin_order.len() > pin_capacity {
+            if let Some(old) = self.pin_order.pop_front() {
+                self.pinned.remove(&old);
+            }
+        }
+    }
+
+    /// Pinned + ring, ascending by id (ring ids are all newer than pins).
+    fn all_events(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .pinned
+            .values()
+            .filter(|e| e.id.0 < self.front_id)
+            .cloned()
+            .collect();
+        out.extend(self.ring.iter().cloned());
+        out
+    }
+}
+
+#[derive(Debug)]
+struct TraceCore {
+    state: Mutex<RecState>,
+    settings: TraceSettings,
+    epoch: Instant,
+}
+
+/// A cloneable handle onto one flight recorder — or onto nothing at all
+/// ([`Tracer::disabled`], the `Default`), in which case every operation is
+/// an `Option` check and nothing else. Mirrors `qb_obs::Recorder`'s
+/// enable/disable shape so the pipeline can thread both the same way.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceCore>>,
+}
+
+impl Tracer {
+    /// An enabled tracer with explicit settings.
+    pub fn new(settings: TraceSettings) -> Self {
+        assert!(settings.capacity > 0, "trace ring capacity must be positive");
+        Self {
+            inner: Some(Arc::new(TraceCore {
+                state: Mutex::new(RecState::default()),
+                settings,
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// An enabled tracer with [`TraceSettings::default`].
+    pub fn enabled() -> Self {
+        Self::new(TraceSettings::default())
+    }
+
+    /// The no-op tracer (the `Default`).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The settings this tracer was built with (`None` when disabled).
+    pub fn settings(&self) -> Option<TraceSettings> {
+        self.inner.as_ref().map(|c| c.settings)
+    }
+
+    /// Installs qb-obs hooks: ring evictions surface as the
+    /// `trace.ring_evictions` gauge and each dump increments
+    /// `trace.dumps{reason="…"}`.
+    pub fn bind_recorder(&self, rec: &Recorder) {
+        if let Some(core) = &self.inner {
+            let mut st = core.state.lock().expect("trace state poisoned");
+            st.eviction_gauge = rec.gauge("trace.ring_evictions");
+            st.eviction_gauge.set(st.evictions as f64);
+            st.recorder = rec.clone();
+        }
+    }
+
+    /// Advances the logical clock to `round`, resetting the in-round
+    /// sequence and the quarantine spike window, and emits
+    /// [`EventKind::RoundStarted`]. Returns the round event's id.
+    pub fn begin_round(&self, now_minute: i64) -> Option<EventId> {
+        let core = self.inner.as_ref()?;
+        {
+            let mut st = core.state.lock().expect("trace state poisoned");
+            st.round += 1;
+            st.seq = 0;
+            st.round_rejects = 0;
+        }
+        self.record(EventDraft::new(EventKind::RoundStarted).int("now_minute", now_minute))
+    }
+
+    /// Records one event on the control lane (lane 0). Returns its id, or
+    /// `None` when disabled.
+    pub fn record(&self, draft: EventDraft) -> Option<EventId> {
+        self.record_on_lane(draft, 0, None)
+    }
+
+    /// Records one event with an explicit wall span (Chrome export only).
+    pub fn record_timed(&self, draft: EventDraft, wall: WallSpan) -> Option<EventId> {
+        self.record_on_lane(draft, 0, Some(wall))
+    }
+
+    fn record_on_lane(&self, draft: EventDraft, lane: u32, wall: Option<WallSpan>) -> Option<EventId> {
+        let core = self.inner.as_ref()?;
+        let wall = wall.or_else(|| {
+            // Instant timestamp for the Chrome export. Never feeds ids,
+            // ordering, or the deterministic stream.
+            Some(WallSpan {
+                start_micros: core.epoch.elapsed().as_micros() as u64,
+                dur_micros: 0,
+            })
+        });
+        let kind = draft.kind;
+        let mut st = core.state.lock().expect("trace state poisoned");
+        let id = commit_locked(&mut st, &core.settings, draft, lane, wall);
+        // Spike detection is internal to the recorder: QueryQuarantined
+        // emissions are counted per round, and crossing the threshold
+        // fires exactly one dump for the round.
+        if kind == EventKind::QueryQuarantined {
+            st.round_rejects += 1;
+            let threshold = core.settings.quarantine_spike;
+            if threshold > 0 && st.round_rejects == threshold {
+                let spike = commit_locked(
+                    &mut st,
+                    &core.settings,
+                    EventDraft::new(EventKind::QuarantineSpike)
+                        .parent(id)
+                        .uint("rejected_this_round", threshold),
+                    lane,
+                    None,
+                );
+                dump_locked(&mut st, &core.settings, "quarantine_spike", Some(spike));
+            }
+        }
+        Some(id)
+    }
+
+    /// Publishes `(scope, key) → id` and pins the event so the anchor
+    /// outlives ring eviction.
+    pub fn set_anchor(&self, scope: Scope, key: u64, id: EventId) {
+        if let Some(core) = &self.inner {
+            let mut st = core.state.lock().expect("trace state poisoned");
+            st.pin(id, core.settings.pin_capacity);
+            st.anchors.insert((scope, key), id);
+        }
+    }
+
+    /// Looks up the latest anchor for `(scope, key)`.
+    pub fn anchor(&self, scope: Scope, key: u64) -> Option<EventId> {
+        let core = self.inner.as_ref()?;
+        let st = core.state.lock().expect("trace state poisoned");
+        st.anchors.get(&(scope, key)).copied()
+    }
+
+    /// Starts a wall-timed stage span; the [`EventKind::StageSpan`] event
+    /// is recorded when the guard drops. When disabled the guard never
+    /// reads the clock.
+    pub fn stage(&self, name: &'static str) -> StageGuard {
+        StageGuard {
+            tracer: self.clone(),
+            name,
+            start: self.inner.as_ref().map(|c| (Instant::now(), c.epoch)),
+        }
+    }
+
+    /// Merges worker-lane buffers into the trace in input-lane order —
+    /// deterministic regardless of how many threads executed the lanes.
+    /// Returns, per lane, the ids assigned to its pending events.
+    pub fn merge_lanes(&self, lanes: Vec<LaneBuffer>) -> Vec<Vec<EventId>> {
+        let Some(core) = &self.inner else { return Vec::new() };
+        let mut st = core.state.lock().expect("trace state poisoned");
+        let mut out = Vec::with_capacity(lanes.len());
+        for lane_buf in lanes {
+            let mut ids: Vec<EventId> = Vec::with_capacity(lane_buf.pending.len());
+            for (draft, wall) in lane_buf.pending {
+                // Resolve lane-local links against already-assigned ids.
+                let resolve = |r: ParentRef, ids: &[EventId]| match r {
+                    ParentRef::None => ParentRef::None,
+                    ParentRef::Event(id) => ParentRef::Event(id),
+                    ParentRef::Local(i) => {
+                        debug_assert!(i < ids.len(), "lane-local link must point backwards");
+                        ids.get(i).copied().map_or(ParentRef::None, ParentRef::Event)
+                    }
+                };
+                let draft = EventDraft {
+                    kind: draft.kind,
+                    parent: resolve(draft.parent, &ids),
+                    refs: draft.refs.iter().map(|&r| resolve(r, &ids)).collect(),
+                    payload: draft.payload,
+                };
+                let id = commit_locked(&mut st, &core.settings, draft, lane_buf.lane, wall);
+                ids.push(id);
+            }
+            out.push(ids);
+        }
+        out
+    }
+
+    /// Snapshots a dump: the trailing event window plus (optionally) the
+    /// lineage of `focus`. Also bumps `trace.dumps{reason="…"}` on the
+    /// bound recorder. No-op when disabled.
+    pub fn trigger_dump(&self, reason: &str, focus: Option<EventId>) {
+        if let Some(core) = &self.inner {
+            let mut st = core.state.lock().expect("trace state poisoned");
+            dump_locked(&mut st, &core.settings, reason, focus);
+        }
+    }
+
+    /// Dumps captured so far (oldest first), leaving them in place.
+    pub fn dumps(&self) -> Vec<TraceDump> {
+        self.inner.as_ref().map_or_else(Vec::new, |core| {
+            core.state.lock().expect("trace state poisoned").dumps.clone()
+        })
+    }
+
+    /// Total events evicted from the ring so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |core| core.state.lock().expect("trace state poisoned").evictions)
+    }
+
+    /// An owned, consistent view over everything currently retained
+    /// (pinned lineage + ring), for queries, `explain`, and export.
+    pub fn view(&self) -> TraceView {
+        self.inner.as_ref().map_or_else(TraceView::empty, |core| {
+            let st = core.state.lock().expect("trace state poisoned");
+            TraceView::from_events(st.all_events())
+        })
+    }
+}
+
+/// Appends one event under the lock: resolves links, pins link targets,
+/// assigns `(id, round, seq)`, and evicts the ring tail past capacity.
+fn commit_locked(
+    st: &mut RecState,
+    settings: &TraceSettings,
+    draft: EventDraft,
+    lane: u32,
+    wall: Option<WallSpan>,
+) -> EventId {
+    let id = EventId(st.next_id);
+    st.next_id += 1;
+    st.seq += 1;
+    let parent = match draft.parent {
+        ParentRef::Event(p) => Some(p),
+        _ => None,
+    };
+    let refs: Vec<EventId> = draft
+        .refs
+        .iter()
+        .filter_map(|r| match r {
+            ParentRef::Event(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    // Pin at link time: anything this event points at must survive ring
+    // eviction for `explain` to stay complete.
+    for target in parent.iter().chain(refs.iter()) {
+        st.pin(*target, settings.pin_capacity);
+    }
+    let ev = Event {
+        id,
+        round: st.round,
+        seq: st.seq,
+        lane,
+        kind: draft.kind,
+        parent,
+        refs,
+        payload: draft.payload,
+        wall,
+    };
+    if st.ring.is_empty() {
+        st.front_id = id.0;
+    }
+    st.ring.push_back(ev);
+    while st.ring.len() > settings.capacity {
+        st.ring.pop_front();
+        st.front_id += 1;
+        st.evictions += 1;
+    }
+    st.eviction_gauge.set(st.evictions as f64);
+    id
+}
+
+fn dump_locked(st: &mut RecState, settings: &TraceSettings, reason: &str, focus: Option<EventId>) {
+    let view = TraceView::from_events(st.all_events());
+    let events = view.events();
+    let tail_start = events.len().saturating_sub(settings.dump_events);
+    let mut recent = String::new();
+    for ev in &events[tail_start..] {
+        recent.push_str(&ev.render());
+        recent.push('\n');
+    }
+    let lineage = focus.map_or_else(String::new, |id| view.explain(id));
+    st.dumps.push(TraceDump { reason: reason.to_string(), round: st.round, recent, lineage });
+    st.recorder.counter_labeled("trace.dumps", &[("reason", reason)]).inc();
+}
+
+/// Per-task event buffer for `qb-parallel` fan-out closures: workers push
+/// drafts locally (no locks, no id assignment) and the control thread
+/// commits every lane in input order via [`Tracer::merge_lanes`].
+#[derive(Debug, Clone)]
+pub struct LaneBuffer {
+    lane: u32,
+    pending: Vec<(EventDraft, Option<WallSpan>)>,
+}
+
+impl LaneBuffer {
+    /// `lane` should be `1 + input_index` so control-thread events (lane
+    /// 0) stay distinguishable.
+    pub fn new(lane: u32) -> Self {
+        Self { lane, pending: Vec::new() }
+    }
+
+    /// Queues a draft; returns its lane-local index for
+    /// [`EventDraft::parent_local`] links from later drafts.
+    pub fn push(&mut self, draft: EventDraft) -> usize {
+        self.pending.push((draft, None));
+        self.pending.len() - 1
+    }
+
+    /// Number of queued drafts.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the buffer holds no drafts.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// RAII guard from [`Tracer::stage`]: records a wall-timed
+/// [`EventKind::StageSpan`] on drop.
+#[derive(Debug)]
+pub struct StageGuard {
+    tracer: Tracer,
+    name: &'static str,
+    start: Option<(Instant, Instant)>,
+}
+
+impl StageGuard {
+    /// Ends the stage now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if let Some((t0, epoch)) = self.start {
+            let wall = WallSpan {
+                start_micros: t0.duration_since(epoch).as_micros() as u64,
+                // Clamp so sub-µs stages still export as complete spans.
+                dur_micros: (t0.elapsed().as_micros() as u64).max(1),
+            };
+            self.tracer
+                .record_timed(EventDraft::new(EventKind::StageSpan).text("stage", self.name), wall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.record(EventDraft::new(EventKind::QuerySeen)), None);
+        assert_eq!(t.begin_round(0), None);
+        assert!(t.view().events().is_empty());
+        assert!(t.dumps().is_empty());
+        assert_eq!(t.evictions(), 0);
+        t.stage("noop").finish();
+        assert!(t.merge_lanes(vec![LaneBuffer::new(1)]).is_empty());
+    }
+
+    #[test]
+    fn logical_clock_advances_by_round_and_seq() {
+        let t = Tracer::enabled();
+        t.begin_round(0);
+        let a = t.record(EventDraft::new(EventKind::QuerySeen)).unwrap();
+        t.begin_round(60);
+        let b = t.record(EventDraft::new(EventKind::QuerySeen)).unwrap();
+        let view = t.view();
+        let ea = view.get(a).unwrap();
+        let eb = view.get(b).unwrap();
+        assert_eq!((ea.round, ea.seq), (1, 2)); // RoundStarted was seq 1
+        assert_eq!((eb.round, eb.seq), (2, 2));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn ring_wraps_exactly_at_capacity() {
+        let settings = TraceSettings { capacity: 4, ..TraceSettings::default() };
+        let t = Tracer::new(settings);
+        for _ in 0..4 {
+            t.record(EventDraft::new(EventKind::QuerySeen));
+        }
+        // Exactly at capacity: nothing evicted yet.
+        assert_eq!(t.evictions(), 0);
+        assert_eq!(t.view().events().len(), 4);
+        // Capacity + 1: the oldest event leaves and is counted.
+        t.record(EventDraft::new(EventKind::QuerySeen));
+        assert_eq!(t.evictions(), 1);
+        let view = t.view();
+        assert_eq!(view.events().len(), 4);
+        assert_eq!(view.events()[0].id, EventId(1));
+    }
+
+    #[test]
+    fn evictions_surface_as_gauge_when_recorder_bound() {
+        let rec = Recorder::new();
+        let t = Tracer::new(TraceSettings { capacity: 2, ..TraceSettings::default() });
+        t.bind_recorder(&rec);
+        for _ in 0..5 {
+            t.record(EventDraft::new(EventKind::QuerySeen));
+        }
+        assert_eq!(rec.snapshot().gauges["trace.ring_evictions"], 3.0);
+    }
+
+    #[test]
+    fn linked_events_survive_eviction() {
+        let t = Tracer::new(TraceSettings { capacity: 2, ..TraceSettings::default() });
+        let seen = t.record(EventDraft::new(EventKind::QuerySeen).uint("len", 9)).unwrap();
+        let tpl =
+            t.record(EventDraft::new(EventKind::TemplateCreated).parent(seen).uint("template", 3)).unwrap();
+        t.set_anchor(Scope::Template, 3, tpl);
+        // Push both originals out of the ring.
+        for _ in 0..8 {
+            t.record(EventDraft::new(EventKind::QueryQuarantined));
+        }
+        let assigned = t
+            .record(
+                EventDraft::new(EventKind::ClusterAssigned)
+                    .parent_opt(t.anchor(Scope::Template, 3))
+                    .uint("cluster", 0),
+            )
+            .unwrap();
+        let explain = t.view().explain(assigned);
+        assert!(explain.contains("ClusterAssigned"), "{explain}");
+        assert!(explain.contains("TemplateCreated"), "{explain}");
+        assert!(explain.contains("QuerySeen"), "{explain}");
+    }
+
+    #[test]
+    fn quarantine_spike_fires_one_dump_per_round() {
+        let rec = Recorder::new();
+        let t = Tracer::new(TraceSettings { quarantine_spike: 3, ..TraceSettings::default() });
+        t.bind_recorder(&rec);
+        t.begin_round(0);
+        for _ in 0..5 {
+            t.record(EventDraft::new(EventKind::QueryQuarantined));
+        }
+        let dumps = t.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "quarantine_spike");
+        assert!(dumps[0].lineage.contains("QuarantineSpike"));
+        assert_eq!(rec.snapshot().counters["trace.dumps{reason=\"quarantine_spike\"}"], 1);
+        // A fresh round re-arms the trigger.
+        t.begin_round(60);
+        for _ in 0..3 {
+            t.record(EventDraft::new(EventKind::QueryQuarantined));
+        }
+        assert_eq!(t.dumps().len(), 2);
+    }
+
+    #[test]
+    fn merge_lanes_orders_by_input_lane() {
+        let t = Tracer::enabled();
+        let root = t.record(EventDraft::new(EventKind::ClustersUpdated)).unwrap();
+        // Lanes built "out of order", as a racing pool might finish them.
+        let mut lane2 = LaneBuffer::new(2);
+        let fit2 = lane2.push(EventDraft::new(EventKind::ModelFit).parent(root).uint("horizon", 1));
+        lane2.push(EventDraft::new(EventKind::ForecastIssued).parent_local(fit2));
+        let mut lane1 = LaneBuffer::new(1);
+        lane1.push(EventDraft::new(EventKind::ModelFit).parent(root).uint("horizon", 0));
+        let ids = t.merge_lanes(vec![lane1, lane2]);
+        assert_eq!(ids.len(), 2);
+        // Input order wins: lane1's fit gets the smaller id.
+        assert!(ids[0][0] < ids[1][0]);
+        let view = t.view();
+        let issued = view.get(ids[1][1]).unwrap();
+        assert_eq!(issued.parent, Some(ids[1][0]));
+        assert_eq!(issued.lane, 2);
+    }
+
+    #[test]
+    fn stage_guard_records_wall_span() {
+        let t = Tracer::enabled();
+        {
+            let _g = t.stage("pipeline.update_clusters");
+        }
+        let view = t.view();
+        let span = view.latest(EventKind::StageSpan).unwrap();
+        assert_eq!(span.payload[0], ("stage", Value::Text("pipeline.update_clusters".into())));
+        assert!(span.wall.is_some());
+    }
+
+    #[test]
+    fn dump_snapshots_tail_and_lineage() {
+        let t = Tracer::new(TraceSettings { dump_events: 2, ..TraceSettings::default() });
+        let a = t.record(EventDraft::new(EventKind::ModelFit).uint("horizon", 0)).unwrap();
+        let b = t.record(EventDraft::new(EventKind::DivergenceGuard).parent(a)).unwrap();
+        t.trigger_dump("diverged", Some(b));
+        let dumps = t.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].recent.lines().count(), 2);
+        assert!(dumps[0].lineage.contains("DivergenceGuard"));
+        assert!(dumps[0].lineage.contains("ModelFit"));
+    }
+}

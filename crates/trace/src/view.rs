@@ -1,0 +1,178 @@
+//! Owned snapshots of the flight recorder: queries, the deterministic
+//! event stream, and `explain` — the lineage reconstruction that answers
+//! "why did the pipeline make this decision?".
+
+use crate::{chrome, Event, EventId, EventKind};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// An owned, consistent snapshot of everything the tracer retains (pinned
+/// lineage + ring), ascending by event id. Obtained from
+/// [`crate::Tracer::view`]; safe to hold while the pipeline keeps running.
+#[derive(Debug, Clone, Default)]
+pub struct TraceView {
+    events: Vec<Event>,
+}
+
+impl TraceView {
+    pub(crate) fn empty() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_events(events: Vec<Event>) -> Self {
+        debug_assert!(events.windows(2).all(|w| w[0].id < w[1].id), "view must ascend by id");
+        Self { events }
+    }
+
+    /// All retained events, ascending by id.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Looks up one event by id.
+    pub fn get(&self, id: EventId) -> Option<&Event> {
+        self.events.binary_search_by_key(&id, |e| e.id).ok().map(|i| &self.events[i])
+    }
+
+    /// All retained events of `kind`, oldest first.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The newest retained event of `kind`.
+    pub fn latest(&self, kind: EventKind) -> Option<&Event> {
+        self.events.iter().rev().find(|e| e.kind == kind)
+    }
+
+    /// The full event stream in the deterministic rendering — one
+    /// [`Event::render`] line per event, no wall time. Bit-identical
+    /// across thread-pool widths for identical inputs.
+    pub fn deterministic_stream(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reconstructs the causal "why" path of a decision as an indented
+    /// tree: the event itself, then (depth-first) its parent chain and
+    /// secondary refs. Already-printed events render as back-references,
+    /// evicted-and-unpinned ones as `(evicted)`. Output is byte-stable
+    /// for identical traces.
+    pub fn explain(&self, id: EventId) -> String {
+        let mut out = String::new();
+        let mut visited = BTreeSet::new();
+        self.explain_rec(id, 0, &mut visited, &mut out);
+        out
+    }
+
+    fn explain_rec(
+        &self,
+        id: EventId,
+        depth: usize,
+        visited: &mut BTreeSet<EventId>,
+        out: &mut String,
+    ) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let Some(ev) = self.get(id) else {
+            let _ = writeln!(out, "{id} (evicted)");
+            return;
+        };
+        if !visited.insert(id) {
+            let _ = writeln!(out, "{id} (see above)");
+            return;
+        }
+        let _ = writeln!(out, "{}", ev.render());
+        // Primary parent first, then secondary refs, each cause once.
+        let mut causes: Vec<EventId> = Vec::new();
+        if let Some(p) = ev.parent {
+            causes.push(p);
+        }
+        for r in &ev.refs {
+            if !causes.contains(r) {
+                causes.push(*r);
+            }
+        }
+        for c in causes {
+            self.explain_rec(c, depth + 1, visited, out);
+        }
+    }
+
+    /// Exports the snapshot as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`). See [`chrome::to_chrome_json`].
+    pub fn to_chrome_json(&self) -> String {
+        chrome::to_chrome_json(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventDraft, Tracer};
+
+    fn chain() -> (Tracer, EventId) {
+        let t = Tracer::enabled();
+        t.begin_round(0);
+        let seen = t.record(EventDraft::new(EventKind::QuerySeen).uint("len", 30)).unwrap();
+        let tpl = t
+            .record(EventDraft::new(EventKind::TemplateCreated).parent(seen).uint("template", 0))
+            .unwrap();
+        let cl = t
+            .record(EventDraft::new(EventKind::ClusterCreated).parent(tpl).uint("cluster", 0))
+            .unwrap();
+        let fit = t
+            .record(EventDraft::new(EventKind::ModelFit).parent(cl).uint("horizon", 0))
+            .unwrap();
+        let built = t
+            .record(EventDraft::new(EventKind::IndexBuilt).parent(fit).reference(tpl).text("table", "t"))
+            .unwrap();
+        (t, built)
+    }
+
+    #[test]
+    fn explain_walks_the_full_chain() {
+        let (t, built) = chain();
+        let explain = t.view().explain(built);
+        for kind in ["IndexBuilt", "ModelFit", "ClusterCreated", "TemplateCreated", "QuerySeen"] {
+            assert!(explain.contains(kind), "missing {kind} in:\n{explain}");
+        }
+        // The ref to the template re-renders as a back-reference, not a
+        // duplicated subtree.
+        assert!(explain.contains("(see above)"), "{explain}");
+    }
+
+    #[test]
+    fn explain_is_byte_stable() {
+        let (t1, b1) = chain();
+        let (t2, b2) = chain();
+        assert_eq!(b1, b2);
+        assert_eq!(t1.view().explain(b1), t2.view().explain(b2));
+    }
+
+    #[test]
+    fn stream_orders_by_id_and_omits_wall_time() {
+        let (t, _) = chain();
+        let view = t.view();
+        let stream = view.deterministic_stream();
+        assert_eq!(stream.lines().count(), view.events().len());
+        let ids: Vec<&str> =
+            stream.lines().map(|l| l.split_whitespace().next().unwrap()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_by_key(|s| s[1..].parse::<u64>().unwrap());
+        assert_eq!(ids, sorted);
+        assert!(!stream.contains("micros"));
+    }
+
+    #[test]
+    fn queries_find_events() {
+        let (t, built) = chain();
+        let view = t.view();
+        assert_eq!(view.latest(EventKind::IndexBuilt).unwrap().id, built);
+        assert_eq!(view.of_kind(EventKind::ModelFit).count(), 1);
+        assert!(view.get(EventId(999)).is_none());
+    }
+}
