@@ -31,6 +31,6 @@ pub mod online;
 pub use feature::{FeatureSampler, TemplateFeature};
 pub use kdtree::KdTree;
 pub use online::{
-    Cluster, ClusterId, ClustererConfig, OnlineClusterer, SimilarityMetric, TemplateKey,
-    TemplateSnapshot, UpdateReport,
+    Cluster, ClusterId, ClusterRecord, ClustererConfig, ClustererState, OnlineClusterer,
+    SimilarityMetric, TemplateKey, TemplateRecord, TemplateSnapshot, UpdateReport,
 };

@@ -736,6 +736,120 @@ impl OnlineClusterer {
     pub fn num_templates(&self) -> usize {
         self.templates.len()
     }
+
+    /// Exports the complete mutable state as plain data (durable-snapshot
+    /// support). Templates and clusters are emitted in key order; member
+    /// lists keep their insertion order, which step-1 assignment depends
+    /// on for tie-breaking.
+    pub fn export_state(&self) -> ClustererState {
+        ClustererState {
+            templates: self
+                .templates
+                .iter()
+                .map(|(&key, s)| TemplateRecord {
+                    key,
+                    feature_values: s.feature.values.clone(),
+                    feature_valid_from: s.feature.valid_from,
+                    volume: s.volume,
+                    last_seen: s.last_seen,
+                    cluster: s.cluster.0,
+                })
+                .collect(),
+            clusters: self
+                .clusters
+                .values()
+                .map(|c| ClusterRecord {
+                    id: c.id.0,
+                    members: c.members.clone(),
+                    center: c.center.clone(),
+                    volume: c.volume,
+                })
+                .collect(),
+            next_cluster: self.next_cluster,
+            seen_since_update: self.seen_since_update.iter().copied().collect(),
+            unseen_since_update: self.unseen_since_update as u64,
+            baseline_unseen_ratio: self.baseline_unseen_ratio,
+        }
+    }
+
+    /// Rebuilds a clusterer from exported state. `config` must match the
+    /// configuration of the exporting instance.
+    pub fn restore(config: ClustererConfig, state: ClustererState) -> Self {
+        let mut c = OnlineClusterer::new(config);
+        c.templates = state
+            .templates
+            .into_iter()
+            .map(|t| {
+                (
+                    t.key,
+                    TemplateState {
+                        feature: TemplateFeature {
+                            values: t.feature_values,
+                            valid_from: t.feature_valid_from,
+                        },
+                        volume: t.volume,
+                        last_seen: t.last_seen,
+                        cluster: ClusterId(t.cluster),
+                    },
+                )
+            })
+            .collect();
+        c.clusters = state
+            .clusters
+            .into_iter()
+            .map(|r| {
+                (
+                    ClusterId(r.id),
+                    Cluster {
+                        id: ClusterId(r.id),
+                        members: r.members,
+                        center: r.center,
+                        volume: r.volume,
+                    },
+                )
+            })
+            .collect();
+        c.next_cluster = state.next_cluster;
+        c.seen_since_update = state.seen_since_update.into_iter().collect();
+        c.unseen_since_update = state.unseen_since_update as usize;
+        c.baseline_unseen_ratio = state.baseline_unseen_ratio;
+        c
+    }
+}
+
+/// Plain-data snapshot of one tracked template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateRecord {
+    pub key: TemplateKey,
+    pub feature_values: Vec<f64>,
+    pub feature_valid_from: usize,
+    pub volume: f64,
+    pub last_seen: i64,
+    pub cluster: u64,
+}
+
+/// Plain-data snapshot of one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRecord {
+    pub id: u64,
+    /// Members in insertion order (assignment tie-breaking depends on it).
+    pub members: Vec<TemplateKey>,
+    pub center: Vec<f64>,
+    pub volume: f64,
+}
+
+/// Plain-data snapshot of an [`OnlineClusterer`] (durable-state export).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClustererState {
+    /// Tracked templates in key order.
+    pub templates: Vec<TemplateRecord>,
+    /// Live clusters in id order.
+    pub clusters: Vec<ClusterRecord>,
+    pub next_cluster: u64,
+    /// Distinct keys observed since the last update, ascending.
+    pub seen_since_update: Vec<TemplateKey>,
+    pub unseen_since_update: u64,
+    pub baseline_unseen_ratio: f64,
 }
 
 #[cfg(test)]
@@ -1009,6 +1123,51 @@ mod tests {
             0,
         );
         assert_eq!(c.cluster_of(3), c.cluster_of(1), "tie must favor the lowest cluster id");
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        let mut live = OnlineClusterer::new(ClustererConfig {
+            adaptive_trigger: true,
+            ..ClustererConfig::default()
+        });
+        // Build up clusters, churn baseline, and mid-period observations.
+        live.update(
+            vec![
+                snap(1, &[1.0, 0.0, 0.0], 5.0),
+                snap(2, &[0.0, 1.0, 0.0], 3.0),
+                snap(3, &[2.0, 0.1, 0.0], 2.0),
+            ],
+            0,
+        );
+        for k in [1, 2, 3, 40, 41] {
+            live.observe(k);
+        }
+        let exported = live.export_state();
+        let mut restored =
+            OnlineClusterer::restore(ClustererConfig { adaptive_trigger: true, ..ClustererConfig::default() }, exported.clone());
+        assert_eq!(restored.export_state(), exported, "restore must be lossless");
+        assert_eq!(restored.num_clusters(), live.num_clusters());
+        assert_eq!(restored.num_templates(), live.num_templates());
+        assert_eq!(restored.effective_trigger(), live.effective_trigger());
+
+        // Identical behavior from here on: same trigger decisions, same
+        // update reports, same resulting state.
+        for k in 50..80 {
+            assert_eq!(live.observe(k), restored.observe(k));
+        }
+        let snaps = |off: u64| {
+            vec![
+                snap(1, &[1.0, 0.0, 0.1], 5.0),
+                snap(2, &[0.0, 1.0, 0.0], 3.0),
+                snap(3, &[2.0, 0.0, 0.0], 2.0),
+                snap(60 + off, &[0.5, 0.5, 0.5], 1.0),
+            ]
+        };
+        let ra = live.update(snaps(0), 10);
+        let rb = restored.update(snaps(0), 10);
+        assert_eq!(ra, rb);
+        assert_eq!(live.export_state(), restored.export_state());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use qb_obs::{Recorder, RollingMean};
 use qb_timeseries::{Interval, Minute};
 
-use crate::pipeline::{ClusterInfo, QueryBot5000};
+use crate::pipeline::{ClusterInfo, ClusterInfoState, QueryBot5000};
 
 /// Default rolling window: how many settled observations each (horizon,
 /// cluster) mean averages over.
@@ -47,6 +47,60 @@ struct Pending {
     interval: Interval,
     cluster: ClusterInfo,
     predicted: f64,
+}
+
+/// Snapshot of one [`RollingMean`], preserving the exact float sum so the
+/// restored mean continues the identical numeric stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingMeanState {
+    /// Window capacity the mean was created with.
+    pub capacity: usize,
+    /// Values currently inside the window, oldest first.
+    pub values: Vec<f64>,
+    /// The running sum, verbatim (re-summing `values` would round
+    /// differently).
+    pub sum: f64,
+}
+
+fn export_mean(m: &RollingMean) -> RollingMeanState {
+    RollingMeanState { capacity: m.capacity(), values: m.values(), sum: m.sum() }
+}
+
+fn restore_mean(s: RollingMeanState) -> RollingMean {
+    RollingMean::from_parts(s.capacity, &s.values, s.sum)
+}
+
+/// Snapshot of one pending (unsettled) prediction claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingClaimState {
+    /// Index into the configured horizon list.
+    pub horizon_idx: usize,
+    /// Start of the predicted bucket.
+    pub due: Minute,
+    /// Bucket width in minutes.
+    pub interval_minutes: i64,
+    /// Cluster the claim was made against, frozen at claim time.
+    pub cluster: ClusterInfoState,
+    /// Claimed arrival rate.
+    pub predicted: f64,
+}
+
+/// Full plain-data snapshot of an [`AccuracyTracker`] — everything needed
+/// to continue scoring bit-identically after a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyTrackerState {
+    /// Configured horizon count.
+    pub horizons: usize,
+    /// Rolling-window capacity.
+    pub window: usize,
+    /// Unsettled claims, in recording order.
+    pub pending: Vec<PendingClaimState>,
+    /// Per-horizon rolling error windows.
+    pub overall: Vec<RollingMeanState>,
+    /// Per-(horizon, cluster-id) rolling error windows, sorted by key.
+    pub per_cluster: Vec<(usize, u64, RollingMeanState)>,
+    /// Lifetime settled-claim count.
+    pub settled_total: u64,
 }
 
 /// Scores predictions against later-observed actuals in rolling windows.
@@ -196,6 +250,56 @@ impl AccuracyTracker {
         self.settled_total
     }
 
+    /// Plain-data snapshot of the tracker, including unsettled claims and
+    /// the exact rolling-window contents.
+    pub fn export_state(&self) -> AccuracyTrackerState {
+        AccuracyTrackerState {
+            horizons: self.horizons,
+            window: self.window,
+            pending: self
+                .pending
+                .iter()
+                .map(|p| PendingClaimState {
+                    horizon_idx: p.horizon_idx,
+                    due: p.due,
+                    interval_minutes: p.interval.as_minutes(),
+                    cluster: p.cluster.export_state(),
+                    predicted: p.predicted,
+                })
+                .collect(),
+            overall: self.overall.iter().map(export_mean).collect(),
+            per_cluster: self
+                .per_cluster
+                .iter()
+                .map(|(&(h, c), m)| (h, c, export_mean(m)))
+                .collect(),
+            settled_total: self.settled_total,
+        }
+    }
+
+    /// Rebuilds a tracker from [`AccuracyTracker::export_state`]. The
+    /// recorder starts disabled — install one afterwards with
+    /// [`AccuracyTracker::set_recorder`].
+    pub fn restore(state: AccuracyTrackerState) -> Self {
+        let mut tracker = Self::new(state.horizons, state.window);
+        tracker.pending = state
+            .pending
+            .into_iter()
+            .map(|p| Pending {
+                horizon_idx: p.horizon_idx,
+                due: p.due,
+                interval: Interval::minutes(p.interval_minutes),
+                cluster: ClusterInfo::from_state(p.cluster),
+                predicted: p.predicted,
+            })
+            .collect();
+        tracker.overall = state.overall.into_iter().map(restore_mean).collect();
+        tracker.per_cluster =
+            state.per_cluster.into_iter().map(|(h, c, m)| ((h, c), restore_mean(m))).collect();
+        tracker.settled_total = state.settled_total;
+        tracker
+    }
+
     /// One [`HorizonAccuracy`] row per configured horizon.
     pub fn horizon_accuracy(&self) -> Vec<HorizonAccuracy> {
         self.overall
@@ -288,6 +392,29 @@ mod tests {
         // The 12 h claim matures later.
         tr.settle(&bot, now + 13 * 60 + 1);
         assert!(tr.rolling_mse(1).is_some());
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_settles_identically() {
+        let bot = fed_bot(2);
+        let clusters = bot.tracked_clusters().to_vec();
+        let now = MINUTES_PER_DAY;
+        let mut tr = AccuracyTracker::new(2, 8);
+        tr.record(0, now, Interval::HOUR, 1, &clusters, &[550.0]);
+        tr.record(1, now, Interval::HOUR, 12, &clusters, &[300.0]);
+        tr.settle(&bot, now + 121); // settles the 1 h claim, 12 h stays pending
+        let state = tr.export_state();
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.settled_total, 1);
+        let mut restored = AccuracyTracker::restore(state.clone());
+        assert_eq!(restored.export_state(), state);
+        // The restored tracker settles the remaining claim exactly like
+        // the original would.
+        let late = now + 13 * 60 + 1;
+        assert_eq!(restored.settle(&bot, late), tr.settle(&bot, late));
+        assert_eq!(restored.rolling_mse(1), tr.rolling_mse(1));
+        assert_eq!(restored.per_cluster_mse(0), tr.per_cluster_mse(0));
+        assert_eq!(restored.settled_total(), tr.settled_total());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use qb_trace::Tracer;
 use qb_workloads::{FaultPlan, Workload};
 
 use crate::controller::{ControllerConfig, Strategy};
+use crate::durable::DurabilityConfig;
 use crate::error::ConfigError;
 use crate::pipeline::{FeatureMode, Qb5000Config};
 
@@ -157,6 +158,15 @@ impl Qb5000ConfigBuilder {
     /// costs nothing).
     pub fn trace(mut self, tracer: Tracer) -> Self {
         self.cfg.tracer = tracer;
+        self
+    }
+
+    /// Durable-state policy: persist a snapshot + WAL lineage under the
+    /// policy's directory so [`crate::DurablePipeline::open`] can recover
+    /// the pipeline bit-identically after a crash. Defaults to `None`
+    /// (fully in-memory).
+    pub fn durability(mut self, policy: DurabilityConfig) -> Self {
+        self.cfg.durability = Some(policy);
         self
     }
 
@@ -313,6 +323,15 @@ impl ControllerConfigBuilder {
     /// Defaults to [`Tracer::disabled`].
     pub fn trace(mut self, tracer: Tracer) -> Self {
         self.cfg.tracer = tracer;
+        self
+    }
+
+    /// Durable-state policy for the pipeline the controller drives: every
+    /// ingest and cluster update is write-ahead logged and snapshotted so
+    /// a crashed experiment recovers bit-identically. Defaults to `None`
+    /// (fully in-memory).
+    pub fn durability(mut self, policy: DurabilityConfig) -> Self {
+        self.cfg.durability = Some(policy);
         self
     }
 

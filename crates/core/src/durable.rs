@@ -1,0 +1,1196 @@
+//! Durable pipeline state: versioned snapshots + a sighting WAL (the
+//! robustness layer over `qb-durable`).
+//!
+//! The in-memory pipeline is deterministic: the same ingest stream through
+//! the same configuration produces bit-identical templates, clusters,
+//! forecasts, and trace streams. Durability exploits that instead of
+//! fighting it — the WAL records *inputs* (template sightings,
+//! cluster-update instants, compactions), not effects, and recovery simply
+//! replays the tail through the ordinary ingest path on top of the last
+//! valid snapshot. Anything derivable (shift-triggered re-clusterings,
+//! quarantine admissions, fitted models) is *not* logged; it re-derives
+//! identically.
+//!
+//! ## Formats
+//!
+//! The snapshot payload is `[u16 STATE_VERSION]` followed by the
+//! [`FullState`] encoding; every record type is hand-encoded in this
+//! module against [`qb_durable::Enc`]/[`qb_durable::Dec`] so the on-disk
+//! layout is auditable line by line. Version bumps are append-only: a
+//! build refuses payload versions it does not know rather than guessing.
+//!
+//! WAL frame payloads carry one [`WalRecord`]; the frame `kind` byte is
+//! the dispatch tag ([`KIND_INGEST`], [`KIND_CLUSTER_UPDATE`],
+//! [`KIND_COMPACT`]).
+//!
+//! ## Recovery invariants
+//!
+//! 1. **Append-then-apply.** Every mutating [`DurablePipeline`] call
+//!    appends its WAL frame *before* touching the in-memory pipeline, so a
+//!    crash at any I/O boundary loses at most operations the caller never
+//!    saw complete.
+//! 2. **Sequence numbers dedup replay.** Frames at or below the loaded
+//!    snapshot's sequence are skipped by `qb-durable`, so a crash between
+//!    snapshot rename and WAL rotation cannot double-apply a sighting —
+//!    which is exactly the "no quarantine double-count" guarantee:
+//!    rejected statements live inside the snapshot's quarantine ring and
+//!    their WAL frames are sequence-skipped, never replayed on top.
+//! 3. **Replay is the ingest path.** Recovery calls the same
+//!    `ingest_weighted` / `update_clusters` the live pipeline uses, so a
+//!    recovered process continues the exact event stream — forecasts,
+//!    [`crate::PipelineHealth`], and `qb-trace` output are bit-identical
+//!    to an uninterrupted run.
+
+use std::path::PathBuf;
+
+use qb_clusterer::{ClusterRecord, ClustererState, TemplateRecord, UpdateReport};
+use qb_durable::{CodecError, Dec, DurabilityError, DurableStore, Enc, FaultHook, StoreStats};
+use qb_forecast::DegradationLevel;
+use qb_preprocessor::{
+    IngestStats, PreProcessorState, QuarantineState, QuarantinedStatement, TemplateEntryState,
+    TemplateId,
+};
+use qb_sqlparse::ast::Literal;
+use qb_timeseries::{ArrivalHistoryState, Minute};
+use qb_trace::{EventRecord, Scope, TraceDump, Tracer, TracerState, Value};
+
+use crate::accuracy::{AccuracyTrackerState, PendingClaimState, RollingMeanState};
+use crate::error::Error;
+use crate::manager::{ForecastManager, ManagerState, RetrainOutcome};
+use crate::pipeline::{
+    ClusterInfoState, PipelineHealth, PipelineState, Qb5000Config, QueryBot5000,
+};
+
+/// Version of the snapshot payload this build reads and writes. Bump when
+/// the [`FullState`] encoding changes shape; old versions are refused, not
+/// guessed at.
+pub const STATE_VERSION: u16 = 1;
+
+/// WAL frame kind: one weighted template sighting.
+pub const KIND_INGEST: u8 = 1;
+/// WAL frame kind: an explicit cluster-update instant.
+pub const KIND_CLUSTER_UPDATE: u8 = 2;
+/// WAL frame kind: an arrival-history compaction point.
+pub const KIND_COMPACT: u8 = 3;
+
+/// Durable-state policy for a pipeline: where state lives, how often a
+/// full snapshot replaces WAL replay, and (for tests) where to crash.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the snapshot lineage and WAL segments.
+    pub dir: PathBuf,
+    /// A snapshot is cut after this many [`DurablePipeline::update_clusters`]
+    /// rounds (1 = every round). Ingest frames between snapshots replay on
+    /// recovery.
+    pub snapshot_every_rounds: u64,
+    /// Crash-injection hook consulted at every I/O boundary
+    /// ([`qb_durable::IoPoint`]); [`FaultHook::none`] in production.
+    pub fault_hook: FaultHook,
+}
+
+impl DurabilityConfig {
+    /// A policy rooted at `dir`, snapshotting every cluster-update round,
+    /// with no fault injection.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), snapshot_every_rounds: 1, fault_hook: FaultHook::none() }
+    }
+
+    /// Snapshot after every `n` cluster-update rounds (clamped to ≥ 1).
+    pub fn snapshot_every_rounds(mut self, n: u64) -> Self {
+        self.snapshot_every_rounds = n.max(1);
+        self
+    }
+
+    /// Installs a crash-injection hook (tests).
+    pub fn fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = hook;
+        self
+    }
+}
+
+/// Everything a snapshot persists: the pipeline proper, the forecast
+/// manager's serving state (if one is attached), and the tracer's ring
+/// (if tracing is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullState {
+    pub pipeline: PipelineState,
+    pub manager: Option<ManagerState>,
+    pub tracer: Option<TracerState>,
+}
+
+/// One decoded WAL frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A weighted template sighting (the `ingest_weighted` arguments).
+    Ingest { minute: Minute, count: u64, sql: String },
+    /// An explicit cluster rebuild at `now`.
+    ClusterUpdate { now: Minute },
+    /// An arrival-history compaction point.
+    Compact,
+}
+
+/// What [`DurablePipeline::open`] found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Sequence of the loaded snapshot (`None` = fresh directory or no
+    /// valid snapshot yet).
+    pub snapshot_seq: Option<u64>,
+    /// WAL frames replayed on top of the snapshot.
+    pub frames_replayed: u64,
+    /// Ingest sightings among the replayed frames.
+    pub statements_replayed: u64,
+    /// Newer snapshots skipped because they failed validation.
+    pub corrupt_snapshots_skipped: u64,
+    /// Frames already covered by the snapshot and skipped by sequence.
+    pub stale_frames_skipped: u64,
+    /// The forecast manager's serving state from the snapshot. The model
+    /// factory is a closure and cannot be serialized, so the caller
+    /// rebuilds the manager with [`ForecastManager::restore`] and hands it
+    /// back via [`DurablePipeline::attach_manager`].
+    pub manager: Option<ManagerState>,
+}
+
+impl RecoveryReport {
+    /// True when the directory held prior state (snapshot or frames).
+    pub fn recovered(&self) -> bool {
+        self.snapshot_seq.is_some() || self.frames_replayed > 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: every versioned record type, hand-encoded.
+// ---------------------------------------------------------------------------
+
+fn bad_tag(what: &'static str, tag: u8) -> CodecError {
+    CodecError::BadTag { what, tag }
+}
+
+/// Encodes one [`Literal`] (tagged: 0=Integer 1=Float 2=String 3=Boolean
+/// 4=Null — append-only).
+pub fn encode_literal(e: &mut Enc, lit: &Literal) {
+    match lit {
+        Literal::Integer(v) => {
+            e.u8(0);
+            e.i64(*v);
+        }
+        Literal::Float(v) => {
+            e.u8(1);
+            e.f64(*v);
+        }
+        Literal::String(s) => {
+            e.u8(2);
+            e.str(s);
+        }
+        Literal::Boolean(b) => {
+            e.u8(3);
+            e.bool(*b);
+        }
+        Literal::Null => e.u8(4),
+    }
+}
+
+/// Inverse of [`encode_literal`].
+pub fn decode_literal(d: &mut Dec) -> Result<Literal, CodecError> {
+    Ok(match d.u8()? {
+        0 => Literal::Integer(d.i64()?),
+        1 => Literal::Float(d.f64()?),
+        2 => Literal::String(d.str()?),
+        3 => Literal::Boolean(d.bool()?),
+        4 => Literal::Null,
+        tag => return Err(bad_tag("Literal", tag)),
+    })
+}
+
+/// Encodes one [`ArrivalHistoryState`].
+pub fn encode_history(e: &mut Enc, h: &ArrivalHistoryState) {
+    e.seq(&h.raw, |e, (m, c)| {
+        e.i64(*m);
+        e.u64(*c);
+    });
+    e.seq(&h.compacted, |e, (m, c)| {
+        e.i64(*m);
+        e.u64(*c);
+    });
+    e.option(h.compacted_width_minutes.as_ref(), |e, w| e.i64(*w));
+    e.u64(h.total);
+}
+
+/// Inverse of [`encode_history`].
+pub fn decode_history(d: &mut Dec) -> Result<ArrivalHistoryState, CodecError> {
+    Ok(ArrivalHistoryState {
+        raw: d.seq(|d| Ok((d.i64()?, d.u64()?)))?,
+        compacted: d.seq(|d| Ok((d.i64()?, d.u64()?)))?,
+        compacted_width_minutes: d.option(Dec::i64)?,
+        total: d.u64()?,
+    })
+}
+
+fn encode_quarantine(e: &mut Enc, q: &QuarantineState) {
+    e.u64(q.rejected_statements);
+    e.u64(q.rejected_arrivals);
+    e.seq(&q.samples, |e, s| {
+        e.i64(s.minute);
+        e.str(&s.sql);
+        e.str(&s.error);
+    });
+    e.option(q.last_error.as_ref(), |e, s| e.str(s));
+}
+
+fn decode_quarantine(d: &mut Dec) -> Result<QuarantineState, CodecError> {
+    Ok(QuarantineState {
+        rejected_statements: d.u64()?,
+        rejected_arrivals: d.u64()?,
+        samples: d.seq(|d| {
+            Ok(QuarantinedStatement { minute: d.i64()?, sql: d.str()?, error: d.str()? })
+        })?,
+        last_error: d.option(Dec::str)?,
+    })
+}
+
+fn encode_entry(e: &mut Enc, t: &TemplateEntryState) {
+    e.str(&t.text);
+    encode_history(e, &t.history);
+    e.u64(t.params_seen);
+    e.seq(&t.params_items, |e, params| e.seq(params, encode_literal));
+    for w in t.params_rng {
+        e.u64(w);
+    }
+}
+
+fn decode_entry(d: &mut Dec) -> Result<TemplateEntryState, CodecError> {
+    Ok(TemplateEntryState {
+        text: d.str()?,
+        history: decode_history(d)?,
+        params_seen: d.u64()?,
+        params_items: d.seq(|d| d.seq(decode_literal))?,
+        params_rng: [d.u64()?, d.u64()?, d.u64()?, d.u64()?],
+    })
+}
+
+/// Encodes one [`PreProcessorState`].
+pub fn encode_preprocessor_state(e: &mut Enc, s: &PreProcessorState) {
+    e.seq(&s.entries, encode_entry);
+    e.seq(&s.distinct_texts, |e, (text, id)| {
+        e.str(text);
+        e.u32(*id);
+    });
+    e.seq(&s.raw_cache, |e, (text, id)| {
+        e.str(text);
+        e.u32(*id);
+    });
+    e.u64(s.cache_hits);
+    e.u64(s.next_seed);
+    e.u64(s.stats.total_queries);
+    e.u64(s.stats.selects);
+    e.u64(s.stats.inserts);
+    e.u64(s.stats.updates);
+    e.u64(s.stats.deletes);
+    encode_quarantine(e, &s.quarantine);
+}
+
+/// Inverse of [`encode_preprocessor_state`].
+pub fn decode_preprocessor_state(d: &mut Dec) -> Result<PreProcessorState, CodecError> {
+    Ok(PreProcessorState {
+        entries: d.seq(decode_entry)?,
+        distinct_texts: d.seq(|d| Ok((d.str()?, d.u32()?)))?,
+        raw_cache: d.seq(|d| Ok((d.str()?, d.u32()?)))?,
+        cache_hits: d.u64()?,
+        next_seed: d.u64()?,
+        stats: IngestStats {
+            total_queries: d.u64()?,
+            selects: d.u64()?,
+            inserts: d.u64()?,
+            updates: d.u64()?,
+            deletes: d.u64()?,
+        },
+        quarantine: decode_quarantine(d)?,
+    })
+}
+
+/// Encodes one [`ClustererState`].
+pub fn encode_clusterer_state(e: &mut Enc, s: &ClustererState) {
+    e.seq(&s.templates, |e, t| {
+        e.u64(t.key);
+        e.seq(&t.feature_values, |e, v| e.f64(*v));
+        e.usize(t.feature_valid_from);
+        e.f64(t.volume);
+        e.i64(t.last_seen);
+        e.u64(t.cluster);
+    });
+    e.seq(&s.clusters, |e, c| {
+        e.u64(c.id);
+        e.seq(&c.members, |e, m| e.u64(*m));
+        e.seq(&c.center, |e, v| e.f64(*v));
+        e.f64(c.volume);
+    });
+    e.u64(s.next_cluster);
+    e.seq(&s.seen_since_update, |e, k| e.u64(*k));
+    e.u64(s.unseen_since_update);
+    e.f64(s.baseline_unseen_ratio);
+}
+
+/// Inverse of [`encode_clusterer_state`].
+pub fn decode_clusterer_state(d: &mut Dec) -> Result<ClustererState, CodecError> {
+    Ok(ClustererState {
+        templates: d.seq(|d| {
+            Ok(TemplateRecord {
+                key: d.u64()?,
+                feature_values: d.seq(Dec::f64)?,
+                feature_valid_from: d.usize()?,
+                volume: d.f64()?,
+                last_seen: d.i64()?,
+                cluster: d.u64()?,
+            })
+        })?,
+        clusters: d.seq(|d| {
+            Ok(ClusterRecord {
+                id: d.u64()?,
+                members: d.seq(Dec::u64)?,
+                center: d.seq(Dec::f64)?,
+                volume: d.f64()?,
+            })
+        })?,
+        next_cluster: d.u64()?,
+        seen_since_update: d.seq(Dec::u64)?,
+        unseen_since_update: d.u64()?,
+        baseline_unseen_ratio: d.f64()?,
+    })
+}
+
+fn encode_cluster_info(e: &mut Enc, c: &ClusterInfoState) {
+    e.u64(c.id);
+    e.f64(c.volume);
+    e.seq(&c.members, |e, m| e.u32(*m));
+}
+
+fn decode_cluster_info(d: &mut Dec) -> Result<ClusterInfoState, CodecError> {
+    Ok(ClusterInfoState { id: d.u64()?, volume: d.f64()?, members: d.seq(Dec::u32)? })
+}
+
+/// Encodes one [`PipelineState`].
+pub fn encode_pipeline_state(e: &mut Enc, s: &PipelineState) {
+    encode_preprocessor_state(e, &s.pre);
+    encode_clusterer_state(e, &s.clusterer);
+    e.seq(&s.tracked, encode_cluster_info);
+    e.option(s.last_update.as_ref(), |e, m| e.i64(*m));
+    e.u64(s.shift_triggers);
+    e.u64(s.ingested_statements);
+    e.u64(s.ingested_arrivals);
+    e.u64(s.deduplicated);
+    e.u64(s.reordered);
+    e.option(s.last_ingest_minute.as_ref(), |e, m| e.i64(*m));
+    e.option(s.last_ingest_event.as_ref(), |e, (m, fp)| {
+        e.i64(*m);
+        e.u64(*fp);
+    });
+}
+
+/// Inverse of [`encode_pipeline_state`].
+pub fn decode_pipeline_state(d: &mut Dec) -> Result<PipelineState, CodecError> {
+    Ok(PipelineState {
+        pre: decode_preprocessor_state(d)?,
+        clusterer: decode_clusterer_state(d)?,
+        tracked: d.seq(decode_cluster_info)?,
+        last_update: d.option(Dec::i64)?,
+        shift_triggers: d.u64()?,
+        ingested_statements: d.u64()?,
+        ingested_arrivals: d.u64()?,
+        deduplicated: d.u64()?,
+        reordered: d.u64()?,
+        last_ingest_minute: d.option(Dec::i64)?,
+        last_ingest_event: d.option(|d| Ok((d.i64()?, d.u64()?)))?,
+    })
+}
+
+fn encode_rolling_mean(e: &mut Enc, m: &RollingMeanState) {
+    e.usize(m.capacity);
+    e.seq(&m.values, |e, v| e.f64(*v));
+    e.f64(m.sum);
+}
+
+fn decode_rolling_mean(d: &mut Dec) -> Result<RollingMeanState, CodecError> {
+    Ok(RollingMeanState { capacity: d.usize()?, values: d.seq(Dec::f64)?, sum: d.f64()? })
+}
+
+/// Encodes one [`AccuracyTrackerState`].
+pub fn encode_accuracy_state(e: &mut Enc, s: &AccuracyTrackerState) {
+    e.usize(s.horizons);
+    e.usize(s.window);
+    e.seq(&s.pending, |e, p| {
+        e.usize(p.horizon_idx);
+        e.i64(p.due);
+        e.i64(p.interval_minutes);
+        encode_cluster_info(e, &p.cluster);
+        e.f64(p.predicted);
+    });
+    e.seq(&s.overall, encode_rolling_mean);
+    e.seq(&s.per_cluster, |e, (h, c, m)| {
+        e.usize(*h);
+        e.u64(*c);
+        encode_rolling_mean(e, m);
+    });
+    e.u64(s.settled_total);
+}
+
+/// Inverse of [`encode_accuracy_state`].
+pub fn decode_accuracy_state(d: &mut Dec) -> Result<AccuracyTrackerState, CodecError> {
+    Ok(AccuracyTrackerState {
+        horizons: d.usize()?,
+        window: d.usize()?,
+        pending: d.seq(|d| {
+            Ok(PendingClaimState {
+                horizon_idx: d.usize()?,
+                due: d.i64()?,
+                interval_minutes: d.i64()?,
+                cluster: decode_cluster_info(d)?,
+                predicted: d.f64()?,
+            })
+        })?,
+        overall: d.seq(decode_rolling_mean)?,
+        per_cluster: d.seq(|d| Ok((d.usize()?, d.u64()?, decode_rolling_mean(d)?)))?,
+        settled_total: d.u64()?,
+    })
+}
+
+fn encode_degradation(e: &mut Enc, level: &Option<DegradationLevel>) {
+    e.option(level.as_ref(), |e, l| e.u8(l.to_code()));
+}
+
+fn decode_degradation(d: &mut Dec) -> Result<Option<DegradationLevel>, CodecError> {
+    d.option(|d| {
+        let tag = d.u8()?;
+        DegradationLevel::from_code(tag).ok_or(bad_tag("DegradationLevel", tag))
+    })
+}
+
+/// Encodes one [`ManagerState`].
+pub fn encode_manager_state(e: &mut Enc, s: &ManagerState) {
+    e.u64(s.retrain_count);
+    e.u32(s.consecutive_failures);
+    e.u64(s.backoff_remaining);
+    e.u64(s.rollbacks);
+    e.option(s.last_error.as_ref(), |e, msg| e.str(msg));
+    e.option(s.trained_clusters.as_ref(), |e, tc| {
+        e.seq(tc, |e, (id, members)| {
+            e.u64(*id);
+            e.seq(members, |e, m| e.u32(*m));
+        });
+    });
+    e.option(s.trained_on.as_ref(), |e, on| e.seq(on, encode_cluster_info));
+    e.seq(&s.last_degradation, encode_degradation);
+    e.option(s.last_train_now.as_ref(), |e, m| e.i64(*m));
+    encode_accuracy_state(e, &s.accuracy);
+}
+
+/// Inverse of [`encode_manager_state`].
+pub fn decode_manager_state(d: &mut Dec) -> Result<ManagerState, CodecError> {
+    Ok(ManagerState {
+        retrain_count: d.u64()?,
+        consecutive_failures: d.u32()?,
+        backoff_remaining: d.u64()?,
+        rollbacks: d.u64()?,
+        last_error: d.option(Dec::str)?,
+        trained_clusters: d
+            .option(|d| d.seq(|d| Ok((d.u64()?, d.seq(Dec::u32)?))))?,
+        trained_on: d.option(|d| d.seq(decode_cluster_info))?,
+        last_degradation: d.seq(decode_degradation)?,
+        last_train_now: d.option(Dec::i64)?,
+        accuracy: decode_accuracy_state(d)?,
+    })
+}
+
+fn encode_value(e: &mut Enc, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            e.u8(0);
+            e.i64(*x);
+        }
+        Value::Uint(x) => {
+            e.u8(1);
+            e.u64(*x);
+        }
+        Value::Float(x) => {
+            e.u8(2);
+            e.f64(*x);
+        }
+        Value::Text(s) => {
+            e.u8(3);
+            e.str(s);
+        }
+        Value::Flag(b) => {
+            e.u8(4);
+            e.bool(*b);
+        }
+    }
+}
+
+fn decode_value(d: &mut Dec) -> Result<Value, CodecError> {
+    Ok(match d.u8()? {
+        0 => Value::Int(d.i64()?),
+        1 => Value::Uint(d.u64()?),
+        2 => Value::Float(d.f64()?),
+        3 => Value::Text(d.str()?),
+        4 => Value::Flag(d.bool()?),
+        tag => return Err(bad_tag("trace Value", tag)),
+    })
+}
+
+fn encode_event(e: &mut Enc, r: &EventRecord) {
+    e.u64(r.id);
+    e.u64(r.round);
+    e.u64(r.seq);
+    e.u32(r.lane);
+    e.u8(r.kind.to_code());
+    e.option(r.parent.as_ref(), |e, p| e.u64(*p));
+    e.seq(&r.refs, |e, v| e.u64(*v));
+    e.seq(&r.payload, |e, (k, v)| {
+        e.str(k);
+        encode_value(e, v);
+    });
+}
+
+fn decode_event(d: &mut Dec) -> Result<EventRecord, CodecError> {
+    Ok(EventRecord {
+        id: d.u64()?,
+        round: d.u64()?,
+        seq: d.u64()?,
+        lane: d.u32()?,
+        kind: {
+            let tag = d.u8()?;
+            qb_trace::EventKind::from_code(tag).ok_or(bad_tag("EventKind", tag))?
+        },
+        parent: d.option(Dec::u64)?,
+        refs: d.seq(Dec::u64)?,
+        payload: d.seq(|d| Ok((d.str()?, decode_value(d)?)))?,
+    })
+}
+
+fn encode_dump(e: &mut Enc, dump: &TraceDump) {
+    e.str(&dump.reason);
+    e.u64(dump.round);
+    e.str(&dump.recent);
+    e.str(&dump.lineage);
+}
+
+fn decode_dump(d: &mut Dec) -> Result<TraceDump, CodecError> {
+    Ok(TraceDump { reason: d.str()?, round: d.u64()?, recent: d.str()?, lineage: d.str()? })
+}
+
+/// Encodes one [`TracerState`].
+pub fn encode_tracer_state(e: &mut Enc, s: &TracerState) {
+    e.u64(s.next_id);
+    e.u64(s.round);
+    e.u64(s.seq);
+    e.u64(s.front_id);
+    e.seq(&s.ring, encode_event);
+    e.seq(&s.pinned, encode_event);
+    e.seq(&s.pin_order, |e, v| e.u64(*v));
+    e.seq(&s.anchors, |e, (scope, key, id)| {
+        e.u8(scope.to_code());
+        e.u64(*key);
+        e.u64(*id);
+    });
+    e.seq(&s.dumps, encode_dump);
+    e.u64(s.evictions);
+    e.u64(s.round_rejects);
+}
+
+/// Inverse of [`encode_tracer_state`].
+pub fn decode_tracer_state(d: &mut Dec) -> Result<TracerState, CodecError> {
+    Ok(TracerState {
+        next_id: d.u64()?,
+        round: d.u64()?,
+        seq: d.u64()?,
+        front_id: d.u64()?,
+        ring: d.seq(decode_event)?,
+        pinned: d.seq(decode_event)?,
+        pin_order: d.seq(Dec::u64)?,
+        anchors: d.seq(|d| {
+            let tag = d.u8()?;
+            let scope = Scope::from_code(tag).ok_or(bad_tag("Scope", tag))?;
+            Ok((scope, d.u64()?, d.u64()?))
+        })?,
+        dumps: d.seq(decode_dump)?,
+        evictions: d.u64()?,
+        round_rejects: d.u64()?,
+    })
+}
+
+/// Encodes a [`FullState`] as a snapshot payload (version-prefixed).
+pub fn encode_full_state(s: &FullState) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u16(STATE_VERSION);
+    encode_pipeline_state(&mut e, &s.pipeline);
+    e.option(s.manager.as_ref(), encode_manager_state);
+    e.option(s.tracer.as_ref(), encode_tracer_state);
+    e.finish()
+}
+
+/// Inverse of [`encode_full_state`]: verifies the version prefix and that
+/// every byte is consumed.
+pub fn decode_full_state(bytes: &[u8]) -> Result<FullState, DurabilityError> {
+    let mut d = Dec::new(bytes);
+    let version = d.u16().map_err(DurabilityError::Codec)?;
+    if version != STATE_VERSION {
+        return Err(DurabilityError::Corrupt(format!(
+            "snapshot payload version {version}; this build reads version {STATE_VERSION}"
+        )));
+    }
+    let pipeline = decode_pipeline_state(&mut d)?;
+    let manager = d.option(decode_manager_state)?;
+    let tracer = d.option(decode_tracer_state)?;
+    d.finish()?;
+    Ok(FullState { pipeline, manager, tracer })
+}
+
+/// Encodes one [`WalRecord`] as a `(frame kind, payload)` pair.
+pub fn encode_wal_record(rec: &WalRecord) -> (u8, Vec<u8>) {
+    let mut e = Enc::new();
+    match rec {
+        WalRecord::Ingest { minute, count, sql } => {
+            e.i64(*minute);
+            e.u64(*count);
+            e.str(sql);
+            (KIND_INGEST, e.finish())
+        }
+        WalRecord::ClusterUpdate { now } => {
+            e.i64(*now);
+            (KIND_CLUSTER_UPDATE, e.finish())
+        }
+        WalRecord::Compact => (KIND_COMPACT, e.finish()),
+    }
+}
+
+/// Inverse of [`encode_wal_record`].
+pub fn decode_wal_record(kind: u8, payload: &[u8]) -> Result<WalRecord, DurabilityError> {
+    let mut d = Dec::new(payload);
+    let rec = match kind {
+        KIND_INGEST => {
+            WalRecord::Ingest { minute: d.i64()?, count: d.u64()?, sql: d.str()? }
+        }
+        KIND_CLUSTER_UPDATE => WalRecord::ClusterUpdate { now: d.i64()? },
+        KIND_COMPACT => WalRecord::Compact,
+        other => {
+            return Err(DurabilityError::Corrupt(format!("unknown WAL record kind {other}")))
+        }
+    };
+    d.finish()?;
+    Ok(rec)
+}
+
+// ---------------------------------------------------------------------------
+// DurablePipeline
+// ---------------------------------------------------------------------------
+
+/// A [`QueryBot5000`] whose mutating operations are write-ahead logged and
+/// periodically snapshotted, so a crashed process resumes bit-identically.
+///
+/// Every mutating call follows invariant 1 (append-then-apply): the WAL
+/// frame is durable before the in-memory pipeline changes. An `Err` from
+/// any call therefore means the operation is *not* reflected in memory; an
+/// injected-crash error ([`Error::is_injected_crash`]) additionally means
+/// "the process died at this I/O boundary" to test harnesses, which drop
+/// the instance and re-[`open`](DurablePipeline::open).
+pub struct DurablePipeline {
+    bot: QueryBot5000,
+    store: DurableStore,
+    /// Sequence of the last appended (or recovered) durable operation.
+    seq: u64,
+    snapshot_every_rounds: u64,
+    rounds_since_snapshot: u64,
+    manager: Option<ForecastManager>,
+    snapshot_time: qb_obs::Histogram,
+    snapshot_bytes: qb_obs::Gauge,
+    wal_appends: qb_obs::Counter,
+    snapshots_metric: qb_obs::Counter,
+}
+
+impl DurablePipeline {
+    /// Opens (creating or recovering) the durable pipeline for a config
+    /// whose `durability` policy is set.
+    ///
+    /// A fresh directory yields an empty pipeline; an existing one loads
+    /// the newest valid snapshot (falling back past corrupt ones) and
+    /// replays the WAL tail through the ordinary ingest path. If the
+    /// snapshot carried forecast-manager state it is returned in the
+    /// [`RecoveryReport`] for the caller to rebuild (the model factory is
+    /// not serializable) and re-attach.
+    pub fn open(config: Qb5000Config) -> Result<(Self, RecoveryReport), Error> {
+        let mut config = config;
+        let Some(policy) = config.durability.clone() else {
+            return Err(Error::Durability {
+                detail: "DurablePipeline::open requires config.durability \
+                         (set it via Qb5000Config::builder().durability(..))"
+                    .into(),
+                injected_crash: false,
+            });
+        };
+        let (mut store, recovered) =
+            DurableStore::open(&policy.dir, policy.fault_hook.clone())?;
+        store.set_hook(policy.fault_hook.clone());
+        let seq = recovered.durable_seq();
+
+        let mut manager_state = None;
+        let snapshot_seq = recovered.snapshot.as_ref().map(|s| s.seq);
+        let mut bot = match recovered.snapshot {
+            Some(snap) => {
+                let full = decode_full_state(&snap.payload)?;
+                // Restore the tracer's ring first so replayed operations
+                // append to the recovered event stream, not a fresh one.
+                if let (Some(tstate), Some(settings)) =
+                    (full.tracer, config.tracer.settings())
+                {
+                    config.tracer = Tracer::restore(settings, tstate);
+                }
+                manager_state = full.manager;
+                QueryBot5000::restore(config, full.pipeline)?
+            }
+            None => QueryBot5000::new(config),
+        };
+
+        // Invariant 3: replay is the ordinary ingest path. Quarantine
+        // rejections re-derive (the Err is the same one the original
+        // caller saw), shift triggers re-fire, trace events re-append.
+        let mut statements_replayed = 0u64;
+        let mut rounds_since_snapshot = 0u64;
+        for frame in &recovered.frames {
+            match decode_wal_record(frame.kind, &frame.payload)? {
+                WalRecord::Ingest { minute, count, sql } => {
+                    statements_replayed += 1;
+                    let _ = bot.ingest_weighted(minute, &sql, count);
+                }
+                WalRecord::ClusterUpdate { now } => {
+                    bot.update_clusters(now);
+                    rounds_since_snapshot += 1;
+                }
+                WalRecord::Compact => bot.compact_histories(),
+            }
+        }
+
+        let report = RecoveryReport {
+            snapshot_seq,
+            frames_replayed: recovered.frames.len() as u64,
+            statements_replayed,
+            corrupt_snapshots_skipped: recovered.corrupt_snapshots_skipped,
+            stale_frames_skipped: recovered.stale_frames_skipped,
+            manager: manager_state,
+        };
+
+        let rec = bot.recorder().clone();
+        if report.recovered() {
+            rec.counter("durability.recoveries").inc();
+        } else {
+            rec.counter("durability.fresh_starts").inc();
+        }
+        rec.counter("durability.frames_replayed").add(report.frames_replayed);
+        rec.counter("durability.corrupt_snapshots_skipped")
+            .add(report.corrupt_snapshots_skipped);
+        rec.counter("durability.stale_frames_skipped").add(report.stale_frames_skipped);
+
+        let pipeline = Self {
+            bot,
+            store,
+            seq,
+            snapshot_every_rounds: policy.snapshot_every_rounds,
+            rounds_since_snapshot,
+            manager: None,
+            snapshot_time: rec.histogram("durability.snapshot"),
+            snapshot_bytes: rec.gauge("durability.snapshot_bytes"),
+            wal_appends: rec.counter("durability.wal_appends"),
+            snapshots_metric: rec.counter("durability.snapshots"),
+        };
+        Ok((pipeline, report))
+    }
+
+    fn append(&mut self, rec: &WalRecord) -> Result<(), Error> {
+        let (kind, payload) = encode_wal_record(rec);
+        let seq = self.seq + 1;
+        self.store.append(seq, kind, &payload)?;
+        self.seq = seq;
+        self.wal_appends.inc();
+        Ok(())
+    }
+
+    /// Durably forwards one query ([`QueryBot5000::ingest`]): the sighting
+    /// is WAL-framed, then applied.
+    pub fn ingest(&mut self, t: Minute, sql: &str) -> Result<TemplateId, Error> {
+        self.ingest_weighted(t, sql, 1)
+    }
+
+    /// Durable [`QueryBot5000::ingest_weighted`] (append-then-apply).
+    ///
+    /// A quarantine rejection returns the Pre-Processor's `Err` exactly as
+    /// the in-memory pipeline would — the frame stays in the WAL and the
+    /// rejection re-derives identically on replay, so quarantined
+    /// statements are never double-counted (they either live in a snapshot
+    /// *or* replay once, per invariant 2).
+    pub fn ingest_weighted(
+        &mut self,
+        t: Minute,
+        sql: &str,
+        count: u64,
+    ) -> Result<TemplateId, Error> {
+        self.append(&WalRecord::Ingest { minute: t, count, sql: sql.to_string() })?;
+        self.bot.ingest_weighted(t, sql, count)
+    }
+
+    /// Durable [`QueryBot5000::update_clusters`]: the instant is WAL-framed
+    /// and, after the rebuild, a snapshot is cut when the configured
+    /// `snapshot_every_rounds` policy comes due.
+    pub fn update_clusters(&mut self, now: Minute) -> Result<UpdateReport, Error> {
+        self.append(&WalRecord::ClusterUpdate { now })?;
+        let report = self.bot.update_clusters(now);
+        self.rounds_since_snapshot += 1;
+        if self.rounds_since_snapshot >= self.snapshot_every_rounds {
+            self.snapshot()?;
+        }
+        Ok(report)
+    }
+
+    /// Durable [`QueryBot5000::compact_histories`].
+    pub fn compact_histories(&mut self) -> Result<(), Error> {
+        self.append(&WalRecord::Compact)?;
+        self.bot.compact_histories();
+        Ok(())
+    }
+
+    /// Cuts a snapshot of the full pipeline state now (also called
+    /// automatically by the `snapshot_every_rounds` policy). Rotates the
+    /// WAL and prunes state older than the fallback snapshot.
+    pub fn snapshot(&mut self) -> Result<(), Error> {
+        let _span = self.snapshot_time.start();
+        let full = FullState {
+            pipeline: self.bot.export_state(),
+            manager: self.manager.as_ref().map(ForecastManager::export_state),
+            tracer: self.bot.tracer().export_state(),
+        };
+        let payload = encode_full_state(&full);
+        self.store.snapshot(self.seq, &payload)?;
+        self.snapshot_bytes.set(payload.len() as f64);
+        self.snapshots_metric.inc();
+        self.rounds_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Attaches a [`ForecastManager`] (fresh, or rebuilt from
+    /// [`RecoveryReport::manager`] via [`ForecastManager::restore`]); its
+    /// serving state joins subsequent snapshots. The pipeline's recorder
+    /// and tracer are installed into it, matching the non-durable wiring.
+    pub fn attach_manager(&mut self, mut manager: ForecastManager) {
+        manager.set_recorder(self.bot.recorder());
+        manager.set_tracer(self.bot.tracer());
+        self.manager = Some(manager);
+    }
+
+    /// The attached manager, if any.
+    pub fn manager(&self) -> Option<&ForecastManager> {
+        self.manager.as_ref()
+    }
+
+    /// [`ForecastManager::ensure_trained`] against this pipeline.
+    ///
+    /// # Panics
+    /// Panics if no manager is attached.
+    pub fn ensure_trained(&mut self, now: Minute) -> Result<RetrainOutcome, Error> {
+        let mgr = self
+            .manager
+            .as_mut()
+            .expect("DurablePipeline::ensure_trained: attach_manager first");
+        mgr.ensure_trained(&self.bot, now)
+    }
+
+    /// [`ForecastManager::predict_tracked`] against this pipeline.
+    ///
+    /// # Panics
+    /// Panics if no manager is attached (see
+    /// [`DurablePipeline::attach_manager`]) or the manager was never
+    /// trained.
+    pub fn predict_tracked(&mut self, now: Minute, horizon_idx: usize) -> Vec<f64> {
+        let mgr = self
+            .manager
+            .as_mut()
+            .expect("DurablePipeline::predict_tracked: attach_manager first");
+        mgr.predict_tracked(&self.bot, now, horizon_idx)
+    }
+
+    /// The wrapped pipeline, read-only. Mutations must go through the
+    /// durable methods so they hit the WAL.
+    pub fn bot(&self) -> &QueryBot5000 {
+        &self.bot
+    }
+
+    /// Health of the wrapped pipeline, with the manager's rolling
+    /// forecast-accuracy rows attached when one is present.
+    pub fn health(&self) -> PipelineHealth {
+        let h = self.bot.health();
+        match &self.manager {
+            Some(mgr) => h.with_accuracy(mgr.accuracy()),
+            None => h,
+        }
+    }
+
+    /// Sequence of the last durable operation.
+    pub fn durable_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Store activity counters (snapshot bytes/frames written).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Replaces the crash-injection hook (test harnesses re-arm between
+    /// phases).
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.store.set_hook(hook);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::HorizonSpec;
+    use qb_durable::IoPoint;
+    use qb_timeseries::MINUTES_PER_DAY;
+    use std::path::Path;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qb-core-durable-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &Path) -> Qb5000Config {
+        Qb5000Config {
+            durability: Some(DurabilityConfig::new(dir)),
+            ..Qb5000Config::default()
+        }
+    }
+
+    fn feed(p: &mut DurablePipeline, days: i64) {
+        for minute in 0..days * MINUTES_PER_DAY {
+            let hour = (minute / 60) % 24;
+            let v = if (8..20).contains(&hour) { 30 } else { 3 };
+            p.ingest_weighted(minute, "SELECT a FROM t WHERE id = 1", v).unwrap();
+            let nv = if (8..20).contains(&hour) { 2 } else { 25 };
+            p.ingest_weighted(minute, "SELECT b FROM u WHERE id = 2", nv).unwrap();
+        }
+    }
+
+    #[test]
+    fn open_requires_durability_policy() {
+        let Err(err) = DurablePipeline::open(Qb5000Config::default()) else {
+            panic!("open without a durability policy must fail");
+        };
+        assert_eq!(err.stage(), "durability");
+        assert!(!err.is_injected_crash());
+    }
+
+    #[test]
+    fn fresh_open_reports_no_recovery() {
+        let dir = tmp_dir("fresh");
+        let (p, report) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        assert!(!report.recovered());
+        assert_eq!(report.snapshot_seq, None);
+        assert_eq!(p.durable_seq(), 0);
+    }
+
+    #[test]
+    fn full_state_round_trips_through_bytes() {
+        let dir = tmp_dir("roundtrip");
+        let (mut p, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        feed(&mut p, 2);
+        let _ = p.ingest_weighted(5, "SELEC broken", 3); // quarantine content
+        p.update_clusters(2 * MINUTES_PER_DAY).unwrap();
+        let full = FullState {
+            pipeline: p.bot().export_state(),
+            manager: None,
+            tracer: None,
+        };
+        let bytes = encode_full_state(&full);
+        let back = decode_full_state(&bytes).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let full = FullState {
+            pipeline: QueryBot5000::new(Qb5000Config::default()).export_state(),
+            manager: None,
+            tracer: None,
+        };
+        let mut bytes = encode_full_state(&full);
+        bytes[0] = 0xFF; // clobber the version prefix
+        let err = decode_full_state(&bytes).unwrap_err();
+        assert!(matches!(err, DurabilityError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        for rec in [
+            WalRecord::Ingest { minute: -5, count: 42, sql: "SELECT 1".into() },
+            WalRecord::ClusterUpdate { now: 1440 },
+            WalRecord::Compact,
+        ] {
+            let (kind, payload) = encode_wal_record(&rec);
+            assert_eq!(decode_wal_record(kind, &payload).unwrap(), rec);
+        }
+        assert!(decode_wal_record(99, &[]).is_err());
+    }
+
+    #[test]
+    fn recovery_after_clean_run_is_bit_identical() {
+        let dir = tmp_dir("recover");
+        let now = 3 * MINUTES_PER_DAY;
+        let reference = {
+            let (mut p, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+            feed(&mut p, 3);
+            p.update_clusters(now).unwrap();
+            // More sightings after the snapshot: these live only in the WAL.
+            for minute in now..now + 120 {
+                p.ingest_weighted(minute, "SELECT a FROM t WHERE id = 1", 7).unwrap();
+            }
+            (p.bot().export_state(), p.health(), p.durable_seq())
+        };
+        let (p2, report) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        assert!(report.recovered());
+        assert_eq!(report.snapshot_seq, Some(reference.2 - 120));
+        assert_eq!(report.statements_replayed, 120);
+        assert_eq!(p2.bot().export_state(), reference.0, "state replays bit-identically");
+        assert_eq!(p2.health(), reference.1);
+        assert_eq!(p2.durable_seq(), reference.2);
+    }
+
+    #[test]
+    fn quarantined_statements_never_double_count() {
+        let dir = tmp_dir("quarantine");
+        let (mut p, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        feed(&mut p, 1);
+        for k in 0..5 {
+            assert!(p.ingest_weighted(100 + k, "SELEC nope", 2).is_err());
+        }
+        p.update_clusters(MINUTES_PER_DAY).unwrap(); // snapshot includes the ring
+        assert!(p.ingest_weighted(2000, "SELEC nope again", 1).is_err()); // WAL-only
+        let before = p.health();
+        drop(p);
+        let (p2, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        let after = p2.health();
+        assert_eq!(after.rejected_statements, 6);
+        assert_eq!(after.rejected_arrivals, 11);
+        assert_eq!(after, before, "ingest accounting identity across crash-restart");
+    }
+
+    #[test]
+    fn injected_crash_mid_append_loses_only_that_operation() {
+        let dir = tmp_dir("crash-append");
+        let now = MINUTES_PER_DAY;
+        {
+            let (mut p, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+            feed(&mut p, 1);
+            p.update_clusters(now).unwrap();
+            p.set_fault_hook(FaultHook::crash_at_point(IoPoint::WalFrameHalf));
+            let err = p.ingest_weighted(now + 1, "SELECT a FROM t WHERE id = 1", 9).unwrap_err();
+            assert!(err.is_injected_crash());
+        }
+        let (p2, report) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        // The torn frame was truncated; state matches the pre-crash prefix.
+        assert_eq!(report.statements_replayed, 0);
+        assert_eq!(p2.health().ingested_statements, 2 * MINUTES_PER_DAY as u64);
+        // The pipeline keeps accepting (sequence continues past the tear).
+        let (mut p2, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        p2.ingest_weighted(now + 1, "SELECT a FROM t WHERE id = 1", 9).unwrap();
+    }
+
+    #[test]
+    fn manager_state_travels_through_snapshot() {
+        let dir = tmp_dir("manager");
+        let now = 6 * MINUTES_PER_DAY;
+        let factory = || {
+            Box::new(qb_forecast::LinearRegression::default()) as Box<dyn qb_forecast::Forecaster>
+        };
+        let prediction = {
+            let (mut p, report) = DurablePipeline::open(durable_config(&dir)).unwrap();
+            assert!(report.manager.is_none());
+            feed(&mut p, 6);
+            p.update_clusters(now).unwrap();
+            p.attach_manager(ForecastManager::new(vec![HorizonSpec::hourly(1)], factory));
+            p.ensure_trained(now).unwrap();
+            let pred = p.predict_tracked(now, 0);
+            p.snapshot().unwrap(); // manager state now in the snapshot
+            pred
+        };
+        let (mut p2, report) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        let mstate = report.manager.expect("manager state recovered");
+        let mgr = ForecastManager::restore(
+            vec![HorizonSpec::hourly(1)],
+            factory,
+            mstate,
+            p2.bot(),
+        )
+        .unwrap();
+        p2.attach_manager(mgr);
+        assert_eq!(p2.ensure_trained(now).unwrap(), RetrainOutcome::UpToDate);
+        assert_eq!(p2.predict_tracked(now, 0), prediction, "warm-start predictions identical");
+    }
+
+    #[test]
+    fn tracer_stream_survives_recovery() {
+        use qb_trace::TraceSettings;
+        let dir = tmp_dir("tracer");
+        let now = MINUTES_PER_DAY;
+        let make_cfg = |dir: &Path| Qb5000Config {
+            tracer: qb_trace::Tracer::new(TraceSettings::default()),
+            durability: Some(DurabilityConfig::new(dir)),
+            ..Qb5000Config::default()
+        };
+        let reference = {
+            let (mut p, _) = DurablePipeline::open(make_cfg(&dir)).unwrap();
+            feed(&mut p, 1);
+            p.update_clusters(now).unwrap();
+            for minute in now..now + 30 {
+                p.ingest_weighted(minute, "SELECT a FROM t WHERE id = 1", 4).unwrap();
+            }
+            p.bot().tracer().export_state().unwrap()
+        };
+        let (p2, _) = DurablePipeline::open(make_cfg(&dir)).unwrap();
+        let recovered = p2.bot().tracer().export_state().unwrap();
+        assert_eq!(recovered, reference, "trace ring replays bit-identically");
+    }
+
+    #[test]
+    fn snapshot_metrics_flow_to_recorder() {
+        let dir = tmp_dir("metrics");
+        let rec = qb_obs::Recorder::new();
+        let cfg = Qb5000Config {
+            recorder: rec.clone(),
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Qb5000Config::default()
+        };
+        let (mut p, _) = DurablePipeline::open(cfg).unwrap();
+        feed(&mut p, 1);
+        p.update_clusters(MINUTES_PER_DAY).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["durability.fresh_starts"], 1);
+        assert_eq!(snap.counters["durability.snapshots"], 1);
+        assert!(snap.counters["durability.wal_appends"] > 0);
+        assert!(snap.gauges["durability.snapshot_bytes"] > 0.0);
+        assert_eq!(snap.histograms["durability.snapshot"].count, 1);
+        assert!(p.store_stats().last_snapshot_bytes > 0);
+    }
+
+    #[test]
+    fn snapshot_every_n_rounds_policy_holds() {
+        let dir = tmp_dir("policy");
+        let cfg = Qb5000Config {
+            durability: Some(DurabilityConfig::new(&dir).snapshot_every_rounds(3)),
+            ..Qb5000Config::default()
+        };
+        let (mut p, _) = DurablePipeline::open(cfg).unwrap();
+        feed(&mut p, 1);
+        for round in 1..=6 {
+            p.update_clusters(MINUTES_PER_DAY + round * 60).unwrap();
+        }
+        assert_eq!(p.store_stats().snapshots_written, 2, "6 rounds / every 3");
+    }
+}

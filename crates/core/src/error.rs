@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use qb_durable::DurabilityError;
 use qb_forecast::ForecastError;
 use qb_preprocessor::PreProcessError;
 
@@ -86,6 +87,16 @@ pub enum Error {
     Forecast(ForecastError),
     /// A builder rejected a configuration value.
     Config(ConfigError),
+    /// The durable-state layer failed (I/O, corruption, or an injected
+    /// crash). Carried as the rendered message so `Error` stays `Clone +
+    /// PartialEq`; match [`Error::is_injected_crash`] to separate injected
+    /// crashes from real failures.
+    Durability {
+        /// Rendered [`DurabilityError`] message.
+        detail: String,
+        /// True when the source was an injected test crash.
+        injected_crash: bool,
+    },
 }
 
 impl Error {
@@ -96,7 +107,15 @@ impl Error {
             Error::PreProcess(_) => "pre-processor",
             Error::Forecast(_) => "forecaster",
             Error::Config(_) => "config",
+            Error::Durability { .. } => "durability",
         }
+    }
+
+    /// True when the error is an injected durability-test crash (harnesses
+    /// treat those as "the process died here", everything else as a real
+    /// failure).
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(self, Error::Durability { injected_crash: true, .. })
     }
 
     /// True for forecast-model failures (divergence, solver breakdown)
@@ -113,6 +132,7 @@ impl fmt::Display for Error {
             Error::PreProcess(e) => write!(f, "pre-processor: {e}"),
             Error::Forecast(e) => write!(f, "forecaster: {e}"),
             Error::Config(e) => write!(f, "config: {e}"),
+            Error::Durability { detail, .. } => write!(f, "durability: {detail}"),
         }
     }
 }
@@ -123,6 +143,7 @@ impl std::error::Error for Error {
             Error::PreProcess(e) => Some(e),
             Error::Forecast(e) => Some(e),
             Error::Config(e) => Some(e),
+            Error::Durability { .. } => None,
         }
     }
 }
@@ -142,6 +163,12 @@ impl From<ForecastError> for Error {
 impl From<ConfigError> for Error {
     fn from(e: ConfigError) -> Self {
         Error::Config(e)
+    }
+}
+
+impl From<DurabilityError> for Error {
+    fn from(e: DurabilityError) -> Self {
+        Error::Durability { detail: e.to_string(), injected_crash: e.is_injected_crash() }
     }
 }
 

@@ -65,21 +65,34 @@
 pub mod accuracy;
 pub mod config;
 pub mod controller;
+pub mod durable;
 pub mod error;
 pub mod manager;
 pub mod pipeline;
 pub mod schemas;
 
-pub use accuracy::{AccuracyTracker, HorizonAccuracy, DEFAULT_ACCURACY_WINDOW};
+pub use accuracy::{
+    AccuracyTracker, AccuracyTrackerState, HorizonAccuracy, PendingClaimState, RollingMeanState,
+    DEFAULT_ACCURACY_WINDOW,
+};
 pub use config::{ControllerConfigBuilder, Qb5000ConfigBuilder};
 pub use controller::{
     ControllerConfig, ExperimentResult, IndexSelectionExperiment, PerfSample, Strategy,
 };
-pub use error::{ConfigError, Error};
-pub use manager::{ForecastHealth, ForecastManager, HorizonSpec, RetrainOutcome};
-pub use pipeline::{
-    ClusterInfo, FeatureMode, ForecastJob, JobSpan, PipelineHealth, Qb5000Config, QueryBot5000,
+pub use durable::{
+    DurabilityConfig, DurablePipeline, FullState, RecoveryReport, WalRecord, STATE_VERSION,
 };
+pub use error::{ConfigError, Error};
+pub use manager::{ForecastHealth, ForecastManager, HorizonSpec, ManagerState, RetrainOutcome};
+pub use pipeline::{
+    ClusterInfo, ClusterInfoState, FeatureMode, ForecastJob, JobSpan, PipelineHealth,
+    PipelineState, Qb5000Config, QueryBot5000,
+};
+
+// The durable-state policy surface (`Qb5000Config::durability`) exposes the
+// crash-injection hook and I/O boundary enum from `qb-durable`, so re-export
+// them for harnesses and callers.
+pub use qb_durable::{CodecError, Dec, DurabilityError, Enc, FaultHook, IoPoint};
 
 // The observability handles are part of the public configuration surface
 // (`Qb5000Config::recorder`), so re-export them for downstream callers.

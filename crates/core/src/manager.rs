@@ -25,9 +25,9 @@ use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, Minute};
 use qb_trace::{EventDraft, EventKind, LaneBuffer, Scope, Tracer};
 
-use crate::accuracy::{AccuracyTracker, DEFAULT_ACCURACY_WINDOW};
+use crate::accuracy::{AccuracyTracker, AccuracyTrackerState, DEFAULT_ACCURACY_WINDOW};
 use crate::error::Error;
-use crate::pipeline::{ClusterInfo, JobSpan, QueryBot5000};
+use crate::pipeline::{ClusterInfo, ClusterInfoState, JobSpan, QueryBot5000};
 
 /// One prediction horizon the planning module requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +104,39 @@ impl crate::pipeline::PipelineHealth {
     }
 }
 
+/// Plain-data snapshot of a [`ForecastManager`]'s serving state —
+/// everything except the fitted models themselves (and the model factory,
+/// which is a closure and cannot be serialized).
+///
+/// Recovery rebuilds the models deterministically:
+/// [`ForecastManager::restore`] re-runs each horizon's fit on the training
+/// data reconstructed at [`ManagerState::last_train_now`], which the
+/// restored arrival histories reproduce exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerState {
+    /// Successful retrain rounds.
+    pub retrain_count: u64,
+    /// Failed retrain attempts since the last success.
+    pub consecutive_failures: u32,
+    /// Retrain rounds left in the current backoff window.
+    pub backoff_remaining: u64,
+    /// Total failed retrains that rolled back to a snapshot.
+    pub rollbacks: u64,
+    /// Message of the most recent training failure.
+    pub last_error: Option<String>,
+    /// Cluster identity (id + sorted members) the live models were keyed
+    /// on, for the staleness check.
+    pub trained_clusters: Option<Vec<(u64, Vec<u32>)>>,
+    /// The full cluster set the live models were trained on.
+    pub trained_on: Option<Vec<ClusterInfoState>>,
+    /// Last observed degradation level per horizon.
+    pub last_degradation: Vec<Option<DegradationLevel>>,
+    /// `now` of the last successful retrain (`None` = never trained).
+    pub last_train_now: Option<Minute>,
+    /// The embedded accuracy tracker, pending claims included.
+    pub accuracy: AccuracyTrackerState,
+}
+
 /// Per-horizon forecasting models with §3's retrain rule.
 pub struct ForecastManager {
     specs: Vec<HorizonSpec>,
@@ -139,6 +172,11 @@ pub struct ForecastManager {
     /// Last observed degradation level per horizon (transition detector;
     /// survives across retrain rounds even though models are rebuilt).
     last_degradation: Vec<Option<DegradationLevel>>,
+    /// `now` of the last successful retrain. Durable recovery re-fits the
+    /// serving models at exactly this instant (models themselves are not
+    /// serialized — training is deterministic, so re-fitting on the same
+    /// data reproduces them bit-identically).
+    last_train_now: Option<Minute>,
     /// Rolling prediction-accuracy scorer fed by
     /// [`ForecastManager::predict_tracked`].
     accuracy: AccuracyTracker,
@@ -198,6 +236,7 @@ impl ForecastManager {
             degradation_transitions: qb_obs::Counter::default(),
             degradation_gauges: vec![qb_obs::Gauge::default(); horizons],
             last_degradation: vec![None; horizons],
+            last_train_now: None,
             accuracy: AccuracyTracker::new(horizons, DEFAULT_ACCURACY_WINDOW),
             tracer: Tracer::disabled(),
         }
@@ -435,6 +474,7 @@ impl ForecastManager {
         self.models = fresh.into_iter().map(Some).collect();
         self.trained_clusters = Some(Self::cluster_state(bot));
         self.trained_on = Some(bot.tracked_clusters().to_vec());
+        self.last_train_now = Some(now);
         self.retrain_count += 1;
         self.retrains_metric.inc();
         // Anchor each horizon to its freshly serving fit before the
@@ -569,6 +609,90 @@ impl ForecastManager {
     /// [`ForecastManager::predict_tracked`].
     pub fn accuracy(&self) -> &AccuracyTracker {
         &self.accuracy
+    }
+
+    /// Plain-data snapshot of the manager's serving state (models and the
+    /// factory excluded — see [`ManagerState`]).
+    pub fn export_state(&self) -> ManagerState {
+        ManagerState {
+            retrain_count: self.retrain_count,
+            consecutive_failures: self.consecutive_failures,
+            backoff_remaining: self.backoff_remaining,
+            rollbacks: self.rollbacks,
+            last_error: self.last_error.clone(),
+            trained_clusters: self
+                .trained_clusters
+                .as_ref()
+                .map(|tc| tc.iter().map(|(id, m)| (id.0, m.clone())).collect()),
+            trained_on: self
+                .trained_on
+                .as_ref()
+                .map(|on| on.iter().map(ClusterInfo::export_state).collect()),
+            last_degradation: self.last_degradation.clone(),
+            last_train_now: self.last_train_now,
+            accuracy: self.accuracy.export_state(),
+        }
+    }
+
+    /// Rebuilds a manager from [`ForecastManager::export_state`], re-fitting
+    /// the serving models against `bot`'s (restored) histories at the
+    /// recorded training instant.
+    ///
+    /// `specs` and `make_model` must match the original manager's — the
+    /// factory is a closure and travels outside the serialized state. The
+    /// re-fit is silent (no recorder, no tracer, sequential): install those
+    /// afterwards with [`ForecastManager::set_recorder`] /
+    /// [`ForecastManager::set_tracer`]. Returns [`Error::Forecast`] when a
+    /// model that trained before fails to train on the restored data — that
+    /// means the histories don't match the state, i.e. corruption upstream.
+    pub fn restore(
+        specs: Vec<HorizonSpec>,
+        make_model: impl Fn() -> Box<dyn Forecaster> + Send + Sync + 'static,
+        state: ManagerState,
+        bot: &QueryBot5000,
+    ) -> Result<Self, Error> {
+        let mut mgr = Self::new(specs, make_model);
+        mgr.retrain_count = state.retrain_count;
+        mgr.consecutive_failures = state.consecutive_failures;
+        mgr.backoff_remaining = state.backoff_remaining;
+        mgr.rollbacks = state.rollbacks;
+        mgr.last_error = state.last_error;
+        mgr.trained_clusters = state
+            .trained_clusters
+            .map(|tc| tc.into_iter().map(|(id, m)| (ClusterId(id), m)).collect());
+        mgr.trained_on =
+            state.trained_on.map(|on| on.into_iter().map(ClusterInfo::from_state).collect());
+        let mut last_degradation = state.last_degradation;
+        last_degradation.resize(mgr.specs.len(), None);
+        mgr.last_degradation = last_degradation;
+        mgr.last_train_now = state.last_train_now;
+        mgr.accuracy = AccuracyTracker::restore(state.accuracy);
+        if let (Some(train_now), Some(clusters)) = (mgr.last_train_now, mgr.trained_on.clone()) {
+            for (i, spec) in mgr.specs.clone().iter().enumerate() {
+                let job = bot
+                    .forecast_job_for(
+                        &clusters,
+                        train_now,
+                        spec.interval,
+                        spec.window,
+                        spec.horizon,
+                        JobSpan::Steps(spec.train_steps),
+                    )
+                    .ok_or_else(|| {
+                        Error::Durability {
+                            detail: format!(
+                                "manager restore: horizon {i} has no training data at \
+                                 minute {train_now}; state and histories disagree"
+                            ),
+                            injected_crash: false,
+                        }
+                    })?;
+                let mut model = (mgr.make_model)();
+                model.fit(&job.series, job.spec)?;
+                mgr.models[i] = Some(model);
+            }
+        }
+        Ok(mgr)
     }
 }
 
@@ -1011,6 +1135,58 @@ mod tests {
         let back = view.latest(EventKind::DegradationTransition).unwrap();
         assert!(back.render().contains("to=\"full\""));
         assert_eq!(tracer.dumps().iter().filter(|d| d.reason == "degraded").count(), 1);
+    }
+
+    #[test]
+    fn export_restore_reproduces_predictions_exactly() {
+        let bot = fed_bot(8);
+        let now = 8 * MINUTES_PER_DAY;
+        let mut mgr = manager();
+        mgr.ensure_trained(&bot, now).unwrap();
+        mgr.predict_tracked(&bot, now, 0);
+        let state = mgr.export_state();
+        assert_eq!(state.retrain_count, 1);
+        assert!(state.last_train_now.is_some());
+
+        let mut restored = ForecastManager::restore(
+            vec![HorizonSpec::hourly(1), HorizonSpec::hourly(12)],
+            || Box::new(qb_forecast::LinearRegression::default()),
+            state.clone(),
+            &bot,
+        )
+        .unwrap();
+        assert_eq!(restored.export_state(), state, "state survives the round trip");
+        // Deterministic re-fit: bit-identical predictions at both horizons,
+        // and the staleness check still says "current".
+        let later = now + 121;
+        assert_eq!(restored.predict(&bot, later, 0), mgr.predict(&bot, later, 0));
+        assert_eq!(restored.predict(&bot, later, 1), mgr.predict(&bot, later, 1));
+        assert!(restored.is_current(&bot));
+        assert_eq!(restored.ensure_trained(&bot, later).unwrap(), RetrainOutcome::UpToDate);
+        // Pending accuracy claims settle identically after the restart.
+        assert_eq!(
+            restored.predict_tracked(&bot, later, 0),
+            mgr.predict_tracked(&bot, later, 0)
+        );
+        assert_eq!(restored.accuracy().settled_total(), mgr.accuracy().settled_total());
+        assert_eq!(restored.accuracy().rolling_mse(0), mgr.accuracy().rolling_mse(0));
+    }
+
+    #[test]
+    fn untrained_manager_round_trips_without_models() {
+        let mgr = manager();
+        let state = mgr.export_state();
+        assert_eq!(state.last_train_now, None);
+        let bot = QueryBot5000::new(Qb5000Config::default());
+        let restored = ForecastManager::restore(
+            vec![HorizonSpec::hourly(1), HorizonSpec::hourly(12)],
+            || Box::new(qb_forecast::LinearRegression::default()),
+            state.clone(),
+            &bot,
+        )
+        .unwrap();
+        assert_eq!(restored.export_state(), state);
+        assert!(!restored.is_current(&bot));
     }
 
     #[test]

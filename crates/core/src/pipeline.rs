@@ -1,15 +1,17 @@
 //! The QB5000 pipeline: Pre-Processor → Clusterer → Forecaster (§3).
 
 use qb_clusterer::{
-    ClustererConfig, FeatureSampler, OnlineClusterer, TemplateSnapshot, UpdateReport,
+    ClustererConfig, ClustererState, FeatureSampler, OnlineClusterer, TemplateSnapshot,
+    UpdateReport,
 };
 use qb_forecast::{Forecaster, WindowSpec};
 use qb_obs::Recorder;
-use qb_preprocessor::{PreProcessor, PreProcessorConfig, TemplateId};
+use qb_preprocessor::{PreProcessor, PreProcessorConfig, PreProcessorState, TemplateId};
 use qb_timeseries::{Interval, Minute, MINUTES_PER_DAY};
 use qb_trace::{TraceDump, Tracer};
 
 use crate::accuracy::HorizonAccuracy;
+use crate::durable::DurabilityConfig;
 use crate::error::Error;
 
 /// Which feature the Clusterer groups templates by.
@@ -56,6 +58,11 @@ pub struct Qb5000Config {
     /// every stage at construction. Defaults to [`Tracer::disabled`],
     /// which makes every trace operation a no-op.
     pub tracer: Tracer,
+    /// Durable-state policy. `None` (the default) keeps the pipeline fully
+    /// in-memory; `Some` lets [`crate::DurablePipeline::open`] persist a
+    /// snapshot + WAL lineage under the configured directory and recover
+    /// from it bit-identically.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for Qb5000Config {
@@ -72,6 +79,7 @@ impl Default for Qb5000Config {
             seed: 0x5000,
             recorder: Recorder::disabled(),
             tracer: Tracer::disabled(),
+            durability: None,
         }
     }
 }
@@ -106,6 +114,54 @@ pub struct ClusterInfo {
     pub volume: f64,
     /// Member templates.
     pub members: Vec<TemplateId>,
+}
+
+/// Plain-data form of [`ClusterInfo`] for durable serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfoState {
+    pub id: u64,
+    pub volume: f64,
+    pub members: Vec<u32>,
+}
+
+impl ClusterInfo {
+    /// Flattens into the plain-data durable form.
+    pub fn export_state(&self) -> ClusterInfoState {
+        ClusterInfoState {
+            id: self.id.0,
+            volume: self.volume,
+            members: self.members.iter().map(|m| m.0).collect(),
+        }
+    }
+
+    /// Inverse of [`ClusterInfo::export_state`].
+    pub fn from_state(state: ClusterInfoState) -> Self {
+        ClusterInfo {
+            id: qb_clusterer::ClusterId(state.id),
+            volume: state.volume,
+            members: state.members.into_iter().map(TemplateId).collect(),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`QueryBot5000`]: the Pre-Processor's template
+/// table, the Clusterer's assignment state, and the pipeline-level
+/// bookkeeping (tracked clusters, ingest accounting, order detectors).
+/// Everything needed to continue ingesting with identical behavior — the
+/// durable snapshot payload minus the forecaster and tracer sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineState {
+    pub pre: PreProcessorState,
+    pub clusterer: ClustererState,
+    pub tracked: Vec<ClusterInfoState>,
+    pub last_update: Option<Minute>,
+    pub shift_triggers: u64,
+    pub ingested_statements: u64,
+    pub ingested_arrivals: u64,
+    pub deduplicated: u64,
+    pub reordered: u64,
+    pub last_ingest_minute: Option<Minute>,
+    pub last_ingest_event: Option<(Minute, u64)>,
 }
 
 /// End-to-end ingest accounting for the resilience layer: how much of the
@@ -272,6 +328,52 @@ impl QueryBot5000 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         sql.hash(&mut h);
         h.finish()
+    }
+
+    /// Exports the complete mutable pipeline state as plain data (durable
+    /// snapshots). Pair with [`QueryBot5000::restore`] to continue an
+    /// identical run in a fresh process.
+    pub fn export_state(&self) -> PipelineState {
+        PipelineState {
+            pre: self.pre.export_state(),
+            clusterer: self.clusterer.export_state(),
+            tracked: self.tracked.iter().map(ClusterInfo::export_state).collect(),
+            last_update: self.last_update,
+            shift_triggers: self.shift_triggers,
+            ingested_statements: self.ingested_statements,
+            ingested_arrivals: self.ingested_arrivals,
+            deduplicated: self.deduplicated,
+            reordered: self.reordered,
+            last_ingest_minute: self.last_ingest_minute,
+            last_ingest_event: self.last_ingest_event,
+        }
+    }
+
+    /// Rebuilds a pipeline from exported state. `config` must match the
+    /// exporting instance's configuration; the configured recorder and
+    /// tracer are installed into the restored stages exactly as
+    /// [`QueryBot5000::new`] would.
+    pub fn restore(config: Qb5000Config, state: PipelineState) -> Result<Self, Error> {
+        let mut bot = QueryBot5000::new(config);
+        let mut pre = PreProcessor::restore(bot.config.preprocessor.clone(), state.pre)?;
+        pre.set_recorder(&bot.config.recorder);
+        pre.set_tracer(&bot.config.tracer);
+        bot.pre = pre;
+        let mut clusterer =
+            OnlineClusterer::restore(bot.config.clusterer.clone(), state.clusterer);
+        clusterer.set_recorder(&bot.config.recorder);
+        clusterer.set_tracer(&bot.config.tracer);
+        bot.clusterer = clusterer;
+        bot.tracked = state.tracked.into_iter().map(ClusterInfo::from_state).collect();
+        bot.last_update = state.last_update;
+        bot.shift_triggers = state.shift_triggers;
+        bot.ingested_statements = state.ingested_statements;
+        bot.ingested_arrivals = state.ingested_arrivals;
+        bot.deduplicated = state.deduplicated;
+        bot.reordered = state.reordered;
+        bot.last_ingest_minute = state.last_ingest_minute;
+        bot.last_ingest_event = state.last_ingest_event;
+        Ok(bot)
     }
 
     /// The resilience-layer health report: ingest accounting plus the
@@ -443,7 +545,24 @@ impl QueryBot5000 {
         horizon: usize,
         span: JobSpan,
     ) -> Option<ForecastJob> {
-        if self.tracked.is_empty() {
+        self.forecast_job_for(&self.tracked, now, interval, window, horizon, span)
+    }
+
+    /// [`QueryBot5000::forecast_job_with`] over an explicit cluster set
+    /// instead of the currently tracked one — the durable-recovery path
+    /// re-fits the serving models against the exact cluster set they were
+    /// originally trained on, which may be a last-known-good snapshot that
+    /// differs from the current assignments.
+    pub fn forecast_job_for(
+        &self,
+        clusters: &[ClusterInfo],
+        now: Minute,
+        interval: Interval,
+        window: usize,
+        horizon: usize,
+        span: JobSpan,
+    ) -> Option<ForecastJob> {
+        if clusters.is_empty() {
             return None;
         }
         let end = interval.bucket_start(now);
@@ -451,8 +570,7 @@ impl QueryBot5000 {
         let mut start = end - span * interval.as_minutes();
         // Clamp to recorded history: training on zero-filled pre-ingest
         // buckets systematically biases the models low.
-        let earliest = self
-            .tracked
+        let earliest = clusters
             .iter()
             .flat_map(|c| c.members.iter())
             .filter_map(|&m| self.pre.template(m).history.first_seen())
@@ -463,8 +581,7 @@ impl QueryBot5000 {
                 start = first_bucket;
             }
         }
-        let series: Vec<Vec<f64>> = self
-            .tracked
+        let series: Vec<Vec<f64>> = clusters
             .iter()
             .map(|c| self.cluster_series(c, start, end, interval))
             .collect();
@@ -474,7 +591,7 @@ impl QueryBot5000 {
         Some(ForecastJob {
             series,
             spec: WindowSpec { window, horizon },
-            clusters: self.tracked.clone(),
+            clusters: clusters.to_vec(),
         })
     }
 

@@ -1,0 +1,387 @@
+//! Little-endian byte codec shared by the WAL and snapshot formats.
+//!
+//! Deliberately boring: explicit writes and reads of primitives with
+//! length-prefixed containers, no reflection, no derive machinery. Every
+//! versioned record in the workspace is encoded by hand against this pair
+//! so the on-disk layout is auditable line by line. Floats travel as raw
+//! IEEE-754 bits ([`Enc::f64`]), so NaN payloads and negative zero
+//! round-trip bit-exactly — required for the pipeline's bit-identical
+//! recovery contract.
+
+use std::collections::BTreeMap;
+
+/// Decode failure: structurally invalid bytes for the expected schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the expected field.
+    UnexpectedEnd { wanted: usize, remaining: usize },
+    /// A length prefix exceeds the plausibility bound.
+    ImplausibleLength { what: &'static str, len: u64 },
+    /// A discriminant byte had no mapped variant.
+    BadTag { what: &'static str, tag: u8 },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after the final field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { wanted, remaining } => {
+                write!(f, "unexpected end of input: wanted {wanted} bytes, {remaining} remain")
+            }
+            CodecError::ImplausibleLength { what, len } => {
+                write!(f, "implausible length for {what}: {len}")
+            }
+            CodecError::BadTag { what, tag } => write!(f, "bad tag {tag} for {what}"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after final field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound on any single length prefix. Far above any real pipeline
+/// state, far below anything that could OOM a decoder fed garbage.
+pub const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+/// Streaming encoder into an owned byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` always travels as 8 bytes so 32- and 64-bit encoders agree.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Raw IEEE-754 bits: NaNs and signed zeros round-trip exactly.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// `Option<T>`: presence byte then the value.
+    pub fn option<T>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+
+    /// Length-prefixed sequence.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.usize(items.len());
+        for item in items {
+            f(self, item);
+        }
+    }
+
+    /// A `BTreeMap` as a length-prefixed (key, value) sequence — already
+    /// sorted, so identical maps encode to identical bytes.
+    pub fn map<K, V>(&mut self, m: &BTreeMap<K, V>, mut f: impl FnMut(&mut Self, &K, &V)) {
+        self.usize(m.len());
+        for (k, v) in m {
+            f(self, k, v);
+        }
+    }
+}
+
+/// Positional decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed — catches schema drift where a
+    /// decoder silently reads less than the encoder wrote.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEnd { wanted: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { what: "bool", tag }),
+        }
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        if v > MAX_LEN {
+            return Err(CodecError::ImplausibleLength { what: "usize", len: v });
+        }
+        Ok(v as usize)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    pub fn option<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            tag => Err(CodecError::BadTag { what: "option", tag }),
+        }
+    }
+
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Vec<T>, CodecError> {
+        let n = self.usize()?;
+        // A length prefix can never promise more items than bytes remain:
+        // each item costs at least one byte, so bound allocation by that.
+        if n > self.remaining() {
+            return Err(CodecError::ImplausibleLength { what: "seq", len: n as u64 });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`. Table-driven, built once.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u16(65_535);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.usize(12_345);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.str("durable ✓");
+        e.bytes(&[1, 2, 3]);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u16().unwrap(), 65_535);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 12_345);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.str().unwrap(), "durable ✓");
+        assert_eq!(d.bytes().unwrap(), vec![1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut e = Enc::new();
+        e.option(Some(&9u64), |e, v| e.u64(*v));
+        e.option::<u64>(None, |e, v| e.u64(*v));
+        e.seq(&[1i64, -2, 3], |e, v| e.i64(*v));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        e.map(&m, |e, k, v| {
+            e.str(k);
+            e.u64(*v);
+        });
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.option(|d| d.u64()).unwrap(), Some(9));
+        assert_eq!(d.option(|d| d.u64()).unwrap(), None);
+        assert_eq!(d.seq(|d| d.i64()).unwrap(), vec![1, -2, 3]);
+        let n = d.usize().unwrap();
+        let pairs: Vec<(String, u64)> =
+            (0..n).map(|_| (d.str().unwrap(), d.u64().unwrap())).collect();
+        assert_eq!(pairs, vec![("a".into(), 1), ("b".into(), 2)]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_without_panic() {
+        let mut e = Enc::new();
+        e.str("hello");
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.str().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX); // absurd length prefix
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.bytes(), Err(CodecError::ImplausibleLength { .. })));
+        // A merely-too-large seq count is also rejected before allocating.
+        let mut e = Enc::new();
+        e.u64(1_000);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.seq(|d| d.u8()), Err(CodecError::ImplausibleLength { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Enc::new();
+        e.u8(1);
+        e.u8(2);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        d.u8().unwrap();
+        assert_eq!(d.finish(), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

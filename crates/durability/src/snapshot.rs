@@ -1,0 +1,256 @@
+//! Versioned, checksummed snapshots with atomic rotation.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! [4B magic "QBSN"][u16 version][u64 seq][u32 payload_len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! A snapshot is written to `<name>.tmp`, fully fsynced, renamed to
+//! `snap-<seq>.qbs`, and the directory entry is fsynced — so a crash at
+//! any boundary leaves either the previous snapshot or the complete new
+//! one, never a hybrid. Loading walks snapshots newest-first and returns
+//! the first one that validates, so a corrupted latest snapshot degrades
+//! to the previous good one instead of failing recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{crc32, MAX_LEN};
+use crate::fault::{check, FaultHook, IoPoint};
+use crate::DurabilityError;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"QBSN";
+/// Current snapshot format version. Bump on any layout change; decoders
+/// reject versions they do not know (no silent misinterpretation).
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 4 + 2 + 8 + 4 + 4;
+
+/// One loaded snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Last WAL sequence number folded into this snapshot. Replay skips
+    /// frames with `seq <= this`.
+    pub seq: u64,
+    /// Caller-defined state bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The final file name for a snapshot at `seq`. Zero-padded so
+/// lexicographic order equals numeric order.
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("snap-{seq:020}.qbs")
+}
+
+/// Parses a `seq` back out of a snapshot file name.
+pub(crate) fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?.strip_suffix(".qbs")?.parse().ok()
+}
+
+/// Writes the snapshot for `seq` atomically into `dir` and returns its
+/// final path. Consults `hook` at every I/O boundary.
+pub fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    payload: &[u8],
+    hook: &FaultHook,
+) -> Result<PathBuf, DurabilityError> {
+    check(hook, IoPoint::SnapshotStart)?;
+    let final_path = dir.join(snapshot_file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+
+    let mut tmp = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp_path)?;
+    tmp.write_all(&bytes)?;
+    check(hook, IoPoint::SnapshotTempWritten)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    check(hook, IoPoint::SnapshotTempSynced)?;
+    fs::rename(&tmp_path, &final_path)?;
+    check(hook, IoPoint::SnapshotRenamed)?;
+    sync_dir(dir)?;
+    check(hook, IoPoint::SnapshotDirSynced)?;
+    Ok(final_path)
+}
+
+/// Fsyncs a directory so a completed rename survives power loss. Windows
+/// cannot open directories for sync; renames there are best-effort.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    if cfg!(unix) {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Reads and validates one snapshot file.
+pub(crate) fn read_snapshot(path: &Path) -> Result<Snapshot, DurabilityError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(DurabilityError::Corrupt(format!(
+            "snapshot {} too short ({} bytes)",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(DurabilityError::Corrupt(format!("snapshot {} bad magic", path.display())));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(DurabilityError::Corrupt(format!(
+            "snapshot {} unsupported version {version}",
+            path.display()
+        )));
+    }
+    let seq = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[18..22].try_into().expect("4 bytes"));
+    if payload_len as u64 > MAX_LEN || bytes.len() != HEADER_LEN + payload_len {
+        return Err(DurabilityError::Corrupt(format!(
+            "snapshot {} length mismatch: header says {payload_len}, file holds {}",
+            path.display(),
+            bytes.len() - HEADER_LEN
+        )));
+    }
+    let payload = bytes[HEADER_LEN..].to_vec();
+    if crc32(&payload) != crc {
+        return Err(DurabilityError::Corrupt(format!(
+            "snapshot {} payload checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(Snapshot { seq, payload })
+}
+
+/// Loads the newest *valid* snapshot in `dir`.
+///
+/// Returns the snapshot plus the number of newer snapshots skipped as
+/// corrupt (`0` on the happy path); `None` when no valid snapshot exists.
+/// Leftover `.tmp` files from interrupted writes are ignored.
+pub fn load_latest_snapshot(dir: &Path) -> Result<Option<(Snapshot, u64)>, DurabilityError> {
+    let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = parse_snapshot_name(&name.to_string_lossy()) {
+            candidates.push((seq, entry.path()));
+        }
+    }
+    candidates.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+    let mut skipped = 0u64;
+    for (_, path) in candidates {
+        match read_snapshot(&path) {
+            Ok(snap) => return Ok(Some((snap, skipped))),
+            Err(DurabilityError::Io(e)) => return Err(DurabilityError::Io(e)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qb-durable-snap-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let hook = FaultHook::none();
+        write_snapshot(&dir, 41, b"state v1", &hook).unwrap();
+        write_snapshot(&dir, 97, b"state v2", &hook).unwrap();
+        let (snap, skipped) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(snap, Snapshot { seq: 97, payload: b"state v2".to_vec() });
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn empty_dir_loads_none() {
+        let dir = tmp_dir("empty");
+        assert!(load_latest_snapshot(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = tmp_dir("fallback");
+        let hook = FaultHook::none();
+        write_snapshot(&dir, 10, b"good old", &hook).unwrap();
+        let newest = write_snapshot(&dir, 20, b"bad new", &hook).unwrap();
+        // Flip one payload byte in the newest snapshot.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, bytes).unwrap();
+        let (snap, skipped) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(snap.seq, 10);
+        assert_eq!(snap.payload, b"good old");
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn truncated_and_wrong_version_rejected() {
+        let dir = tmp_dir("reject");
+        let hook = FaultHook::none();
+        let path = write_snapshot(&dir, 5, b"payload", &hook).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // Truncation at any byte must fail validation, never panic.
+        for cut in 0..clean.len() {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "cut at {cut}");
+        }
+        // Unknown version is rejected even with a correct checksum.
+        let mut versioned = clean.clone();
+        versioned[4] = 0xFF;
+        fs::write(&path, &versioned).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(DurabilityError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_old_snapshot_visible() {
+        let dir = tmp_dir("crash-tmp");
+        let hook = FaultHook::none();
+        write_snapshot(&dir, 1, b"old", &hook).unwrap();
+        let err = write_snapshot(
+            &dir,
+            2,
+            b"new",
+            &FaultHook::crash_at_point(IoPoint::SnapshotTempSynced),
+        )
+        .unwrap_err();
+        assert!(err.is_injected_crash());
+        let (snap, _) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(snap.seq, 1, "tmp file must not shadow the old snapshot");
+        // The orphaned tmp file exists but is ignored.
+        assert!(dir.join(format!("{}.tmp", snapshot_file_name(2))).exists());
+    }
+
+    #[test]
+    fn crash_after_rename_makes_new_snapshot_visible() {
+        let dir = tmp_dir("crash-renamed");
+        write_snapshot(&dir, 1, b"old", &FaultHook::none()).unwrap();
+        let err =
+            write_snapshot(&dir, 2, b"new", &FaultHook::crash_at_point(IoPoint::SnapshotRenamed))
+                .unwrap_err();
+        assert!(err.is_injected_crash());
+        let (snap, _) = load_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(snap.seq, 2);
+        assert_eq!(snap.payload, b"new");
+    }
+}

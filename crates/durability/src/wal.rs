@@ -1,0 +1,271 @@
+//! Append-only CRC-framed write-ahead log with torn-tail recovery.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [u32 body_len][u32 crc32(body)][body]
+//!     body = [u64 seq][u8 kind][payload bytes]
+//! ```
+//!
+//! Appends are written frame-at-a-time and fsynced before the logical
+//! operation they describe is applied, so a frame either validates in full
+//! on reopen or is part of a torn tail. [`Wal::open`] keeps exactly the
+//! longest valid prefix of frames and truncates the file back to that
+//! boundary — a torn write, short write, or bit-flipped tail costs only
+//! the frames at/after the damage, never the log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{crc32, MAX_LEN};
+use crate::fault::{check, FaultHook, IoPoint};
+use crate::DurabilityError;
+
+/// Fixed bytes before each frame body: `u32` length + `u32` CRC.
+const FRAME_HEADER: usize = 8;
+
+/// One durable WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalFrame {
+    /// Global monotonic sequence number of the logical operation.
+    pub seq: u64,
+    /// Caller-defined record kind discriminant.
+    pub kind: u8,
+    /// Caller-defined payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// An open, append-position WAL segment.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Durable length: every byte below this validated on open or was
+    /// appended (and fsynced) by this handle.
+    len: u64,
+    /// Frames appended (not necessarily fsynced) by this handle.
+    appended: u64,
+}
+
+/// Splits `bytes` into the longest valid frame prefix.
+///
+/// Returns the parsed frames and the byte offset where validity ends
+/// (`== bytes.len()` when the whole file is clean).
+pub(crate) fn scan_frames(bytes: &[u8]) -> (Vec<WalFrame>, usize) {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= FRAME_HEADER {
+        let body_len =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        // A body needs at least seq + kind; anything shorter or absurdly
+        // long is tail damage.
+        if body_len < 9 || body_len as u64 > MAX_LEN {
+            break;
+        }
+        let Some(body) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + body_len) else {
+            break; // short write: header promises more than the file holds
+        };
+        if crc32(body) != crc {
+            break; // torn write or bit flip inside this frame
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        frames.push(WalFrame { seq, kind: body[8], payload: body[9..].to_vec() });
+        pos += FRAME_HEADER + body_len;
+    }
+    (frames, pos)
+}
+
+impl Wal {
+    /// Opens (creating if absent) the segment at `path`, validates the
+    /// existing frames, and truncates any invalid tail. Returns the handle
+    /// positioned for append plus the surviving frames.
+    pub fn open(path: &Path) -> Result<(Self, Vec<WalFrame>), DurabilityError> {
+        // Existing frames are kept (the valid prefix survives recovery), so
+        // this deliberately does not truncate on open.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (frames, valid_len) = scan_frames(&bytes);
+        if valid_len < bytes.len() {
+            // Cut the torn/corrupt tail off so future appends start at a
+            // frame boundary instead of extending garbage.
+            file.set_len(valid_len as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        Ok((
+            Self { file, path: path.to_path_buf(), len: valid_len as u64, appended: 0 },
+            frames,
+        ))
+    }
+
+    /// The segment's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frames appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Durable byte length of the segment.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Appends one frame and fsyncs it. Consults `hook` at every I/O
+    /// boundary; an injected crash leaves the file exactly as the
+    /// completed steps built it (e.g. half a frame after
+    /// [`IoPoint::WalFrameHalf`]).
+    pub fn append(
+        &mut self,
+        seq: u64,
+        kind: u8,
+        payload: &[u8],
+        hook: &FaultHook,
+    ) -> Result<(), DurabilityError> {
+        let mut body = Vec::with_capacity(9 + payload.len());
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.push(kind);
+        body.extend_from_slice(payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+
+        check(hook, IoPoint::WalAppendStart)?;
+        let half = frame.len() / 2;
+        self.file.write_all(&frame[..half])?;
+        check(hook, IoPoint::WalFrameHalf)?;
+        self.file.write_all(&frame[half..])?;
+        check(hook, IoPoint::WalFrameFull)?;
+        self.file.sync_data()?;
+        self.len += frame.len() as u64;
+        self.appended += 1;
+        check(hook, IoPoint::WalFsync)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qb-durable-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.qbw")
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let path = tmp("roundtrip");
+        let hook = FaultHook::none();
+        {
+            let (mut wal, frames) = Wal::open(&path).unwrap();
+            assert!(frames.is_empty());
+            wal.append(1, 0, b"alpha", &hook).unwrap();
+            wal.append(2, 1, b"", &hook).unwrap();
+            wal.append(3, 0, &[0xFF; 300], &hook).unwrap();
+        }
+        let (_, frames) = Wal::open(&path).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], WalFrame { seq: 1, kind: 0, payload: b"alpha".to_vec() });
+        assert_eq!(frames[1], WalFrame { seq: 2, kind: 1, payload: vec![] });
+        assert_eq!(frames[2].payload.len(), 300);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_frame() {
+        let path = tmp("torn");
+        let hook = FaultHook::none();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(1, 0, b"keep me", &hook).unwrap();
+            wal.append(2, 0, b"also keep", &hook).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Tear the final frame at every possible byte boundary.
+        let second_start = {
+            let (_, one_frame_end) = scan_frames(&full[..full.len() - 1]);
+            one_frame_end
+        };
+        for cut in second_start + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (wal, frames) = Wal::open(&path).unwrap();
+            assert_eq!(frames.len(), 1, "cut at {cut}");
+            assert_eq!(frames[0].seq, 1);
+            assert_eq!(wal.len_bytes(), second_start as u64);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), second_start as u64);
+        }
+    }
+
+    #[test]
+    fn bit_flip_truncates_at_damaged_frame() {
+        let path = tmp("bitflip");
+        let hook = FaultHook::none();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for seq in 1..=4 {
+                wal.append(seq, 0, format!("frame {seq}").as_bytes(), &hook).unwrap();
+            }
+        }
+        let clean = std::fs::read(&path).unwrap();
+        for byte_idx in (0..clean.len()).step_by(3) {
+            let mut bytes = clean.clone();
+            bytes[byte_idx] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            let (_, frames) = Wal::open(&path).unwrap();
+            // Whatever survives must be a clean prefix with intact payloads.
+            for (i, f) in frames.iter().enumerate() {
+                assert_eq!(f.seq, i as u64 + 1);
+                assert_eq!(f.payload, format!("frame {}", i + 1).as_bytes());
+            }
+            assert!(frames.len() < 4 || bytes == clean);
+        }
+    }
+
+    #[test]
+    fn append_after_truncation_continues_cleanly() {
+        let path = tmp("heal");
+        let hook = FaultHook::none();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(1, 0, b"one", &hook).unwrap();
+            wal.append(2, 0, b"two", &hook).unwrap();
+        }
+        // Tear the tail, reopen, append — the new frame must land on the
+        // healed boundary.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        {
+            let (mut wal, frames) = Wal::open(&path).unwrap();
+            assert_eq!(frames.len(), 1);
+            wal.append(2, 0, b"two again", &hook).unwrap();
+        }
+        let (_, frames) = Wal::open(&path).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].payload, b"two again");
+    }
+
+    #[test]
+    fn injected_crash_leaves_described_state() {
+        let path = tmp("crash");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(1, 0, b"durable", &FaultHook::none()).unwrap();
+            let err = wal
+                .append(2, 0, b"torn", &FaultHook::crash_at_point(IoPoint::WalFrameHalf))
+                .unwrap_err();
+            assert!(err.is_injected_crash());
+        }
+        let (_, frames) = Wal::open(&path).unwrap();
+        assert_eq!(frames.len(), 1, "half-written frame must be truncated");
+        assert_eq!(frames[0].payload, b"durable");
+    }
+}

@@ -82,6 +82,27 @@ impl DegradationLevel {
             DegradationLevel::LastValue => "last-value",
         }
     }
+
+    /// Stable numeric code for durable serialization (append-only).
+    pub fn to_code(self) -> u8 {
+        match self {
+            DegradationLevel::Full => 0,
+            DegradationLevel::Ensemble => 1,
+            DegradationLevel::Single => 2,
+            DegradationLevel::LastValue => 3,
+        }
+    }
+
+    /// Inverse of [`DegradationLevel::to_code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => DegradationLevel::Full,
+            1 => DegradationLevel::Ensemble,
+            2 => DegradationLevel::Single,
+            3 => DegradationLevel::LastValue,
+            _ => return None,
+        })
+    }
 }
 
 /// A forecasting model jointly predicting all clusters at one horizon.

@@ -61,6 +61,29 @@ impl RollingMean {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The windowed observations, oldest first (for state snapshots).
+    pub fn values(&self) -> Vec<f64> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// The current running sum. Exposed alongside [`Self::values`] so a
+    /// restored window reproduces the live one bit-for-bit: the running
+    /// sum depends on push/eviction history, not just the surviving
+    /// values, and re-summing on restore could diverge in the last ulp.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Rebuilds a window from a snapshot taken via [`Self::values`] /
+    /// [`Self::sum`]. Values beyond `capacity` keep only the newest.
+    pub fn from_parts(capacity: usize, values: &[f64], sum: f64) -> Self {
+        let capacity = capacity.max(1);
+        let start = values.len().saturating_sub(capacity);
+        let buf: VecDeque<f64> = values[start..].iter().copied().collect();
+        let sum = if start == 0 { sum } else { buf.iter().sum() };
+        Self { capacity, buf, sum }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +113,22 @@ mod tests {
         // 10.0 evicted; mean of [1,2,3].
         assert_eq!(w.mean(), Some(2.0));
         assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        let mut w = RollingMean::new(3);
+        for v in [0.1, 0.2, 0.3, 0.4] {
+            w.push(v);
+        }
+        let r = RollingMean::from_parts(w.capacity(), &w.values(), w.sum());
+        assert_eq!(r, w);
+        // Both continue identically after restore.
+        let (mut a, mut b) = (w, r);
+        a.push(0.7);
+        b.push(0.7);
+        assert_eq!(a, b);
+        assert_eq!(a.mean(), b.mean());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::{HashMap, VecDeque};
 use qb_obs::Recorder;
 use qb_sqlparse::{parse_statement, Literal, ParseError, Statement};
 use qb_trace::{EventDraft, EventKind, Scope, Tracer};
-use qb_timeseries::{ArrivalHistory, CompactionPolicy, Interval, Minute};
+use qb_timeseries::{ArrivalHistory, ArrivalHistoryState, CompactionPolicy, Interval, Minute};
 
 pub use fingerprint::{semantic_fingerprint, Fingerprint};
 pub use logical::LogicalFeatures;
@@ -147,6 +147,38 @@ impl Quarantine {
     pub fn last_error(&self) -> Option<&str> {
         self.last_error.as_deref()
     }
+
+    /// Plain-data snapshot of the quarantine.
+    pub fn export_state(&self) -> QuarantineState {
+        QuarantineState {
+            rejected_statements: self.rejected_statements,
+            rejected_arrivals: self.rejected_arrivals,
+            samples: self.samples.iter().cloned().collect(),
+            last_error: self.last_error.clone(),
+        }
+    }
+
+    /// Rebuilds the quarantine from a snapshot. Samples beyond
+    /// [`QUARANTINE_SAMPLE_CAPACITY`] keep only the newest.
+    pub fn from_state(state: QuarantineState) -> Self {
+        let start = state.samples.len().saturating_sub(QUARANTINE_SAMPLE_CAPACITY);
+        Self {
+            rejected_statements: state.rejected_statements,
+            rejected_arrivals: state.rejected_arrivals,
+            samples: state.samples[start..].iter().cloned().collect(),
+            last_error: state.last_error,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Quarantine`] (durable-state export).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuarantineState {
+    pub rejected_statements: u64,
+    pub rejected_arrivals: u64,
+    /// Retained samples, oldest first.
+    pub samples: Vec<QuarantinedStatement>,
+    pub last_error: Option<String>,
 }
 
 /// Aggregate counters for Table 1 / Table 2.
@@ -470,6 +502,113 @@ impl PreProcessor {
     ) -> Vec<f64> {
         self.entries[id.0 as usize].history.dense_series(start, end, interval)
     }
+
+    /// Exports the complete mutable state as plain data (durable-snapshot
+    /// support). Everything needed to continue ingesting with *identical*
+    /// behavior is captured: template table, folding/dedup maps, raw-string
+    /// cache and its re-parse cadence counter, reservoir RNG states, ingest
+    /// stats, and the quarantine. Map contents are emitted in sorted order
+    /// so the export is byte-stable across runs.
+    pub fn export_state(&self) -> PreProcessorState {
+        let mut distinct_texts: Vec<(String, u32)> =
+            self.distinct_texts.iter().map(|(t, id)| (t.clone(), id.0)).collect();
+        distinct_texts.sort();
+        let mut raw_cache: Vec<(String, u32)> =
+            self.raw_cache.iter().map(|(t, id)| (t.clone(), id.0)).collect();
+        raw_cache.sort();
+        PreProcessorState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| TemplateEntryState {
+                    text: e.text.clone(),
+                    history: e.history.export_state(),
+                    params_seen: e.params.seen(),
+                    params_items: e.params.items().to_vec(),
+                    params_rng: e.params.rng_state(),
+                })
+                .collect(),
+            distinct_texts,
+            raw_cache,
+            cache_hits: self.cache_hits,
+            next_seed: self.next_seed,
+            stats: self.stats,
+            quarantine: self.quarantine.export_state(),
+        }
+    }
+
+    /// Rebuilds a Pre-Processor from exported state.
+    ///
+    /// `config` must match the configuration of the exporting instance
+    /// (reservoir capacity and folding mode shape the stored state).
+    /// Template ASTs, verbs, table lists, logical features, and semantic
+    /// fingerprints are reconstructed by re-parsing each entry's canonical
+    /// text — templatizing canonical text is idempotent, so the rebuilt
+    /// table is equivalent to the one that was exported.
+    pub fn restore(
+        config: PreProcessorConfig,
+        state: PreProcessorState,
+    ) -> Result<Self, PreProcessError> {
+        let mut pp = PreProcessor::new(config);
+        for (idx, es) in state.entries.into_iter().enumerate() {
+            let stmt = parse_statement(&es.text)?;
+            let tq = templatize(&stmt);
+            debug_assert_eq!(tq.text, es.text, "canonical template text must re-templatize to itself");
+            let id = TemplateId(idx as u32);
+            pp.by_fingerprint.insert(semantic_fingerprint(&tq.template), id);
+            pp.entries.push(TemplateEntry {
+                id,
+                text: es.text,
+                kind: tq.template.kind_name(),
+                tables: tq.template.tables(),
+                logical: LogicalFeatures::extract(&tq.template),
+                history: ArrivalHistory::from_state(es.history),
+                params: Reservoir::from_parts(
+                    pp.config.reservoir_capacity,
+                    es.params_seen,
+                    es.params_items,
+                    es.params_rng,
+                ),
+                statement: tq.template,
+            });
+        }
+        pp.distinct_texts =
+            state.distinct_texts.into_iter().map(|(t, id)| (t, TemplateId(id))).collect();
+        pp.raw_cache = state.raw_cache.into_iter().map(|(t, id)| (t, TemplateId(id))).collect();
+        pp.cache_hits = state.cache_hits;
+        pp.next_seed = state.next_seed;
+        pp.stats = state.stats;
+        pp.quarantine = Quarantine::from_state(state.quarantine);
+        Ok(pp)
+    }
+}
+
+/// Plain-data snapshot of one [`TemplateEntry`]. The AST and derived
+/// features are *not* stored — they are rebuilt from the canonical text,
+/// which is the compact, version-stable representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateEntryState {
+    /// Canonical templated SQL text (placeholders for constants).
+    pub text: String,
+    pub history: ArrivalHistoryState,
+    pub params_seen: u64,
+    pub params_items: Vec<Vec<Literal>>,
+    pub params_rng: [u64; 4],
+}
+
+/// Plain-data snapshot of a [`PreProcessor`] (durable-state export).
+///
+/// Entry order is template-id order; map fields are sorted by key so two
+/// exports of identical state are identical values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PreProcessorState {
+    pub entries: Vec<TemplateEntryState>,
+    pub distinct_texts: Vec<(String, u32)>,
+    pub raw_cache: Vec<(String, u32)>,
+    pub cache_hits: u64,
+    pub next_seed: u64,
+    pub stats: IngestStats,
+    pub quarantine: QuarantineState,
 }
 
 #[cfg(test)]
@@ -633,6 +772,53 @@ mod tests {
         let explain = view.explain(anchor);
         assert!(explain.contains("TemplateCreated"), "{explain}");
         assert!(explain.contains("QuerySeen"), "{explain}");
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        let mut live = pp();
+        // Exercise every stateful path: folding, quarantine, weighted
+        // arrivals, and enough raw-cache repeats to cross the re-parse
+        // cadence boundary.
+        live.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        live.ingest(0, "INSERT INTO t (a) VALUES (1)").unwrap();
+        live.ingest_weighted(1, "UPDATE t SET a = 2 WHERE id = 3", 40).unwrap();
+        let _ = live.ingest_weighted(2, "BROKEN ((", 5);
+        for i in 0..70 {
+            live.ingest(3 + i % 2, "SELECT x FROM t WHERE id = 1").unwrap();
+        }
+        live.compact_histories();
+
+        let exported = live.export_state();
+        let mut restored =
+            PreProcessor::restore(PreProcessorConfig::default(), exported.clone()).unwrap();
+        assert_eq!(restored.export_state(), exported, "restore must be lossless");
+        assert_eq!(restored.num_templates(), live.num_templates());
+        assert_eq!(restored.num_distinct_texts(), live.num_distinct_texts());
+        assert_eq!(restored.stats(), live.stats());
+        assert_eq!(
+            restored.quarantine().rejected_arrivals(),
+            live.quarantine().rejected_arrivals()
+        );
+
+        // Both instances must behave identically from here on — same ids,
+        // same reservoir decisions, same cache cadence.
+        let follow_up = [
+            "SELECT x FROM t WHERE id = 1",
+            "SELECT x FROM t WHERE id = 9",
+            "DELETE FROM t WHERE id = 4",
+            "SELECT x FROM t WHERE id = 1",
+        ];
+        for round in 0..30 {
+            for sql in follow_up {
+                let a = live.ingest(100 + round, sql).unwrap();
+                let b = restored.ingest(100 + round, sql).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+        let _ = live.ingest(200, "ALSO BROKEN ((");
+        let _ = restored.ingest(200, "ALSO BROKEN ((");
+        assert_eq!(live.export_state(), restored.export_state());
     }
 
     #[test]

@@ -69,6 +69,23 @@ impl<T> Reservoir<T> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The RNG's internal state (for durable snapshots).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a reservoir from snapshotted parts. The restored sampler
+    /// continues the *exact* random stream of the original, so offers after
+    /// restore pick the same slots a crash-free run would have picked.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `items.len() > capacity`.
+    pub fn from_parts(capacity: usize, seen: u64, items: Vec<T>, rng: [u64; 4]) -> Self {
+        assert!(capacity > 0, "Reservoir capacity must be positive");
+        assert!(items.len() <= capacity, "Reservoir holds more items than capacity");
+        Self { capacity, seen, items, rng: SmallRng::from_state(rng) }
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +160,27 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         Reservoir::<i32>::new(0, 1);
+    }
+
+    #[test]
+    fn parts_round_trip_continues_exact_stream() {
+        let mut live = Reservoir::new(4, 99);
+        for i in 0..50 {
+            live.offer(i);
+        }
+        let mut restored = Reservoir::from_parts(
+            live.capacity(),
+            live.seen(),
+            live.items().to_vec(),
+            live.rng_state(),
+        );
+        // Both samplers must make identical decisions from here on.
+        for i in 50..500 {
+            live.offer(i);
+            restored.offer(i);
+        }
+        assert_eq!(live.items(), restored.items());
+        assert_eq!(live.seen(), restored.seen());
+        assert_eq!(live.rng_state(), restored.rng_state());
     }
 }

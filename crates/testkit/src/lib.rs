@@ -31,6 +31,7 @@
 //! templatizer oracle tests (the Table 1 SELECT/INSERT/UPDATE/DELETE mix).
 
 pub mod corpus;
+pub mod crash;
 pub mod golden;
 pub mod oracle;
 pub mod sim;

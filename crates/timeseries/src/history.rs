@@ -28,6 +28,23 @@ impl Default for CompactionPolicy {
     }
 }
 
+/// The exported durable state of one [`ArrivalHistory`], produced by
+/// [`ArrivalHistory::export_state`] and consumed by
+/// [`ArrivalHistory::from_state`]. All plain data: the durability layer
+/// owns the byte encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArrivalHistoryState {
+    /// Sorted recent per-minute `(minute, count)` pairs.
+    pub raw: Vec<(Minute, u64)>,
+    /// Sorted compacted `(bucket_start, count)` pairs.
+    pub compacted: Vec<(Minute, u64)>,
+    /// Width of compacted buckets in minutes (`None` before the first
+    /// compaction).
+    pub compacted_width_minutes: Option<i64>,
+    /// Total arrivals ever recorded.
+    pub total: u64,
+}
+
 /// The arrival-rate record for one query template.
 ///
 /// Counts are stored sparsely: a minute with no arrivals occupies no space.
@@ -143,6 +160,34 @@ impl ArrivalHistory {
             out[idx] += c as f64;
         }
         out
+    }
+
+    /// Exports the full record for durable serialization. Maps become
+    /// sorted `(key, count)` pairs, so identical histories export to
+    /// identical state — the basis of byte-stable snapshots.
+    pub fn export_state(&self) -> ArrivalHistoryState {
+        ArrivalHistoryState {
+            raw: self.raw.iter().map(|(&t, &c)| (t, c)).collect(),
+            compacted: self.compacted.iter().map(|(&t, &c)| (t, c)).collect(),
+            compacted_width_minutes: self.compacted_width.map(Interval::as_minutes),
+            total: self.total,
+        }
+    }
+
+    /// Rebuilds a history from exported state. Inverse of
+    /// [`ArrivalHistory::export_state`]: the rebuilt record answers every
+    /// read identically and continues recording/compacting from the same
+    /// point.
+    pub fn from_state(state: ArrivalHistoryState) -> Self {
+        Self {
+            raw: state.raw.into_iter().collect(),
+            compacted: state.compacted.into_iter().collect(),
+            compacted_width: state
+                .compacted_width_minutes
+                .filter(|&m| m > 0)
+                .map(Interval::minutes),
+            total: state.total,
+        }
     }
 
     /// Arrival counts sampled at specific minutes, aggregated at `interval`
@@ -359,6 +404,37 @@ mod tests {
             h.sample_at(&sample_points, Interval::HOUR),
             uncompacted.sample_at(&sample_points, Interval::HOUR)
         );
+    }
+
+    /// Export → rebuild must be invisible to every read path and to
+    /// further writes (the durable-snapshot contract).
+    #[test]
+    fn state_round_trip_is_exact() {
+        let mut h = ArrivalHistory::new();
+        for t in 0..3000 {
+            h.record(t, (t as u64 % 5) + 1);
+        }
+        h.compact(&CompactionPolicy { raw_retention: 500, compacted_interval: Interval::HOUR });
+        let mut rebuilt = ArrivalHistory::from_state(h.export_state());
+        assert_eq!(rebuilt.total(), h.total());
+        assert_eq!(rebuilt.stored_entries(), h.stored_entries());
+        assert_eq!(rebuilt.first_seen(), h.first_seen());
+        assert_eq!(
+            rebuilt.dense_series(0, 3000, Interval::MINUTE),
+            h.dense_series(0, 3000, Interval::MINUTE)
+        );
+        assert_eq!(rebuilt.export_state(), h.export_state());
+        // Writes and compactions continue identically after the rebuild.
+        h.record(3100, 9);
+        rebuilt.record(3100, 9);
+        let policy = CompactionPolicy { raw_retention: 400, compacted_interval: Interval::HOUR };
+        h.compact(&policy);
+        rebuilt.compact(&policy);
+        assert_eq!(rebuilt.export_state(), h.export_state());
+        // An empty history round-trips too.
+        let empty = ArrivalHistory::from_state(ArrivalHistory::new().export_state());
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.last_seen(), None);
     }
 
     /// A second compaction with an *older* newest-record does not resurrect

@@ -18,7 +18,7 @@
 pub mod history;
 pub mod metrics;
 
-pub use history::{ArrivalHistory, CompactionPolicy};
+pub use history::{ArrivalHistory, ArrivalHistoryState, CompactionPolicy};
 pub use metrics::{expm1_series, log1p_series, mse, mse_log_space};
 
 /// Whole minutes since the simulation epoch.

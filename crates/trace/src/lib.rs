@@ -102,6 +102,62 @@ pub enum EventKind {
     StageSpan,
 }
 
+impl EventKind {
+    /// Stable numeric code for durable serialization. Append-only: codes
+    /// are part of the snapshot format and must never be reused.
+    pub fn to_code(self) -> u8 {
+        match self {
+            EventKind::RoundStarted => 0,
+            EventKind::QuerySeen => 1,
+            EventKind::TemplateCreated => 2,
+            EventKind::QueryQuarantined => 3,
+            EventKind::QuarantineSpike => 4,
+            EventKind::ClusterCreated => 5,
+            EventKind::ClusterAssigned => 6,
+            EventKind::ClusterMerged => 7,
+            EventKind::ClusterEvicted => 8,
+            EventKind::ClustersUpdated => 9,
+            EventKind::ModelFit => 10,
+            EventKind::ModelFitFailed => 11,
+            EventKind::DivergenceGuard => 12,
+            EventKind::DegradationTransition => 13,
+            EventKind::RetrainRolledBack => 14,
+            EventKind::RetrainBackedOff => 15,
+            EventKind::ForecastIssued => 16,
+            EventKind::ForecastBlended => 17,
+            EventKind::IndexBuilt => 18,
+            EventKind::StageSpan => 19,
+        }
+    }
+
+    /// Inverse of [`EventKind::to_code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => EventKind::RoundStarted,
+            1 => EventKind::QuerySeen,
+            2 => EventKind::TemplateCreated,
+            3 => EventKind::QueryQuarantined,
+            4 => EventKind::QuarantineSpike,
+            5 => EventKind::ClusterCreated,
+            6 => EventKind::ClusterAssigned,
+            7 => EventKind::ClusterMerged,
+            8 => EventKind::ClusterEvicted,
+            9 => EventKind::ClustersUpdated,
+            10 => EventKind::ModelFit,
+            11 => EventKind::ModelFitFailed,
+            12 => EventKind::DivergenceGuard,
+            13 => EventKind::DegradationTransition,
+            14 => EventKind::RetrainRolledBack,
+            15 => EventKind::RetrainBackedOff,
+            16 => EventKind::ForecastIssued,
+            17 => EventKind::ForecastBlended,
+            18 => EventKind::IndexBuilt,
+            19 => EventKind::StageSpan,
+            _ => return None,
+        })
+    }
+}
+
 /// Anchor namespaces: `(Scope, key)` names the latest defining event for
 /// an entity, letting stages link to causes they never observed directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -114,6 +170,29 @@ pub enum Scope {
     Horizon,
     /// Key = 0; anchors the latest `ClustersUpdated` event.
     ClusterState,
+}
+
+impl Scope {
+    /// Stable numeric code for durable serialization (append-only).
+    pub fn to_code(self) -> u8 {
+        match self {
+            Scope::Template => 0,
+            Scope::Cluster => 1,
+            Scope::Horizon => 2,
+            Scope::ClusterState => 3,
+        }
+    }
+
+    /// Inverse of [`Scope::to_code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Scope::Template,
+            1 => Scope::Cluster,
+            2 => Scope::Horizon,
+            3 => Scope::ClusterState,
+            _ => return None,
+        })
+    }
 }
 
 /// Identifier of one recorded event; globally monotonic within a tracer.
@@ -593,6 +672,123 @@ impl Tracer {
             TraceView::from_events(st.all_events())
         })
     }
+
+    /// Exports the complete recorder state as plain data (durable-snapshot
+    /// support). Wall spans are deliberately dropped: they never feed ids,
+    /// ordering, or the deterministic stream, and a restored process has a
+    /// new epoch anyway. Returns `None` when disabled.
+    pub fn export_state(&self) -> Option<TracerState> {
+        let core = self.inner.as_ref()?;
+        let st = core.state.lock().expect("trace state poisoned");
+        let record = |e: &Event| EventRecord {
+            id: e.id.0,
+            round: e.round,
+            seq: e.seq,
+            lane: e.lane,
+            kind: e.kind,
+            parent: e.parent.map(|p| p.0),
+            refs: e.refs.iter().map(|r| r.0).collect(),
+            payload: e.payload.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+        };
+        Some(TracerState {
+            next_id: st.next_id,
+            round: st.round,
+            seq: st.seq,
+            front_id: st.front_id,
+            ring: st.ring.iter().map(record).collect(),
+            pinned: st.pinned.values().map(record).collect(),
+            pin_order: st.pin_order.iter().copied().collect(),
+            anchors: st.anchors.iter().map(|(&(s, k), &id)| (s, k, id.0)).collect(),
+            dumps: st.dumps.clone(),
+            evictions: st.evictions,
+            round_rejects: st.round_rejects,
+        })
+    }
+
+    /// Rebuilds an enabled tracer from exported state. Restored events
+    /// carry no wall spans ([`Event::render`] and the deterministic stream
+    /// never read them); the logical clock, ring, pinned lineage, anchors,
+    /// and dumps continue exactly where the export left off.
+    pub fn restore(settings: TraceSettings, state: TracerState) -> Self {
+        let tracer = Tracer::new(settings);
+        {
+            let core = tracer.inner.as_ref().expect("Tracer::new is enabled");
+            let mut st = core.state.lock().expect("trace state poisoned");
+            st.next_id = state.next_id;
+            st.round = state.round;
+            st.seq = state.seq;
+            st.front_id = state.front_id;
+            st.ring = state.ring.into_iter().map(restore_event).collect();
+            st.pinned = state.pinned.into_iter().map(|r| (r.id, restore_event(r))).collect();
+            st.pin_order = state.pin_order.into_iter().collect();
+            st.anchors =
+                state.anchors.into_iter().map(|(s, k, id)| ((s, k), EventId(id))).collect();
+            st.dumps = state.dumps;
+            st.evictions = state.evictions;
+            st.round_rejects = state.round_rejects;
+        }
+        tracer
+    }
+}
+
+/// Rehydrates one exported event (wall span intentionally absent).
+fn restore_event(r: EventRecord) -> Event {
+    Event {
+        id: EventId(r.id),
+        round: r.round,
+        seq: r.seq,
+        lane: r.lane,
+        kind: r.kind,
+        parent: r.parent.map(EventId),
+        refs: r.refs.into_iter().map(EventId).collect(),
+        payload: r.payload.into_iter().map(|(k, v)| (intern_key(&k), v)).collect(),
+        wall: None,
+    }
+}
+
+/// Interns a payload key back to `&'static str` after deserialization.
+/// Event payload keys come from a small fixed vocabulary of string
+/// literals, so the leaked set is bounded by that vocabulary's size.
+fn intern_key(key: &str) -> &'static str {
+    static KEYS: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut map = KEYS.lock().expect("trace key interner poisoned");
+    if let Some(&k) = map.get(key) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(key.to_string().into_boxed_str());
+    map.insert(key.to_string(), leaked);
+    leaked
+}
+
+/// Plain-data snapshot of one [`Event`] (wall span excluded by design).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    pub id: u64,
+    pub round: u64,
+    pub seq: u64,
+    pub lane: u32,
+    pub kind: EventKind,
+    pub parent: Option<u64>,
+    pub refs: Vec<u64>,
+    pub payload: Vec<(String, Value)>,
+}
+
+/// Plain-data snapshot of a [`Tracer`]'s recorder state (durable-state
+/// export). Ring events are oldest-first; pinned events ascend by id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TracerState {
+    pub next_id: u64,
+    pub round: u64,
+    pub seq: u64,
+    pub front_id: u64,
+    pub ring: Vec<EventRecord>,
+    pub pinned: Vec<EventRecord>,
+    pub pin_order: Vec<u64>,
+    /// `(scope, key, event id)` triples, ascending by `(scope, key)`.
+    pub anchors: Vec<(Scope, u64, u64)>,
+    pub dumps: Vec<TraceDump>,
+    pub evictions: u64,
+    pub round_rejects: u64,
 }
 
 /// Appends one event under the lock: resolves links, pins link targets,
@@ -861,6 +1057,66 @@ mod tests {
         let span = view.latest(EventKind::StageSpan).unwrap();
         assert_eq!(span.payload[0], ("stage", Value::Text("pipeline.update_clusters".into())));
         assert!(span.wall.is_some());
+    }
+
+    #[test]
+    fn kind_and_scope_codes_round_trip() {
+        for code in 0..=19u8 {
+            let kind = EventKind::from_code(code).expect("dense code space");
+            assert_eq!(kind.to_code(), code);
+        }
+        assert_eq!(EventKind::from_code(20), None);
+        for code in 0..=3u8 {
+            let scope = Scope::from_code(code).expect("dense code space");
+            assert_eq!(scope.to_code(), code);
+        }
+        assert_eq!(Scope::from_code(4), None);
+    }
+
+    #[test]
+    fn state_round_trip_continues_identical_stream() {
+        let settings = TraceSettings { capacity: 8, ..TraceSettings::default() };
+        let live = Tracer::new(settings);
+        live.begin_round(0);
+        let seen = live.record(EventDraft::new(EventKind::QuerySeen).uint("len", 9)).unwrap();
+        let tpl = live
+            .record(EventDraft::new(EventKind::TemplateCreated).parent(seen).uint("template", 3))
+            .unwrap();
+        live.set_anchor(Scope::Template, 3, tpl);
+        // Evict the originals so the pinned map carries real weight.
+        for _ in 0..10 {
+            live.record(EventDraft::new(EventKind::QueryQuarantined));
+        }
+        live.trigger_dump("diverged", Some(tpl));
+
+        let exported = live.export_state().unwrap();
+        let restored = Tracer::restore(settings, exported.clone());
+        assert_eq!(restored.export_state().unwrap(), exported, "restore must be lossless");
+        assert_eq!(
+            restored.view().deterministic_stream(),
+            live.view().deterministic_stream()
+        );
+        assert_eq!(restored.dumps(), live.dumps());
+        assert_eq!(restored.evictions(), live.evictions());
+        assert_eq!(restored.anchor(Scope::Template, 3), live.anchor(Scope::Template, 3));
+
+        // Both continue identically: same ids, same rounds, same lineage.
+        for t in [&live, &restored] {
+            t.begin_round(60);
+            let a = t
+                .record(
+                    EventDraft::new(EventKind::ClusterAssigned)
+                        .parent_opt(t.anchor(Scope::Template, 3))
+                        .uint("cluster", 1),
+                )
+                .unwrap();
+            let explain = t.view().explain(a);
+            assert!(explain.contains("TemplateCreated"), "{explain}");
+        }
+        assert_eq!(
+            restored.view().deterministic_stream(),
+            live.view().deterministic_stream()
+        );
     }
 
     #[test]

@@ -134,6 +134,92 @@ impl FaultStats {
     }
 }
 
+/// Storage-level fault classes: what a crash or a misbehaving disk leaves
+/// of a write that was in flight.
+///
+/// Where [`FaultPlan`] corrupts the *query stream* a pipeline ingests,
+/// these corrupt the *byte image* a durable pipeline leaves on disk — the
+/// WAL tail or a snapshot temp file. [`StorageFaultPlan::apply`] turns a
+/// (durable prefix, in-flight write) pair into the post-crash file image
+/// for one of these kinds, deterministically from a seed, so durability
+/// tests can fuzz torn and corrupted tails reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageFaultKind {
+    /// The write stopped partway: an arbitrary strict prefix of the new
+    /// bytes reached the disk (the classic torn write).
+    TornWrite,
+    /// The write was cut just short: all but the last few bytes landed.
+    ShortWrite,
+    /// The write landed whole but one bit flipped in flight (media or bus
+    /// corruption).
+    BitFlip,
+    /// The process died after issuing the write but before fsync; the page
+    /// cache was lost, so none of the new bytes survived.
+    CrashBeforeFsync,
+    /// The process died right after fsync; the new bytes are fully
+    /// durable, the process state is gone.
+    CrashAfterFsync,
+}
+
+impl StorageFaultKind {
+    /// Every storage fault kind, for test matrices.
+    pub const ALL: [StorageFaultKind; 5] = [
+        StorageFaultKind::TornWrite,
+        StorageFaultKind::ShortWrite,
+        StorageFaultKind::BitFlip,
+        StorageFaultKind::CrashBeforeFsync,
+        StorageFaultKind::CrashAfterFsync,
+    ];
+}
+
+/// A seeded generator of post-crash storage images; see
+/// [`StorageFaultKind`].
+#[derive(Debug, Clone)]
+pub struct StorageFaultPlan {
+    rng: SmallRng,
+    /// Faults applied so far, by construction order.
+    pub applied: u64,
+}
+
+impl StorageFaultPlan {
+    /// The same seed over the same inputs produces the same images.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SmallRng::seed_from_u64(seed ^ 0x5704A6E), applied: 0 }
+    }
+
+    /// The file image left behind when `write` (appended after the already
+    /// durable `durable` bytes) is interrupted by `kind`.
+    pub fn apply(&mut self, kind: StorageFaultKind, durable: &[u8], write: &[u8]) -> Vec<u8> {
+        self.applied += 1;
+        let mut image = durable.to_vec();
+        match kind {
+            StorageFaultKind::TornWrite => {
+                // A strict prefix: at least one byte missing, possibly all.
+                let kept = if write.is_empty() { 0 } else { self.rng.gen_range(0..write.len()) };
+                image.extend_from_slice(&write[..kept]);
+            }
+            StorageFaultKind::ShortWrite => {
+                let lost = if write.is_empty() {
+                    0
+                } else {
+                    self.rng.gen_range(1..=write.len().min(8))
+                };
+                image.extend_from_slice(&write[..write.len() - lost]);
+            }
+            StorageFaultKind::BitFlip => {
+                image.extend_from_slice(write);
+                if !write.is_empty() {
+                    let bit = self.rng.gen_range(0..write.len() * 8);
+                    image[durable.len() + bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+            StorageFaultKind::CrashBeforeFsync => {} // the write never lands
+            StorageFaultKind::CrashAfterFsync => image.extend_from_slice(write),
+        }
+        image
+    }
+}
+
 /// How many later events an out-of-order event is held behind.
 const REORDER_DELAY: u32 = 3;
 
@@ -386,6 +472,55 @@ mod tests {
             // line up because malformed_sql alone keeps order and count.
             assert_eq!(faulted.minute, clean.minute);
         }
+    }
+
+    #[test]
+    fn storage_faults_shape_the_post_crash_image() {
+        let durable = b"DURABLE-".to_vec();
+        let write = b"0123456789abcdef".to_vec();
+        let mut plan = StorageFaultPlan::new(99);
+        for kind in StorageFaultKind::ALL {
+            let image = plan.apply(kind, &durable, &write);
+            assert!(image.starts_with(&durable), "{kind:?} must never damage durable bytes");
+            match kind {
+                StorageFaultKind::TornWrite => {
+                    assert!(image.len() < durable.len() + write.len(), "strict prefix")
+                }
+                StorageFaultKind::ShortWrite => {
+                    let lost = durable.len() + write.len() - image.len();
+                    assert!((1..=8).contains(&lost), "short by 1..=8 bytes, lost {lost}");
+                    assert!(write.starts_with(&image[durable.len()..]));
+                }
+                StorageFaultKind::BitFlip => {
+                    assert_eq!(image.len(), durable.len() + write.len());
+                    let diff: u32 = image[durable.len()..]
+                        .iter()
+                        .zip(&write)
+                        .map(|(a, b)| (a ^ b).count_ones())
+                        .sum();
+                    assert_eq!(diff, 1, "exactly one flipped bit");
+                }
+                StorageFaultKind::CrashBeforeFsync => assert_eq!(image, durable),
+                StorageFaultKind::CrashAfterFsync => {
+                    assert_eq!(&image[durable.len()..], &write[..])
+                }
+            }
+        }
+        assert_eq!(plan.applied, StorageFaultKind::ALL.len() as u64);
+    }
+
+    #[test]
+    fn storage_fault_plan_is_deterministic_per_seed() {
+        let write: Vec<u8> = (0..64).collect();
+        let image = |seed: u64| {
+            let mut p = StorageFaultPlan::new(seed);
+            (
+                p.apply(StorageFaultKind::TornWrite, b"x", &write),
+                p.apply(StorageFaultKind::BitFlip, b"x", &write),
+            )
+        };
+        assert_eq!(image(4), image(4));
+        assert_ne!(image(4), image(5), "different seeds tear differently");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod noisy;
 pub mod pattern;
 pub mod trace;
 
-pub use faults::{FaultInjector, FaultPlan, FaultStats};
+pub use faults::{FaultInjector, FaultPlan, FaultStats, StorageFaultKind, StorageFaultPlan};
 pub use pattern::{daily_cycle, deadline_growth, weekday_factor, RateFn};
 pub use trace::{poisson, QueryEvent, TemplateSpec, TraceConfig, TraceGenerator};
 
