@@ -283,6 +283,26 @@ impl OnlineClusterer {
         observed >= 10 && ratio > self.effective_trigger()
     }
 
+    /// Records a tick's worth of observations at once (the batched-ingest
+    /// feed); returns `true` when the unseen-template ratio crossed the
+    /// early-update trigger.
+    ///
+    /// Observation state is a set, so this leaves the clusterer in exactly
+    /// the state per-key [`OnlineClusterer::observe`] calls would, and the
+    /// return value matches what the *last* of those calls would report:
+    /// the trigger is evaluated once over the whole tick instead of per
+    /// statement.
+    pub fn observe_batch(&mut self, keys: &[TemplateKey]) -> bool {
+        for &key in keys {
+            if self.seen_since_update.insert(key) && !self.templates.contains_key(&key) {
+                self.unseen_since_update += 1;
+            }
+        }
+        let observed = self.seen_since_update.len();
+        let ratio = self.unseen_since_update as f64 / observed as f64;
+        observed >= 10 && ratio > self.effective_trigger()
+    }
+
     /// Runs the three-step incremental update over fresh feature snapshots.
     ///
     /// `now` drives eviction. Every live template must appear in
@@ -866,6 +886,32 @@ mod tests {
 
     fn clusterer() -> OnlineClusterer {
         OnlineClusterer::new(ClustererConfig::default())
+    }
+
+    #[test]
+    fn observe_batch_matches_per_key_observation() {
+        let mut per_key = clusterer();
+        let mut batched = clusterer();
+        // Ten known templates, then a tick mixing knowns and unknowns.
+        let known: Vec<TemplateSnapshot> =
+            (0..10).map(|k| snap(k, &[1.0, 2.0, 3.0], 1.0)).collect();
+        per_key.update(known.clone(), 0);
+        batched.update(known, 0);
+
+        let tick: Vec<TemplateKey> = (5..25).chain(5..25).collect();
+        let mut last = false;
+        for &k in &tick {
+            last = per_key.observe(k);
+        }
+        let decision = batched.observe_batch(&tick);
+        assert_eq!(decision, last, "batched trigger matches the last per-key decision");
+        assert!(decision, "15 unseen of 20 distinct crosses the default trigger");
+
+        // The post-tick state is identical: both fold the same churn into
+        // the adaptive baseline on the next update.
+        per_key.update(Vec::new(), 1);
+        batched.update(Vec::new(), 1);
+        assert_eq!(per_key.effective_trigger(), batched.effective_trigger());
     }
 
     #[test]

@@ -74,6 +74,12 @@ impl Qb5000Config {
             return Err(ConfigError::ZeroCount { field: "max_clusters" });
         }
         check_ratio("coverage_target", self.coverage_target)?;
+        if self.preprocessor.ingest_shards == 0 {
+            return Err(ConfigError::ZeroCount { field: "preprocessor.ingest_shards" });
+        }
+        if self.preprocessor.raw_cache_limit == 0 {
+            return Err(ConfigError::ZeroCount { field: "preprocessor.raw_cache_limit" });
+        }
         Ok(())
     }
 }
@@ -95,6 +101,22 @@ impl Qb5000ConfigBuilder {
     /// Clusterer settings (ρ, metric, eviction, shift trigger).
     pub fn clusterer(mut self, clusterer: ClustererConfig) -> Self {
         self.cfg.clusterer = clusterer;
+        self
+    }
+
+    /// Logical shard count for the batched ingest engine (must be ≥ 1).
+    /// Routing is content-addressed, so this changes throughput, never
+    /// results.
+    pub fn ingest_shards(mut self, shards: usize) -> Self {
+        self.cfg.preprocessor.ingest_shards = shards;
+        self
+    }
+
+    /// Raw-SQL cache capacity before a generational reset (must be ≥ 1).
+    /// Size it above the distinct-statement working set to keep the
+    /// repeat-arrival fast path hot.
+    pub fn raw_cache_limit(mut self, limit: usize) -> Self {
+        self.cfg.preprocessor.raw_cache_limit = limit;
         self
     }
 
@@ -308,6 +330,14 @@ impl ControllerConfigBuilder {
     /// positive weights and non-zero horizons.
     pub fn forecast_horizons(mut self, horizons: Vec<(usize, f64)>) -> Self {
         self.cfg.forecast_horizons = horizons;
+        self
+    }
+
+    /// Drive ingest through the sharded batch engine, one tick per
+    /// simulated minute. Results are unchanged; defaults to `false` (the
+    /// sequential path is the golden-trace reference).
+    pub fn batch_ingest(mut self, on: bool) -> Self {
+        self.cfg.batch_ingest = on;
         self
     }
 

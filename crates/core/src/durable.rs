@@ -21,7 +21,7 @@
 //!
 //! WAL frame payloads carry one [`WalRecord`]; the frame `kind` byte is
 //! the dispatch tag ([`KIND_INGEST`], [`KIND_CLUSTER_UPDATE`],
-//! [`KIND_COMPACT`]).
+//! [`KIND_COMPACT`], [`KIND_INGEST_BATCH`]).
 //!
 //! ## Recovery invariants
 //!
@@ -47,8 +47,8 @@ use qb_clusterer::{ClusterRecord, ClustererState, TemplateRecord, UpdateReport};
 use qb_durable::{CodecError, Dec, DurabilityError, DurableStore, Enc, FaultHook, StoreStats};
 use qb_forecast::DegradationLevel;
 use qb_preprocessor::{
-    IngestStats, PreProcessorState, QuarantineState, QuarantinedStatement, TemplateEntryState,
-    TemplateId,
+    BatchItem, BatchReport, IngestStats, PreProcessorState, QuarantineState,
+    QuarantinedStatement, TemplateEntryState, TemplateId,
 };
 use qb_sqlparse::ast::Literal;
 use qb_timeseries::{ArrivalHistoryState, Minute};
@@ -64,7 +64,7 @@ use crate::pipeline::{
 /// Version of the snapshot payload this build reads and writes. Bump when
 /// the [`FullState`] encoding changes shape; old versions are refused, not
 /// guessed at.
-pub const STATE_VERSION: u16 = 1;
+pub const STATE_VERSION: u16 = 2;
 
 /// WAL frame kind: one weighted template sighting.
 pub const KIND_INGEST: u8 = 1;
@@ -72,6 +72,10 @@ pub const KIND_INGEST: u8 = 1;
 pub const KIND_CLUSTER_UPDATE: u8 = 2;
 /// WAL frame kind: an arrival-history compaction point.
 pub const KIND_COMPACT: u8 = 3;
+/// WAL frame kind: a tick's worth of sightings ingested through the
+/// sharded batch engine. Replay routes the batch back through the same
+/// engine, so shard-cache state re-derives identically.
+pub const KIND_INGEST_BATCH: u8 = 4;
 
 /// Durable-state policy for a pipeline: where state lives, how often a
 /// full snapshot replaces WAL replay, and (for tests) where to crash.
@@ -127,6 +131,9 @@ pub enum WalRecord {
     ClusterUpdate { now: Minute },
     /// An arrival-history compaction point.
     Compact,
+    /// A batch of weighted sightings ingested through the sharded engine
+    /// (`(minute, count, sql)` per statement, in arrival order).
+    IngestBatch { items: Vec<(Minute, u64, String)> },
 }
 
 /// What [`DurablePipeline::open`] found and did.
@@ -278,6 +285,11 @@ pub fn encode_preprocessor_state(e: &mut Enc, s: &PreProcessorState) {
         e.str(text);
         e.u32(*id);
     });
+    e.seq(&s.shard_slots, |e, (text, id, hits)| {
+        e.str(text);
+        e.u32(*id);
+        e.u64(*hits);
+    });
     e.u64(s.cache_hits);
     e.u64(s.next_seed);
     e.u64(s.stats.total_queries);
@@ -294,6 +306,7 @@ pub fn decode_preprocessor_state(d: &mut Dec) -> Result<PreProcessorState, Codec
         entries: d.seq(decode_entry)?,
         distinct_texts: d.seq(|d| Ok((d.str()?, d.u32()?)))?,
         raw_cache: d.seq(|d| Ok((d.str()?, d.u32()?)))?,
+        shard_slots: d.seq(|d| Ok((d.str()?, d.u32()?, d.u64()?)))?,
         cache_hits: d.u64()?,
         next_seed: d.u64()?,
         stats: IngestStats {
@@ -658,6 +671,14 @@ pub fn encode_wal_record(rec: &WalRecord) -> (u8, Vec<u8>) {
             (KIND_CLUSTER_UPDATE, e.finish())
         }
         WalRecord::Compact => (KIND_COMPACT, e.finish()),
+        WalRecord::IngestBatch { items } => {
+            e.seq(items, |e, (minute, count, sql)| {
+                e.i64(*minute);
+                e.u64(*count);
+                e.str(sql);
+            });
+            (KIND_INGEST_BATCH, e.finish())
+        }
     }
 }
 
@@ -670,6 +691,9 @@ pub fn decode_wal_record(kind: u8, payload: &[u8]) -> Result<WalRecord, Durabili
         }
         KIND_CLUSTER_UPDATE => WalRecord::ClusterUpdate { now: d.i64()? },
         KIND_COMPACT => WalRecord::Compact,
+        KIND_INGEST_BATCH => WalRecord::IngestBatch {
+            items: d.seq(|d| Ok((d.i64()?, d.u64()?, d.str()?)))?,
+        },
         other => {
             return Err(DurabilityError::Corrupt(format!("unknown WAL record kind {other}")))
         }
@@ -764,6 +788,18 @@ impl DurablePipeline {
                     rounds_since_snapshot += 1;
                 }
                 WalRecord::Compact => bot.compact_histories(),
+                WalRecord::IngestBatch { items } => {
+                    statements_replayed += items.len() as u64;
+                    let batch: Vec<BatchItem<'_>> = items
+                        .iter()
+                        .map(|(minute, count, sql)| BatchItem {
+                            minute: *minute,
+                            sql,
+                            count: *count,
+                        })
+                        .collect();
+                    let _ = bot.ingest_batch(&batch);
+                }
             }
         }
 
@@ -832,6 +868,19 @@ impl DurablePipeline {
     ) -> Result<TemplateId, Error> {
         self.append(&WalRecord::Ingest { minute: t, count, sql: sql.to_string() })?;
         self.bot.ingest_weighted(t, sql, count)
+    }
+
+    /// Durable [`QueryBot5000::ingest_batch`] (append-then-apply).
+    ///
+    /// The whole batch travels in one WAL frame, so a crash either loses
+    /// the entire tick or none of it — replay routes the frame back
+    /// through the sharded engine and re-derives identical state,
+    /// including the shard caches.
+    pub fn ingest_batch(&mut self, batch: &[BatchItem<'_>]) -> Result<BatchReport, Error> {
+        let items: Vec<(Minute, u64, String)> =
+            batch.iter().map(|it| (it.minute, it.count, it.sql.to_string())).collect();
+        self.append(&WalRecord::IngestBatch { items })?;
+        Ok(self.bot.ingest_batch(batch))
     }
 
     /// Durable [`QueryBot5000::update_clusters`]: the instant is WAL-framed
@@ -1032,6 +1081,14 @@ mod tests {
             WalRecord::Ingest { minute: -5, count: 42, sql: "SELECT 1".into() },
             WalRecord::ClusterUpdate { now: 1440 },
             WalRecord::Compact,
+            WalRecord::IngestBatch { items: vec![] },
+            WalRecord::IngestBatch {
+                items: vec![
+                    (0, 3, "SELECT 1".into()),
+                    (-7, 1, String::new()),
+                    (1440, u64::MAX, "SELEC broken".into()),
+                ],
+            },
         ] {
             let (kind, payload) = encode_wal_record(&rec);
             assert_eq!(decode_wal_record(kind, &payload).unwrap(), rec);
@@ -1058,6 +1115,52 @@ mod tests {
         assert_eq!(report.snapshot_seq, Some(reference.2 - 120));
         assert_eq!(report.statements_replayed, 120);
         assert_eq!(p2.bot().export_state(), reference.0, "state replays bit-identically");
+        assert_eq!(p2.health(), reference.1);
+        assert_eq!(p2.durable_seq(), reference.2);
+    }
+
+    #[test]
+    fn batched_ingest_recovers_bit_identically_including_shard_caches() {
+        let dir = tmp_dir("recover-batch");
+        let batch_at = |m: Minute| {
+            vec![
+                (m, "SELECT a FROM t WHERE id = 1".to_string(), 4u64),
+                (m, "SELECT b FROM u WHERE id = 2".to_string(), 2),
+                (m, "SELEC broken".to_string(), 1),
+            ]
+        };
+        fn as_items(owned: &[(Minute, String, u64)]) -> Vec<BatchItem<'_>> {
+            owned
+                .iter()
+                .map(|(minute, sql, count)| BatchItem { minute: *minute, sql, count: *count })
+                .collect()
+        }
+        let reference = {
+            let (mut p, _) = DurablePipeline::open(durable_config(&dir)).unwrap();
+            for m in 0..60 {
+                let owned = batch_at(m);
+                p.ingest_batch(&as_items(&owned)).unwrap();
+            }
+            p.update_clusters(60).unwrap();
+            // Batches after the snapshot live only in the WAL.
+            for m in 60..75 {
+                let owned = batch_at(m);
+                p.ingest_batch(&as_items(&owned)).unwrap();
+            }
+            (p.bot().export_state(), p.health(), p.durable_seq())
+        };
+        assert!(
+            !reference.0.pre.shard_slots.is_empty(),
+            "batched ingest must populate the shard caches"
+        );
+        let (p2, report) = DurablePipeline::open(durable_config(&dir)).unwrap();
+        assert!(report.recovered());
+        assert_eq!(report.statements_replayed, 15 * 3);
+        assert_eq!(
+            p2.bot().export_state(),
+            reference.0,
+            "batched replay re-derives identical state, shard caches included"
+        );
         assert_eq!(p2.health(), reference.1);
         assert_eq!(p2.durable_seq(), reference.2);
     }

@@ -111,6 +111,11 @@ pub use qb_trace::{
 pub use qb_forecast::ForecastError;
 pub use qb_preprocessor::PreProcessError;
 
+// The batched-ingest surface (`QueryBot5000::ingest_batch`,
+// `DurablePipeline::ingest_batch`), re-exported for callers assembling
+// batches without depending on the pre-processor crate.
+pub use qb_preprocessor::{BatchItem, BatchReport};
+
 #[cfg(test)]
 mod tests {
     use super::*;

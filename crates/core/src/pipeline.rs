@@ -6,7 +6,10 @@ use qb_clusterer::{
 };
 use qb_forecast::{Forecaster, WindowSpec};
 use qb_obs::Recorder;
-use qb_preprocessor::{PreProcessor, PreProcessorConfig, PreProcessorState, TemplateId};
+use qb_parallel::ThreadPool;
+use qb_preprocessor::{
+    BatchItem, BatchReport, PreProcessor, PreProcessorConfig, PreProcessorState, TemplateId,
+};
 use qb_timeseries::{Interval, Minute, MINUTES_PER_DAY};
 use qb_trace::{TraceDump, Tracer};
 
@@ -323,6 +326,65 @@ impl QueryBot5000 {
         Ok(id)
     }
 
+    /// Ingests a tick's worth of statements through the sharded batch
+    /// engine, on a worker pool sized from the environment
+    /// (`QB_THREADS`). See [`QueryBot5000::ingest_batch_with`].
+    pub fn ingest_batch(&mut self, batch: &[BatchItem<'_>]) -> BatchReport {
+        self.ingest_batch_with(&ThreadPool::default(), batch)
+    }
+
+    /// Ingests a tick's worth of statements through the sharded batch
+    /// engine on an explicit worker pool.
+    ///
+    /// State-equivalent to calling [`QueryBot5000::ingest_weighted`] per
+    /// item in order — and bit-identical across pool widths and batch
+    /// splits (see [`PreProcessor::ingest_batch`]) — but statements fan
+    /// out across the Pre-Processor's logical shards, history updates
+    /// coalesce per tick, and the clusterer consumes one deduplicated
+    /// sighting feed instead of a per-statement call. The workload-shift
+    /// trigger (§5.2) is evaluated once per batch; when it fires, clusters
+    /// rebuild at the batch's final arrival minute.
+    ///
+    /// Rejected statements are quarantined and counted exactly as on the
+    /// sequential path; the returned [`BatchReport`] carries the batch's
+    /// accounting.
+    pub fn ingest_batch_with(
+        &mut self,
+        pool: &ThreadPool,
+        batch: &[BatchItem<'_>],
+    ) -> BatchReport {
+        if batch.is_empty() {
+            return BatchReport::default();
+        }
+        // Delivery-order accounting, identical to the sequential path
+        // (observability only — histories absorb duplicates and
+        // reordering either way).
+        for item in batch {
+            if self.last_ingest_minute.is_some_and(|prev| item.minute < prev) {
+                self.reordered += 1;
+            }
+            self.last_ingest_minute = Some(item.minute);
+            let event = (item.minute, Self::sql_fingerprint(item.sql));
+            if self.last_ingest_event == Some(event) {
+                self.deduplicated += 1;
+            }
+            self.last_ingest_event = Some(event);
+        }
+
+        let report = self.pre.ingest_batch(pool, batch);
+        self.ingested_statements += report.statements;
+        self.ingested_arrivals += report.arrivals;
+
+        let keys: Vec<u64> = report.sighted.iter().map(|id| id.0 as u64).collect();
+        if self.clusterer.observe_batch(&keys) {
+            self.shift_triggers += 1;
+            self.shift_trigger_metric.inc();
+            let now = batch.last().expect("batch checked non-empty").minute;
+            self.update_clusters(now);
+        }
+        report
+    }
+
     fn sql_fingerprint(sql: &str) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -419,27 +481,40 @@ impl QueryBot5000 {
         );
         let window_start = now - self.config.feature_window;
         let feature_mode = self.config.feature_mode;
-        let snapshots: Vec<TemplateSnapshot> = self
-            .pre
-            .templates()
-            .iter()
-            .filter_map(|e| {
-                let first = e.history.first_seen()?;
-                let last = e.history.last_seen()?;
-                let feature = match feature_mode {
-                    FeatureMode::ArrivalRate => sampler.extract(&e.history, first),
-                    FeatureMode::Logical => qb_clusterer::TemplateFeature::full(
-                        e.logical.to_vector(16, 32),
-                    ),
-                };
-                let volume = e.history.count_range(window_start, now) as f64;
-                Some(TemplateSnapshot {
-                    key: e.id.0 as u64,
-                    feature,
-                    volume,
-                    last_seen: last,
-                })
+        // Feature extraction fans out over fixed-size template chunks:
+        // chunk boundaries depend only on the template count, and the map
+        // preserves input order, so any pool width yields the same
+        // snapshot vector bit for bit.
+        const SNAPSHOT_CHUNK: usize = 256;
+        let pool = ThreadPool::default();
+        let chunks: Vec<&[qb_preprocessor::TemplateEntry]> =
+            self.pre.templates().chunks(SNAPSHOT_CHUNK).collect();
+        let sampler = &sampler;
+        let snapshots: Vec<TemplateSnapshot> = pool
+            .map(chunks, |_, chunk| {
+                chunk
+                    .iter()
+                    .filter_map(|e| {
+                        let first = e.history.first_seen()?;
+                        let last = e.history.last_seen()?;
+                        let feature = match feature_mode {
+                            FeatureMode::ArrivalRate => sampler.extract(&e.history, first),
+                            FeatureMode::Logical => qb_clusterer::TemplateFeature::full(
+                                e.logical.to_vector(16, 32),
+                            ),
+                        };
+                        let volume = e.history.count_range(window_start, now) as f64;
+                        Some(TemplateSnapshot {
+                            key: e.id.0 as u64,
+                            feature,
+                            volume,
+                            last_seen: last,
+                        })
+                    })
+                    .collect::<Vec<_>>()
             })
+            .into_iter()
+            .flatten()
             .collect();
         let report = self.clusterer.update(snapshots, now);
         self.refresh_tracked();

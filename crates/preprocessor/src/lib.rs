@@ -19,6 +19,7 @@
 pub mod fingerprint;
 pub mod logical;
 pub mod reservoir;
+pub mod shard;
 pub mod template;
 
 use std::collections::{HashMap, VecDeque};
@@ -31,6 +32,7 @@ use qb_timeseries::{ArrivalHistory, ArrivalHistoryState, CompactionPolicy, Inter
 pub use fingerprint::{semantic_fingerprint, Fingerprint};
 pub use logical::LogicalFeatures;
 pub use reservoir::Reservoir;
+pub use shard::{BatchItem, BatchReport};
 pub use template::{bind_params, templatize, TemplatizedQuery};
 
 /// Stable identifier of a tracked template. Indexes into the Pre-Processor's
@@ -204,6 +206,18 @@ pub struct PreProcessorConfig {
     pub semantic_folding: bool,
     /// Seed for the reservoir's RNG (deterministic sampling).
     pub seed: u64,
+    /// Upper bound on cached raw SQL strings (exact-repeat parser bypass).
+    /// When the bound is reached the cache takes a generational reset —
+    /// it is cleared and refills with whatever is hot *now* — so template
+    /// churn cannot freeze it on a stale working set. Size it at or above
+    /// the expected distinct-statement working set for sustained ingest.
+    pub raw_cache_limit: usize,
+    /// Logical shard count for the batched ingest engine
+    /// ([`PreProcessor::ingest_batch`]). Content routing (raw-text hash →
+    /// shard) and the merged output depend on this number but **not** on
+    /// the worker-pool width, so any `QB_THREADS` value replays the same
+    /// state. Fix it per deployment like any other config knob.
+    pub ingest_shards: usize,
 }
 
 impl Default for PreProcessorConfig {
@@ -213,6 +227,8 @@ impl Default for PreProcessorConfig {
             compaction: CompactionPolicy::default(),
             semantic_folding: true,
             seed: 0x5000,
+            raw_cache_limit: 65_536,
+            ingest_shards: 8,
         }
     }
 }
@@ -259,11 +275,13 @@ pub struct PreProcessor {
     /// same literal strings constantly; this short-circuits the parser for
     /// exact repeats without affecting correctness.
     raw_cache: HashMap<String, TemplateId>,
-    raw_cache_limit: usize,
     cache_hits: u64,
     next_seed: u64,
     quarantine: Quarantine,
     tracer: Tracer,
+    /// Shard-local caches for the batched ingest engine; empty until the
+    /// first [`PreProcessor::ingest_batch`] call.
+    shards: Vec<shard::Shard>,
 }
 
 impl PreProcessor {
@@ -277,11 +295,11 @@ impl PreProcessor {
             entries: Vec::new(),
             stats: IngestStats::default(),
             raw_cache: HashMap::new(),
-            raw_cache_limit: 65_536,
             cache_hits: 0,
             next_seed,
             quarantine: Quarantine::default(),
             tracer: Tracer::disabled(),
+            shards: Vec::new(),
         }
     }
 
@@ -322,10 +340,12 @@ impl PreProcessor {
         if let Some(&id) = self.raw_cache.get(sql) {
             // Re-parse one in 64 cache hits so repeated identical strings
             // still feed the parameter reservoir (a permanent bypass would
-            // starve it of exactly the hottest queries).
+            // starve it of exactly the hottest queries). Both branches are
+            // cache hits — the reparse is a reservoir refresh, not a miss —
+            // so the hit counter increments before the cadence split.
             self.cache_hits = self.cache_hits.wrapping_add(1);
+            self.metrics.cache_hits.inc();
             if !self.cache_hits.is_multiple_of(64) {
-                self.metrics.cache_hits.inc();
                 self.metrics.ingested_statements.inc();
                 self.metrics.ingested_arrivals.add(count);
                 self.bump(id, t, count, None);
@@ -354,17 +374,15 @@ impl PreProcessor {
         };
         let templatized = templatize(&stmt);
         let before = self.entries.len();
-        let id = self.intern(&templatized);
+        let TemplatizedQuery { template, text, params, .. } = templatized;
+        let id = self.intern_owned(template, text);
         if self.entries.len() > before {
             self.trace_new_template(t, id);
         }
-        self.bump(id, t, count, Some(templatized.params));
+        self.bump(id, t, count, Some(params));
         self.metrics.ingested_statements.inc();
         self.metrics.ingested_arrivals.add(count);
-
-        if self.raw_cache.len() < self.raw_cache_limit {
-            self.raw_cache.insert(sql.to_string(), id);
-        }
+        self.cache_insert(sql, id);
         Ok(id)
     }
 
@@ -374,43 +392,65 @@ impl PreProcessor {
         let _span = self.metrics.ingest_time.start();
         let templatized = templatize(stmt);
         let before = self.entries.len();
-        let id = self.intern(&templatized);
+        let TemplatizedQuery { template, text, params, .. } = templatized;
+        let id = self.intern_owned(template, text);
         if self.entries.len() > before {
             self.trace_new_template(t, id);
         }
-        self.bump(id, t, count, Some(templatized.params));
+        self.bump(id, t, count, Some(params));
         self.metrics.ingested_statements.inc();
         self.metrics.ingested_arrivals.add(count);
         id
     }
 
-    fn intern(&mut self, tq: &TemplatizedQuery) -> TemplateId {
-        if let Some(&id) = self.distinct_texts.get(&tq.text) {
+    /// Inserts into the raw-string cache under the generational-reset
+    /// eviction policy: at `raw_cache_limit` the whole cache is dropped and
+    /// refills with the current working set. Under template churn the hit
+    /// rate dips for one generation and recovers, instead of freezing on
+    /// whatever filled the cache first. The reset point is a pure function
+    /// of the insertion sequence, so it replays identically from a
+    /// snapshot.
+    fn cache_insert(&mut self, sql: &str, id: TemplateId) {
+        if self.raw_cache.len() >= self.config.raw_cache_limit {
+            self.raw_cache.clear();
+        }
+        self.raw_cache.insert(sql.to_string(), id);
+    }
+
+    /// Interns a templated statement, taking ownership of the canonical
+    /// text and AST so the fresh-template path stores them without cloning
+    /// (the dedup-map key is the one remaining copy).
+    fn intern_owned(&mut self, template: Statement, text: String) -> TemplateId {
+        if let Some(&id) = self.distinct_texts.get(&text) {
             return id;
         }
-        let fp = semantic_fingerprint(&tq.template);
+        let fp = semantic_fingerprint(&template);
         if self.config.semantic_folding {
             if let Some(&id) = self.by_fingerprint.get(&fp) {
                 // A new spelling that is semantically equivalent to a known
                 // template: count the distinct text but reuse the entry.
-                self.distinct_texts.insert(tq.text.clone(), id);
+                self.distinct_texts.insert(text, id);
                 return id;
             }
         }
         let id = TemplateId(self.entries.len() as u32);
         self.next_seed = self.next_seed.wrapping_mul(6364136223846793005).wrapping_add(id.0 as u64);
+        self.distinct_texts.insert(text.clone(), id);
         self.entries.push(TemplateEntry {
             id,
-            text: tq.text.clone(),
-            kind: tq.template.kind_name(),
-            tables: tq.template.tables(),
-            logical: LogicalFeatures::extract(&tq.template),
+            kind: template.kind_name(),
+            tables: template.tables(),
+            logical: LogicalFeatures::extract(&template),
             history: ArrivalHistory::new(),
             params: Reservoir::new(self.config.reservoir_capacity, self.next_seed),
-            statement: tq.template.clone(),
+            statement: template,
+            text,
         });
-        self.by_fingerprint.insert(fp, id);
-        self.distinct_texts.insert(tq.text.clone(), id);
+        // First-wins: when folding is disabled every template still lands
+        // here, and a later same-fingerprint template must not hijack the
+        // mapping — a restore that re-enables folding would otherwise fold
+        // onto whichever template happened to be interned last.
+        self.by_fingerprint.entry(fp).or_insert(id);
         self.metrics.templates.set(self.entries.len() as f64);
         id
     }
@@ -530,6 +570,16 @@ impl PreProcessor {
                 .collect(),
             distinct_texts,
             raw_cache,
+            shard_slots: {
+                let mut slots: Vec<(String, u32, u64)> = self
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.export_slots())
+                    .map(|(sql, id, hits)| (sql, id.0, hits))
+                    .collect();
+                slots.sort();
+                slots
+            },
             cache_hits: self.cache_hits,
             next_seed: self.next_seed,
             stats: self.stats,
@@ -555,7 +605,10 @@ impl PreProcessor {
             let tq = templatize(&stmt);
             debug_assert_eq!(tq.text, es.text, "canonical template text must re-templatize to itself");
             let id = TemplateId(idx as u32);
-            pp.by_fingerprint.insert(semantic_fingerprint(&tq.template), id);
+            // First-wins, matching `intern_owned`: with folding disabled,
+            // several entries can share a fingerprint, and the mapping must
+            // keep pointing at the earliest one.
+            pp.by_fingerprint.entry(semantic_fingerprint(&tq.template)).or_insert(id);
             pp.entries.push(TemplateEntry {
                 id,
                 text: es.text,
@@ -575,6 +628,13 @@ impl PreProcessor {
         pp.distinct_texts =
             state.distinct_texts.into_iter().map(|(t, id)| (t, TemplateId(id))).collect();
         pp.raw_cache = state.raw_cache.into_iter().map(|(t, id)| (t, TemplateId(id))).collect();
+        if !state.shard_slots.is_empty() {
+            pp.ensure_shards();
+            for (sql, id, hits) in state.shard_slots {
+                let n = pp.shards.len();
+                pp.shards[shard::route(&sql, n)].restore_slot(sql, TemplateId(id), hits);
+            }
+        }
         pp.cache_hits = state.cache_hits;
         pp.next_seed = state.next_seed;
         pp.stats = state.stats;
@@ -605,6 +665,12 @@ pub struct PreProcessorState {
     pub entries: Vec<TemplateEntryState>,
     pub distinct_texts: Vec<(String, u32)>,
     pub raw_cache: Vec<(String, u32)>,
+    /// Shard-cache slots from the batched ingest engine, sorted by SQL
+    /// text: `(raw sql, template id, per-slot hit count)`. Pending slots
+    /// never appear here — every batch resolves its pendings before
+    /// returning. Batch ticks restart at zero after a restore, which only
+    /// resets the once-per-batch sighting dedup, not any counted state.
+    pub shard_slots: Vec<(String, u32, u64)>,
     pub cache_hits: u64,
     pub next_seed: u64,
     pub stats: IngestStats,
@@ -822,12 +888,236 @@ mod tests {
     }
 
     #[test]
+    fn cache_hit_counter_identity_across_fast_and_reparse_paths() {
+        // Regression: the 1-in-64 reservoir-refresh re-parse used to skip
+        // `cache_hits.inc()`, undercounting the hit rate. Both branches of
+        // a raw-cache hit are hits; only the first sighting is a miss.
+        let rec = Recorder::new();
+        let mut p = pp();
+        p.set_recorder(&rec);
+        for _ in 0..129 {
+            p.ingest(0, "SELECT x FROM t WHERE id = 1").unwrap();
+        }
+        let snap = rec.snapshot();
+        // 129 ingests = 1 miss + 128 hits (two of which — the 64th and
+        // 128th — took the re-parse branch). Every one was ingested.
+        assert_eq!(snap.counters["preprocessor.cache_hits"], 128);
+        assert_eq!(snap.counters["preprocessor.ingested_statements"], 129);
+        assert_eq!(snap.counters["preprocessor.ingested_arrivals"], 129);
+        assert_eq!(p.template(TemplateId(0)).history.total(), 129);
+        // The re-parse branch really ran: the reservoir saw the initial
+        // parse plus two refreshes.
+        assert_eq!(p.template(TemplateId(0)).params.seen(), 3);
+    }
+
+    #[test]
+    fn raw_cache_recovers_hit_rate_after_churn() {
+        // Regression: the cache used to fill once and never evict, so a
+        // shifted working set re-parsed forever. The generational reset
+        // clears at the bound and refills with the current working set.
+        let rec = Recorder::new();
+        let mut p = PreProcessor::new(PreProcessorConfig {
+            raw_cache_limit: 8,
+            ..PreProcessorConfig::default()
+        });
+        p.set_recorder(&rec);
+        let gen1: Vec<String> =
+            (0..8).map(|i| format!("SELECT x FROM t WHERE id = {i}")).collect();
+        let gen2: Vec<String> =
+            (0..8).map(|i| format!("SELECT x FROM t WHERE id = {}", 100 + i)).collect();
+        for sql in &gen1 {
+            p.ingest(0, sql).unwrap();
+        }
+        // Churn to a new working set (first insert past the bound resets),
+        // then repeat it: every repeat must be a cache hit.
+        for sql in &gen2 {
+            p.ingest(1, sql).unwrap();
+        }
+        let before = rec.snapshot().counters["preprocessor.cache_hits"];
+        for sql in &gen2 {
+            p.ingest(2, sql).unwrap();
+        }
+        let after = rec.snapshot().counters["preprocessor.cache_hits"];
+        assert_eq!(after - before, 8, "post-churn working set must be fully cached");
+    }
+
+    #[test]
+    fn fingerprint_mapping_is_first_wins_and_survives_restore() {
+        // Three spellings of one semantic template (rotated conjuncts):
+        // with folding disabled they intern as distinct templates, but the
+        // fingerprint map must keep pointing at the *first* — a later
+        // restore that re-enables folding folds onto it, not onto
+        // whichever entry happened to be interned last.
+        let spellings = [
+            "SELECT x FROM t WHERE p = 1 AND q = 2 AND r = 3",
+            "SELECT x FROM t WHERE q = 4 AND r = 5 AND p = 6",
+            "SELECT x FROM t WHERE r = 7 AND p = 8 AND q = 9",
+        ];
+        let unfolded_cfg = PreProcessorConfig {
+            semantic_folding: false,
+            ..PreProcessorConfig::default()
+        };
+        let mut p = PreProcessor::new(unfolded_cfg.clone());
+        let a = p.ingest(0, spellings[0]).unwrap();
+        let b = p.ingest(0, spellings[1]).unwrap();
+        assert_ne!(a, b, "ablation keeps spellings distinct");
+
+        // Same-config round trip is lossless.
+        let exported = p.export_state();
+        let restored = PreProcessor::restore(unfolded_cfg, exported.clone()).unwrap();
+        assert_eq!(restored.export_state(), exported);
+
+        // Re-enabling folding on restore folds new spellings onto the
+        // first-interned template.
+        let folding_cfg = PreProcessorConfig::default();
+        let mut refolded = PreProcessor::restore(folding_cfg, exported).unwrap();
+        let c = refolded.ingest(1, spellings[2]).unwrap();
+        assert_eq!(c, a, "folding must target the first-interned template");
+
+        // And the live instance agrees: a fresh spelling of the same
+        // fingerprint folds onto the first template, not the last.
+        let mut live = PreProcessor::new(PreProcessorConfig::default());
+        let first = live.ingest(0, spellings[0]).unwrap();
+        let folded = live.ingest(0, spellings[1]).unwrap();
+        assert_eq!(folded, first);
+    }
+
+    #[test]
     fn template_text_has_placeholders() {
         let mut p = pp();
         let id = p.ingest(0, "SELECT x FROM t WHERE id = 7 AND name = 'bob'").unwrap();
         let text = &p.template(id).text;
         assert!(text.contains('?'), "{text}");
         assert!(!text.contains('7') && !text.contains("bob"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod accounting_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One ingest call, in any of the three entry-point flavors.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// `ingest` (weight 1).
+        Plain { sql: usize, minute: Minute },
+        /// `ingest_weighted` at an arbitrary weight.
+        Weighted { sql: usize, minute: Minute, count: u64 },
+        /// `ingest_statement` with a pre-parsed statement.
+        Statement { sql: usize, minute: Minute, count: u64 },
+    }
+
+    /// A small pool mixing hot repeats (cache-hit + re-parse cadence),
+    /// distinct constants (fresh templates), folding spellings, and
+    /// garbage (quarantine).
+    const POOL: &[&str] = &[
+        "SELECT x FROM t WHERE id = 1",
+        "SELECT x FROM t WHERE id = 1",
+        "SELECT x FROM t WHERE id = 2",
+        "SELECT y FROM u WHERE a = 3 AND b = 4",
+        "SELECT y FROM u WHERE b = 5 AND a = 6",
+        "INSERT INTO t (a) VALUES (7)",
+        "UPDATE t SET a = 8 WHERE id = 9",
+        "DELETE FROM t WHERE id = 10",
+        "BROKEN ((",
+        "",
+    ];
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let sql = 0..POOL.len();
+        let minute = 0i64..120;
+        let count = 1u64..1_000;
+        prop_oneof![
+            (sql.clone(), minute.clone()).prop_map(|(sql, minute)| Op::Plain { sql, minute }),
+            (sql.clone(), minute.clone(), count.clone())
+                .prop_map(|(sql, minute, count)| Op::Weighted { sql, minute, count }),
+            (sql, minute, count)
+                .prop_map(|(sql, minute, count)| Op::Statement { sql, minute, count }),
+        ]
+    }
+
+    proptest! {
+        /// The ingest accounting identity: every weighted arrival offered
+        /// to the Pre-Processor lands in exactly one of two ledgers —
+        /// template arrival histories (== `stats.total_queries`) or the
+        /// quarantine — across cache-hit, re-parse, and fresh-template
+        /// paths at arbitrary weights.
+        #[test]
+        fn arrivals_in_equals_history_bumps_plus_quarantined(
+            ops in proptest::collection::vec(op_strategy(), 1..400),
+        ) {
+            let mut p = PreProcessor::new(PreProcessorConfig::default());
+            let mut offered: u64 = 0;
+            for op in &ops {
+                match *op {
+                    Op::Plain { sql, minute } => {
+                        offered += 1;
+                        let _ = p.ingest(minute, POOL[sql]);
+                    }
+                    Op::Weighted { sql, minute, count } => {
+                        offered += count;
+                        let _ = p.ingest_weighted(minute, POOL[sql], count);
+                    }
+                    Op::Statement { sql, minute, count } => {
+                        // `ingest_statement` takes a pre-parsed statement;
+                        // unparseable pool entries can't take this path.
+                        match parse_statement(POOL[sql]) {
+                            Ok(stmt) => {
+                                offered += count;
+                                p.ingest_statement(minute, &stmt, count);
+                            }
+                            Err(_) => {}
+                        }
+                    }
+                }
+            }
+            let history_total: u64 = p.templates().iter().map(|e| e.history.total()).sum();
+            prop_assert_eq!(history_total, p.stats().total_queries);
+            prop_assert_eq!(
+                history_total + p.quarantine().rejected_arrivals(),
+                offered,
+                "every offered arrival is either recorded or quarantined"
+            );
+            let s = p.stats();
+            prop_assert_eq!(s.selects + s.inserts + s.updates + s.deletes, s.total_queries);
+        }
+
+        /// The same identity holds for the sharded batch path, and the
+        /// batch report agrees with the state it produced.
+        #[test]
+        fn batch_ingest_upholds_the_accounting_identity(
+            ops in proptest::collection::vec(
+                (0..POOL.len(), 0i64..120, 1u64..1_000), 1..400,
+            ),
+            width in 1usize..5,
+            splits in 1usize..6,
+        ) {
+            let mut p = PreProcessor::new(PreProcessorConfig::default());
+            let pool = qb_parallel::ThreadPool::new(width);
+            let items: Vec<shard::BatchItem<'_>> = ops
+                .iter()
+                .map(|&(sql, minute, count)| shard::BatchItem {
+                    minute,
+                    sql: POOL[sql],
+                    count,
+                })
+                .collect();
+            let chunk = items.len().div_ceil(splits).max(1);
+            let mut accepted = 0u64;
+            let mut quarantined = 0u64;
+            for b in items.chunks(chunk) {
+                let report = p.ingest_batch(&pool, b);
+                accepted += report.arrivals;
+                quarantined += report.quarantined_arrivals;
+            }
+            let offered: u64 = ops.iter().map(|&(_, _, c)| c).sum();
+            let history_total: u64 = p.templates().iter().map(|e| e.history.total()).sum();
+            prop_assert_eq!(history_total, accepted);
+            prop_assert_eq!(history_total, p.stats().total_queries);
+            prop_assert_eq!(accepted + quarantined, offered);
+            prop_assert_eq!(p.quarantine().rejected_arrivals(), quarantined);
+        }
     }
 }
 

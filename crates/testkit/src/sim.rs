@@ -22,18 +22,23 @@
 //! 6. **Trace determinism** ([`run_traced`]) — with an enabled tracer,
 //!    the deterministic event stream, decision lineage, and flight
 //!    recorder dumps are byte-identical across all requested widths.
+//! 7. **Batched-ingest determinism** ([`run_batched`]) — the sharded
+//!    batch engine yields bit-identical pipeline state and forecasts at
+//!    every width, is invariant to tick splitting, and matches the
+//!    sequential path template-for-template.
 //!
 //! On violation the harness returns a [`SimFailure`] whose `Display`
 //! includes [`repro_command`] — a copy-pasteable `cargo test` invocation
 //! that replays exactly this case via the `single_seed_repro` test.
 
 use qb5000::{
-    EventKind, ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000, RetrainOutcome,
-    TraceDump, TraceView, Tracer,
+    BatchItem, EventKind, ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000,
+    RetrainOutcome, TraceDump, TraceView, Tracer,
 };
 use qb_forecast::{DegradationLevel, Forecaster, LinearRegression};
+use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
-use qb_workloads::{FaultPlan, FaultStats, TraceConfig, Workload};
+use qb_workloads::{FaultPlan, FaultStats, QueryEvent, TraceConfig, Workload};
 
 /// One fully-seeded simulation case.
 #[derive(Debug, Clone)]
@@ -253,6 +258,154 @@ pub fn run_case(
         num_clusters: bot.tracked_clusters().len(),
         forecasts: first_forecasts,
     })
+}
+
+/// Invariant 7 — batched-ingest determinism. Replays `case` through the
+/// sharded batch engine (one tick per consecutive same-minute run of
+/// delivered events) at every pool width and checks:
+///
+/// * the exported pipeline state and every forecast are bit-identical
+///   across widths;
+/// * splitting each tick in half leaves the Pre-Processor's counted
+///   state (templates, histories, caches, quarantine) unchanged;
+/// * per-template texts, arrival histories, accounting stats, quarantine
+///   contents, and the seed chain agree exactly with a sequential
+///   `ingest_weighted` replay of the same stream. (Parameter reservoirs
+///   are excluded: the batch engine's reparse cadence is per-slot rather
+///   than global, a documented divergence on `qb_preprocessor::shard`.)
+pub fn run_batched(
+    case: &SimCase,
+    horizons: &[usize],
+    widths: &[usize],
+) -> Result<(), SimFailure> {
+    assert!(!horizons.is_empty() && !widths.is_empty(), "empty sweep");
+    let trace = TraceConfig { start: 0, days: case.days, scale: case.scale, seed: case.seed };
+    let plan = if case.fault_intensity == 0.0 {
+        FaultPlan::none(case.seed)
+    } else {
+        FaultPlan::with_intensity(case.seed, case.fault_intensity)
+    };
+    let events: Vec<QueryEvent> = plan.inject(case.workload.generator(trace)).collect();
+    // Consecutive same-minute runs become the ticks; keying on runs (not a
+    // global group-by) preserves delivery order even when the fault plan
+    // reorders events.
+    let mut ticks: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0;
+    for i in 1..=events.len() {
+        if i == events.len() || events[i].minute != events[start].minute {
+            ticks.push(start..i);
+            start = i;
+        }
+    }
+    let now = case.days as i64 * MINUTES_PER_DAY;
+
+    let run_one = |width: usize, halve_ticks: bool| {
+        let pool = ThreadPool::new(width);
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        for tick in &ticks {
+            let batch: Vec<BatchItem<'_>> = events[tick.clone()]
+                .iter()
+                .map(|ev| BatchItem { minute: ev.minute, sql: &ev.sql, count: ev.count })
+                .collect();
+            if halve_ticks && batch.len() > 1 {
+                let mid = batch.len() / 2;
+                bot.ingest_batch_with(&pool, &batch[..mid]);
+                bot.ingest_batch_with(&pool, &batch[mid..]);
+            } else {
+                bot.ingest_batch_with(&pool, &batch);
+            }
+        }
+        bot.update_clusters(now);
+        bot
+    };
+
+    let specs: Vec<HorizonSpec> = horizons
+        .iter()
+        .map(|&h| HorizonSpec {
+            interval: Interval::HOUR,
+            window: 24,
+            horizon: h,
+            train_steps: (case.days as usize - 1) * 24,
+        })
+        .collect();
+
+    let mut reference: Option<(qb5000::PipelineState, Vec<Vec<u64>>)> = None;
+    for &w in widths {
+        let bot = run_one(w, false);
+        if bot.tracked_clusters().is_empty() {
+            return Err(fail(case, "no clusters tracked after a batched trace".into()));
+        }
+        let mut mgr =
+            ForecastManager::new(specs.clone(), || Box::new(LinearRegression::default()));
+        mgr.set_threads(w);
+        mgr.ensure_trained(&bot, now)
+            .map_err(|e| fail(case, format!("batched training failed at width {w}: {e}")))?;
+        let bits: Vec<Vec<u64>> = (0..horizons.len())
+            .map(|h| mgr.predict(&bot, now, h).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let state = bot.export_state();
+        match &reference {
+            None => reference = Some((state, bits)),
+            Some((ref_state, ref_bits)) => {
+                if &state != ref_state {
+                    return Err(fail(
+                        case,
+                        format!(
+                            "batched pipeline state diverged between widths {} and {w}",
+                            widths[0]
+                        ),
+                    ));
+                }
+                if &bits != ref_bits {
+                    return Err(fail(
+                        case,
+                        format!(
+                            "batched forecasts diverged between widths {} and {w}",
+                            widths[0]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    let (ref_state, _) = reference.expect("at least one width ran");
+
+    // Splitting every tick must not change any counted state.
+    let halved = run_one(widths[0], true).export_state();
+    if halved.pre != ref_state.pre {
+        return Err(fail(case, "tick splitting changed the Pre-Processor state".into()));
+    }
+
+    // Differential oracle: the sequential path over the same stream.
+    let mut seq = QueryBot5000::new(Qb5000Config::default());
+    for ev in &events {
+        let _ = seq.ingest_weighted(ev.minute, &ev.sql, ev.count);
+    }
+    let seq_pre = seq.export_state().pre;
+    let batched_pre = &ref_state.pre;
+    if seq_pre.entries.len() != batched_pre.entries.len()
+        || seq_pre
+            .entries
+            .iter()
+            .zip(&batched_pre.entries)
+            .any(|(a, b)| a.text != b.text || a.history != b.history)
+    {
+        return Err(fail(
+            case,
+            "batched templates/histories diverged from the sequential reference".into(),
+        ));
+    }
+    if seq_pre.distinct_texts != batched_pre.distinct_texts
+        || seq_pre.stats != batched_pre.stats
+        || seq_pre.quarantine != batched_pre.quarantine
+        || seq_pre.next_seed != batched_pre.next_seed
+    {
+        return Err(fail(
+            case,
+            "batched accounting diverged from the sequential reference".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Everything one traced replay retained, for lineage inspection.

@@ -13,7 +13,7 @@
 //!   cargo test -p qb-testkit --test simtest single_seed_repro -- --nocapture
 //! ```
 
-use qb_testkit::sim::{case_from_env, run_case, SimCase};
+use qb_testkit::sim::{case_from_env, run_batched, run_case, SimCase};
 use qb_workloads::Workload;
 
 const HORIZONS: &[usize] = &[1, 6];
@@ -43,6 +43,24 @@ fn simulation_matrix() {
         }
     }
     assert_eq!(ran, workloads.len() * 2 * SEEDS.len());
+}
+
+/// The batched-ingest determinism matrix (invariant 7): every workload at
+/// both fault intensities runs through the sharded batch engine, checking
+/// width bit-identity, tick-split invariance, and agreement with the
+/// sequential ingest path. One seed per cell — each case replays the
+/// trace four times (two widths, one halved-tick pass, one sequential
+/// reference), so this matrix costs ~2× `simulation_matrix` per seed.
+#[test]
+fn batched_ingest_matrix() {
+    for workload in [Workload::Admissions, Workload::BusTracker, Workload::Mooc] {
+        for intensity in [0.0, 1.0] {
+            let case = SimCase::new(workload, intensity, SEEDS[0]);
+            if let Err(failure) = run_batched(&case, HORIZONS, WIDTHS) {
+                panic!("{failure}");
+            }
+        }
+    }
 }
 
 /// Replays exactly one case from `QB_SIM_*` environment overrides — the
