@@ -1,0 +1,260 @@
+//! Lock-free serving throughput under a live, adapting pipeline.
+//!
+//! The demo the serving layer exists for: four reader threads hammer
+//! [`ForecastQuery`] answers while the main thread keeps the pipeline
+//! busy — sharded batch ingest of a faulted trace, hourly cluster
+//! updates (each publishing a membership patch), and manager retrains
+//! (each publishing fresh per-horizon curves). Readers never block the
+//! pipeline and the pipeline never blocks readers.
+//!
+//! Measured:
+//!
+//! * sustained reads/sec across the reader fleet (target: ≥ 1M/s from
+//!   4 threads, concurrent with ingest + publications);
+//! * sampled per-read latency (p50/p99);
+//! * publish latency from the `serve.publish` histogram (mean + p99) —
+//!   the number the CI regression guard holds against
+//!   `BENCH_serving_baseline.json`;
+//! * a final bit-identity audit: at the last published epoch, every
+//!   served curve must equal a synchronous
+//!   [`QueryBot5000::forecast_job_with`] fit-and-pull at the same cut,
+//!   bit for bit.
+//!
+//! Results land in `BENCH_serving.json` for CI to archive; the run exits
+//! non-zero only if the pipeline fails or the bit-identity audit does.
+//! `QB_THREADS` sizes the ingest pool; `QB_BENCH_DAYS` resizes the trace
+//! for quick local runs.
+//!
+//! ```text
+//! cargo run --release -p qb-bench --bin serve_bench
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use qb5000::{
+    BatchItem, ForecastManager, ForecastQuery, ForecastService, HorizonSpec, JobSpan,
+    Qb5000Config, QueryBot5000, Recorder, RetrainOutcome,
+};
+use qb_forecast::LinearRegression;
+use qb_timeseries::{MINUTES_PER_DAY, MINUTES_PER_HOUR};
+use qb_workloads::{FaultPlan, QueryEvent, TraceConfig, Workload};
+
+const READER_THREADS: usize = 4;
+/// Every Nth read records its latency, bounding sample memory while the
+/// fleet runs tens of millions of reads.
+const LATENCY_SAMPLE_EVERY: u64 = 64;
+const DEFAULT_DAYS: u32 = 3;
+const TRACE_SCALE: f64 = 0.05;
+const SEED: u64 = 0x5E4E;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Upper bucket bound (nanos) containing the `p`-quantile observation.
+fn histogram_percentile_nanos(h: &qb_obs::HistogramSnapshot, p: f64) -> f64 {
+    let target = (h.count as f64 * p).ceil() as u64;
+    let mut cum = 0u64;
+    for (i, count) in h.buckets.iter().enumerate() {
+        cum += count;
+        if cum >= target {
+            return match h.bounds_nanos.get(i) {
+                Some(&b) => b as f64,
+                // The overflow bucket: report the mean of what landed there.
+                None => h.sum_nanos as f64 / h.count.max(1) as f64,
+            };
+        }
+    }
+    0.0
+}
+
+fn main() {
+    let days: u32 = std::env::var("QB_BENCH_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_DAYS);
+    let recorder = Recorder::new();
+    let specs = vec![HorizonSpec::hourly(1), HorizonSpec::hourly(12)];
+    let mut service = ForecastService::for_specs(&specs);
+    service.set_recorder(&recorder);
+    let config = Qb5000Config::builder()
+        .serve(service.clone())
+        .recorder(recorder.clone())
+        .build()
+        .expect("bench config is valid");
+    let mut bot = QueryBot5000::new(config);
+
+    // --- Warm-up: one day of clean history so the first retrain has a
+    // full training window before the measured phase starts. ---
+    let warm = TraceConfig { start: 0, days: 1, scale: TRACE_SCALE, seed: SEED };
+    for ev in Workload::BusTracker.generator(warm) {
+        bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("valid SQL");
+    }
+    bot.update_clusters(MINUTES_PER_DAY);
+
+    // --- Concurrent phase: readers race the adapting pipeline. ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_reads = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..READER_THREADS)
+        .map(|_| {
+            let reader = service.reader();
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total_reads);
+            std::thread::spawn(move || {
+                let queries = [
+                    ForecastQuery::top_k(3, 0),
+                    ForecastQuery::cluster(0, 0),
+                    ForecastQuery::cluster(1, 1),
+                    ForecastQuery::template(0, 0),
+                ];
+                let mut samples: Vec<u64> = Vec::with_capacity(1 << 16);
+                let mut reads = 0u64;
+                let mut max_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = &queries[(reads % 4) as usize];
+                    if reads.is_multiple_of(LATENCY_SAMPLE_EVERY) {
+                        let t = Instant::now();
+                        let answer = reader.answer(q);
+                        samples.push(t.elapsed().as_nanos() as u64);
+                        max_epoch = max_epoch.max(answer.epoch);
+                    } else {
+                        let answer = reader.answer(q);
+                        max_epoch = max_epoch.max(answer.epoch);
+                    }
+                    reads += 1;
+                }
+                total.fetch_add(reads, Ordering::Relaxed);
+                (samples, max_epoch)
+            })
+        })
+        .collect();
+
+    // The measured trace: faulted, so cluster churn forces retrains and
+    // the membership the readers see keeps shifting under them.
+    let trace = TraceConfig {
+        start: MINUTES_PER_DAY,
+        days,
+        scale: TRACE_SCALE,
+        seed: SEED ^ 0x52,
+    };
+    let plan = FaultPlan::with_intensity(SEED, 1.0);
+    let events: Vec<QueryEvent> =
+        plan.inject(Workload::BusTracker.generator(trace)).collect();
+    let mut mgr = ForecastManager::new(specs.clone(), || {
+        Box::new(LinearRegression::default())
+    });
+    let mut retrains = 0u64;
+    let wall = Instant::now();
+    let mut next_update = MINUTES_PER_DAY + MINUTES_PER_HOUR;
+    let mut tick_start = 0usize;
+    for i in 1..=events.len() {
+        if i < events.len() && events[i].minute == events[tick_start].minute {
+            continue;
+        }
+        let minute = events[tick_start].minute;
+        while minute >= next_update {
+            bot.update_clusters(next_update);
+            if let Ok(RetrainOutcome::Retrained { .. }) = mgr.ensure_trained(&bot, next_update)
+            {
+                retrains += 1;
+            }
+            next_update += MINUTES_PER_HOUR;
+        }
+        let batch: Vec<BatchItem<'_>> = events[tick_start..i]
+            .iter()
+            .map(|ev| BatchItem { minute: ev.minute, sql: &ev.sql, count: ev.count })
+            .collect();
+        bot.ingest_batch(&batch);
+        tick_start = i;
+    }
+    let end = MINUTES_PER_DAY + days as i64 * MINUTES_PER_DAY;
+    bot.update_clusters(end);
+    // A final fresh-manager retrain guarantees the last publication's
+    // curves are cut exactly at `end` — the cut the audit refits below.
+    let mut final_mgr = ForecastManager::new(specs.clone(), || {
+        Box::new(LinearRegression::default())
+    });
+    final_mgr
+        .ensure_trained(&bot, end)
+        .expect("final retrain succeeds on a full trace");
+    retrains += 1;
+    let concurrent_wall = wall.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    let mut samples: Vec<u64> = Vec::new();
+    let mut fleet_max_epoch = 0u64;
+    for h in readers {
+        let (s, e) = h.join().expect("reader thread panicked");
+        samples.extend(s);
+        fleet_max_epoch = fleet_max_epoch.max(e);
+    }
+    samples.sort_unstable();
+    let reads = total_reads.load(Ordering::Relaxed);
+    let reads_per_sec = reads as f64 / concurrent_wall;
+
+    // --- Bit-identity audit at the final epoch. ---
+    let reader = service.reader();
+    let epoch = service.epoch();
+    assert!(fleet_max_epoch <= epoch, "readers saw an unpublished epoch");
+    let mut audited = 0usize;
+    for (slot, spec) in specs.iter().enumerate() {
+        let job = bot
+            .forecast_job_with(
+                end,
+                spec.interval,
+                spec.window,
+                spec.horizon,
+                JobSpan::Steps(spec.train_steps),
+            )
+            .expect("enough history for the audit");
+        let pulled = job
+            .fit_predict(&mut LinearRegression::default())
+            .expect("audit fit succeeds");
+        for (ci, cluster) in job.clusters.iter().enumerate() {
+            let answer = reader.answer(&ForecastQuery::cluster(cluster.id.0, slot));
+            assert_eq!(answer.epoch, epoch);
+            let curve = answer.curve().expect("final epoch serves every tracked cluster");
+            assert_eq!(
+                curve.values[0].to_bits(),
+                pulled[ci].to_bits(),
+                "served curve for cluster {} slot {slot} diverged from the synchronous pull",
+                cluster.id.0
+            );
+            audited += 1;
+        }
+    }
+
+    let snap = recorder.snapshot();
+    let publish = snap.histograms.get("serve.publish").expect("publications were timed");
+    let publish_mean_us = publish.sum_nanos as f64 / publish.count.max(1) as f64 / 1e3;
+    let publish_p99_us = histogram_percentile_nanos(publish, 0.99) / 1e3;
+    let json = format!(
+        "{{\n  \"reader_threads\": {READER_THREADS},\n  \
+         \"trace_days\": {days},\n  \
+         \"concurrent_wall_secs\": {concurrent_wall:.3},\n  \
+         \"reads_total\": {reads},\n  \
+         \"reads_per_sec\": {reads_per_sec:.1},\n  \
+         \"meets_1m_reads_target\": {},\n  \
+         \"read_p50_ns\": {},\n  \
+         \"read_p99_ns\": {},\n  \
+         \"publishes\": {},\n  \
+         \"retrains\": {retrains},\n  \
+         \"final_epoch\": {epoch},\n  \
+         \"publish_mean_us\": {publish_mean_us:.2},\n  \
+         \"publish_p99_us\": {publish_p99_us:.2},\n  \
+         \"curves_audited_bit_identical\": {audited}\n}}\n",
+        reads_per_sec >= 1e6,
+        percentile(&samples, 0.50),
+        percentile(&samples, 0.99),
+        publish.count,
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("BENCH_serving.json writable");
+    println!("{json}");
+    println!("wrote BENCH_serving.json");
+}

@@ -192,6 +192,16 @@ impl Qb5000ConfigBuilder {
         self
     }
 
+    /// Lock-free forecast serving: every cluster update and forecast fit
+    /// publishes an immutable [`crate::ForecastSnapshot`] through the
+    /// service's epoch-swapped slot, so [`crate::ForecastReader`] handles
+    /// query concurrently without blocking the pipeline. Defaults to `None`
+    /// (no serving layer, publication costs nothing).
+    pub fn serve(mut self, service: crate::ForecastService) -> Self {
+        self.cfg.serve = Some(service);
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<Qb5000Config, ConfigError> {
         self.cfg.validate()?;
@@ -362,6 +372,18 @@ impl ControllerConfigBuilder {
     /// (fully in-memory).
     pub fn durability(mut self, policy: DurabilityConfig) -> Self {
         self.cfg.durability = Some(policy);
+        self
+    }
+
+    /// Lock-free forecast serving for the controller's pipeline: cluster
+    /// updates and each build round's blended forecasts are published
+    /// through the service so reader threads can query while the
+    /// experiment runs. The service's horizon slots should cover the
+    /// configured `forecast_horizons` (use
+    /// [`crate::ForecastService::hourly`]); unmatched horizons are simply
+    /// not published. Defaults to `None`.
+    pub fn serve(mut self, service: crate::ForecastService) -> Self {
+        self.cfg.serve = Some(service);
         self
     }
 

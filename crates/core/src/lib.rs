@@ -70,6 +70,7 @@ pub mod error;
 pub mod manager;
 pub mod pipeline;
 pub mod schemas;
+pub mod serve;
 
 pub use accuracy::{
     AccuracyTracker, AccuracyTrackerState, HorizonAccuracy, PendingClaimState, RollingMeanState,
@@ -87,6 +88,17 @@ pub use manager::{ForecastHealth, ForecastManager, HorizonSpec, ManagerState, Re
 pub use pipeline::{
     ClusterInfo, ClusterInfoState, FeatureMode, ForecastJob, JobSpan, PipelineHealth,
     PipelineState, Qb5000Config, QueryBot5000,
+};
+pub use serve::ForecastService;
+
+// The lock-free serving surface (`Qb5000Config::serve`,
+// `ForecastService::reader`): the typed query/answer pair, reader handle,
+// and snapshot model, re-exported so consumers query forecasts without
+// depending on `qb-serve` directly.
+pub use qb_serve::{
+    ClusterForecast, Curve, ForecastAnswer, ForecastQuery, ForecastReader, ForecastSnapshot,
+    HorizonMeta, Membership, Missing, Outcome, QueryTarget, ServeHealth, SnapshotBuilder,
+    StalenessBound,
 };
 
 // The durable-state policy surface (`Qb5000Config::durability`) exposes the

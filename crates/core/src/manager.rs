@@ -23,7 +23,8 @@ use qb_forecast::{DegradationLevel, ForecastError, Forecaster};
 use qb_obs::Recorder;
 use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, Minute};
-use qb_trace::{EventDraft, EventKind, LaneBuffer, Scope, Tracer};
+use qb_serve::ServeHealth;
+use qb_trace::{EventDraft, EventId, EventKind, LaneBuffer, Scope, Tracer};
 
 use crate::accuracy::{AccuracyTracker, AccuracyTrackerState, DEFAULT_ACCURACY_WINDOW};
 use crate::error::Error;
@@ -485,6 +486,43 @@ impl ForecastManager {
             }
         }
         self.observe_degradation();
+        // With serving on, push this round's fresh predictions into the
+        // lock-free snapshot: one curve per (cluster, horizon slot),
+        // parented on the fits that produced them, plus the accuracy/
+        // degradation summary. Horizons the service doesn't carry a
+        // matching slot for are skipped — the snapshot only ever serves
+        // curves whose shape its metadata describes.
+        if let Some(serve) = bot.serve() {
+            let slots = serve.horizons().len();
+            let mut rolling_mse = vec![None; slots];
+            let mut model_names = vec![None; slots];
+            let mut predictions = Vec::new();
+            let mut parents: Vec<EventId> = Vec::new();
+            for (i, spec) in self.specs.iter().enumerate() {
+                let Some(slot) = serve.slot_for(spec) else { continue };
+                predictions.push((slot, self.predict(bot, now, i)));
+                rolling_mse[slot] = self.accuracy.rolling_mse(i);
+                model_names[slot] =
+                    self.models[i].as_deref().map(|m| m.name().to_string());
+                if let Some(fit) = lane_event(i) {
+                    parents.push(fit);
+                }
+            }
+            let degraded = self
+                .models
+                .iter()
+                .flatten()
+                .any(|m| m.degradation() != DegradationLevel::Full);
+            let clusters =
+                self.trained_on.as_deref().expect("trained_on installed just above");
+            serve.publish_forecasts(
+                now,
+                clusters,
+                &predictions,
+                Some(ServeHealth { degraded, rolling_mse, models: model_names }),
+                &parents,
+            );
+        }
         self.consecutive_failures = 0;
         self.backoff_remaining = 0;
         self.last_error = None;

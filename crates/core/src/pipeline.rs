@@ -66,6 +66,12 @@ pub struct Qb5000Config {
     /// snapshot + WAL lineage under the configured directory and recover
     /// from it bit-identically.
     pub durability: Option<DurabilityConfig>,
+    /// Lock-free forecast serving. `None` (the default) keeps serving
+    /// off; `Some` makes every cluster update publish a membership patch
+    /// (and [`crate::ForecastManager::ensure_trained`] publish fresh
+    /// curves) into the service's epoch-swapped snapshot, which any
+    /// number of [`crate::ForecastReader`] handles query concurrently.
+    pub serve: Option<crate::serve::ForecastService>,
 }
 
 impl Default for Qb5000Config {
@@ -83,6 +89,7 @@ impl Default for Qb5000Config {
             recorder: Recorder::disabled(),
             tracer: Tracer::disabled(),
             durability: None,
+            serve: None,
         }
     }
 }
@@ -205,6 +212,13 @@ pub struct PipelineHealth {
     /// quarantine spikes, manual triggers) — oldest first. Empty unless
     /// the pipeline was assembled with an enabled [`Tracer`].
     pub trace_dumps: Vec<TraceDump>,
+    /// Epoch of the forecast snapshot currently being served (`None`
+    /// when the pipeline was assembled without [`Qb5000Config::serve`];
+    /// `Some(0)` when serving is on but nothing has been published yet).
+    /// The same number appears as the `serve.epoch` gauge in
+    /// [`qb_obs::MetricsSnapshot`] renderings, so operators can spot
+    /// serving staleness from either report.
+    pub serve_epoch: Option<u64>,
 }
 
 /// The assembled framework.
@@ -239,7 +253,11 @@ impl QueryBot5000 {
     /// Assembles the pipeline. The configured [`Recorder`] is installed
     /// into every stage here, so per-stage metrics (`preprocessor.*`,
     /// `clusterer.*`, `pipeline.*`) flow into one registry.
-    pub fn new(config: Qb5000Config) -> Self {
+    pub fn new(mut config: Qb5000Config) -> Self {
+        if let Some(serve) = &mut config.serve {
+            serve.set_recorder(&config.recorder);
+            serve.set_tracer(&config.tracer);
+        }
         let mut pre = PreProcessor::new(config.preprocessor.clone());
         pre.set_recorder(&config.recorder);
         pre.set_tracer(&config.tracer);
@@ -459,6 +477,7 @@ impl QueryBot5000 {
             threads_used: qb_parallel::configured_threads(),
             forecast_accuracy: Vec::new(),
             trace_dumps: self.config.tracer.dumps(),
+            serve_epoch: self.config.serve.as_ref().map(|s| s.epoch()),
         }
     }
 
@@ -519,6 +538,13 @@ impl QueryBot5000 {
         let report = self.clusterer.update(snapshots, now);
         self.refresh_tracked();
         self.last_update = Some(now);
+        // With serving on, every cluster refresh publishes a membership
+        // patch: readers route templates against the new assignments
+        // immediately, while entries whose identity didn't change keep
+        // their curves by structural sharing.
+        if let Some(serve) = &self.config.serve {
+            serve.publish_membership(now, &self.tracked);
+        }
         report
     }
 
@@ -554,6 +580,13 @@ impl QueryBot5000 {
     /// [`QueryBot5000::tracked_clusters`] is selected.
     pub fn coverage_ratio(&self, k: usize) -> f64 {
         self.clusterer.coverage_ratio(k)
+    }
+
+    /// The forecast-serving service the pipeline publishes into, when the
+    /// config enabled one ([`Qb5000Config::serve`]). Use it to create
+    /// lock-free [`crate::ForecastReader`] handles.
+    pub fn serve(&self) -> Option<&crate::serve::ForecastService> {
+        self.config.serve.as_ref()
     }
 
     /// The Pre-Processor, for stats inspection (Tables 1, 2, 4).
@@ -670,35 +703,6 @@ impl QueryBot5000 {
         })
     }
 
-    /// Source-compatibility alias for [`QueryBot5000::forecast_job_with`]
-    /// with [`JobSpan::Auto`].
-    #[deprecated(since = "0.2.0", note = "use `forecast_job_with` with `JobSpan::Auto`")]
-    pub fn forecast_job(
-        &self,
-        now: Minute,
-        interval: Interval,
-        window: usize,
-        horizon: usize,
-    ) -> Option<ForecastJob> {
-        self.forecast_job_with(now, interval, window, horizon, JobSpan::Auto)
-    }
-
-    /// Source-compatibility alias for [`QueryBot5000::forecast_job_with`]
-    /// with [`JobSpan::Steps`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `forecast_job_with` with `JobSpan::Steps(train_steps)`"
-    )]
-    pub fn forecast_job_spanning(
-        &self,
-        now: Minute,
-        interval: Interval,
-        window: usize,
-        horizon: usize,
-        train_steps: usize,
-    ) -> Option<ForecastJob> {
-        self.forecast_job_with(now, interval, window, horizon, JobSpan::Steps(train_steps))
-    }
 }
 
 /// A ready-to-train forecasting task over the tracked clusters.
@@ -825,25 +829,6 @@ mod tests {
     fn forecast_job_none_before_clustering() {
         let bot = QueryBot5000::new(Qb5000Config::default());
         assert!(bot.forecast_job_with(100, Interval::HOUR, 4, 1, JobSpan::Auto).is_none());
-    }
-
-    /// The deprecated aliases must keep producing the canonical method's
-    /// results (source compatibility for pre-0.2 callers).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_job_aliases_match_canonical() {
-        let mut bot = QueryBot5000::new(Qb5000Config::default());
-        feed_cyclic(&mut bot, 6);
-        bot.update_clusters(6 * MINUTES_PER_DAY);
-        let now = 6 * MINUTES_PER_DAY;
-        let auto = bot.forecast_job_with(now, Interval::HOUR, 24, 1, JobSpan::Auto).unwrap();
-        let alias = bot.forecast_job(now, Interval::HOUR, 24, 1).unwrap();
-        assert_eq!(alias.series, auto.series);
-        let steps = bot
-            .forecast_job_with(now, Interval::HOUR, 24, 1, JobSpan::Steps(100))
-            .unwrap();
-        let alias = bot.forecast_job_spanning(now, Interval::HOUR, 24, 1, 100).unwrap();
-        assert_eq!(alias.series, steps.series);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Pipeline-side forecast serving: publication points, metrics, and trace
+//! lineage over the zero-dep `qb-serve` swap.
+//!
+//! [`ForecastService`] wraps a [`qb_serve::ForecastServer`] with the
+//! pipeline's observability contract: every publication is timed into the
+//! `serve.publish` histogram, mirrored onto the `serve.epoch` /
+//! `serve.readers` gauges (so serving staleness shows up in any
+//! [`qb_obs::MetricsSnapshot`] rendering), and traced as a
+//! [`EventKind::SnapshotPublished`] event parented on the fits that
+//! produced the published curves.
+//!
+//! Wiring: hand a service to
+//! [`Qb5000Config::builder().serve(...)`](crate::Qb5000ConfigBuilder::serve)
+//! or [`ControllerConfig::builder().serve(...)`](crate::ControllerConfigBuilder::serve)
+//! and keep a clone for [`ForecastService::reader`] handles. The pipeline
+//! then publishes at three points: cluster updates (membership patches),
+//! [`crate::ForecastManager::ensure_trained`] retrains (per-horizon curve
+//! patches with structural sharing), and controller build rounds (the
+//! blended per-round forecasts).
+
+use std::sync::Arc;
+
+use qb_obs::Recorder;
+use qb_serve::{
+    Curve, ForecastReader, ForecastServer, ForecastSnapshot, HorizonMeta, Membership, ServeHealth,
+};
+use qb_timeseries::Minute;
+use qb_trace::{EventDraft, EventId, EventKind, Tracer};
+
+use crate::manager::HorizonSpec;
+use crate::pipeline::ClusterInfo;
+
+/// The pipeline-facing handle over the lock-free serving layer.
+///
+/// Cloning shares the underlying swap slot and epoch sequence; the
+/// pipeline keeps one clone per publication point and the caller keeps
+/// one for creating readers. Observability handles are installed when the
+/// service is wired into a pipeline (mirroring every other stage), so
+/// publications from inside the pipeline land on the pipeline's recorder.
+#[derive(Debug, Clone)]
+pub struct ForecastService {
+    server: ForecastServer,
+    /// Currently served epoch (`serve.epoch`).
+    epoch_gauge: qb_obs::Gauge,
+    /// Live reader handles (`serve.readers`).
+    readers_gauge: qb_obs::Gauge,
+    /// Wall time per publication (`serve.publish`).
+    publish_time: qb_obs::Histogram,
+    tracer: Tracer,
+}
+
+impl ForecastService {
+    /// A service whose horizon slots mirror `specs` — pair with a
+    /// [`crate::ForecastManager`] built from the same list.
+    pub fn for_specs(specs: &[HorizonSpec]) -> Self {
+        Self::with_horizons(
+            specs
+                .iter()
+                .map(|s| HorizonMeta {
+                    interval_minutes: s.interval.as_minutes(),
+                    window: s.window,
+                    horizon: s.horizon,
+                })
+                .collect(),
+        )
+    }
+
+    /// A service with one hourly slot per horizon (24-step window — the
+    /// controller's per-round fit shape). Pair with
+    /// [`crate::ControllerConfig::forecast_horizons`] hours.
+    pub fn hourly(horizon_hours: &[usize]) -> Self {
+        Self::with_horizons(
+            horizon_hours
+                .iter()
+                .map(|&h| HorizonMeta { interval_minutes: 60, window: 24, horizon: h })
+                .collect(),
+        )
+    }
+
+    /// A service with explicit horizon slots.
+    pub fn with_horizons(horizons: Vec<HorizonMeta>) -> Self {
+        Self {
+            server: ForecastServer::new(horizons),
+            epoch_gauge: qb_obs::Gauge::default(),
+            readers_gauge: qb_obs::Gauge::default(),
+            publish_time: qb_obs::Histogram::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Installs the pipeline's [`Recorder`]: publications then maintain
+    /// the `serve.epoch` / `serve.readers` gauges and the `serve.publish`
+    /// latency histogram. Called by the pipeline at assembly, like every
+    /// other stage's `set_recorder`.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.epoch_gauge = recorder.gauge("serve.epoch");
+        self.readers_gauge = recorder.gauge("serve.readers");
+        self.publish_time = recorder.histogram("serve.publish");
+    }
+
+    /// Installs the pipeline's [`Tracer`] so each publication records a
+    /// [`EventKind::SnapshotPublished`] event with lineage to the fits
+    /// that produced it.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// A new lock-free reader over this service's snapshots. Cheap;
+    /// clone one per consumer thread.
+    pub fn reader(&self) -> ForecastReader {
+        self.readers_gauge.set(self.server.reader_count() as f64 + 1.0);
+        self.server.reader()
+    }
+
+    /// The currently served epoch (0 until the first publication).
+    pub fn epoch(&self) -> u64 {
+        self.server.epoch()
+    }
+
+    /// The current snapshot (publisher-side view; readers should hold
+    /// their own [`ForecastReader`]).
+    pub fn snapshot(&self) -> Arc<ForecastSnapshot> {
+        self.server.current()
+    }
+
+    /// The horizon slots this service serves.
+    pub fn horizons(&self) -> Vec<HorizonMeta> {
+        self.server.current().horizons.to_vec()
+    }
+
+    /// The slot index serving `spec`'s shape, if the service carries one.
+    pub fn slot_for(&self, spec: &HorizonSpec) -> Option<usize> {
+        self.server.current().horizons.iter().position(|m| {
+            m.interval_minutes == spec.interval.as_minutes()
+                && m.window == spec.window
+                && m.horizon == spec.horizon
+        })
+    }
+
+    /// The slot index for an hourly 24-window horizon of `hours` steps —
+    /// the controller's per-round fit shape.
+    pub fn hourly_slot(&self, hours: usize) -> Option<usize> {
+        self.server
+            .current()
+            .horizons
+            .iter()
+            .position(|m| m.interval_minutes == 60 && m.window == 24 && m.horizon == hours)
+    }
+
+    /// Publishes a membership-only patch: the tracked-cluster set changed
+    /// (a cluster update ran) but no new fits exist yet. Entries whose
+    /// identity, volume, and members are unchanged are shared with the
+    /// previous snapshot by `Arc`; entries whose membership changed drop
+    /// their stale curves. Returns the new epoch.
+    pub fn publish_membership(&self, now: Minute, clusters: &[ClusterInfo]) -> u64 {
+        let members = memberships(clusters);
+        self.publish_traced("membership", &[], |current, _epoch| {
+            current.rebuild().built_at(now).set_membership(&members)
+        })
+    }
+
+    /// Publishes fresh per-horizon forecasts: reconciles membership to
+    /// `clusters`, then installs one single-bucket curve per (cluster,
+    /// slot) from `predictions` — `(slot, per-cluster predicted rates)`
+    /// pairs aligned with `clusters`. `parents` link the trace event to
+    /// the fits that produced the curves. Returns the new epoch.
+    pub fn publish_forecasts(
+        &self,
+        now: Minute,
+        clusters: &[ClusterInfo],
+        predictions: &[(usize, Vec<f64>)],
+        health: Option<ServeHealth>,
+        parents: &[EventId],
+    ) -> u64 {
+        let members = memberships(clusters);
+        let metas = self.horizons();
+        self.publish_traced("forecasts", parents, |current, _epoch| {
+            let mut b = current.rebuild().built_at(now).set_membership(&members);
+            for &(slot, ref values) in predictions {
+                let Some(meta) = metas.get(slot) else { continue };
+                // The curve's one bucket starts `horizon` intervals past
+                // the training cut — the bucket the model predicts.
+                let bucket = now - now.rem_euclid(meta.interval_minutes)
+                    + meta.horizon as i64 * meta.interval_minutes;
+                for (cluster, &v) in members.iter().zip(values) {
+                    b = b.set_curve(
+                        cluster.cluster,
+                        slot,
+                        Curve {
+                            start: bucket,
+                            interval_minutes: meta.interval_minutes,
+                            values: vec![v],
+                        },
+                    );
+                }
+            }
+            if let Some(h) = health {
+                b = b.health(h);
+            }
+            b
+        })
+    }
+
+    /// The shared publication path: times the swap, refreshes the gauges,
+    /// and records the `SnapshotPublished` trace event (first parent as
+    /// the causal parent, the rest as references — the fan-in shape
+    /// `ForecastBlended` uses).
+    fn publish_traced(
+        &self,
+        reason: &'static str,
+        parents: &[EventId],
+        build: impl FnOnce(&ForecastSnapshot, u64) -> qb_serve::SnapshotBuilder,
+    ) -> u64 {
+        let span = self.publish_time.start();
+        let before = self.server.current();
+        let epoch = self.server.publish(build);
+        let after = self.server.current();
+        drop(span);
+        self.epoch_gauge.set(epoch as f64);
+        self.readers_gauge.set(self.server.reader_count() as f64);
+        if self.tracer.is_enabled() {
+            let mut draft = EventDraft::new(EventKind::SnapshotPublished)
+                .text("reason", reason)
+                .uint("epoch", epoch)
+                .uint("clusters", after.entries().len() as u64)
+                .uint("shared_entries", after.shared_entries_with(&before) as u64)
+                .int("built_at", after.built_at);
+            let mut parents = parents.iter();
+            if let Some(&first) = parents.next() {
+                draft = draft.parent(first);
+            }
+            for &p in parents {
+                draft = draft.reference(p);
+            }
+            self.tracer.record(draft);
+        }
+        epoch
+    }
+}
+
+/// [`ClusterInfo`] rows flattened into the serving layer's plain-integer
+/// [`Membership`] form, preserving the tracked (largest-first) order.
+fn memberships(clusters: &[ClusterInfo]) -> Vec<Membership> {
+    clusters
+        .iter()
+        .map(|c| Membership {
+            cluster: c.id.0,
+            volume: c.volume,
+            members: c.members.iter().map(|m| m.0).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_clusterer::ClusterId;
+    use qb_preprocessor::TemplateId;
+    use qb_serve::{ForecastQuery, Outcome};
+
+    fn cluster(id: u64, volume: f64, members: &[u32]) -> ClusterInfo {
+        ClusterInfo {
+            id: ClusterId(id),
+            volume,
+            members: members.iter().map(|&m| TemplateId(m)).collect(),
+        }
+    }
+
+    #[test]
+    fn membership_then_forecast_publication() {
+        let svc = ForecastService::hourly(&[1, 12]);
+        let reader = svc.reader();
+        assert_eq!(svc.epoch(), 0);
+
+        let clusters = [cluster(3, 40.0, &[1, 2]), cluster(5, 10.0, &[7])];
+        assert_eq!(svc.publish_membership(600, &clusters), 1);
+        // Tracked but unfit: the reader sees the routing, not a curve.
+        let unfit = reader.answer(&ForecastQuery::template(2, 0));
+        assert_eq!(unfit.epoch, 1);
+        assert!(matches!(unfit.outcome, Outcome::NotFound(qb_serve::Missing::Unfit { .. })));
+
+        let epoch = svc.publish_forecasts(
+            600,
+            &clusters,
+            &[(0, vec![11.0, 3.0]), (1, vec![13.0, 5.0])],
+            None,
+            &[],
+        );
+        assert_eq!(epoch, 2);
+        let one_hour = reader.answer(&ForecastQuery::cluster(3, 0));
+        assert_eq!(one_hour.curve().unwrap().values, vec![11.0]);
+        assert_eq!(one_hour.curve().unwrap().start, 660, "one hour past the cut");
+        let twelve = reader.answer(&ForecastQuery::cluster(5, 1));
+        assert_eq!(twelve.curve().unwrap().values, vec![5.0]);
+        assert_eq!(twelve.curve().unwrap().start, 600 + 12 * 60);
+        assert_eq!(reader.answer(&ForecastQuery::top_k(1, 0)).ranking().unwrap(), &[(3, 11.0)]);
+    }
+
+    #[test]
+    fn gauges_track_epoch_and_readers() {
+        let recorder = Recorder::new();
+        let mut svc = ForecastService::hourly(&[1]);
+        svc.set_recorder(&recorder);
+        let _reader = svc.reader();
+        svc.publish_membership(0, &[cluster(1, 5.0, &[1])]);
+        svc.publish_membership(1, &[cluster(1, 6.0, &[1])]);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.gauges.get("serve.epoch"), Some(&2.0));
+        assert_eq!(snap.gauges.get("serve.readers"), Some(&1.0));
+        assert_eq!(snap.histograms.get("serve.publish").map(|h| h.count), Some(2));
+    }
+
+    #[test]
+    fn publication_is_traced_with_lineage() {
+        let tracer = Tracer::enabled();
+        tracer.begin_round(0);
+        let anchor = tracer
+            .record(EventDraft::new(EventKind::ModelFit).text("model", "LR"))
+            .expect("enabled tracer records");
+        let mut svc = ForecastService::hourly(&[1]);
+        svc.set_tracer(&tracer);
+        svc.publish_forecasts(60, &[cluster(1, 5.0, &[1])], &[(0, vec![2.0])], None, &[anchor]);
+        let view = tracer.view();
+        let ev = view.latest(EventKind::SnapshotPublished).expect("publication traced");
+        let lineage = view.explain(ev.id);
+        assert!(lineage.contains("ModelFit"), "{lineage}");
+    }
+
+    #[test]
+    fn slot_lookup_matches_specs() {
+        let specs = vec![HorizonSpec::hourly(1), HorizonSpec::hourly(12)];
+        let svc = ForecastService::for_specs(&specs);
+        assert_eq!(svc.slot_for(&specs[1]), Some(1));
+        assert_eq!(svc.hourly_slot(12), Some(1));
+        assert_eq!(svc.hourly_slot(6), None);
+        let mut other = HorizonSpec::hourly(1);
+        other.window = 48;
+        assert_eq!(svc.slot_for(&other), None, "window shape is part of the slot identity");
+    }
+}

@@ -26,14 +26,19 @@
 //!    batch engine yields bit-identical pipeline state and forecasts at
 //!    every width, is invariant to tick splitting, and matches the
 //!    sequential path template-for-template.
+//! 8. **Serving determinism** ([`run_served`]) — with the lock-free
+//!    serving layer enabled, reader answers at the final published epoch
+//!    (per-cluster curves and top-K rankings) are bit-identical across
+//!    all widths, and the served curves equal the manager's synchronous
+//!    predictions bit-for-bit.
 //!
 //! On violation the harness returns a [`SimFailure`] whose `Display`
 //! includes [`repro_command`] — a copy-pasteable `cargo test` invocation
 //! that replays exactly this case via the `single_seed_repro` test.
 
 use qb5000::{
-    BatchItem, EventKind, ForecastManager, HorizonSpec, Qb5000Config, QueryBot5000,
-    RetrainOutcome, TraceDump, TraceView, Tracer,
+    BatchItem, EventKind, ForecastManager, ForecastQuery, ForecastService, HorizonSpec,
+    Qb5000Config, QueryBot5000, RetrainOutcome, TraceDump, TraceView, Tracer,
 };
 use qb_forecast::{DegradationLevel, Forecaster, LinearRegression};
 use qb_parallel::ThreadPool;
@@ -404,6 +409,126 @@ pub fn run_batched(
             case,
             "batched accounting diverged from the sequential reference".into(),
         ));
+    }
+    Ok(())
+}
+
+/// Invariant 8 — serving determinism. Replays `case` once per width with a
+/// **fresh** pipeline whose config enables the lock-free serving layer,
+/// trains a manager (publishing per-horizon curves), then answers every
+/// reader query shape at the final epoch and checks:
+///
+/// * the published epoch is identical at every width (the publication
+///   schedule is part of the deterministic contract);
+/// * per-cluster curve answers and the top-K ranking are bit-identical
+///   across widths;
+/// * every served curve equals the manager's synchronous
+///   [`ForecastManager::predict`] output bit-for-bit — a reader pulling
+///   from the snapshot and a caller pulling from the manager can never
+///   disagree at the same epoch.
+pub fn run_served(
+    case: &SimCase,
+    horizons: &[usize],
+    widths: &[usize],
+) -> Result<(), SimFailure> {
+    assert!(!horizons.is_empty() && !widths.is_empty(), "empty sweep");
+    let specs: Vec<HorizonSpec> = horizons
+        .iter()
+        .map(|&h| HorizonSpec {
+            interval: Interval::HOUR,
+            window: 24,
+            horizon: h,
+            train_steps: (case.days as usize - 1) * 24,
+        })
+        .collect();
+
+    // (epoch, per-horizon per-cluster curve bits, per-horizon top-k bits)
+    type ServedBits = (u64, Vec<Vec<u64>>, Vec<Vec<(u64, u64)>>);
+    let mut reference: Option<ServedBits> = None;
+    for &w in widths {
+        let service = ForecastService::for_specs(&specs);
+        let config = Qb5000Config::builder()
+            .serve(service.clone())
+            .build()
+            .expect("default served config is valid");
+        let mut bot = QueryBot5000::new(config);
+        let trace = TraceConfig { start: 0, days: case.days, scale: case.scale, seed: case.seed };
+        let plan = if case.fault_intensity == 0.0 {
+            FaultPlan::none(case.seed)
+        } else {
+            FaultPlan::with_intensity(case.seed, case.fault_intensity)
+        };
+        for ev in plan.inject(case.workload.generator(trace)) {
+            let _ = bot.ingest_weighted(ev.minute, &ev.sql, ev.count);
+        }
+        let now = case.days as i64 * MINUTES_PER_DAY;
+        bot.update_clusters(now);
+        if bot.tracked_clusters().is_empty() {
+            return Err(fail(case, "no clusters tracked after a served trace".into()));
+        }
+        let mut mgr =
+            ForecastManager::new(specs.clone(), || Box::new(LinearRegression::default()));
+        mgr.set_threads(w);
+        mgr.ensure_trained(&bot, now)
+            .map_err(|e| fail(case, format!("served training failed at width {w}: {e}")))?;
+
+        let reader = service.reader();
+        let epoch = service.epoch();
+        let clusters = mgr.serving_clusters().to_vec();
+        let mut curve_bits: Vec<Vec<u64>> = Vec::new();
+        let mut topk_bits: Vec<Vec<(u64, u64)>> = Vec::new();
+        for (h, _) in horizons.iter().enumerate() {
+            let synchronous = mgr.predict(&bot, now, h);
+            let mut row = Vec::new();
+            for (ci, cluster) in clusters.iter().enumerate() {
+                let answer = reader.answer(&ForecastQuery::cluster(cluster.id.0, h));
+                if answer.epoch != epoch {
+                    return Err(fail(
+                        case,
+                        format!("reader at width {w} answered epoch {} != {epoch}", answer.epoch),
+                    ));
+                }
+                let Some(curve) = answer.curve() else {
+                    return Err(fail(
+                        case,
+                        format!("cluster {} horizon {h} unserved at width {w}", cluster.id.0),
+                    ));
+                };
+                if curve.values[0].to_bits() != synchronous[ci].to_bits() {
+                    return Err(fail(
+                        case,
+                        format!(
+                            "served curve diverged from the synchronous prediction at \
+                             width {w}, cluster {}, horizon {h}",
+                            cluster.id.0
+                        ),
+                    ));
+                }
+                row.push(curve.values[0].to_bits());
+            }
+            curve_bits.push(row);
+            let ranking = reader
+                .answer(&ForecastQuery::top_k(clusters.len(), h))
+                .ranking()
+                .map(|r| r.iter().map(|&(c, v)| (c, v.to_bits())).collect::<Vec<_>>())
+                .unwrap_or_default();
+            topk_bits.push(ranking);
+        }
+        let bits = (epoch, curve_bits, topk_bits);
+        match &reference {
+            None => reference = Some(bits),
+            Some(ref_bits) => {
+                if &bits != ref_bits {
+                    return Err(fail(
+                        case,
+                        format!(
+                            "served answers diverged between widths {} and {w}",
+                            widths[0]
+                        ),
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -13,7 +13,7 @@
 //!   cargo test -p qb-testkit --test simtest single_seed_repro -- --nocapture
 //! ```
 
-use qb_testkit::sim::{case_from_env, run_batched, run_case, SimCase};
+use qb_testkit::sim::{case_from_env, run_batched, run_case, run_served, SimCase};
 use qb_workloads::Workload;
 
 const HORIZONS: &[usize] = &[1, 6];
@@ -57,6 +57,24 @@ fn batched_ingest_matrix() {
         for intensity in [0.0, 1.0] {
             let case = SimCase::new(workload, intensity, SEEDS[0]);
             if let Err(failure) = run_batched(&case, HORIZONS, WIDTHS) {
+                panic!("{failure}");
+            }
+        }
+    }
+}
+
+/// The serving determinism matrix (invariant 8): every workload at both
+/// fault intensities replays with the lock-free serving layer enabled,
+/// checking that reader answers at the final published epoch — curves and
+/// top-K rankings — are bit-identical across widths and equal the
+/// manager's synchronous predictions bit-for-bit. One seed per cell, like
+/// `batched_ingest_matrix`.
+#[test]
+fn served_forecast_matrix() {
+    for workload in [Workload::Admissions, Workload::BusTracker, Workload::Mooc] {
+        for intensity in [0.0, 1.0] {
+            let case = SimCase::new(workload, intensity, SEEDS[0]);
+            if let Err(failure) = run_served(&case, HORIZONS, WIDTHS) {
                 panic!("{failure}");
             }
         }

@@ -100,6 +100,11 @@ pub enum EventKind {
     IndexBuilt,
     /// A wall-timed pipeline stage span (Chrome export only).
     StageSpan,
+    /// A forecast snapshot was published to the serving layer (qb-serve
+    /// epoch swap); payload carries the epoch, publication reason, and
+    /// entry/sharing counts, with parents linking to the fits that
+    /// produced the published curves.
+    SnapshotPublished,
 }
 
 impl EventKind {
@@ -127,6 +132,7 @@ impl EventKind {
             EventKind::ForecastBlended => 17,
             EventKind::IndexBuilt => 18,
             EventKind::StageSpan => 19,
+            EventKind::SnapshotPublished => 20,
         }
     }
 
@@ -153,6 +159,7 @@ impl EventKind {
             17 => EventKind::ForecastBlended,
             18 => EventKind::IndexBuilt,
             19 => EventKind::StageSpan,
+            20 => EventKind::SnapshotPublished,
             _ => return None,
         })
     }
@@ -1061,11 +1068,11 @@ mod tests {
 
     #[test]
     fn kind_and_scope_codes_round_trip() {
-        for code in 0..=19u8 {
+        for code in 0..=20u8 {
             let kind = EventKind::from_code(code).expect("dense code space");
             assert_eq!(kind.to_code(), code);
         }
-        assert_eq!(EventKind::from_code(20), None);
+        assert_eq!(EventKind::from_code(21), None);
         for code in 0..=3u8 {
             let scope = Scope::from_code(code).expect("dense code space");
             assert_eq!(scope.to_code(), code);
