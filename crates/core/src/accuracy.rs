@@ -204,6 +204,15 @@ impl AccuracyTracker {
                 .copied()
                 .unwrap_or(0.0);
             let err = (actual.max(0.0).ln_1p() - p.predicted.max(0.0).ln_1p()).powi(2);
+            // A degenerate claim — an infinite prediction from a fit with
+            // less than one full history window, say — settles without
+            // scoring: pushing ±∞ would poison the rolling sums for good
+            // (the eviction subtraction leaves NaN behind). NaN claims are
+            // already neutralized by `max(0.0)` above.
+            if !err.is_finite() {
+                settled += 1;
+                continue;
+            }
             self.overall[p.horizon_idx].push(err);
             let window = self.window;
             self.per_cluster
@@ -392,6 +401,57 @@ mod tests {
         // The 12 h claim matures later.
         tr.settle(&bot, now + 13 * 60 + 1);
         assert!(tr.rolling_mse(1).is_some());
+    }
+
+    #[test]
+    fn degenerate_claims_never_poison_the_rolling_windows() {
+        // Regression: a template with less than one full history window
+        // can yield a degenerate fit whose claim is ∞ (or NaN). Settling
+        // such a claim must leave every mean finite — an ∞ pushed into a
+        // RollingMean turns into permanent NaN once it is evicted.
+        let bot = fed_bot(2);
+        let clusters = bot.tracked_clusters().to_vec();
+        let now = MINUTES_PER_DAY;
+        let mut tr = AccuracyTracker::new(1, 2);
+        for bad in [f64::INFINITY, f64::NAN, f64::NEG_INFINITY] {
+            tr.record(0, now, Interval::HOUR, 1, &clusters, &[bad]);
+        }
+        tr.record(0, now, Interval::HOUR, 1, &clusters, &[600.0]);
+        assert_eq!(tr.settle(&bot, now + 121), 4, "every claim settles, scored or not");
+        assert_eq!(tr.pending_len(), 0);
+        let mse = tr.rolling_mse(0).expect("finite claims still score");
+        assert!(mse.is_finite(), "degenerate claims leaked into the mean: {mse}");
+        // NaN and -∞ collapse to a 0.0 claim via max(0.0) and do score;
+        // the +∞ claim is dropped. Push the window past capacity to prove
+        // eviction stays clean.
+        for _ in 0..4 {
+            tr.record(0, now, Interval::HOUR, 1, &clusters, &[600.0]);
+            tr.settle(&bot, now + 121);
+        }
+        assert!(tr.rolling_mse(0).unwrap().is_finite());
+        for (_, mse) in tr.per_cluster_mse(0) {
+            assert!(mse.is_finite(), "per-cluster mean poisoned: {mse}");
+        }
+    }
+
+    #[test]
+    fn short_history_window_settles_against_zero_actuals() {
+        // A claim recorded against a bucket with no history at all (the
+        // empty-window edge) scores against actual = 0.0 rather than
+        // producing a non-finite error.
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        bot.ingest_weighted(0, "SELECT a FROM t WHERE id = 1", 1).unwrap();
+        bot.update_clusters(30);
+        let clusters = bot.tracked_clusters().to_vec();
+        assert!(!clusters.is_empty());
+        let mut tr = AccuracyTracker::new(1, 8);
+        // Predict one hour past a history of a single statement.
+        tr.record(0, 30, Interval::HOUR, 1, &clusters, &[5.0]);
+        assert_eq!(tr.settle(&bot, 4 * 60), 1);
+        let mse = tr.rolling_mse(0).expect("claim settled");
+        assert!(mse.is_finite());
+        let want = 6f64.ln().powi(2); // (ln(1+0) - ln(1+5))²
+        assert!((mse - want).abs() < 1e-9, "got {mse}, want {want}");
     }
 
     #[test]

@@ -202,6 +202,17 @@ impl Qb5000ConfigBuilder {
         self
     }
 
+    /// Cold-start forecasting for templates outside the trained cluster
+    /// set: retrain rounds then also publish seeded per-template
+    /// estimates (cluster-rate share or population prior) so readers get
+    /// a typed `ColdStart` answer instead of `Missing`. Only meaningful
+    /// together with [`Qb5000ConfigBuilder::serve`]; warm forecasts are
+    /// byte-identical either way. Defaults to `false`.
+    pub fn cold_start(mut self, on: bool) -> Self {
+        self.cfg.cold_start = on;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<Qb5000Config, ConfigError> {
         self.cfg.validate()?;

@@ -89,16 +89,16 @@ pub use pipeline::{
     ClusterInfo, ClusterInfoState, FeatureMode, ForecastJob, JobSpan, PipelineHealth,
     PipelineState, Qb5000Config, QueryBot5000,
 };
-pub use serve::ForecastService;
+pub use serve::{ColdSeed, ForecastService};
 
 // The lock-free serving surface (`Qb5000Config::serve`,
 // `ForecastService::reader`): the typed query/answer pair, reader handle,
 // and snapshot model, re-exported so consumers query forecasts without
 // depending on `qb-serve` directly.
 pub use qb_serve::{
-    ClusterForecast, Curve, ForecastAnswer, ForecastQuery, ForecastReader, ForecastSnapshot,
-    HorizonMeta, Membership, Missing, Outcome, QueryTarget, ServeHealth, SnapshotBuilder,
-    StalenessBound,
+    ClusterForecast, ColdStartForecast, ColdStartOrigin, Curve, ForecastAnswer, ForecastQuery,
+    ForecastReader, ForecastSnapshot, HorizonMeta, Membership, Missing, Outcome, QueryTarget,
+    ServeHealth, SnapshotBuilder, StalenessBound,
 };
 
 // The durable-state policy surface (`Qb5000Config::durability`) exposes the

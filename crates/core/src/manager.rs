@@ -23,12 +23,13 @@ use qb_forecast::{DegradationLevel, ForecastError, Forecaster};
 use qb_obs::Recorder;
 use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, Minute};
-use qb_serve::ServeHealth;
+use qb_serve::{ColdStartOrigin, ServeHealth};
 use qb_trace::{EventDraft, EventId, EventKind, LaneBuffer, Scope, Tracer};
 
 use crate::accuracy::{AccuracyTracker, AccuracyTrackerState, DEFAULT_ACCURACY_WINDOW};
 use crate::error::Error;
 use crate::pipeline::{ClusterInfo, ClusterInfoState, JobSpan, QueryBot5000};
+use crate::serve::ColdSeed;
 
 /// One prediction horizon the planning module requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +167,9 @@ pub struct ForecastManager {
     predict_time: qb_obs::Histogram,
     retrains_metric: qb_obs::Counter,
     rollbacks_metric: qb_obs::Counter,
+    /// Cold-start seeds published across all retrains
+    /// (`forecast.cold_starts`).
+    cold_starts_metric: qb_obs::Counter,
     backoffs_metric: qb_obs::Counter,
     degradation_transitions: qb_obs::Counter,
     /// `forecast.degradation.h<i>` gauges (0 = full … 3 = last-value).
@@ -233,6 +237,7 @@ impl ForecastManager {
             predict_time: qb_obs::Histogram::default(),
             retrains_metric: qb_obs::Counter::default(),
             rollbacks_metric: qb_obs::Counter::default(),
+            cold_starts_metric: qb_obs::Counter::default(),
             backoffs_metric: qb_obs::Counter::default(),
             degradation_transitions: qb_obs::Counter::default(),
             degradation_gauges: vec![qb_obs::Gauge::default(); horizons],
@@ -268,6 +273,7 @@ impl ForecastManager {
         self.predict_time = recorder.histogram("forecast.predict");
         self.retrains_metric = recorder.counter("forecast.retrains");
         self.rollbacks_metric = recorder.counter("forecast.rollbacks");
+        self.cold_starts_metric = recorder.counter("forecast.cold_starts");
         self.backoffs_metric = recorder.counter("forecast.backoffs");
         self.degradation_transitions = recorder.counter("forecast.degradation_transitions");
         self.degradation_gauges = (0..self.specs.len())
@@ -515,10 +521,21 @@ impl ForecastManager {
                 .any(|m| m.degradation() != DegradationLevel::Full);
             let clusters =
                 self.trained_on.as_deref().expect("trained_on installed just above");
-            serve.publish_forecasts(
+            // With cold start on, seed forecasts for templates the fresh
+            // routing doesn't cover (new since training, or never part of
+            // a tracked cluster) so readers get a typed estimate instead
+            // of Missing while the template accrues history.
+            let cold = if bot.cold_start_enabled() {
+                Self::cold_start_seeds(&self.specs, bot, now, clusters, &predictions)
+            } else {
+                Vec::new()
+            };
+            self.cold_starts_metric.add(cold.len() as u64);
+            serve.publish_forecasts_with_cold(
                 now,
                 clusters,
                 &predictions,
+                &cold,
                 Some(ServeHealth { degraded, rolling_mse, models: model_names }),
                 &parents,
             );
@@ -527,6 +544,74 @@ impl ForecastManager {
         self.backoff_remaining = 0;
         self.last_error = None;
         Ok(RetrainOutcome::Retrained { horizons: trained })
+    }
+
+    /// Cold-start seeds for templates the freshly trained routing does
+    /// not cover. A template already assigned to a trained cluster is
+    /// seeded from that cluster's predicted rate scaled by the template's
+    /// recent share of the cluster's volume (over the first spec's window
+    /// ending at the training cut); templates with no trained-cluster
+    /// assignment — or no observable volume yet — get the population
+    /// prior: the mean predicted per-member rate across all tracked
+    /// clusters. Candidates are walked in template-id order on the
+    /// control thread, so the seed list is bit-identical at any
+    /// `QB_THREADS`.
+    fn cold_start_seeds(
+        specs: &[HorizonSpec],
+        bot: &QueryBot5000,
+        now: Minute,
+        clusters: &[ClusterInfo],
+        predictions: &[(usize, Vec<f64>)],
+    ) -> Vec<ColdSeed> {
+        let Some(spec) = specs.first() else { return Vec::new() };
+        let pre = bot.preprocessor();
+        let covered: std::collections::HashSet<u32> =
+            clusters.iter().flat_map(|c| c.members.iter().map(|m| m.0)).collect();
+        let member_count: usize = clusters.iter().map(|c| c.members.len()).sum();
+        let prior = |predictions: &[(usize, Vec<f64>)]| -> Vec<(usize, f64)> {
+            let denom = member_count.max(1) as f64;
+            predictions
+                .iter()
+                .map(|&(slot, ref vals)| (slot, vals.iter().sum::<f64>() / denom))
+                .collect()
+        };
+        let end = spec.interval.bucket_start(now);
+        let start = end - spec.window as i64 * spec.interval.as_minutes();
+        let mut seeds = Vec::new();
+        for entry in pre.templates() {
+            let t = entry.id;
+            if covered.contains(&t.0) {
+                continue;
+            }
+            let assigned = bot
+                .clusterer()
+                .cluster_of(t.0 as u64)
+                .and_then(|cid| clusters.iter().position(|c| c.id == cid));
+            let (origin, values) = match assigned {
+                Some(j) => {
+                    let tv: f64 = pre.template_series(t, start, end, spec.interval).iter().sum();
+                    let cv: f64 =
+                        bot.cluster_series(&clusters[j], start, end, spec.interval).iter().sum();
+                    let share = if cv > 0.0 { tv / cv } else { 0.0 };
+                    if share > 0.0 && share.is_finite() {
+                        (
+                            ColdStartOrigin::ClusterShare { cluster: clusters[j].id.0, share },
+                            predictions
+                                .iter()
+                                .map(|&(slot, ref vals)| {
+                                    (slot, vals.get(j).copied().unwrap_or(0.0) * share)
+                                })
+                                .collect(),
+                        )
+                    } else {
+                        (ColdStartOrigin::PopulationPrior, prior(predictions))
+                    }
+                }
+                None => (ColdStartOrigin::PopulationPrior, prior(predictions)),
+            };
+            seeds.push(ColdSeed { template: t.0, origin, values });
+        }
+        seeds
     }
 
     /// Updates the per-horizon degradation gauges after a retrain and

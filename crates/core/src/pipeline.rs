@@ -72,6 +72,15 @@ pub struct Qb5000Config {
     /// curves) into the service's epoch-swapped snapshot, which any
     /// number of [`crate::ForecastReader`] handles query concurrently.
     pub serve: Option<crate::serve::ForecastService>,
+    /// Cold-start forecasting for templates outside the trained cluster
+    /// set. `false` (the default) serves such templates the classic
+    /// `Missing` answer; `true` makes each retrain round also publish
+    /// seeded per-template estimates — the assigned cluster's forecast
+    /// scaled by the template's volume share, or a population prior when
+    /// no usable assignment exists — so readers get a typed `ColdStart`
+    /// answer instead of waiting a full history window. Warm (tracked
+    /// cluster) forecasts are byte-identical either way.
+    pub cold_start: bool,
 }
 
 impl Default for Qb5000Config {
@@ -90,6 +99,7 @@ impl Default for Qb5000Config {
             tracer: Tracer::disabled(),
             durability: None,
             serve: None,
+            cold_start: false,
         }
     }
 }
@@ -587,6 +597,13 @@ impl QueryBot5000 {
     /// lock-free [`crate::ForecastReader`] handles.
     pub fn serve(&self) -> Option<&crate::serve::ForecastService> {
         self.config.serve.as_ref()
+    }
+
+    /// Whether cold-start forecasting is enabled
+    /// ([`Qb5000Config::cold_start`]): retrain rounds then also publish
+    /// seeded estimates for templates outside the trained cluster set.
+    pub fn cold_start_enabled(&self) -> bool {
+        self.config.cold_start
     }
 
     /// The Pre-Processor, for stats inspection (Tables 1, 2, 4).

@@ -22,13 +22,30 @@ use std::sync::Arc;
 
 use qb_obs::Recorder;
 use qb_serve::{
-    Curve, ForecastReader, ForecastServer, ForecastSnapshot, HorizonMeta, Membership, ServeHealth,
+    ColdStartForecast, ColdStartOrigin, Curve, ForecastReader, ForecastServer, ForecastSnapshot,
+    HorizonMeta, Membership, ServeHealth,
 };
 use qb_timeseries::Minute;
-use qb_trace::{EventDraft, EventId, EventKind, Tracer};
+use qb_trace::{EventDraft, EventId, EventKind, Scope, Tracer};
 
 use crate::manager::HorizonSpec;
 use crate::pipeline::ClusterInfo;
+
+/// A seeded forecast for a template the tracked-cluster routing does not
+/// yet cover — the cold-start path's publication unit. `values` pairs
+/// `(slot, predicted rate)` for the horizon slots the seed covers;
+/// [`ForecastService::publish_forecasts_with_cold`] turns each pair into
+/// the same single-bucket curve shape as the warm per-cluster forecasts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdSeed {
+    /// Template the seed stands in for.
+    pub template: u32,
+    /// Where the estimate came from (cluster-rate share or population prior).
+    pub origin: ColdStartOrigin,
+    /// `(slot, predicted rate)` pairs; slots outside the service's horizon
+    /// list are ignored.
+    pub values: Vec<(usize, f64)>,
+}
 
 /// The pipeline-facing handle over the lock-free serving layer.
 ///
@@ -46,6 +63,9 @@ pub struct ForecastService {
     readers_gauge: qb_obs::Gauge,
     /// Wall time per publication (`serve.publish`).
     publish_time: qb_obs::Histogram,
+    /// Cold-start entries in the latest published snapshot
+    /// (`serve.cold_starts`).
+    cold_gauge: qb_obs::Gauge,
     tracer: Tracer,
 }
 
@@ -84,6 +104,7 @@ impl ForecastService {
             epoch_gauge: qb_obs::Gauge::default(),
             readers_gauge: qb_obs::Gauge::default(),
             publish_time: qb_obs::Histogram::default(),
+            cold_gauge: qb_obs::Gauge::default(),
             tracer: Tracer::disabled(),
         }
     }
@@ -96,6 +117,7 @@ impl ForecastService {
         self.epoch_gauge = recorder.gauge("serve.epoch");
         self.readers_gauge = recorder.gauge("serve.readers");
         self.publish_time = recorder.histogram("serve.publish");
+        self.cold_gauge = recorder.gauge("serve.cold_starts");
     }
 
     /// Installs the pipeline's [`Tracer`] so each publication records a
@@ -172,9 +194,47 @@ impl ForecastService {
         health: Option<ServeHealth>,
         parents: &[EventId],
     ) -> u64 {
+        self.publish_forecasts_with_cold(now, clusters, predictions, &[], health, parents)
+    }
+
+    /// [`ForecastService::publish_forecasts`] plus cold-start seeds: each
+    /// [`ColdSeed`] becomes a [`ColdStartForecast`] entry with the same
+    /// single-bucket curve shape as the warm forecasts, served to readers
+    /// whose template the routing index does not cover. Each seed is
+    /// traced as a [`EventKind::TemplateColdStart`] event parented on the
+    /// template's cluster-assignment anchor (cluster-share seeds) so the
+    /// estimate's lineage reaches back to the assignment that produced
+    /// it. Returns the new epoch.
+    pub fn publish_forecasts_with_cold(
+        &self,
+        now: Minute,
+        clusters: &[ClusterInfo],
+        predictions: &[(usize, Vec<f64>)],
+        cold: &[ColdSeed],
+        health: Option<ServeHealth>,
+        parents: &[EventId],
+    ) -> u64 {
         let members = memberships(clusters);
         let metas = self.horizons();
-        self.publish_traced("forecasts", parents, |current, _epoch| {
+        let cold_entries: Vec<ColdStartForecast> = cold
+            .iter()
+            .map(|seed| {
+                let mut curves = vec![None; metas.len()];
+                for &(slot, v) in &seed.values {
+                    let Some(meta) = metas.get(slot) else { continue };
+                    let bucket = now - now.rem_euclid(meta.interval_minutes)
+                        + meta.horizon as i64 * meta.interval_minutes;
+                    curves[slot] = Some(Arc::new(Curve {
+                        start: bucket,
+                        interval_minutes: meta.interval_minutes,
+                        values: vec![v.max(0.0)],
+                    }));
+                }
+                ColdStartForecast { template: seed.template, origin: seed.origin, curves }
+            })
+            .collect();
+        self.cold_gauge.set(cold_entries.len() as f64);
+        let epoch = self.publish_traced("forecasts", parents, |current, _epoch| {
             let mut b = current.rebuild().built_at(now).set_membership(&members);
             for &(slot, ref values) in predictions {
                 let Some(meta) = metas.get(slot) else { continue };
@@ -194,11 +254,40 @@ impl ForecastService {
                     );
                 }
             }
+            if !cold_entries.is_empty() {
+                b = b.set_cold_starts(cold_entries);
+            }
             if let Some(h) = health {
                 b = b.health(h);
             }
             b
-        })
+        });
+        if self.tracer.is_enabled() {
+            for seed in cold {
+                let mut draft = EventDraft::new(EventKind::TemplateColdStart)
+                    .uint("template", seed.template as u64)
+                    .uint("epoch", epoch);
+                match seed.origin {
+                    ColdStartOrigin::ClusterShare { cluster, share } => {
+                        draft = draft
+                            .text("origin", "cluster_share")
+                            .uint("cluster", cluster)
+                            .float("share", share)
+                            .parent_opt(self.tracer.anchor(Scope::Cluster, cluster));
+                    }
+                    ColdStartOrigin::PopulationPrior => {
+                        draft = draft
+                            .text("origin", "population_prior")
+                            .parent_opt(self.tracer.anchor(Scope::Template, seed.template as u64));
+                    }
+                }
+                if let Some(&(slot, v)) = seed.values.first() {
+                    draft = draft.uint("slot", slot as u64).float("seeded", v);
+                }
+                self.tracer.record(draft);
+            }
+        }
+        epoch
     }
 
     /// The shared publication path: times the swap, refreshes the gauges,
@@ -324,6 +413,75 @@ mod tests {
         let ev = view.latest(EventKind::SnapshotPublished).expect("publication traced");
         let lineage = view.explain(ev.id);
         assert!(lineage.contains("ModelFit"), "{lineage}");
+    }
+
+    #[test]
+    fn cold_seeds_become_served_cold_start_entries() {
+        let recorder = Recorder::new();
+        let tracer = Tracer::enabled();
+        tracer.begin_round(0);
+        let assignment = tracer
+            .record(EventDraft::new(EventKind::ClusterCreated).uint("cluster", 3))
+            .expect("enabled tracer records");
+        tracer.set_anchor(Scope::Cluster, 3, assignment);
+        let mut svc = ForecastService::hourly(&[1, 12]);
+        svc.set_recorder(&recorder);
+        svc.set_tracer(&tracer);
+        let reader = svc.reader();
+        let clusters = [cluster(3, 40.0, &[1, 2])];
+        let cold = [
+            ColdSeed {
+                template: 9,
+                origin: qb_serve::ColdStartOrigin::ClusterShare { cluster: 3, share: 0.25 },
+                values: vec![(0, 2.75), (1, 3.25)],
+            },
+            ColdSeed {
+                template: 11,
+                origin: qb_serve::ColdStartOrigin::PopulationPrior,
+                // Negative seeds are clamped to zero; out-of-range slots dropped.
+                values: vec![(0, -1.0), (7, 9.0)],
+            },
+        ];
+        svc.publish_forecasts_with_cold(600, &clusters, &[(0, vec![11.0])], &cold, None, &[]);
+
+        // Routed templates answer warm; uncovered ones fall back cold.
+        let warm = reader.answer(&ForecastQuery::template(1, 0));
+        assert_eq!(warm.curve().unwrap().values, vec![11.0]);
+        let seeded = reader.answer(&ForecastQuery::template(9, 1));
+        assert!(matches!(
+            seeded.outcome,
+            Outcome::ColdStart {
+                origin: qb_serve::ColdStartOrigin::ClusterShare { cluster: 3, .. },
+                ..
+            }
+        ));
+        let curve = seeded.any_curve().expect("seeded slot served");
+        assert_eq!(curve.values, vec![3.25]);
+        assert_eq!(curve.start, 600 + 12 * 60, "cold curves share the warm bucket formula");
+        let clamped = reader.answer(&ForecastQuery::template(11, 0));
+        assert_eq!(clamped.any_curve().unwrap().values, vec![0.0]);
+        assert!(
+            reader.answer(&ForecastQuery::template(11, 1)).any_curve().is_none(),
+            "slot the seed didn't cover stays unserved"
+        );
+
+        // Gauge mirrors the published entry count; lineage reaches the
+        // cluster assignment that produced the share.
+        assert_eq!(recorder.snapshot().gauges.get("serve.cold_starts"), Some(&2.0));
+        let view = tracer.view();
+        let ev = view.latest(EventKind::TemplateColdStart).expect("seeds traced");
+        assert!(view.explain(ev.id).contains("ClusterCreated") || ev.parent.is_none());
+        let share_ev = view
+            .events()
+            .iter()
+            .find(|e| {
+                e.kind == EventKind::TemplateColdStart
+                    && e.payload.iter().any(|(k, v)| {
+                        *k == "origin" && *v == qb_trace::Value::Text("cluster_share".into())
+                    })
+            })
+            .expect("cluster-share seed traced");
+        assert_eq!(share_ev.parent, Some(assignment));
     }
 
     #[test]

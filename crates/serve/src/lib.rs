@@ -61,8 +61,8 @@ pub mod swap;
 
 pub use query::{ForecastAnswer, ForecastQuery, Missing, Outcome, QueryTarget, StalenessBound};
 pub use snapshot::{
-    ClusterForecast, Curve, ForecastSnapshot, HorizonMeta, Membership, ServeHealth,
-    SnapshotBuilder,
+    ClusterForecast, ColdStartForecast, ColdStartOrigin, Curve, ForecastSnapshot, HorizonMeta,
+    Membership, ServeHealth, SnapshotBuilder,
 };
 pub use swap::{ReadHandle, Swap, Versioned};
 

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use crate::snapshot::{Curve, ForecastSnapshot};
+use crate::snapshot::{ColdStartOrigin, Curve, ForecastSnapshot};
 
 /// What a [`ForecastQuery`] asks about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,7 +106,7 @@ impl ForecastQuery {
             QueryTarget::TopK(k) => Outcome::Ranking(snapshot.top_k(k, self.horizon_idx)),
             QueryTarget::Cluster(cluster) => self.curve_outcome(snapshot, cluster),
             QueryTarget::Template(template) => match snapshot.cluster_of_template(template) {
-                None => Outcome::NotFound(Missing::Template(template)),
+                None => self.cold_outcome(snapshot, template),
                 Some(cluster) => self.curve_outcome(snapshot, cluster),
             },
         };
@@ -121,6 +121,24 @@ impl ForecastQuery {
                 Some(curve) => Outcome::Curve { cluster, curve: Arc::clone(curve) },
             },
         }
+    }
+
+    /// The cold-start fallback for an unrouted template: a seeded curve
+    /// with typed provenance if one was published, otherwise the classic
+    /// [`Missing::Template`].
+    fn cold_outcome(&self, snapshot: &ForecastSnapshot, template: u32) -> Outcome {
+        snapshot
+            .cold_start(template)
+            .and_then(|entry| {
+                entry.curves.get(self.horizon_idx).and_then(|slot| slot.as_ref()).map(|curve| {
+                    Outcome::ColdStart {
+                        template,
+                        origin: entry.origin,
+                        curve: Arc::clone(curve),
+                    }
+                })
+            })
+            .unwrap_or(Outcome::NotFound(Missing::Template(template)))
     }
 }
 
@@ -153,6 +171,18 @@ pub enum Outcome {
         /// for [`QueryTarget::Template`] queries).
         cluster: u64,
         /// The predicted curve.
+        curve: Arc<Curve>,
+    },
+    /// A cold-start curve: the template is not routed to any fit tracked
+    /// cluster yet, so the forecast was seeded from its cluster
+    /// assignment or a population prior. The provenance is typed so a
+    /// consumer can discount the estimate accordingly.
+    ColdStart {
+        /// The template the seed was published for.
+        template: u32,
+        /// How the estimate was derived.
+        origin: ColdStartOrigin,
+        /// The seeded curve (shared with the snapshot — no copy).
         curve: Arc<Curve>,
     },
     /// `(cluster, total predicted volume)` pairs, largest first.
@@ -188,6 +218,25 @@ impl ForecastAnswer {
     pub fn ranking(&self) -> Option<&[(u64, f64)]> {
         match &self.outcome {
             Outcome::Ranking(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The curve regardless of provenance — a trained cluster curve or a
+    /// cold-start seed. Callers that must distinguish match on
+    /// [`ForecastAnswer::outcome`] or use [`ForecastAnswer::cold_origin`].
+    pub fn any_curve(&self) -> Option<&Curve> {
+        match &self.outcome {
+            Outcome::Curve { curve, .. } | Outcome::ColdStart { curve, .. } => Some(curve),
+            _ => None,
+        }
+    }
+
+    /// The cold-start provenance, if the answer was served from the cold
+    /// path.
+    pub fn cold_origin(&self) -> Option<ColdStartOrigin> {
+        match &self.outcome {
+            Outcome::ColdStart { origin, .. } => Some(*origin),
             _ => None,
         }
     }
@@ -241,6 +290,65 @@ mod tests {
         assert_eq!(
             ForecastQuery::cluster(7, 5).answer_from(&snap).outcome,
             Outcome::NotFound(Missing::Horizon(5))
+        );
+    }
+
+    #[test]
+    fn unrouted_template_falls_back_to_cold_start() {
+        use crate::snapshot::{ColdStartForecast, ColdStartOrigin};
+        let origin = ColdStartOrigin::ClusterShare { cluster: 7, share: 0.2 };
+        let snap = SnapshotBuilder::fresh(
+            600,
+            vec![HorizonMeta { interval_minutes: 60, window: 24, horizon: 1 }],
+        )
+        .set_membership(&[Membership { cluster: 7, volume: 50.0, members: vec![1, 3] }])
+        .set_curve(7, 0, Curve { start: 660, interval_minutes: 60, values: vec![5.5] })
+        .set_cold_starts(vec![ColdStartForecast {
+            template: 42,
+            origin,
+            curves: vec![Some(Arc::new(Curve {
+                start: 660,
+                interval_minutes: 60,
+                values: vec![1.1],
+            }))],
+        }])
+        .build(3);
+        let cold = ForecastQuery::template(42, 0).answer_from(&snap);
+        assert_eq!(cold.cold_origin(), Some(origin));
+        assert_eq!(cold.any_curve().unwrap().values, vec![1.1]);
+        assert_eq!(cold.curve(), None, "curve() stays warm-only");
+        // A routed template still takes the warm path.
+        let warm = ForecastQuery::template(3, 0).answer_from(&snap);
+        assert_eq!(warm.cold_origin(), None);
+        assert_eq!(warm.curve().unwrap().values, vec![5.5]);
+        assert_eq!(warm.any_curve().unwrap().values, vec![5.5]);
+        // A template with neither route nor cold entry is still Missing.
+        assert_eq!(
+            ForecastQuery::template(99, 0).answer_from(&snap).outcome,
+            Outcome::NotFound(Missing::Template(99))
+        );
+        // Out-of-range horizon slot on a cold entry: Missing, not a panic.
+        let snap_two_h = SnapshotBuilder::fresh(
+            600,
+            vec![
+                HorizonMeta { interval_minutes: 60, window: 24, horizon: 1 },
+                HorizonMeta { interval_minutes: 60, window: 24, horizon: 6 },
+            ],
+        )
+        .set_cold_starts(vec![ColdStartForecast {
+            template: 42,
+            origin,
+            curves: vec![Some(Arc::new(Curve {
+                start: 660,
+                interval_minutes: 60,
+                values: vec![1.1],
+            }))],
+        }])
+        .build(1);
+        assert_eq!(
+            ForecastQuery::template(42, 1).answer_from(&snap_two_h).outcome,
+            Outcome::NotFound(Missing::Template(42)),
+            "cold entry without a curve for the slot is Missing"
         );
     }
 

@@ -76,6 +76,40 @@ impl ClusterForecast {
     }
 }
 
+/// Where a cold-start estimate came from — the provenance a reader needs
+/// to weigh how much to trust a forecast served without a full history
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColdStartOrigin {
+    /// Seeded from the template's cluster assignment: the assigned
+    /// cluster's forecast curve scaled by the template's share of that
+    /// cluster's recent arrival volume.
+    ClusterShare {
+        /// The cluster the new template was assigned to.
+        cluster: u64,
+        /// The template's fraction of the cluster's recent volume, in
+        /// `[0, 1]`.
+        share: f64,
+    },
+    /// Seeded from a population prior: the mean per-template forecast
+    /// over all tracked clusters, used when the template has no usable
+    /// cluster assignment yet.
+    PopulationPrior,
+}
+
+/// A cold-start entry: per-horizon forecast curves for one template that
+/// is *not* yet routed to a fit tracked cluster, seeded from its cluster
+/// assignment or a population prior instead of a trained model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdStartForecast {
+    /// The new template's id.
+    pub template: u32,
+    /// How the estimate was derived.
+    pub origin: ColdStartOrigin,
+    /// Per-horizon curves, indexed like [`ForecastSnapshot::horizons`].
+    pub curves: Vec<Option<Arc<Curve>>>,
+}
+
 /// Accuracy/health summary frozen into a snapshot, aligned with
 /// [`ForecastSnapshot::horizons`] slot for slot.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -110,6 +144,9 @@ pub struct ForecastSnapshot {
     entries: Vec<Arc<ClusterForecast>>,
     /// Sorted `(template, cluster)` pairs for binary-search routing.
     template_index: Arc<[(u32, u64)]>,
+    /// Cold-start entries for templates outside the routing index,
+    /// sorted by template id for binary search.
+    cold: Arc<[ColdStartForecast]>,
     /// Accuracy/health summary at publication time.
     pub health: Arc<ServeHealth>,
 }
@@ -128,6 +165,7 @@ impl PartialEq for ForecastSnapshot {
             && self.entries.iter().zip(&other.entries).all(|(a, b)| a == b)
             && self.entries.len() == other.entries.len()
             && self.template_index == other.template_index
+            && self.cold == other.cold
             && self.health == other.health
     }
 }
@@ -142,6 +180,7 @@ impl ForecastSnapshot {
             horizons: horizons.into(),
             entries: Vec::new(),
             template_index: Arc::from([]),
+            cold: Arc::from([]),
             health: Arc::new(ServeHealth::default()),
         }
     }
@@ -170,6 +209,18 @@ impl ForecastSnapshot {
             .binary_search_by_key(&template, |&(t, _)| t)
             .ok()
             .map(|i| self.template_index[i].1)
+    }
+
+    /// All cold-start entries, sorted by template id.
+    pub fn cold_starts(&self) -> &[ColdStartForecast] {
+        &self.cold
+    }
+
+    /// The cold-start entry for `template`, if one was published. Only
+    /// templates *outside* the routing index carry cold entries — a
+    /// template routed to a tracked cluster is served the warm curve.
+    pub fn cold_start(&self, template: u32) -> Option<&ColdStartForecast> {
+        self.cold.binary_search_by_key(&template, |c| c.template).ok().map(|i| &self.cold[i])
     }
 
     /// The `k` clusters with the highest total predicted volume over
@@ -204,6 +255,7 @@ impl ForecastSnapshot {
             horizons: Arc::clone(&self.horizons),
             entries: self.entries.clone(),
             template_index: Some(Arc::clone(&self.template_index)),
+            cold: Arc::clone(&self.cold),
             health: Arc::clone(&self.health),
         }
     }
@@ -246,6 +298,7 @@ pub struct SnapshotBuilder {
     /// `Some` while membership is untouched (reuse the previous index);
     /// `None` once membership changed and the index must be rebuilt.
     template_index: Option<Arc<[(u32, u64)]>>,
+    cold: Arc<[ColdStartForecast]>,
     health: Arc<ServeHealth>,
 }
 
@@ -257,6 +310,7 @@ impl SnapshotBuilder {
             horizons: horizons.into(),
             entries: Vec::new(),
             template_index: None,
+            cold: Arc::from([]),
             health: Arc::new(ServeHealth::default()),
         }
     }
@@ -331,6 +385,18 @@ impl SnapshotBuilder {
         self
     }
 
+    /// Replaces the cold-start entry set. Entries are sorted by template
+    /// id (duplicates keep the first occurrence); at build time any entry
+    /// whose template is routed by the final index is pruned — the warm
+    /// curve supersedes the cold seed as soon as the template joins a
+    /// tracked cluster.
+    pub fn set_cold_starts(mut self, mut cold: Vec<ColdStartForecast>) -> Self {
+        cold.sort_by_key(|c| c.template);
+        cold.dedup_by_key(|c| c.template);
+        self.cold = cold.into();
+        self
+    }
+
     /// Replaces the health summary.
     pub fn health(mut self, health: ServeHealth) -> Self {
         self.health = Arc::new(health);
@@ -350,12 +416,22 @@ impl SnapshotBuilder {
             index.dedup_by_key(|&mut (t, _)| t);
             index.into()
         });
+        let routed =
+            |t: u32| template_index.binary_search_by_key(&t, |&(ti, _)| ti).is_ok();
+        // Prune cold entries shadowed by the routing index; keep the Arc
+        // (and its structural sharing) when nothing is shadowed.
+        let cold = if self.cold.iter().any(|c| routed(c.template)) {
+            self.cold.iter().filter(|c| !routed(c.template)).cloned().collect::<Vec<_>>().into()
+        } else {
+            self.cold
+        };
         ForecastSnapshot {
             epoch,
             built_at: self.built_at,
             horizons: self.horizons,
             entries: self.entries,
             template_index,
+            cold,
             health: self.health,
         }
     }
@@ -461,6 +537,51 @@ mod tests {
             ])
             .build(3);
         assert_eq!(same.shared_entries_with(&next), 2);
+    }
+
+    #[test]
+    fn cold_starts_route_and_are_pruned_when_template_joins_a_cluster() {
+        let cold_entry = |template: u32, values: &[f64]| ColdStartForecast {
+            template,
+            origin: ColdStartOrigin::ClusterShare { cluster: 7, share: 0.25 },
+            curves: vec![Some(Arc::new(curve(0, values)))],
+        };
+        let snap = SnapshotBuilder::fresh(0, vec![hourly(1)])
+            .set_membership(&[membership(7, 50.0, &[1, 3])])
+            .set_cold_starts(vec![cold_entry(9, &[2.5]), cold_entry(5, &[1.0])])
+            .build(1);
+        // Sorted by template, binary-searchable.
+        assert_eq!(snap.cold_starts().len(), 2);
+        assert_eq!(snap.cold_starts()[0].template, 5);
+        assert_eq!(snap.cold_start(9).unwrap().curves[0].as_ref().unwrap().values, vec![2.5]);
+        assert!(snap.cold_start(1).is_none(), "routed templates carry no cold entry");
+        assert!(snap.cold_start(99).is_none());
+
+        // Rebuild shares the cold list by Arc when untouched...
+        let next = snap.rebuild().build(2);
+        assert_eq!(next.cold_starts().len(), 2);
+        // ...and prunes an entry once its template joins a tracked cluster.
+        let joined = snap
+            .rebuild()
+            .set_membership(&[membership(7, 55.0, &[1, 3, 9])])
+            .build(3);
+        assert!(joined.cold_start(9).is_none(), "warm routing supersedes the cold seed");
+        assert_eq!(joined.cold_start(5).unwrap().template, 5);
+        assert_eq!(joined.cluster_of_template(9), Some(7));
+    }
+
+    #[test]
+    fn cold_start_entry_shadowed_at_build_time() {
+        // A cold entry for an already-routed template is dropped at build.
+        let snap = SnapshotBuilder::fresh(0, vec![hourly(1)])
+            .set_membership(&[membership(7, 50.0, &[1])])
+            .set_cold_starts(vec![ColdStartForecast {
+                template: 1,
+                origin: ColdStartOrigin::PopulationPrior,
+                curves: vec![Some(Arc::new(curve(0, &[9.0])))],
+            }])
+            .build(1);
+        assert!(snap.cold_starts().is_empty());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   log-space MSE) diffed byte-for-byte against checked-in JSON, blessed
 //!   with `QB_BLESS_GOLDEN=1` in the same style as `tests/public-api.txt`.
 //!
+//! [`scenario`] extends the sim pillar to **evolving workloads**: a
+//! seeded matrix over `qb_workloads::ChurnScenario` traces that stages
+//! churn templates into the new-template gap and scores the cold-start
+//! forecast path against the wait-for-history baseline with paired
+//! [`qb5000::AccuracyTracker`]s.
+//!
 //! [`corpus`] provides the seeded SQL corpus generator shared by the
 //! templatizer oracle tests (the Table 1 SELECT/INSERT/UPDATE/DELETE mix).
 
@@ -34,4 +40,5 @@ pub mod corpus;
 pub mod crash;
 pub mod golden;
 pub mod oracle;
+pub mod scenario;
 pub mod sim;

@@ -105,6 +105,12 @@ pub enum EventKind {
     /// entry/sharing counts, with parents linking to the fits that
     /// produced the published curves.
     SnapshotPublished,
+    /// A cold-start forecast was seeded for a template outside the
+    /// trained cluster set; payload carries the template, the origin
+    /// (`cluster_share` with its cluster and share, or
+    /// `population_prior`), and the seeded value, with lineage to the
+    /// cluster assignment the seed was derived from.
+    TemplateColdStart,
 }
 
 impl EventKind {
@@ -133,6 +139,7 @@ impl EventKind {
             EventKind::IndexBuilt => 18,
             EventKind::StageSpan => 19,
             EventKind::SnapshotPublished => 20,
+            EventKind::TemplateColdStart => 21,
         }
     }
 
@@ -160,6 +167,7 @@ impl EventKind {
             18 => EventKind::IndexBuilt,
             19 => EventKind::StageSpan,
             20 => EventKind::SnapshotPublished,
+            21 => EventKind::TemplateColdStart,
             _ => return None,
         })
     }
@@ -1068,11 +1076,11 @@ mod tests {
 
     #[test]
     fn kind_and_scope_codes_round_trip() {
-        for code in 0..=20u8 {
+        for code in 0..=21u8 {
             let kind = EventKind::from_code(code).expect("dense code space");
             assert_eq!(kind.to_code(), code);
         }
-        assert_eq!(EventKind::from_code(21), None);
+        assert_eq!(EventKind::from_code(22), None);
         for code in 0..=3u8 {
             let scope = Scope::from_code(code).expect("dense code space");
             assert_eq!(scope.to_code(), code);

@@ -17,6 +17,10 @@
 //! * **Noisy composite** — eight phases with disjoint template sets
 //!   switching every 10 hours, 50 %-of-mean white noise, injected spikes
 //!   (Appendix D / Figure 17).
+//! * **Churn scenarios** — evolving-workload template churn over a stable
+//!   base population: schema-migration drift, feature-launch bursts,
+//!   tenant-onboarding waves, flash-crowd spikes, and seasonal+trend
+//!   mixes ([`churn::ChurnScenario`]), exercising the cold-start path.
 //!
 //! Volumes are driven by seeded Poisson sampling around deterministic rate
 //! functions, so traces are reproducible and the per-minute *shape* is
@@ -25,14 +29,18 @@
 
 pub mod admissions;
 pub mod bustracker;
+pub mod churn;
 pub mod faults;
 pub mod mooc;
 pub mod noisy;
 pub mod pattern;
 pub mod trace;
 
+pub use churn::{ChurnScenario, CHURN_SCENARIOS};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, StorageFaultKind, StorageFaultPlan};
-pub use pattern::{daily_cycle, deadline_growth, weekday_factor, RateFn};
+pub use pattern::{
+    daily_cycle, deadline_growth, pulse_between, ramp_between, step_after, weekday_factor, RateFn,
+};
 pub use trace::{poisson, QueryEvent, TemplateSpec, TraceConfig, TraceGenerator};
 
 use qb_timeseries::Minute;

@@ -82,6 +82,36 @@ pub fn step_after(start: Minute) -> impl Fn(Minute) -> f64 {
     }
 }
 
+/// A linear ramp: 0 before `start`, rising linearly to 1 at `end`, 1 after.
+/// Models gradual drift — schema migrations shift traffic from an old
+/// template to its successor over a cut-over window rather than at a cliff.
+/// Degenerates to [`step_after`] when `end <= start`.
+pub fn ramp_between(start: Minute, end: Minute) -> impl Fn(Minute) -> f64 {
+    let span = (end - start).max(1) as f64;
+    move |t| {
+        if t < start {
+            0.0
+        } else if t >= end {
+            1.0
+        } else {
+            (t - start) as f64 / span
+        }
+    }
+}
+
+/// A rectangular pulse: 1 inside `[start, end)`, 0 outside. Models
+/// flash-crowd spikes — templates that exist only for the duration of an
+/// incident or a short-lived promotion.
+pub fn pulse_between(start: Minute, end: Minute) -> impl Fn(Minute) -> f64 {
+    move |t| {
+        if t >= start && t < end {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +162,28 @@ mod tests {
         let s = step_after(1000);
         assert_eq!(s(999), 0.0);
         assert_eq!(s(1000), 1.0);
+    }
+
+    #[test]
+    fn ramp_between_interpolates() {
+        let r = ramp_between(100, 200);
+        assert_eq!(r(99), 0.0);
+        assert_eq!(r(100), 0.0);
+        assert!((r(150) - 0.5).abs() < 1e-9);
+        assert_eq!(r(200), 1.0);
+        assert_eq!(r(10_000), 1.0);
+        // Degenerate window behaves as a step.
+        let s = ramp_between(100, 100);
+        assert_eq!(s(99), 0.0);
+        assert_eq!(s(100), 1.0);
+    }
+
+    #[test]
+    fn pulse_between_is_rectangular() {
+        let p = pulse_between(50, 60);
+        assert_eq!(p(49), 0.0);
+        assert_eq!(p(50), 1.0);
+        assert_eq!(p(59), 1.0);
+        assert_eq!(p(60), 0.0);
     }
 }

@@ -2,7 +2,7 @@
 //! parses, events are ordered, and generation is deterministic in the seed.
 
 use proptest::prelude::*;
-use qb_workloads::{TraceConfig, Workload};
+use qb_workloads::{ChurnScenario, TraceConfig, Workload, CHURN_SCENARIOS};
 
 fn workload() -> impl Strategy<Value = Workload> {
     prop_oneof![
@@ -10,6 +10,10 @@ fn workload() -> impl Strategy<Value = Workload> {
         Just(Workload::BusTracker),
         Just(Workload::Mooc),
     ]
+}
+
+fn churn_scenario() -> impl Strategy<Value = ChurnScenario> {
+    (0..CHURN_SCENARIOS.len()).prop_map(|i| CHURN_SCENARIOS[i])
 }
 
 proptest! {
@@ -49,6 +53,75 @@ proptest! {
         let a: Vec<_> = w.generator(cfg).take(200).map(|e| (e.minute, e.sql, e.count)).collect();
         let b: Vec<_> = w.generator(cfg).take(200).map(|e| (e.minute, e.sql, e.count)).collect();
         prop_assert_eq!(a, b);
+    }
+
+    /// Churn determinism: for every scenario and intensity, the same
+    /// seed yields the identical statement/timestamp/count stream.
+    #[test]
+    fn churn_generation_is_deterministic(
+        s in churn_scenario(),
+        seed in any::<u64>(),
+        intensity in 0.0f64..2.5,
+    ) {
+        let cfg = TraceConfig { start: 0, days: 2, scale: 0.03, seed };
+        let a: Vec<_> = s.generator(cfg, intensity).take(300)
+            .map(|e| (e.minute, e.sql, e.count)).collect();
+        let b: Vec<_> = s.generator(cfg, intensity).take(300)
+            .map(|e| (e.minute, e.sql, e.count)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Chunk-boundary invariance: pulling a churn trace in arbitrary
+    /// chunk sizes yields the same events as a single uninterrupted
+    /// collect — generation state lives in the iterator, never in the
+    /// pull pattern.
+    #[test]
+    fn churn_generation_is_chunk_invariant(
+        s in churn_scenario(),
+        seed in any::<u64>(),
+        intensity in 0.0f64..2.0,
+        chunks in proptest::collection::vec(1usize..97, 1..12),
+    ) {
+        let cfg = TraceConfig { start: 0, days: 2, scale: 0.03, seed };
+        let whole: Vec<_> = s.generator(cfg, intensity)
+            .map(|e| (e.minute, e.sql, e.count)).collect();
+        let mut pulled = Vec::new();
+        let mut gen = s.generator(cfg, intensity);
+        // Cycle the chunk sizes until the generator runs dry.
+        'outer: for &n in chunks.iter().cycle() {
+            for _ in 0..n {
+                match gen.next() {
+                    Some(e) => pulled.push((e.minute, e.sql, e.count)),
+                    None => break 'outer,
+                }
+            }
+        }
+        prop_assert_eq!(whole, pulled);
+    }
+
+    /// Churn streams are well-formed under any intensity: ordered,
+    /// in-range, positive counts, and every statement parses.
+    #[test]
+    fn churn_events_are_wellformed(
+        s in churn_scenario(),
+        seed in any::<u64>(),
+        intensity in 0.0f64..2.5,
+    ) {
+        let cfg = TraceConfig { start: 0, days: 2, scale: 0.05, seed };
+        let mut last = 0;
+        let mut checked = 0;
+        for ev in s.generator(cfg, intensity).take(500) {
+            prop_assert!(ev.count > 0);
+            prop_assert!(ev.minute >= 0);
+            prop_assert!(ev.minute < cfg.end());
+            prop_assert!(ev.minute >= last, "events out of order");
+            last = ev.minute;
+            if checked % 10 == 0 {
+                qb_sqlparse::parse_statement(&ev.sql)
+                    .map_err(|e| TestCaseError::fail(format!("`{}`: {e}", ev.sql)))?;
+            }
+            checked += 1;
+        }
     }
 
     /// Volume scales roughly linearly with `scale`.

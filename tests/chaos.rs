@@ -16,7 +16,7 @@ use qb5000::{
 };
 use qb_forecast::{DegradationLevel, Ensemble, RnnConfig};
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
-use qb_workloads::{FaultPlan, FaultStats, TraceConfig, Workload};
+use qb_workloads::{ChurnScenario, FaultPlan, FaultStats, TraceConfig, Workload, CHURN_SCENARIOS};
 
 fn bus_trace(days: u32) -> TraceConfig {
     TraceConfig { start: 0, days, scale: 0.02, seed: 0xB5 }
@@ -95,6 +95,62 @@ fn forecasts_stay_finite_under_escalating_faults() {
         assert!(
             pred.iter().all(|v| v.is_finite() && *v >= 0.0),
             "forecasts stay finite at intensity {intensity}: {pred:?}"
+        );
+    }
+}
+
+#[test]
+fn churn_bursts_composed_with_faults_keep_the_accounting_identity() {
+    // Template churn and trace corruption at once: a feature-launch burst
+    // (and every other churn shape) through the acceptance fault mix must
+    // preserve the exact ingest accounting and the degradation chain —
+    // the same invariants the stable-population chaos cases assert.
+    for (i, &scenario) in CHURN_SCENARIOS.iter().enumerate() {
+        let trace = TraceConfig { start: 0, days: 3, scale: 0.02, seed: 0xB5 + i as u64 };
+        let plan = FaultPlan::with_intensity(7 + i as u64, 1.0);
+        let mut events = plan.inject(scenario.generator(trace, 1.5));
+        let mut bot = QueryBot5000::new(Qb5000Config::default());
+        let mut generated = 0u64;
+        for ev in events.by_ref() {
+            generated += 1;
+            let _ = bot.ingest_weighted(ev.minute, &ev.sql, ev.count);
+        }
+        let stats = events.stats().clone();
+        let h = bot.health();
+        assert_eq!(stats.events_out, generated, "{scenario:?}: injector accounting");
+        assert_eq!(
+            h.ingested_statements + h.rejected_statements,
+            generated,
+            "{scenario:?}: ingested + rejected must equal generated"
+        );
+        assert!(
+            h.rejected_statements <= stats.max_possible_rejections(),
+            "{scenario:?}: quarantine exceeds what the plan corrupted"
+        );
+
+        let now = 3 * MINUTES_PER_DAY;
+        bot.update_clusters(now);
+        assert!(!bot.tracked_clusters().is_empty(), "{scenario:?}: traffic still clusters");
+        assert!(bot.tracked_clusters().len() <= Qb5000Config::default().max_clusters);
+        let mut mgr = ForecastManager::new(
+            vec![HorizonSpec {
+                interval: Interval::HOUR,
+                window: 24,
+                horizon: 1,
+                train_steps: 48,
+            }],
+            || Box::new(qb_forecast::LinearRegression::default()),
+        );
+        mgr.ensure_trained(&bot, now).expect("training survives churn plus corruption");
+        assert_eq!(
+            mgr.degradation(0),
+            Some(DegradationLevel::Full),
+            "{scenario:?}: a fault-free LR fit stays on the top of the chain"
+        );
+        let pred = mgr.predict(&bot, now, 0);
+        assert!(
+            pred.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "{scenario:?}: forecasts stay finite: {pred:?}"
         );
     }
 }

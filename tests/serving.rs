@@ -184,6 +184,97 @@ fn concurrent_readers_race_publisher_without_torn_reads() {
 }
 
 #[test]
+fn cold_start_serves_unrouted_templates_without_touching_warm_curves() {
+    let specs = vec![HorizonSpec::hourly(1), HorizonSpec::hourly(12)];
+    // The same trace through two pipelines: cold start on and off. A
+    // template that first appears after the cluster update is unrouted at
+    // retrain time — the classic new-template gap.
+    let run = |cold: bool| {
+        let recorder = Recorder::new();
+        let mut service = ForecastService::for_specs(&specs);
+        service.set_recorder(&recorder);
+        let reader = service.reader();
+        let config = Qb5000Config::builder()
+            .serve(service.clone())
+            .recorder(recorder.clone())
+            .cold_start(cold)
+            .build()
+            .expect("config is valid");
+        let mut bot = QueryBot5000::new(config);
+        let cfg = TraceConfig { start: 0, days: 8, scale: 0.05, seed: 0xF0 };
+        for ev in Workload::BusTracker.generator(cfg) {
+            bot.ingest_weighted(ev.minute, &ev.sql, ev.count).expect("valid SQL");
+        }
+        let now = 8 * MINUTES_PER_DAY;
+        bot.update_clusters(now);
+        for m in 0..10 {
+            bot.ingest_weighted(
+                now - 10 + m,
+                "SELECT flags FROM launch_gates WHERE feature = 7",
+                1,
+            )
+            .expect("valid SQL");
+        }
+        let new_template = bot
+            .preprocessor()
+            .templates()
+            .last()
+            .expect("template table is non-empty")
+            .id;
+        assert!(
+            !bot.tracked_clusters().iter().any(|c| c.members.contains(&new_template)),
+            "the late template must not be routed yet"
+        );
+        let mut mgr = ForecastManager::new(specs.clone(), lr_factory);
+        mgr.set_recorder(&recorder);
+        mgr.ensure_trained(&bot, now).expect("training succeeds");
+        (reader, recorder, new_template, bot)
+    };
+
+    let (cold_reader, cold_recorder, template, cold_bot) = run(true);
+    let (warm_reader, warm_recorder, warm_template, _warm_bot) = run(false);
+    assert_eq!(template, warm_template, "identical traces produce identical template tables");
+
+    // Off: the unrouted template is Missing, as before this feature.
+    let off = warm_reader.answer(&ForecastQuery::template(template.0, 0));
+    assert!(matches!(off.outcome, Outcome::NotFound(qb5000::Missing::Template(_))));
+    assert_eq!(warm_recorder.snapshot().counters.get("forecast.cold_starts"), Some(&0));
+
+    // On: the same query gets a typed seeded estimate with provenance.
+    let on = cold_reader.answer(&ForecastQuery::template(template.0, 0));
+    let origin = on.cold_origin().expect("cold start answers with provenance");
+    let curve = on.any_curve().expect("seeded curve served");
+    assert!(curve.values[0].is_finite() && curve.values[0] >= 0.0);
+    assert!(on.curve().is_none(), "warm accessor stays warm-only");
+    // The population prior is the mean predicted per-member rate; a
+    // cluster-share seed scales its cluster's forecast. Either way the
+    // estimate derives from this round's warm predictions.
+    match origin {
+        qb5000::ColdStartOrigin::ClusterShare { share, .. } => assert!(share > 0.0),
+        qb5000::ColdStartOrigin::PopulationPrior => {}
+    }
+    let snap = cold_recorder.snapshot();
+    assert!(snap.counters.get("forecast.cold_starts").copied().unwrap_or(0) >= 1);
+    assert!(snap.gauges.get("serve.cold_starts").copied().unwrap_or(0.0) >= 1.0);
+
+    // Warm curves are bit-identical whether or not cold start is on.
+    for (i, _) in specs.iter().enumerate() {
+        for cluster in cold_bot.tracked_clusters() {
+            let a = cold_reader.answer(&ForecastQuery::cluster(cluster.id.0, i));
+            let b = warm_reader.answer(&ForecastQuery::cluster(cluster.id.0, i));
+            match (a.curve(), b.curve()) {
+                (Some(ca), Some(cb)) => {
+                    assert_eq!(ca.values[0].to_bits(), cb.values[0].to_bits());
+                    assert_eq!((ca.start, ca.interval_minutes), (cb.start, cb.interval_minutes));
+                }
+                (None, None) => {}
+                other => panic!("warm availability diverged: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn serve_epoch_lands_in_health_and_metrics() {
     let recorder = Recorder::new();
     let mut service = ForecastService::for_specs(&[HorizonSpec::hourly(1)]);
