@@ -60,14 +60,22 @@ pub struct RollingMeanState {
     /// The running sum, verbatim (re-summing `values` would round
     /// differently).
     pub sum: f64,
+    /// Evictions since the window's last wraparound re-sum — the restored
+    /// window must re-sum at the same future push as the live one.
+    pub since_refresh: usize,
 }
 
 fn export_mean(m: &RollingMean) -> RollingMeanState {
-    RollingMeanState { capacity: m.capacity(), values: m.values(), sum: m.sum() }
+    RollingMeanState {
+        capacity: m.capacity(),
+        values: m.values(),
+        sum: m.sum(),
+        since_refresh: m.since_refresh(),
+    }
 }
 
 fn restore_mean(s: RollingMeanState) -> RollingMean {
-    RollingMean::from_parts(s.capacity, &s.values, s.sum)
+    RollingMean::from_parts(s.capacity, &s.values, s.sum, s.since_refresh)
 }
 
 /// Snapshot of one pending (unsettled) prediction claim.

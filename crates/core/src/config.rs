@@ -398,6 +398,19 @@ impl ControllerConfigBuilder {
         self
     }
 
+    /// Continuous self-monitoring for the run: each build round's metric
+    /// deltas are retained, the config's SLO rules are evaluated with
+    /// hysteresis (alert transitions land in
+    /// [`crate::ExperimentResult::alert_log`] and firing alerts in
+    /// `PipelineHealth::active_alerts`), and an optional live
+    /// `/metrics` + `/health` + `/alerts` endpoint serves the latest
+    /// state. Monitoring forces metrics on: a disabled recorder is
+    /// upgraded to an enabled one for the run. Defaults to `None`.
+    pub fn monitor(mut self, monitor: qb_monitor::MonitorConfig) -> Self {
+        self.cfg.monitor = Some(monitor);
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<ControllerConfig, ConfigError> {
         self.cfg.validate()?;

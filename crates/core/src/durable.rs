@@ -64,7 +64,7 @@ use crate::pipeline::{
 /// Version of the snapshot payload this build reads and writes. Bump when
 /// the [`FullState`] encoding changes shape; old versions are refused, not
 /// guessed at.
-pub const STATE_VERSION: u16 = 2;
+pub const STATE_VERSION: u16 = 3;
 
 /// WAL frame kind: one weighted template sighting.
 pub const KIND_INGEST: u8 = 1;
@@ -419,10 +419,16 @@ fn encode_rolling_mean(e: &mut Enc, m: &RollingMeanState) {
     e.usize(m.capacity);
     e.seq(&m.values, |e, v| e.f64(*v));
     e.f64(m.sum);
+    e.usize(m.since_refresh);
 }
 
 fn decode_rolling_mean(d: &mut Dec) -> Result<RollingMeanState, CodecError> {
-    Ok(RollingMeanState { capacity: d.usize()?, values: d.seq(Dec::f64)?, sum: d.f64()? })
+    Ok(RollingMeanState {
+        capacity: d.usize()?,
+        values: d.seq(Dec::f64)?,
+        sum: d.f64()?,
+        since_refresh: d.usize()?,
+    })
 }
 
 /// Encodes one [`AccuracyTrackerState`].

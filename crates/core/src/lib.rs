@@ -101,6 +101,17 @@ pub use qb_serve::{
     ServeHealth, SnapshotBuilder, StalenessBound,
 };
 
+// The self-monitoring surface (`ControllerConfig::monitor`,
+// `PipelineHealth::active_alerts`): metrics-history retention, the
+// deterministic SLO/alert engine, and the live scrape endpoint,
+// re-exported so consumers configure monitoring without depending on
+// `qb-monitor` directly.
+pub use qb_monitor::{
+    check_prometheus, ActiveAlert, AlertChange, AlertEngine, AlertRule,
+    Condition as AlertCondition, MetricsHistory, Monitor, MonitorConfig, MonitorServer,
+    MonitorState, Severity,
+};
+
 // The durable-state policy surface (`Qb5000Config::durability`) exposes the
 // crash-injection hook and I/O boundary enum from `qb-durable`, so re-export
 // them for harnesses and callers.

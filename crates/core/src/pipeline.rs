@@ -229,6 +229,10 @@ pub struct PipelineHealth {
     /// [`qb_obs::MetricsSnapshot`] renderings, so operators can spot
     /// serving staleness from either report.
     pub serve_epoch: Option<u64>,
+    /// SLO alerts firing at report time, in rule declaration order.
+    /// Empty unless a [`qb_monitor::Monitor`] watches this run (attach
+    /// via `ControllerConfig::builder().monitor(...)`).
+    pub active_alerts: Vec<qb_monitor::ActiveAlert>,
 }
 
 /// The assembled framework.
@@ -488,6 +492,7 @@ impl QueryBot5000 {
             forecast_accuracy: Vec::new(),
             trace_dumps: self.config.tracer.dumps(),
             serve_epoch: self.config.serve.as_ref().map(|s| s.epoch()),
+            active_alerts: Vec::new(),
         }
     }
 

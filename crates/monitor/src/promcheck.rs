@@ -1,0 +1,372 @@
+//! Prometheus text-exposition conformance checking.
+//!
+//! [`check_prometheus`] parses exposition text line by line against the
+//! text-format rules a real scraper enforces: metric-name and label
+//! syntax, float-parseable sample values, one `# TYPE` line per family
+//! (before its first sample), and — for histogram families — cumulative
+//! non-decreasing `_bucket` series ending in `le="+Inf"` whose count
+//! equals `_count`, with `_sum` and `_count` present. It returns every
+//! violation found (an empty list means the text is conformant), so a
+//! test failure names all the broken lines at once instead of the first.
+//!
+//! The checker is intentionally hand-rolled over the same zero-dependency
+//! constraint as the rest of the workspace — no regex, just char walks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parses `text` as Prometheus exposition format and returns every
+/// conformance violation, each prefixed with its 1-based line number.
+pub fn check_prometheus(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    // family -> declared type; insertion checked before first sample.
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    // histogram family -> (labels-minus-le -> cumulative bucket counts in order)
+    let mut buckets: BTreeMap<String, BTreeMap<String, Vec<(String, f64)>>> = BTreeMap::new();
+    let mut sums: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(name), Some(kind), None) => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {n}: invalid metric name in TYPE: {name}"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        errors.push(format!("line {n}: unknown metric type: {kind}"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        errors.push(format!("line {n}: duplicate TYPE line for {name}"));
+                    }
+                    if sampled.contains(name) {
+                        errors.push(format!("line {n}: TYPE for {name} after its first sample"));
+                    }
+                }
+                _ => errors.push(format!("line {n}: malformed TYPE line")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+
+        let Some((name, labels, value)) = parse_sample(line) else {
+            errors.push(format!("line {n}: malformed sample line: {line}"));
+            continue;
+        };
+        if !valid_metric_name(&name) {
+            errors.push(format!("line {n}: invalid metric name: {name}"));
+        }
+        let parsed: Result<f64, _> = match value.as_str() {
+            "+Inf" => Ok(f64::INFINITY),
+            "-Inf" => Ok(f64::NEG_INFINITY),
+            "NaN" => Ok(f64::NAN),
+            v => v.parse(),
+        };
+        let Ok(value) = parsed else {
+            errors.push(format!("line {n}: unparseable sample value: {value}"));
+            continue;
+        };
+        let labels = match labels {
+            Ok(l) => l,
+            Err(e) => {
+                errors.push(format!("line {n}: {e}"));
+                continue;
+            }
+        };
+
+        // Resolve the family: histogram series sample under suffixed
+        // names; everything else samples under its own name.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    Some((base.to_string(), *suffix))
+                } else {
+                    None
+                }
+            })
+            .map_or_else(|| (name.clone(), ""), |(base, suffix)| (base, suffix));
+        let (family, suffix) = family;
+        if !types.contains_key(&family) {
+            errors.push(format!("line {n}: sample {name} has no preceding TYPE line"));
+        }
+        sampled.insert(family.clone());
+
+        let series_key = label_key(&labels, Some("le"));
+        match suffix {
+            "_bucket" => {
+                let Some(le) = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v.clone())
+                else {
+                    errors.push(format!("line {n}: histogram bucket without le label"));
+                    continue;
+                };
+                buckets.entry(family).or_default().entry(series_key).or_default().push((le, value));
+            }
+            "_sum" => {
+                sums.insert((family, series_key));
+            }
+            "_count" => {
+                counts.insert((family, series_key), value);
+            }
+            _ => {}
+        }
+    }
+
+    // Histogram shape checks, per (family, label set).
+    for (family, series) in &buckets {
+        for (key, entries) in series {
+            let tag = if key.is_empty() {
+                family.clone()
+            } else {
+                format!("{family}{{{key}}}")
+            };
+            let mut prev = f64::NEG_INFINITY;
+            let mut prev_bound = f64::NEG_INFINITY;
+            for (le, cum) in entries {
+                let bound: f64 = match le.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    v => v.parse().unwrap_or(f64::NAN),
+                };
+                // NaN bounds compare as incomparable and must be flagged.
+                if bound.partial_cmp(&prev_bound) != Some(std::cmp::Ordering::Greater) {
+                    errors.push(format!("{tag}: bucket bounds not strictly increasing at le={le}"));
+                }
+                if *cum < prev {
+                    errors.push(format!("{tag}: cumulative bucket counts decrease at le={le}"));
+                }
+                prev = *cum;
+                prev_bound = bound;
+            }
+            match entries.last() {
+                Some((le, last)) if le == "+Inf" => {
+                    match counts.get(&(family.clone(), key.clone())) {
+                        Some(total) if total == last => {}
+                        Some(total) => errors.push(format!(
+                            "{tag}: le=\"+Inf\" bucket {last} != _count {total}"
+                        )),
+                        None => errors.push(format!("{tag}: histogram without _count series")),
+                    }
+                }
+                _ => errors.push(format!("{tag}: bucket series does not end with le=\"+Inf\"")),
+            }
+            if !sums.contains(&(family.clone(), key.clone())) {
+                errors.push(format!("{tag}: histogram without _sum series"));
+            }
+        }
+    }
+    errors
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*`
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Splits a sample line into `(name, labels, value-text)`. Labels come
+/// back as `Err` when the block is malformed (unterminated string, bad
+/// label name, stray characters).
+fn parse_sample(line: &str) -> Option<(String, Result<Labels, String>, String)> {
+    let line = line.trim_end();
+    if let Some(open) = line.find('{') {
+        let name = line[..open].to_string();
+        let rest = &line[open + 1..];
+        let (labels, after) = parse_labels(rest)?;
+        let value = after.trim();
+        if value.is_empty() {
+            // A broken label block eats the rest of the line; report the
+            // label error rather than a generic malformed-line one.
+            if labels.is_err() {
+                return Some((name, labels, "0".to_string()));
+            }
+            return None;
+        }
+        Some((name, labels, value.to_string()))
+    } else {
+        let mut parts = line.split_whitespace();
+        let name = parts.next()?.to_string();
+        let value = parts.next()?.to_string();
+        // Timestamps (a third field) are legal; anything further is not.
+        if parts.count() > 1 {
+            return None;
+        }
+        Some((name, Ok(Vec::new()), value))
+    }
+}
+
+/// Parses `k="v",...}` (the text after `{`), returning the labels and the
+/// remainder after the closing brace. Returns `None` only when no closing
+/// structure exists at all.
+fn parse_labels(rest: &str) -> Option<(Result<Labels, String>, &str)> {
+    let mut labels = Vec::new();
+    let mut chars = rest.char_indices().peekable();
+    loop {
+        // End of block?
+        match chars.peek() {
+            Some(&(i, '}')) => return Some((Ok(labels), &rest[i + 1..])),
+            None => return Some((Err("unterminated label block".into()), "")),
+            _ => {}
+        }
+        // Label name up to '='.
+        let start = chars.peek().map(|&(i, _)| i)?;
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let Some(eq) = eq else {
+            return Some((Err("label without '='".into()), ""));
+        };
+        let name = rest[start..eq].to_string();
+        if !valid_label_name(&name) {
+            return Some((Err(format!("invalid label name: {name}")), ""));
+        }
+        // Quoted value with escapes.
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Some((Err(format!("label {name} value not quoted")), "")),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => {
+                        return Some((
+                            Err(format!(
+                                "bad escape in label {name}: \\{}",
+                                other.map_or(String::new(), |(_, c)| c.to_string())
+                            )),
+                            "",
+                        ))
+                    }
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Some((Err(format!("unterminated value for label {name}")), ""));
+        }
+        labels.push((name, value));
+        // Separator: ',' continues, '}' ends.
+        match chars.peek() {
+            Some(&(_, ',')) => {
+                chars.next();
+            }
+            Some(&(_, '}')) => {}
+            _ => return Some((Err("expected ',' or '}' after label value".into()), "")),
+        }
+    }
+}
+
+/// Canonical sorted `k="v"` join of the labels, excluding `skip`.
+fn label_key(labels: &Labels, skip: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| Some(k.as_str()) != skip)
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    pairs.sort();
+    pairs.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformant_text_passes() {
+        let text = "\
+# TYPE requests_total counter
+requests_total 7
+# TYPE temp gauge
+temp{site=\"lab\"} 21.5
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le=\"0.1\"} 2
+latency_seconds_bucket{le=\"+Inf\"} 3
+latency_seconds_sum 0.42
+latency_seconds_count 3
+";
+        assert_eq!(check_prometheus(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_type_line_is_flagged() {
+        let errs = check_prometheus("orphan 1\n");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("no preceding TYPE"));
+    }
+
+    #[test]
+    fn histogram_shape_violations_are_flagged() {
+        let text = "\
+# TYPE h_seconds histogram
+h_seconds_bucket{le=\"0.1\"} 5
+h_seconds_bucket{le=\"+Inf\"} 3
+h_seconds_count 4
+";
+        let errs = check_prometheus(text);
+        assert!(errs.iter().any(|e| e.contains("counts decrease")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("!= _count")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("without _sum")), "{errs:?}");
+    }
+
+    #[test]
+    fn bucket_series_must_end_at_inf() {
+        let text = "\
+# TYPE h_seconds histogram
+h_seconds_bucket{le=\"0.1\"} 1
+h_seconds_sum 0.1
+h_seconds_count 1
+";
+        let errs = check_prometheus(text);
+        assert!(errs.iter().any(|e| e.contains("does not end with le")), "{errs:?}");
+    }
+
+    #[test]
+    fn malformed_lines_and_names_are_flagged() {
+        let errs = check_prometheus("# TYPE 9bad counter\n9bad 1\nbroken{x=\"1\" 2\nnot a sample at all\n");
+        assert!(errs.iter().any(|e| e.contains("invalid metric name in TYPE")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("expected ',' or '}'")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("malformed sample")), "{errs:?}");
+    }
+
+    #[test]
+    fn escaped_label_values_parse() {
+        let text = "# TYPE q counter\nq{sql=\"SELECT \\\"x\\\\y\\\"\\nFROM t\"} 1\n";
+        assert_eq!(check_prometheus(text), Vec::<String>::new());
+    }
+}

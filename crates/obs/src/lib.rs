@@ -43,7 +43,7 @@ pub mod rolling;
 pub mod snapshot;
 
 pub use rolling::RollingMean;
-pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use snapshot::{HistogramSnapshot, MetricsDelta, MetricsSnapshot};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

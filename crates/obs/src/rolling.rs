@@ -14,25 +14,42 @@ use std::collections::VecDeque;
 pub struct RollingMean {
     capacity: usize,
     buf: VecDeque<f64>,
-    /// Running sum of `buf` (recomputed on eviction to bound float drift).
+    /// Running sum of `buf`, maintained incrementally (add the arrival,
+    /// subtract the eviction) and recomputed in full once per window
+    /// turn — see `since_refresh`.
     sum: f64,
+    /// Evictions since the last full re-sum. Incremental subtraction
+    /// drifts when magnitudes differ wildly (evicting a 1e16 outlier
+    /// cancels the small values absorbed into it), so once the window has
+    /// fully turned over (`since_refresh == capacity`) the sum is
+    /// recomputed from the surviving values. Any drift therefore clears
+    /// within one window turn instead of compounding forever, while push
+    /// stays O(1) amortized instead of O(capacity) per eviction.
+    since_refresh: usize,
 }
 
 impl RollingMean {
     /// A window over the most recent `capacity` observations (min 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        Self { capacity, buf: VecDeque::with_capacity(capacity), sum: 0.0 }
+        Self { capacity, buf: VecDeque::with_capacity(capacity), sum: 0.0, since_refresh: 0 }
     }
 
     /// Pushes one observation, evicting the oldest beyond capacity.
     pub fn push(&mut self, v: f64) {
         self.buf.push_back(v);
         if self.buf.len() > self.capacity {
-            self.buf.pop_front();
-            // Re-sum instead of subtracting: repeated subtraction of
-            // floats drifts; the window is small so this stays cheap.
-            self.sum = self.buf.iter().sum();
+            let evicted = self.buf.pop_front().unwrap_or(0.0);
+            self.since_refresh += 1;
+            if self.since_refresh >= self.capacity {
+                // Wraparound: the window turned over completely since the
+                // last exact sum — recompute to cancel accumulated drift.
+                self.sum = self.buf.iter().sum();
+                self.since_refresh = 0;
+            } else {
+                self.sum += v;
+                self.sum -= evicted;
+            }
         } else {
             self.sum += v;
         }
@@ -75,14 +92,28 @@ impl RollingMean {
         self.sum
     }
 
+    /// Evictions since the last full re-sum — part of the window's exact
+    /// state: it schedules the next wraparound recompute, so a restore
+    /// that reset it would re-sum at a different push than the live
+    /// window and diverge in the last ulp.
+    pub fn since_refresh(&self) -> usize {
+        self.since_refresh
+    }
+
     /// Rebuilds a window from a snapshot taken via [`Self::values`] /
-    /// [`Self::sum`]. Values beyond `capacity` keep only the newest.
-    pub fn from_parts(capacity: usize, values: &[f64], sum: f64) -> Self {
+    /// [`Self::sum`] / [`Self::since_refresh`]. Values beyond `capacity`
+    /// keep only the newest (with an exact re-sum, since the saved sum no
+    /// longer describes the surviving values).
+    pub fn from_parts(capacity: usize, values: &[f64], sum: f64, since_refresh: usize) -> Self {
         let capacity = capacity.max(1);
         let start = values.len().saturating_sub(capacity);
         let buf: VecDeque<f64> = values[start..].iter().copied().collect();
-        let sum = if start == 0 { sum } else { buf.iter().sum() };
-        Self { capacity, buf, sum }
+        let (sum, since_refresh) = if start == 0 {
+            (sum, since_refresh.min(capacity - 1))
+        } else {
+            (buf.iter().sum(), 0)
+        };
+        Self { capacity, buf, sum, since_refresh }
     }
 }
 
@@ -121,14 +152,50 @@ mod tests {
         for v in [0.1, 0.2, 0.3, 0.4] {
             w.push(v);
         }
-        let r = RollingMean::from_parts(w.capacity(), &w.values(), w.sum());
+        let r = RollingMean::from_parts(w.capacity(), &w.values(), w.sum(), w.since_refresh());
         assert_eq!(r, w);
-        // Both continue identically after restore.
+        // Both continue identically after restore — including through the
+        // wraparound re-sum, whose schedule `since_refresh` carries.
         let (mut a, mut b) = (w, r);
-        a.push(0.7);
-        b.push(0.7);
-        assert_eq!(a, b);
-        assert_eq!(a.mean(), b.mean());
+        for v in [0.7, 0.8, 0.9, 1.1] {
+            a.push(v);
+            b.push(v);
+            assert_eq!(a, b);
+            assert_eq!(a.mean(), b.mean());
+        }
+    }
+
+    #[test]
+    fn wraparound_resum_clears_outlier_drift() {
+        // Incremental subtraction alone never recovers from this: the
+        // small values absorbed into 1e16 vanish when it is evicted
+        // (1e16 + 1.0 == 1e16 in f64), leaving sum == 0 for a window of
+        // ones. The wraparound re-sum must restore the exact mean within
+        // one full window turn.
+        const CAP: usize = 8;
+        let mut w = RollingMean::new(CAP);
+        w.push(1e16);
+        for _ in 0..CAP - 1 {
+            w.push(1.0);
+        }
+        // Evict the outlier; the window is now all ones but the
+        // incremental sum is poisoned until the next wraparound.
+        w.push(1.0);
+        for _ in 0..CAP {
+            w.push(1.0);
+        }
+        assert_eq!(w.mean(), Some(1.0), "drift must clear within one window turn");
+        assert_eq!(w.sum(), CAP as f64);
+    }
+
+    #[test]
+    fn truncating_restore_resums_exactly() {
+        // More values than capacity: the stored sum describes a window
+        // that no longer exists, so the restore re-sums the survivors.
+        let r = RollingMean::from_parts(2, &[5.0, 1.0, 2.0], 8.0, 1);
+        assert_eq!(r.values(), vec![1.0, 2.0]);
+        assert_eq!(r.sum(), 3.0);
+        assert_eq!(r.since_refresh(), 0);
     }
 
     #[test]

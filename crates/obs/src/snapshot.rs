@@ -32,6 +32,90 @@ impl HistogramSnapshot {
             self.sum_nanos as f64 / self.count as f64 / 1e6
         }
     }
+
+    /// Estimated `q`-quantile in nanoseconds, by linear interpolation
+    /// inside the bucket holding the target rank (the same estimator as
+    /// Prometheus' `histogram_quantile`). `q` is clamped to `[0, 1]`.
+    ///
+    /// Returns `None` when the histogram is empty, and — matching
+    /// Prometheus — the largest *finite* bound when the rank lands in the
+    /// `+∞` overflow bucket (`None` if no finite bound exists, i.e. the
+    /// histogram is a single overflow bucket).
+    pub fn quantile_nanos(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let lower = if i == 0 { 0.0 } else { self.bounds_nanos[i - 1] as f64 };
+            cum += n;
+            if (cum as f64) < target {
+                continue;
+            }
+            return match self.bounds_nanos.get(i) {
+                Some(&upper) => {
+                    // Rank position inside this bucket, in (0, 1].
+                    let frac = (target - (cum - n) as f64) / n as f64;
+                    Some(lower + (upper as f64 - lower) * frac)
+                }
+                // Overflow bucket: no upper bound to interpolate toward.
+                None => self.bounds_nanos.last().map(|&b| b as f64),
+            };
+        }
+        // Bucket counts always sum to `count`; unreachable unless the
+        // snapshot was assembled by hand inconsistently.
+        None
+    }
+
+    /// The per-bucket/count/sum increments from `prev` to `self`
+    /// (element-wise saturating subtraction; a bound-shape change —
+    /// impossible for live registries, whose bounds are fixed at
+    /// registration — falls back to `self` verbatim).
+    pub fn diff(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds_nanos != prev.bounds_nanos || self.buckets.len() != prev.buckets.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds_nanos: self.bounds_nanos.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&prev.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum_nanos: self.sum_nanos.saturating_sub(prev.sum_nanos),
+            count: self.count.saturating_sub(prev.count),
+        }
+    }
+}
+
+/// The change between two [`MetricsSnapshot`]s: counter and histogram
+/// *increments*, plus the gauge *levels* at the newer snapshot (gauges
+/// are instantaneous readings — an arithmetic difference of levels has no
+/// meaning, so the delta carries the observed value).
+///
+/// This is the retention unit of a metrics history ring: a sequence of
+/// deltas keyed by round reconstructs any windowed rate or level query
+/// without storing full snapshots.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsDelta {
+    /// Counter increments since the previous snapshot. Counters absent
+    /// from the previous snapshot count from zero; counters that vanished
+    /// (impossible for live registries) are dropped.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels at the newer snapshot.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram bucket/count/sum increments since the previous snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsDelta {
+    /// True when nothing changed and no gauge is set — the delta carries
+    /// no information.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
 }
 
 /// A point-in-time copy of every registered metric, sorted by name.
@@ -60,6 +144,32 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "events {k} {}", h.count);
         }
         out
+    }
+
+    /// The change from `prev` to `self` as a [`MetricsDelta`]: counter
+    /// and histogram increments (saturating — a restarted registry reads
+    /// as increment 0, not underflow), gauge levels verbatim. Zero
+    /// counter increments and unchanged histograms are dropped so a
+    /// quiet round produces a small delta.
+    pub fn diff(&self, prev: &MetricsSnapshot) -> MetricsDelta {
+        let mut delta = MetricsDelta::default();
+        for (k, &v) in &self.counters {
+            let inc = v.saturating_sub(prev.counters.get(k).copied().unwrap_or(0));
+            if inc > 0 || !prev.counters.contains_key(k) {
+                delta.counters.insert(k.clone(), inc);
+            }
+        }
+        delta.gauges = self.gauges.clone();
+        for (k, h) in &self.histograms {
+            let d = match prev.histograms.get(k) {
+                Some(p) => h.diff(p),
+                None => h.clone(),
+            };
+            if d.count > 0 || !prev.histograms.contains_key(k) {
+                delta.histograms.insert(k.clone(), d);
+            }
+        }
+        delta
     }
 
     /// Serializes the full snapshot as a JSON object:
@@ -110,7 +220,7 @@ impl MetricsSnapshot {
         for (name, series) in group_families(&self.gauges) {
             let _ = writeln!(out, "# TYPE {name} gauge");
             for (labels, v) in series {
-                let _ = writeln!(out, "{name}{labels} {}", json_f64(*v));
+                let _ = writeln!(out, "{name}{labels} {}", prom_f64(*v));
             }
         }
         for (name, series) in group_families(&self.histograms) {
@@ -221,6 +331,21 @@ fn json_f64(v: f64) -> String {
         format!("{v}")
     } else {
         "null".to_string()
+    }
+}
+
+/// The Prometheus text format *does* have non-finite literals — a
+/// non-finite gauge must scrape as `NaN`/`+Inf`/`-Inf`, not break the
+/// line format.
+fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
     }
 }
 
@@ -404,6 +529,91 @@ mod tests {
         assert!(table.contains("a.count"));
         assert!(table.contains("b.ratio"));
         assert!(table.contains("c.time"));
+    }
+
+    fn hist(bounds: &[u64], buckets: &[u64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds_nanos: bounds.to_vec(),
+            buckets: buckets.to_vec(),
+            sum_nanos: 0,
+            count: buckets.iter().sum(),
+        }
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        assert_eq!(HistogramSnapshot::default().quantile_nanos(0.5), None);
+        assert_eq!(hist(&[1_000], &[0, 0]).quantile_nanos(0.99), None);
+    }
+
+    #[test]
+    fn quantile_exact_boundary_returns_the_bound() {
+        // One observation per bucket: the 1/3-quantile rank lands exactly
+        // on the first bucket's upper edge.
+        let h = hist(&[1_000, 1_000_000], &[1, 1, 1]);
+        assert_eq!(h.quantile_nanos(1.0 / 3.0), Some(1_000.0));
+        assert_eq!(h.quantile_nanos(2.0 / 3.0), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // All 4 observations in the (1000, 2000] bucket: p50's rank (2 of
+        // 4) sits halfway through it.
+        let h = hist(&[1_000, 2_000], &[0, 4, 0]);
+        assert_eq!(h.quantile_nanos(0.5), Some(1_500.0));
+        assert_eq!(h.quantile_nanos(0.25), Some(1_250.0));
+        assert_eq!(h.quantile_nanos(1.0), Some(2_000.0));
+        // First bucket interpolates from an implicit lower bound of 0.
+        let low = hist(&[1_000], &[2, 0]);
+        assert_eq!(low.quantile_nanos(0.5), Some(500.0));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamps_to_last_finite_bound() {
+        let h = hist(&[1_000, 1_000_000], &[0, 0, 5]);
+        assert_eq!(h.quantile_nanos(0.99), Some(1_000_000.0));
+        // A histogram that is nothing but an overflow bucket has no
+        // finite bound to report.
+        assert_eq!(hist(&[], &[3]).quantile_nanos(0.5), None);
+    }
+
+    #[test]
+    fn diff_yields_counter_and_bucket_increments() {
+        let rec = Recorder::new();
+        let c = rec.counter("a.count");
+        let g = rec.gauge("b.level");
+        let h = rec.histogram_with_bounds("c.time", &[1_000]);
+        c.add(3);
+        g.set(1.5);
+        h.record(Duration::from_nanos(10));
+        let before = rec.snapshot();
+        c.add(2);
+        g.set(9.0);
+        h.record(Duration::from_micros(5));
+        let after = rec.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counters.get("a.count"), Some(&2));
+        assert_eq!(delta.gauges.get("b.level"), Some(&9.0), "gauges carry levels, not diffs");
+        let hd = &delta.histograms["c.time"];
+        assert_eq!(hd.count, 1);
+        assert_eq!(hd.buckets, vec![0, 1]);
+        // A quiet round drops unchanged series entirely.
+        let quiet = after.diff(&after);
+        assert!(quiet.counters.is_empty());
+        assert!(quiet.histograms.is_empty());
+        assert!(!quiet.gauges.is_empty(), "gauge levels persist across quiet rounds");
+    }
+
+    #[test]
+    fn diff_saturates_across_a_registry_restart() {
+        let mut prev = MetricsSnapshot::default();
+        prev.counters.insert("a".into(), 100);
+        let mut cur = MetricsSnapshot::default();
+        cur.counters.insert("a".into(), 10); // restarted: went backwards
+        cur.counters.insert("b".into(), 0); // new, still zero
+        let delta = cur.diff(&prev);
+        assert_eq!(delta.counters.get("a"), None, "zero increment on a known counter drops");
+        assert_eq!(delta.counters.get("b"), Some(&0), "new counters appear even at zero");
     }
 
     #[test]

@@ -31,19 +31,26 @@
 //!    (per-cluster curves and top-K rankings) are bit-identical across
 //!    all widths, and the served curves equal the manager's synchronous
 //!    predictions bit-for-bit.
+//! 9. **Alert-stream determinism** ([`run_monitored`]) — with the
+//!    self-monitoring layer folding per-round metric deltas and
+//!    evaluating deterministic SLO rules under template churn plus fault
+//!    injection, the alert firing/resolved transition log is
+//!    bit-identical across all widths and byte-stable across same-seed
+//!    reruns.
 //!
 //! On violation the harness returns a [`SimFailure`] whose `Display`
 //! includes [`repro_command`] — a copy-pasteable `cargo test` invocation
 //! that replays exactly this case via the `single_seed_repro` test.
 
 use qb5000::{
-    BatchItem, EventKind, ForecastManager, ForecastQuery, ForecastService, HorizonSpec,
-    Qb5000Config, QueryBot5000, RetrainOutcome, TraceDump, TraceView, Tracer,
+    AlertCondition, AlertRule, BatchItem, EventKind, ForecastManager, ForecastQuery,
+    ForecastService, HorizonSpec, Monitor, MonitorConfig, Qb5000Config, QueryBot5000, Recorder,
+    RetrainOutcome, Severity, TraceDump, TraceView, Tracer,
 };
 use qb_forecast::{DegradationLevel, Forecaster, LinearRegression};
 use qb_parallel::ThreadPool;
 use qb_timeseries::{Interval, MINUTES_PER_DAY};
-use qb_workloads::{FaultPlan, FaultStats, QueryEvent, TraceConfig, Workload};
+use qb_workloads::{ChurnScenario, FaultPlan, FaultStats, QueryEvent, TraceConfig, Workload};
 
 /// One fully-seeded simulation case.
 #[derive(Debug, Clone)]
@@ -645,4 +652,150 @@ pub fn run_traced(
         }
     }
     Ok(outcomes)
+}
+
+/// Deterministic SLO rules for the monitored harness: counters and gauges
+/// only — no wall-time quantiles — so every probe folds the same numbers
+/// at every pool width.
+fn sim_rules() -> Vec<AlertRule> {
+    vec![
+        // Fires whenever the fault plan corrupts statements (ratio rule).
+        AlertRule::new(
+            "sim-quarantine-share",
+            Severity::Warning,
+            AlertCondition::RatioAbove {
+                numerator: "preprocessor.quarantined_statements".into(),
+                denominator: "preprocessor.ingested_statements".into(),
+                above: 0.02,
+                window: 4,
+            },
+        ),
+        // Template churn shows up as new-template bursts at cluster
+        // refresh; fires on the burst, resolves once the mix settles —
+        // covering both transition directions.
+        AlertRule::new(
+            "sim-template-burst",
+            Severity::Info,
+            AlertCondition::RateAbove {
+                counter: "clusterer.new_templates".into(),
+                per_round: 8.0,
+                window: 1,
+            },
+        )
+        .clear_rounds(2),
+        // Absence rule: never fires while the replay delivers events, but
+        // exercises the silent-counter path every round.
+        AlertRule::new(
+            "sim-ingest-stalled",
+            Severity::Critical,
+            AlertCondition::Absent { counter: "preprocessor.ingested_statements".into(), window: 2 },
+        ),
+    ]
+}
+
+/// Invariant 9 — alert-stream determinism. Replays `case`'s fault plan
+/// over a churn scenario's evolving template mix through the sharded
+/// batch-ingest engine at every width, refreshing clusters and folding a
+/// metrics snapshot into a [`Monitor`] every six simulated hours, and
+/// checks:
+///
+/// * the alert firing/resolved transition log is byte-identical across
+///   all requested widths;
+/// * the typed active-alert set at end of run is identical across widths;
+/// * a same-seed re-run at the first width reproduces the log byte for
+///   byte;
+/// * with a non-zero fault intensity the stream is non-vacuous (the
+///   quarantine-share rule must have fired at least once).
+///
+/// Returns the (shared) transition log for golden-style inspection.
+pub fn run_monitored(
+    case: &SimCase,
+    scenario: ChurnScenario,
+    widths: &[usize],
+) -> Result<Vec<String>, SimFailure> {
+    assert!(!widths.is_empty(), "empty sweep");
+    const ROUND_MINUTES: i64 = 6 * 60;
+
+    let run_one = |w: usize| -> Result<(Vec<String>, Vec<qb5000::ActiveAlert>), SimFailure> {
+        let trace = TraceConfig { start: 0, days: case.days, scale: case.scale, seed: case.seed };
+        let plan = if case.fault_intensity == 0.0 {
+            FaultPlan::none(case.seed)
+        } else {
+            FaultPlan::with_intensity(case.seed, case.fault_intensity)
+        };
+        let events: Vec<QueryEvent> = plan.inject(scenario.generator(trace, 1.5)).collect();
+        let recorder = Recorder::new();
+        let config = Qb5000Config::builder()
+            .recorder(recorder.clone())
+            .build()
+            .expect("default monitored config is valid");
+        let mut bot = QueryBot5000::new(config);
+        let mut monitor = Monitor::new(MonitorConfig::default().rules(sim_rules()))
+            .map_err(|e| fail(case, format!("monitor setup failed at width {w}: {e}")))?;
+        let tracer = Tracer::disabled();
+        let pool = ThreadPool::new(w);
+
+        // Consecutive same-minute runs become the ingest ticks (the
+        // run_batched convention, preserving fault-plan delivery order).
+        let mut ticks: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0;
+        for i in 1..=events.len() {
+            if i == events.len() || events[i].minute != events[start].minute {
+                ticks.push(start..i);
+                start = i;
+            }
+        }
+
+        let mut round = 0u64;
+        let mut next_round = ROUND_MINUTES;
+        for tick in &ticks {
+            while events[tick.start].minute >= next_round {
+                round += 1;
+                bot.update_clusters(next_round);
+                monitor.observe_round(round, &recorder.snapshot(), &[], &tracer);
+                next_round += ROUND_MINUTES;
+            }
+            let batch: Vec<BatchItem<'_>> = events[tick.clone()]
+                .iter()
+                .map(|ev| BatchItem { minute: ev.minute, sql: &ev.sql, count: ev.count })
+                .collect();
+            bot.ingest_batch_with(&pool, &batch);
+        }
+        // Settle the tail of the trace into one final round.
+        round += 1;
+        bot.update_clusters(case.days as i64 * MINUTES_PER_DAY);
+        monitor.observe_round(round, &recorder.snapshot(), &[], &tracer);
+        Ok((monitor.transition_log().to_vec(), monitor.active_alerts()))
+    };
+
+    let (first_log, first_active) = run_one(widths[0])?;
+    if case.fault_intensity > 0.0
+        && !first_log.iter().any(|l| l.contains("fired rule=sim-quarantine-share"))
+    {
+        return Err(fail(
+            case,
+            format!("faulted replay never tripped the quarantine rule: {first_log:?}"),
+        ));
+    }
+    for &w in &widths[1..] {
+        let (log, active) = run_one(w)?;
+        if log != first_log {
+            return Err(fail(
+                case,
+                format!("alert transition log diverged between widths {} and {w}", widths[0]),
+            ));
+        }
+        if active != first_active {
+            return Err(fail(
+                case,
+                format!("active-alert set diverged between widths {} and {w}", widths[0]),
+            ));
+        }
+    }
+    // Byte-stability: a same-seed re-run reproduces the exact log.
+    let (again, _) = run_one(widths[0])?;
+    if again != first_log {
+        return Err(fail(case, "same-seed monitored re-run changed the alert log".into()));
+    }
+    Ok(first_log)
 }

@@ -13,8 +13,8 @@
 //!   cargo test -p qb-testkit --test simtest single_seed_repro -- --nocapture
 //! ```
 
-use qb_testkit::sim::{case_from_env, run_batched, run_case, run_served, SimCase};
-use qb_workloads::Workload;
+use qb_testkit::sim::{case_from_env, run_batched, run_case, run_monitored, run_served, SimCase};
+use qb_workloads::{ChurnScenario, Workload};
 
 const HORIZONS: &[usize] = &[1, 6];
 const WIDTHS: &[usize] = &[1, 4];
@@ -76,6 +76,31 @@ fn served_forecast_matrix() {
             let case = SimCase::new(workload, intensity, SEEDS[0]);
             if let Err(failure) = run_served(&case, HORIZONS, WIDTHS) {
                 panic!("{failure}");
+            }
+        }
+    }
+}
+
+/// The alert-stream determinism matrix (invariant 9): churn scenarios ×
+/// fault intensities replay through the sharded batch engine with a
+/// monitor folding metric deltas and evaluating deterministic SLO rules
+/// every six simulated hours. The firing/resolved transition log must be
+/// byte-identical at widths 1 and 4 and across a same-seed re-run, and
+/// the faulted cells must actually trip the quarantine-share rule.
+/// Two churn shapes per intensity keeps this matrix near
+/// `batched_ingest_matrix` cost (each cell replays three times).
+#[test]
+fn monitored_alert_matrix() {
+    for scenario in [ChurnScenario::FeatureLaunch, ChurnScenario::FlashCrowd] {
+        for intensity in [0.0, 1.0] {
+            let case = SimCase::new(Workload::Admissions, intensity, SEEDS[0]);
+            match run_monitored(&case, scenario, WIDTHS) {
+                Ok(log) => {
+                    if intensity > 0.0 {
+                        assert!(!log.is_empty(), "faulted {scenario:?} produced no transitions");
+                    }
+                }
+                Err(failure) => panic!("{failure}"),
             }
         }
     }

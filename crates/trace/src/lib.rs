@@ -111,6 +111,15 @@ pub enum EventKind {
     /// `population_prior`), and the seeded value, with lineage to the
     /// cluster assignment the seed was derived from.
     TemplateColdStart,
+    /// An alert rule transitioned to firing; payload carries the rule
+    /// name, severity, the offending metric and value, and the round the
+    /// condition first held, with parents linking to the evidence events
+    /// of the violation window.
+    AlertFired,
+    /// A firing alert's clear window completed and it resolved; payload
+    /// carries the rule name and the rounds the alert was active, with a
+    /// parent linking back to the [`EventKind::AlertFired`] event.
+    AlertResolved,
 }
 
 impl EventKind {
@@ -140,6 +149,8 @@ impl EventKind {
             EventKind::StageSpan => 19,
             EventKind::SnapshotPublished => 20,
             EventKind::TemplateColdStart => 21,
+            EventKind::AlertFired => 22,
+            EventKind::AlertResolved => 23,
         }
     }
 
@@ -168,6 +179,8 @@ impl EventKind {
             19 => EventKind::StageSpan,
             20 => EventKind::SnapshotPublished,
             21 => EventKind::TemplateColdStart,
+            22 => EventKind::AlertFired,
+            23 => EventKind::AlertResolved,
             _ => return None,
         })
     }
@@ -1076,11 +1089,11 @@ mod tests {
 
     #[test]
     fn kind_and_scope_codes_round_trip() {
-        for code in 0..=21u8 {
+        for code in 0..=23u8 {
             let kind = EventKind::from_code(code).expect("dense code space");
             assert_eq!(kind.to_code(), code);
         }
-        assert_eq!(EventKind::from_code(22), None);
+        assert_eq!(EventKind::from_code(24), None);
         for code in 0..=3u8 {
             let scope = Scope::from_code(code).expect("dense code space");
             assert_eq!(scope.to_code(), code);
